@@ -1,0 +1,120 @@
+/**
+ * @file
+ * Substrate ablation: the FTL under sustained random overwrites.
+ *
+ * Biscuit deliberately rides the SSD's existing firmware ("all I/O
+ * requests issued by Biscuit go through the same I/O paths ... the
+ * underlying SSD firmware takes care of media management tasks such
+ * as wear leveling and garbage collection", paper §VI). This bench
+ * characterizes that substrate: write amplification and wear spread
+ * versus over-provisioning, and how garbage collection inflates the
+ * latency of foreground writes — the background behaviours any NDP
+ * framework inherits.
+ */
+
+#include <cstdio>
+#include <vector>
+
+#include "ftl/ftl.h"
+#include "nand/nand.h"
+#include "sim/kernel.h"
+#include "util/common.h"
+#include "util/rng.h"
+
+namespace {
+
+using namespace bisc;
+
+struct RunResult
+{
+    double write_amp;
+    std::uint64_t gc_runs;
+    std::uint64_t wear_spread;
+    std::uint64_t max_erase;
+    double avg_write_us;
+    double max_write_us;
+};
+
+RunResult
+hammer(double overprovision, std::uint64_t seed)
+{
+    nand::Geometry geo;
+    geo.channels = 4;
+    geo.ways_per_channel = 2;
+    geo.pages_per_block = 16;
+    geo.page_size = 4_KiB;
+    geo.blocks_per_die = 32;
+
+    sim::Kernel kernel;
+    nand::NandFlash nand(kernel, geo, nand::NandTiming{});
+    ftl::FtlParams params;
+    params.overprovision = overprovision;
+    ftl::Ftl ftl(kernel, nand, params);
+
+    Rng rng(seed);
+    const ftl::Lpn space = ftl.logicalPages() * 9 / 10;
+    std::vector<std::uint8_t> page(geo.page_size, 0x77);
+
+    // Fill once, then hammer random overwrites for 4x the space.
+    Tick done = 0;
+    std::uint64_t host_writes = 0;
+    double sum_us = 0, max_us = 0;
+    kernel.spawn("writer", [&] {
+        for (ftl::Lpn l = 0; l < space; ++l) {
+            done = ftl.write(l, page.data(), page.size());
+            ++host_writes;
+        }
+        for (std::uint64_t i = 0; i < 4 * space; ++i) {
+            Tick t0 = kernel.now();
+            done = ftl.write(rng.below(space), page.data(),
+                             page.size());
+            sim::Kernel::current().sleepUntil(done);
+            double us = toMicros(kernel.now() - t0);
+            sum_us += us;
+            max_us = std::max(max_us, us);
+            ++host_writes;
+        }
+    });
+    kernel.run();
+
+    RunResult r;
+    r.write_amp = static_cast<double>(nand.pageWrites()) /
+                  static_cast<double>(host_writes);
+    r.gc_runs = ftl.gcRuns();
+    r.wear_spread = ftl.wearSpread();
+    std::uint64_t max_e = 0;
+    for (nand::Pbn b = 0; b < geo.totalBlocks(); ++b)
+        max_e = std::max(max_e, nand.eraseCount(b));
+    r.max_erase = max_e;
+    r.avg_write_us = sum_us / static_cast<double>(4 * space);
+    r.max_write_us = max_us;
+    return r;
+}
+
+}  // namespace
+
+int
+main()
+{
+    std::printf("FTL substrate under 4x-capacity random overwrite "
+                "churn\n\n");
+    std::printf("%6s %10s %8s %12s %10s %12s %12s\n", "OP", "write",
+                "GC", "wear", "max", "avg write", "max write");
+    std::printf("%6s %10s %8s %12s %10s %12s %12s\n", "", "amp",
+                "runs", "spread", "erases", "(us)", "(us)");
+    for (double op : {0.07, 0.12, 0.20, 0.28}) {
+        auto r = hammer(op, 99);
+        std::printf("%5.0f%% %10.2f %8llu %12llu %10llu %12.1f "
+                    "%12.1f\n",
+                    op * 100, r.write_amp,
+                    static_cast<unsigned long long>(r.gc_runs),
+                    static_cast<unsigned long long>(r.wear_spread),
+                    static_cast<unsigned long long>(r.max_erase),
+                    r.avg_write_us, r.max_write_us);
+    }
+    std::printf("\nexpected shape: more over-provisioning -> lower "
+                "write amplification and fewer GC stalls; the greedy "
+                "victim policy keeps wear spread small relative to "
+                "max erases.\n");
+    return 0;
+}

@@ -1,0 +1,300 @@
+/**
+ * @file
+ * Ablation studies for the design choices the paper argues for:
+ *
+ *  A. Selectivity sweep — "performance gain would depend highly on
+ *     the selectivity in a given query" (§V-C): speed-up of the
+ *     offloaded scan as the filter widens from one day to three
+ *     years, including the region where the sampling heuristic
+ *     rightly refuses to offload.
+ *
+ *  B. Hardware matcher vs. software scanning — the paper could NOT
+ *     reproduce older software-scan NDP gains on a modern SSD
+ *     (§I, §VI: "Software optimizations on embedded processors can't
+ *     simply keep up"): grep three ways — host Boyer-Moore, device
+ *     software scan on the slow core, device hardware matcher.
+ *
+ *  C. Join-order heuristic — Q14-style join with the NDP filter but
+ *     *without* placing the filtered table first, isolating how much
+ *     of the headline gain comes from the planner change vs. the
+ *     filter itself.
+ *
+ *  D. Sampling threshold — forcing the offload of an unselective
+ *     predicate, demonstrating why the quick-check exists.
+ */
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "db/executor.h"
+#include "db/expr.h"
+#include "db/minidb.h"
+#include "db/planner.h"
+#include "host/grep.h"
+#include "host/host_system.h"
+#include "host/load_gen.h"
+#include "runtime/module.h"
+#include "sisc/application.h"
+#include "sisc/env.h"
+#include "sisc/file.h"
+#include "sisc/port.h"
+#include "sisc/ssd.h"
+#include "slet/file.h"
+#include "slet/ssdlet.h"
+#include "tpch/dbgen.h"
+#include "util/common.h"
+
+namespace {
+
+using namespace bisc;
+using db::CmpOp;
+
+/**
+ * Software-scan grep SSDlet: reads every page and scans it with
+ * Boyer-Moore on the device core — what pre-pattern-matcher "smart
+ * SSD" prototypes did.
+ */
+class SoftGrepLet
+    : public slet::SSDLet<slet::In<>, slet::Out<std::uint64_t>,
+                          slet::Arg<slet::File, std::string>>
+{
+  public:
+    void
+    run() override
+    {
+        auto &file = arg<0>();
+        host::BoyerMoore bm(arg<1>());
+        const auto &cfg = context().runtime->config();
+        // The device core scans bytes ~device_core_slowdown x slower
+        // than the host's tuned Boyer-Moore.
+        double ns_per_byte = 1.45 * cfg.device_core_slowdown;
+
+        std::vector<std::uint8_t> buf(64_KiB);
+        std::uint64_t total = 0;
+        Bytes size = file.size();
+        for (Bytes off = 0; off < size; off += buf.size()) {
+            Bytes n = file.read(off, buf.data(), buf.size());
+            consumeCpu(static_cast<Tick>(
+                ns_per_byte * static_cast<double>(n)));
+            total += bm.count(buf.data(), n);
+        }
+        out<0>().put(total);
+    }
+};
+
+RegisterSSDLet("ablation", "idSoftGrep", SoftGrepLet);
+
+std::uint64_t
+runSoftGrep(rt::Runtime &runtime, const std::string &path,
+            const std::string &pattern, Tick &elapsed)
+{
+    auto &kernel = runtime.kernel();
+    Tick t0 = kernel.now();
+    sisc::SSD ssd(runtime);
+    if (!runtime.fs().exists("/ablation.slet")) {
+        rt::ModuleRegistry::global().installModuleFile(
+            runtime.fs(), "/ablation.slet", "ablation");
+    }
+    auto mid = ssd.loadModule(sisc::File(ssd, "/ablation.slet"));
+    std::uint64_t matches = 0;
+    {
+        sisc::Application app(ssd);
+        sisc::SSDLet grep(app, mid, "idSoftGrep",
+                          std::make_tuple(slet::File(path), pattern));
+        auto port = app.connectTo<std::uint64_t>(grep.out(0));
+        app.start();
+        std::uint64_t v = 0;
+        while (port.get(v))
+            matches += v;
+        app.wait();
+        ssd.unloadModule(mid);
+    }
+    elapsed = kernel.now() - t0;
+    return matches;
+}
+
+}  // namespace
+
+int
+main()
+{
+    sisc::Env env;
+    host::HostSystem host(env.kernel, env.device, env.fs);
+    db::MiniDb mdb(env, host);
+    mdb.planner.min_table_bytes = 512_KiB;
+
+    tpch::TpchConfig cfg;
+    cfg.scale_factor = 0.05;
+    std::printf("populating TPC-H at SF %.2f...\n", cfg.scale_factor);
+    tpch::buildTpch(mdb, cfg);
+    auto &L = mdb.table("lineitem");
+    const auto &ls = L.schema();
+    auto &P = mdb.table("part");
+
+    std::printf("generating 64 MiB web log...\n\n");
+    host::generateWebLog(env.fs, "/data/weblog", 64_MiB, "sig_needle",
+                         5000, 3);
+
+    env.run([&] {
+        // ---- A. Selectivity sweep -------------------------------
+        std::printf("A. offload gain vs. filter selectivity "
+                    "(lineitem date windows)\n");
+        std::printf("%-14s %10s %10s %9s  %s\n", "window",
+                    "page sel.", "speedup", "offload?", "note");
+        struct Window
+        {
+            const char *label;
+            const char *lo;
+            const char *hi;
+        };
+        const Window windows[] = {
+            {"1 day", "1995-09-14", "1995-09-14"},
+            {"1 month", "1995-09-01", "1995-09-30"},
+            {"3 months", "1995-07-01", "1995-09-30"},
+            {"1 year", "1995-01-01", "1995-12-31"},
+            {"2 years", "1994-01-01", "1995-12-31"},
+            {"3 years", "1993-01-01", "1995-12-31"},
+        };
+        for (const auto &w : windows) {
+            auto pred = db::between(ls, "l_shipdate",
+                                    std::string(w.lo),
+                                    std::string(w.hi));
+            db::DbStats s1, s2;
+            Tick t0 = env.kernel.now();
+            db::scanTable(mdb, L, pred, db::EngineMode::Conv, s1);
+            Tick conv = env.kernel.now() - t0;
+            t0 = env.kernel.now();
+            auto ndp = db::scanTable(mdb, L, pred,
+                                     db::EngineMode::Biscuit, s2);
+            Tick bisc = env.kernel.now() - t0;
+            std::printf("%-14s %10.2f %9.1fx %9s  %s\n", w.label,
+                        ndp.sampled_selectivity,
+                        static_cast<double>(conv) /
+                            static_cast<double>(bisc),
+                        ndp.used_ndp ? "yes" : "no",
+                        ndp.note.c_str());
+        }
+
+        // ---- B. software scan vs hardware matcher ----------------
+        std::printf("\nB. in-storage scanning: software vs. the "
+                    "matcher IP (64 MiB grep)\n");
+        auto conv = host::grepConv(host, "/data/weblog",
+                                   "sig_needle");
+        Tick soft_time = 0;
+        auto soft = runSoftGrep(env.runtime, "/data/weblog",
+                                "sig_needle", soft_time);
+        auto hw = host::grepBiscuit(env.runtime, "/data/weblog",
+                                    "sig_needle");
+        std::printf("  %-26s %8.1f ms  (matches %llu)\n",
+                    "Conv (host Boyer-Moore)",
+                    toMicros(conv.elapsed) / 1000.0,
+                    static_cast<unsigned long long>(conv.matches));
+        std::printf("  %-26s %8.1f ms  (matches %llu)  -> %.1fx "
+                    "SLOWER than Conv\n",
+                    "NDP, software scan",
+                    toMicros(soft_time) / 1000.0,
+                    static_cast<unsigned long long>(soft),
+                    static_cast<double>(soft_time) /
+                        static_cast<double>(conv.elapsed));
+        std::printf("  %-26s %8.1f ms  (matches %llu)  -> %.1fx "
+                    "faster than Conv\n",
+                    "NDP, hardware matcher",
+                    toMicros(hw.elapsed) / 1000.0,
+                    static_cast<unsigned long long>(hw.matches),
+                    static_cast<double>(conv.elapsed) /
+                        static_cast<double>(hw.elapsed));
+        std::printf("  (the paper could not reproduce software-scan "
+                    "NDP gains on a modern SSD; the IP is what makes "
+                    "NDP win)\n");
+
+        // ---- C. join-order heuristic ----------------------------
+        std::printf("\nC. Q14-style join: filter offload with and "
+                    "without the join-order change\n");
+        auto month = db::between(ls, "l_shipdate",
+                                 std::string("1995-09-01"),
+                                 std::string("1995-09-30"));
+        {
+            db::DbStats s;
+            Tick t0 = env.kernel.now();
+            auto parts = db::scanTable(mdb, P, nullptr,
+                                       db::EngineMode::Conv, s);
+            db::bnlJoin(mdb, parts.rows, P.rowWidth(),
+                        P.schema().indexOf("p_partkey"), L,
+                        ls.indexOf("l_partkey"), month, s);
+            std::printf("  %-44s %8.1f ms\n",
+                        "Conv (part-outer BNL, filter on host)",
+                        toMicros(env.kernel.now() - t0) / 1000.0);
+        }
+        {
+            db::DbStats s;
+            Tick t0 = env.kernel.now();
+            auto lines = db::scanTable(mdb, L, month,
+                                       db::EngineMode::Biscuit, s);
+            // WITHOUT the heuristic: part still drives the join.
+            auto parts = db::scanTable(mdb, P, nullptr,
+                                       db::EngineMode::Conv, s);
+            db::bnlJoin(mdb, parts.rows, P.rowWidth(),
+                        P.schema().indexOf("p_partkey"), L,
+                        ls.indexOf("l_partkey"), month, s);
+            (void)lines;
+            std::printf("  %-44s %8.1f ms\n",
+                        "NDP filter only (original join order)",
+                        toMicros(env.kernel.now() - t0) / 1000.0);
+        }
+        {
+            db::DbStats s;
+            Tick t0 = env.kernel.now();
+            auto lines = db::scanTable(mdb, L, month,
+                                       db::EngineMode::Biscuit, s);
+            db::bnlJoin(mdb, lines.rows, L.rowWidth(),
+                        ls.indexOf("l_partkey"), P,
+                        P.schema().indexOf("p_partkey"), nullptr, s);
+            std::printf("  %-44s %8.1f ms\n",
+                        "NDP filter + filtered-table-first join",
+                        toMicros(env.kernel.now() - t0) / 1000.0);
+        }
+        std::printf("  (the paper attributes Q14's 166.8x mainly to "
+                    "this planner change)\n");
+
+        // ---- D. why the sampling threshold exists ----------------
+        std::printf("\nD. forcing the offload of an unselective "
+                    "predicate\n");
+        auto bad = db::cmp(P.schema(), "p_brand", CmpOp::Eq,
+                           std::string("Brand#23"));
+        {
+            db::DbStats s;
+            Tick t0 = env.kernel.now();
+            db::scanTable(mdb, P, bad, db::EngineMode::Conv, s);
+            std::printf("  %-34s %8.1f ms\n", "Conv scan",
+                        toMicros(env.kernel.now() - t0) / 1000.0);
+        }
+        {
+            db::DbStats s;
+            Tick t0 = env.kernel.now();
+            auto out = db::scanTable(mdb, P, bad,
+                                     db::EngineMode::Biscuit, s);
+            std::printf("  %-34s %8.1f ms  (%s)\n",
+                        "Biscuit with sampling heuristic",
+                        toMicros(env.kernel.now() - t0) / 1000.0,
+                        out.note.c_str());
+        }
+        {
+            double saved = mdb.planner.page_selectivity_threshold;
+            mdb.planner.page_selectivity_threshold = 1.01;
+            db::DbStats s;
+            Tick t0 = env.kernel.now();
+            auto out = db::scanTable(mdb, P, bad,
+                                     db::EngineMode::Biscuit, s);
+            std::printf("  %-34s %8.1f ms  (%s)\n",
+                        "Biscuit, offload forced",
+                        toMicros(env.kernel.now() - t0) / 1000.0,
+                        out.note.c_str());
+            mdb.planner.page_selectivity_threshold = saved;
+        }
+        std::printf("  (when nearly every page matches, the offload "
+                    "ships the whole table through the port stack "
+                    "and loses)\n");
+    });
+    return 0;
+}

@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Reproduces paper Fig. 10: relative performance (speed-up) and I/O
+ * reduction of all 22 TPC-H queries on MiniDB, Conv vs. Biscuit, plus
+ * the headline aggregates: geometric-mean speed-up of the NDP
+ * queries, top-five average, and total suite execution time ratio.
+ *
+ * Paper: 14 queries at 1.0x (8 never attempt NDP, 6 rejected by
+ * sampling), 8 offloaded with geomean 6.1x, top five averaging 15.4x
+ * (Q14 reaching 166.8x with a 315.4x I/O reduction), and a 3.6x total
+ * suite-time reduction.
+ */
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <vector>
+
+#include "db/minidb.h"
+#include "host/host_system.h"
+#include "sisc/env.h"
+#include "tpch/dbgen.h"
+#include "tpch/queries.h"
+#include "util/common.h"
+
+int
+main()
+{
+    using namespace bisc;
+
+    sisc::Env env;
+    host::HostSystem host(env.kernel, env.device, env.fs);
+    db::MiniDb mdb(env, host);
+    mdb.planner.min_table_bytes = 512_KiB;
+
+    tpch::TpchConfig cfg;
+    cfg.scale_factor = 0.05;
+    std::printf("populating TPC-H at SF %.2f (paper: SF 100, "
+                "~160 GiB)...\n\n",
+                cfg.scale_factor);
+    tpch::buildTpch(mdb, cfg);
+
+    std::vector<tpch::QueryRun> runs;
+    env.run([&] {
+        for (int q : tpch::allQueries())
+            runs.push_back(tpch::runQueryBoth(q, mdb));
+    });
+
+    std::printf("Fig. 10: TPC-H relative performance "
+                "(sorted by speed-up)\n\n");
+    std::printf("%-5s %9s %8s %6s  %s\n", "query", "speedup",
+                "I/O red.", "match", "planner decision");
+
+    auto sorted = runs;
+    std::sort(sorted.begin(), sorted.end(),
+              [](const tpch::QueryRun &a, const tpch::QueryRun &b) {
+                  return a.speedup() > b.speedup();
+              });
+
+    double total_conv = 0, total_bisc = 0;
+    double ndp_log_sum = 0;
+    int ndp_count = 0;
+    std::vector<double> ndp_speedups;
+    for (const auto &r : sorted) {
+        std::printf("Q%-4d %8.2fx %7.1fx %6s  %s\n", r.number,
+                    r.speedup(), r.ioReduction(),
+                    r.resultsMatch() ? "yes" : "NO",
+                    r.biscuit.planner_note.c_str());
+    }
+    for (const auto &r : runs) {
+        total_conv += toSeconds(r.conv.elapsed);
+        total_bisc += toSeconds(r.biscuit.elapsed);
+        if (r.biscuit.ndp_used) {
+            ndp_log_sum += std::log(r.speedup());
+            ++ndp_count;
+            ndp_speedups.push_back(r.speedup());
+        }
+    }
+    std::sort(ndp_speedups.rbegin(), ndp_speedups.rend());
+
+    std::printf("\nsummary:\n");
+    std::printf("  queries leveraging NDP : %d (paper: 8)\n",
+                ndp_count);
+    std::printf("  geomean NDP speed-up   : %.1fx (paper: 6.1x)\n",
+                ndp_count ? std::exp(ndp_log_sum / ndp_count) : 1.0);
+    double top5 = 0;
+    int top_n = std::min<std::size_t>(5, ndp_speedups.size());
+    for (int i = 0; i < top_n; ++i)
+        top5 += ndp_speedups[i];
+    std::printf("  top-5 average speed-up : %.1fx (paper: 15.4x)\n",
+                top_n ? top5 / top_n : 0.0);
+    std::printf("  total suite time       : Conv %.2f s vs Biscuit "
+                "%.2f s -> %.1fx (paper: 3.6x)\n",
+                total_conv, total_bisc, total_conv / total_bisc);
+    return 0;
+}

@@ -1,0 +1,115 @@
+/**
+ * @file
+ * Reproduces paper Fig. 8: performance of the two illustration SQL
+ * queries on the lineitem table (from Woods et al. [35]):
+ *
+ *   <Query 1> WHERE l_shipdate = '1995-01-17'
+ *   <Query 2> WHERE (l_shipdate = '1995-01-17' OR
+ *                    l_shipdate = '1995-01-18')
+ *               AND (l_linenumber = 1 OR l_linenumber = 2)
+ *
+ * The paper reports ~11x and ~10x speed-ups with very consistent
+ * Biscuit execution times. We run each query several times and
+ * report mean and spread for both engines.
+ */
+
+#include <algorithm>
+#include <cstdio>
+#include <vector>
+
+#include "db/executor.h"
+#include "db/expr.h"
+#include "db/minidb.h"
+#include "host/host_system.h"
+#include "sisc/env.h"
+#include "tpch/dbgen.h"
+#include "util/common.h"
+
+int
+main()
+{
+    using namespace bisc;
+    using db::CmpOp;
+
+    sisc::Env env;
+    host::HostSystem host(env.kernel, env.device, env.fs);
+    db::MiniDb mdb(env, host);
+    mdb.planner.min_table_bytes = 512_KiB;
+
+    tpch::TpchConfig cfg;
+    cfg.scale_factor = 0.05;
+    std::printf("populating TPC-H at SF %.2f (paper: SF 100)...\n",
+                cfg.scale_factor);
+    tpch::buildTpch(mdb, cfg);
+    auto &L = mdb.table("lineitem");
+    const auto &ls = L.schema();
+    std::printf("lineitem: %llu rows / %.1f MiB\n\n",
+                static_cast<unsigned long long>(L.rowCount()),
+                static_cast<double>(L.sizeBytes()) / (1 << 20));
+
+    auto q1 = db::cmp(ls, "l_shipdate", CmpOp::Eq,
+                      std::string("1995-01-17"));
+    auto q2 = db::exprAnd(
+        {db::exprOr({db::cmp(ls, "l_shipdate", CmpOp::Eq,
+                             std::string("1995-01-17")),
+                     db::cmp(ls, "l_shipdate", CmpOp::Eq,
+                             std::string("1995-01-18"))}),
+         db::exprOr({db::cmp(ls, "l_linenumber", CmpOp::Eq,
+                             std::int64_t{1}),
+                     db::cmp(ls, "l_linenumber", CmpOp::Eq,
+                             std::int64_t{2})})});
+
+    constexpr int kRepeats = 5;
+    env.run([&] {
+        std::printf("Fig. 8: SQL filter queries on lineitem "
+                    "(%d repetitions)\n\n",
+                    kRepeats);
+        int num = 1;
+        for (const auto &pred : {q1, q2}) {
+            std::vector<double> conv_ms, ndp_ms;
+            std::size_t rows_conv = 0, rows_ndp = 0;
+            std::string note;
+            for (int r = 0; r < kRepeats; ++r) {
+                db::DbStats s1, s2;
+                Tick t0 = env.kernel.now();
+                auto conv = db::scanTable(mdb, L, pred,
+                                          db::EngineMode::Conv, s1);
+                conv_ms.push_back(
+                    toMicros(env.kernel.now() - t0) / 1000.0);
+                rows_conv = conv.rows.size();
+
+                t0 = env.kernel.now();
+                auto ndp = db::scanTable(mdb, L, pred,
+                                         db::EngineMode::Biscuit,
+                                         s2);
+                ndp_ms.push_back(
+                    toMicros(env.kernel.now() - t0) / 1000.0);
+                rows_ndp = ndp.rows.size();
+                note = ndp.note;
+            }
+            auto stats = [](std::vector<double> &v) {
+                double lo = *std::min_element(v.begin(), v.end());
+                double hi = *std::max_element(v.begin(), v.end());
+                double sum = 0;
+                for (double x : v)
+                    sum += x;
+                return std::tuple<double, double, double>(
+                    sum / static_cast<double>(v.size()), lo, hi);
+            };
+            auto [cm, cl, ch] = stats(conv_ms);
+            auto [nm, nl, nh] = stats(ndp_ms);
+            std::printf("Query %d  (%s)\n", num++, note.c_str());
+            std::printf("  rows: conv %zu / biscuit %zu %s\n",
+                        rows_conv, rows_ndp,
+                        rows_conv == rows_ndp ? "(match)"
+                                              : "(MISMATCH)");
+            std::printf("  Conv    : %8.2f ms  [%.2f, %.2f]\n", cm,
+                        cl, ch);
+            std::printf("  Biscuit : %8.2f ms  [%.2f, %.2f]\n", nm,
+                        nl, nh);
+            std::printf("  speedup : %8.1fx   (paper: ~11x / ~10x)\n\n",
+                        cm / nm);
+        }
+    });
+    return 0;
+}

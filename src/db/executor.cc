@@ -1,0 +1,442 @@
+#include "db/executor.h"
+
+#include <algorithm>
+#include <map>
+#include <unordered_map>
+
+#include "db/planner.h"
+#include "runtime/module.h"
+#include "sisc/application.h"
+#include "sisc/file.h"
+#include "sisc/port.h"
+#include "sisc/ssd.h"
+#include "slet/file.h"
+#include "slet/ssdlet.h"
+
+namespace bisc::db {
+
+namespace {
+
+constexpr std::uint32_t kPagesPerBatch = 8;
+
+/**
+ * The generic scan/filter SSDlet of the "minidb" module: streams its
+ * table file through the channel matchers and ships only matching
+ * pages to the host, batched into Packets framed as
+ * [u32 n]{u64 page, u32 len, bytes}*.
+ */
+class ScanFilterLet
+    : public slet::SSDLet<
+          slet::In<>, slet::Out<Packet>,
+          slet::Arg<slet::File, std::vector<std::string>,
+                    std::uint64_t, std::uint64_t>>
+{
+  public:
+    void
+    run() override
+    {
+        auto &file = arg<0>();
+        const auto &key_strings = arg<1>();
+        std::uint64_t page_size = arg<2>();
+        std::uint64_t n_pages = arg<3>();
+
+        pm::KeySet keys;
+        for (const auto &k : key_strings) {
+            bool ok = keys.addKey(k);
+            BISC_ASSERT(ok, "scan key rejected by matcher: ", k);
+        }
+
+        Packet batch;
+        std::uint32_t batched = 0;
+        batch.put<std::uint32_t>(0);  // patched before send
+
+        auto flush = [&] {
+            if (batched == 0)
+                return;
+            Packet framed;
+            framed.put<std::uint32_t>(batched);
+            framed.putBytes(batch.data() + sizeof(std::uint32_t),
+                            batch.size() - sizeof(std::uint32_t));
+            out<0>().put(std::move(framed));
+            batch.clear();
+            batch.put<std::uint32_t>(0);
+            batched = 0;
+        };
+
+        auto token = file.scanMatched(
+            0, n_pages * page_size, keys,
+            [&](Bytes off, const std::uint8_t *data, Bytes len) {
+                batch.put<std::uint64_t>(off / page_size);
+                batch.put<std::uint32_t>(
+                    static_cast<std::uint32_t>(len));
+                batch.putBytes(data, len);
+                if (++batched >= kPagesPerBatch)
+                    flush();
+            });
+        token.wait();
+        flush();
+    }
+};
+
+/** Sampling probe: match a handful of pages, return the hit count. */
+class SampleLet
+    : public slet::SSDLet<
+          slet::In<>, slet::Out<std::uint64_t>,
+          slet::Arg<slet::File, std::vector<std::string>,
+                    std::uint64_t, std::vector<std::uint64_t>>>
+{
+  public:
+    void
+    run() override
+    {
+        auto &file = arg<0>();
+        const auto &key_strings = arg<1>();
+        std::uint64_t page_size = arg<2>();
+        const auto &pages = arg<3>();
+
+        pm::KeySet keys;
+        for (const auto &k : key_strings)
+            keys.addKey(k);
+
+        // Issue every probe, then wait once: the sampled pages
+        // stream through the matchers in parallel across channels.
+        std::uint64_t matched = 0;
+        std::vector<slet::File::Async> inflight;
+        inflight.reserve(pages.size());
+        for (std::uint64_t p : pages) {
+            inflight.push_back(file.scanMatched(
+                p * page_size, page_size, keys,
+                [&](Bytes, const std::uint8_t *, Bytes) {
+                    ++matched;
+                }));
+        }
+        for (auto &token : inflight)
+            token.wait();
+        out<0>().put(matched);
+    }
+};
+
+RegisterSSDLet("minidb", "idScanFilter", ScanFilterLet);
+RegisterSSDLet("minidb", "idSample", SampleLet);
+
+/**
+ * Lazily install and load the minidb module, keeping it resident in
+ * the MiniDb instance (dynamic loading once, many instantiations —
+ * exactly the lifecycle the Biscuit runtime is built for).
+ */
+rt::ModuleId
+loadMinidbModule(MiniDb &db, sisc::SSD &ssd)
+{
+    if (db.minidb_module_loaded)
+        return db.minidb_module;
+    auto &fs = ssd.runtime().fs();
+    if (!fs.exists("/var/isc/slets/minidb.slet")) {
+        rt::ModuleRegistry::global().installModuleFile(
+            fs, "/var/isc/slets/minidb.slet", "minidb");
+    }
+    db.minidb_module = ssd.loadModule(
+        sisc::File(ssd, "/var/isc/slets/minidb.slet"));
+    db.minidb_module_loaded = true;
+    return db.minidb_module;
+}
+
+std::vector<std::string>
+keyStrings(const pm::KeySet &keys)
+{
+    return keys.keys();
+}
+
+/** Conventional scan: stream the whole table to the host. */
+ScanOutcome
+convScan(MiniDb &db, Table &table, const ExprPtr &pred,
+         DbStats &stats)
+{
+    ScanOutcome out;
+    auto &host = db.host();
+    const Bytes page_size = table.pageSize();
+    Bytes size = table.pageCount() * page_size;
+
+    host.streamRead(
+        table.file(), 0, size, 1_MiB,
+        [&](Bytes off, const std::uint8_t *data, Bytes len) {
+            host.consumeCpuPerByte(
+                len, host.config().db_scan_ns_per_byte);
+            for (Bytes p = 0; p < len; p += page_size) {
+                std::uint64_t page_idx = (off + p) / page_size;
+                Bytes n = std::min(page_size, len - p);
+                auto rows = table.decodePage(data + p, n, page_idx);
+                for (auto &row : rows) {
+                    ++stats.rows_examined;
+                    if (!pred || evalPred(*pred, row))
+                        out.rows.push_back(std::move(row));
+                }
+            }
+        });
+    stats.pages_to_host += table.pageCount();
+    ++stats.conv_scans;
+    out.note = out.note.empty() ? "conventional scan" : out.note;
+    return out;
+}
+
+/** NDP scan: page filter on the device, exact re-check on the host. */
+ScanOutcome
+ndpScan(MiniDb &db, Table &table, const ExprPtr &pred,
+        const pm::KeySet &keys, DbStats &stats)
+{
+    ScanOutcome out;
+    out.used_ndp = true;
+    auto &host = db.host();
+    const Bytes page_size = table.pageSize();
+
+    sisc::SSD ssd(db.env().runtime);
+    auto mid = loadMinidbModule(db, ssd);
+    {
+        sisc::Application app(ssd);
+        sisc::SSDLet scan(
+            app, mid, "idScanFilter",
+            std::make_tuple(slet::File(table.file()),
+                            keyStrings(keys),
+                            static_cast<std::uint64_t>(page_size),
+                            table.pageCount()));
+        auto port = app.connectTo<Packet>(scan.out(0));
+        app.start();
+
+        Packet batch;
+        while (port.get(batch)) {
+            auto n = batch.get<std::uint32_t>();
+            for (std::uint32_t i = 0; i < n; ++i) {
+                auto page_idx = batch.get<std::uint64_t>();
+                auto len = batch.get<std::uint32_t>();
+                std::vector<std::uint8_t> data(len);
+                batch.getBytes(data.data(), len);
+
+                // Exact predicate evaluation on the returned page.
+                host.consumeCpuPerByte(
+                    len, host.config().db_scan_ns_per_byte);
+                auto rows =
+                    table.decodePage(data.data(), len, page_idx);
+                for (auto &row : rows) {
+                    ++stats.rows_examined;
+                    if (!pred || evalPred(*pred, row))
+                        out.rows.push_back(std::move(row));
+                }
+                ++stats.pages_to_host;
+            }
+        }
+        app.wait();
+    }
+    stats.pages_scanned_device += table.pageCount();
+    ++stats.ndp_scans;
+    return out;
+}
+
+}  // namespace
+
+std::uint64_t
+ndpSamplePages(MiniDb &db, Table &table, const pm::KeySet &keys,
+               const std::vector<std::uint64_t> &pages, DbStats &stats)
+{
+    sisc::SSD ssd(db.env().runtime);
+    auto mid = loadMinidbModule(db, ssd);
+    std::uint64_t matched = 0;
+    {
+        sisc::Application app(ssd);
+        sisc::SSDLet sampler(
+            app, mid, "idSample",
+            std::make_tuple(slet::File(table.file()),
+                            keyStrings(keys),
+                            static_cast<std::uint64_t>(
+                                table.pageSize()),
+                            pages));
+        auto port = app.connectTo<std::uint64_t>(sampler.out(0));
+        app.start();
+        std::uint64_t v = 0;
+        while (port.get(v))
+            matched += v;
+        app.wait();
+    }
+    stats.sample_pages += pages.size();
+    return matched;
+}
+
+ScanOutcome
+scanTable(MiniDb &db, Table &table, const ExprPtr &pred,
+          EngineMode mode, DbStats &stats)
+{
+    if (mode == EngineMode::Biscuit) {
+        PlanDecision d = decideOffload(db, table, pred, stats);
+        if (d.offload) {
+            ScanOutcome out = ndpScan(db, table, pred, d.keys, stats);
+            out.sampled_selectivity = d.sampled_selectivity;
+            out.note = d.note;
+            return out;
+        }
+        ScanOutcome out = convScan(db, table, pred, stats);
+        out.sampled_selectivity = d.sampled_selectivity;
+        out.note = d.note;
+        return out;
+    }
+    return convScan(db, table, pred, stats);
+}
+
+std::vector<Row>
+bnlJoin(MiniDb &db, const std::vector<Row> &outer, Bytes outer_width,
+        int outer_col, Table &inner, int inner_col,
+        const ExprPtr &inner_pred, DbStats &stats)
+{
+    std::vector<Row> out;
+    if (outer.empty())
+        return out;
+    auto &host = db.host();
+
+    // Functional side: hash the (filtered) inner table once.
+    std::unordered_multimap<std::string, Row> hash;
+    inner.forEachRow([&](const Row &row) {
+        if (inner_pred && !evalPred(*inner_pred, row))
+            return;
+        hash.emplace(valueToString(row.at(inner_col)), row);
+    });
+
+    // Timing side: block-nested-loop — the inner table is re-read in
+    // full once per join-buffer block of outer rows. This is the
+    // magnification effect of early filtering: fewer outer rows means
+    // fewer physical passes over the inner table.
+    Bytes outer_bytes = outer.size() * outer_width;
+    std::uint64_t blocks =
+        divCeil<Bytes>(outer_bytes, db.planner.join_buffer);
+    Bytes inner_size = inner.pageCount() * inner.pageSize();
+    for (std::uint64_t b = 0; b < blocks; ++b) {
+        host.streamRead(inner.file(), 0, inner_size, 1_MiB,
+                        [&](Bytes, const std::uint8_t *, Bytes len) {
+                            host.consumeCpuPerByte(
+                                len,
+                                host.config().db_scan_ns_per_byte);
+                        });
+        stats.pages_to_host += inner.pageCount();
+        stats.rows_examined += inner.rowCount();
+    }
+
+    // Probe.
+    for (const auto &orow : outer) {
+        auto range = hash.equal_range(valueToString(orow.at(outer_col)));
+        for (auto it = range.first; it != range.second; ++it) {
+            Row joined = orow;
+            joined.insert(joined.end(), it->second.begin(),
+                          it->second.end());
+            out.push_back(std::move(joined));
+        }
+    }
+    host.consumeCpu(db.planner.row_cpu * (outer.size() + out.size()));
+    return out;
+}
+
+std::vector<Row>
+groupBy(MiniDb &db, const std::vector<Row> &rows,
+        const std::vector<int> &key_cols,
+        const std::vector<AggSpec> &aggs, DbStats &stats)
+{
+    struct Acc
+    {
+        Row keys;
+        std::vector<double> sums;
+        std::vector<double> mins;
+        std::vector<double> maxs;
+        std::uint64_t count = 0;
+    };
+
+    auto numeric = [](const Value &v) {
+        return std::holds_alternative<std::int64_t>(v)
+                   ? static_cast<double>(std::get<std::int64_t>(v))
+                   : std::get<double>(v);
+    };
+
+    std::map<std::string, Acc> groups;
+    for (const auto &row : rows) {
+        std::string key;
+        for (int c : key_cols) {
+            key += valueToString(row.at(c));
+            key += '\x01';
+        }
+        Acc &acc = groups[key];
+        if (acc.count == 0) {
+            for (int c : key_cols)
+                acc.keys.push_back(row.at(c));
+            acc.sums.assign(aggs.size(), 0.0);
+            acc.mins.assign(aggs.size(), 0.0);
+            acc.maxs.assign(aggs.size(), 0.0);
+        }
+        for (std::size_t a = 0; a < aggs.size(); ++a) {
+            if (aggs[a].column < 0)
+                continue;
+            double v = numeric(row.at(aggs[a].column));
+            acc.sums[a] += v;
+            if (acc.count == 0 || v < acc.mins[a])
+                acc.mins[a] = v;
+            if (acc.count == 0 || v > acc.maxs[a])
+                acc.maxs[a] = v;
+        }
+        ++acc.count;
+    }
+    db.host().consumeCpu(db.planner.row_cpu * rows.size());
+
+    std::vector<Row> out;
+    out.reserve(groups.size());
+    for (auto &[key, acc] : groups) {
+        Row row = acc.keys;
+        for (std::size_t a = 0; a < aggs.size(); ++a) {
+            switch (aggs[a].op) {
+              case AggSpec::Op::Sum:
+                row.emplace_back(acc.sums[a]);
+                break;
+              case AggSpec::Op::Avg:
+                row.emplace_back(acc.sums[a] /
+                                 static_cast<double>(acc.count));
+                break;
+              case AggSpec::Op::Count:
+                row.emplace_back(
+                    static_cast<std::int64_t>(acc.count));
+                break;
+              case AggSpec::Op::Min:
+                row.emplace_back(acc.mins[a]);
+                break;
+              case AggSpec::Op::Max:
+                row.emplace_back(acc.maxs[a]);
+                break;
+            }
+        }
+        out.push_back(std::move(row));
+    }
+    (void)stats;
+    return out;
+}
+
+void
+sortRows(std::vector<Row> &rows,
+         const std::vector<std::pair<int, bool>> &keys)
+{
+    std::sort(rows.begin(), rows.end(),
+              [&](const Row &a, const Row &b) {
+                  for (auto [col, desc] : keys) {
+                      int c = compareValues(a.at(col), b.at(col));
+                      if (c != 0)
+                          return desc ? c > 0 : c < 0;
+                  }
+                  return false;
+              });
+}
+
+std::vector<Row>
+filterRows(MiniDb &db, const std::vector<Row> &rows,
+           const ExprPtr &pred, DbStats &stats)
+{
+    std::vector<Row> out;
+    for (const auto &row : rows) {
+        if (!pred || evalPred(*pred, row))
+            out.push_back(row);
+    }
+    db.host().consumeCpu(db.planner.row_cpu * rows.size());
+    stats.rows_examined += rows.size();
+    return out;
+}
+
+}  // namespace bisc::db

@@ -1,0 +1,96 @@
+/**
+ * @file
+ * MiniDB execution primitives: conventional and NDP table scans, the
+ * block-nested-loop join cost model, grouping, sorting.
+ *
+ * The 22 TPC-H query drivers (src/tpch/queries.cc) compose these
+ * primitives; each primitive charges its own simulated time so query
+ * elapsed times fall out of the composition.
+ */
+
+#ifndef BISCUIT_DB_EXECUTOR_H_
+#define BISCUIT_DB_EXECUTOR_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "db/expr.h"
+#include "db/minidb.h"
+#include "db/table.h"
+#include "pm/pattern_matcher.h"
+
+namespace bisc::db {
+
+/** Which engine variant a query runs as (paper: Conv vs. Biscuit). */
+enum class EngineMode { Conv, Biscuit };
+
+struct ScanOutcome
+{
+    std::vector<Row> rows;
+    bool used_ndp = false;
+    double sampled_selectivity = -1.0;  ///< -1: sampling not run
+    std::string note;                   ///< planner decision trace
+};
+
+/**
+ * Scan @p table with predicate @p pred (may be null = full scan).
+ * In Biscuit mode the planner heuristic decides between the offload
+ * path and the conventional path; Conv mode always streams to the
+ * host. Rows returned satisfy @p pred exactly.
+ */
+ScanOutcome scanTable(MiniDb &db, Table &table, const ExprPtr &pred,
+                      EngineMode mode, DbStats &stats);
+
+/**
+ * Device-side sampling probe: stream @p pages through the channel
+ * matchers configured with @p keys, returning how many matched.
+ * Timed (this is the planner's "quick check").
+ */
+std::uint64_t ndpSamplePages(MiniDb &db, Table &table,
+                             const pm::KeySet &keys,
+                             const std::vector<std::uint64_t> &pages,
+                             DbStats &stats);
+
+/**
+ * Equi-join @p outer rows against @p inner with block-nested-loop
+ * *cost* (the inner table is re-read once per join-buffer block of
+ * outer rows — the effect Biscuit's filter-first join order
+ * magnifies, paper §V-C) and hash-join *semantics*. @p outer_width is
+ * the storage width of one outer row (join-buffer occupancy);
+ * @p inner_pred filters inner rows during each pass. Output rows are
+ * outer ++ inner concatenations.
+ */
+std::vector<Row> bnlJoin(MiniDb &db, const std::vector<Row> &outer,
+                         Bytes outer_width, int outer_col,
+                         Table &inner, int inner_col,
+                         const ExprPtr &inner_pred, DbStats &stats);
+
+/** Aggregation spec for groupBy. */
+struct AggSpec
+{
+    enum class Op { Sum, Avg, Count, Min, Max };
+    Op op = Op::Count;
+    int column = -1;  ///< -1 for Count(*)
+};
+
+/**
+ * Group @p rows by @p key_cols and compute @p aggs per group. Output
+ * rows are [keys..., aggregates...]. Charges per-row host CPU.
+ */
+std::vector<Row> groupBy(MiniDb &db, const std::vector<Row> &rows,
+                         const std::vector<int> &key_cols,
+                         const std::vector<AggSpec> &aggs,
+                         DbStats &stats);
+
+/** In-place sort by (column, descending?) keys. */
+void sortRows(std::vector<Row> &rows,
+              const std::vector<std::pair<int, bool>> &keys);
+
+/** Filter @p rows by @p pred on the host (charges per-row CPU). */
+std::vector<Row> filterRows(MiniDb &db, const std::vector<Row> &rows,
+                            const ExprPtr &pred, DbStats &stats);
+
+}  // namespace bisc::db
+
+#endif  // BISCUIT_DB_EXECUTOR_H_

@@ -1,0 +1,134 @@
+/**
+ * @file
+ * MiniDB: the DB engine substrate standing in for MariaDB/XtraDB
+ * (paper §V-C, "DB Scan and Filtering").
+ *
+ * MiniDB owns the catalog and the planner configuration. Its executor
+ * (executor.h) implements both datapaths the paper compares: the
+ * conventional scan (stream the table to the host, evaluate there)
+ * and the Biscuit scan (offload a page filter to the SSD's pattern
+ * matchers, ship only matching pages). The planner (planner.h) makes
+ * the offload decision with the paper's heuristic: derive keys, check
+ * the table size, sample pages to estimate selectivity, compare
+ * against a threshold.
+ */
+
+#ifndef BISCUIT_DB_MINIDB_H_
+#define BISCUIT_DB_MINIDB_H_
+
+#include <map>
+#include <memory>
+#include <string>
+
+#include "db/table.h"
+#include "host/host_system.h"
+#include "sisc/env.h"
+#include "util/common.h"
+
+namespace bisc::db {
+
+struct PlannerConfig
+{
+    /** Master switch: false forces every scan down the Conv path. */
+    bool enable_ndp = true;
+
+    /**
+     * Offload only when the sampled fraction of matching pages is at
+     * most this (paper: "determine whether the candidate table is
+     * indeed a good target based on a selectivity threshold").
+     */
+    double page_selectivity_threshold = 0.35;
+
+    /** Pages probed by the quick sampling check. */
+    std::uint32_t sample_pages = 24;
+
+    /** Tables smaller than this are not worth offloading. */
+    Bytes min_table_bytes = 1_MiB;
+
+    /** Block-nested-loop join buffer (MariaDB join_buffer_size). */
+    Bytes join_buffer = 128_KiB;
+
+    /** Host CPU cost per row of join/aggregation bookkeeping. */
+    Tick row_cpu = Tick{60};  // 60 ns
+};
+
+/** Aggregate counters a query run accumulates. */
+struct DbStats
+{
+    std::uint64_t pages_to_host = 0;       ///< crossed the interface
+    std::uint64_t pages_scanned_device = 0;
+    std::uint64_t sample_pages = 0;
+    std::uint64_t rows_examined = 0;
+    std::uint64_t ndp_scans = 0;
+    std::uint64_t conv_scans = 0;
+    Tick elapsed = 0;
+
+    void
+    clear()
+    {
+        *this = DbStats{};
+    }
+};
+
+class MiniDb
+{
+  public:
+    MiniDb(sisc::Env &env, host::HostSystem &host)
+        : env_(env), host_(host)
+    {}
+
+    sisc::Env &env() { return env_; }
+    host::HostSystem &host() { return host_; }
+
+    Table &
+    createTable(const std::string &name, Schema schema)
+    {
+        BISC_ASSERT(tables_.count(name) == 0, "duplicate table ",
+                    name);
+        auto t = std::make_unique<Table>(env_.fs, name,
+                                         std::move(schema));
+        Table &ref = *t;
+        tables_.emplace(name, std::move(t));
+        return ref;
+    }
+
+    Table &
+    table(const std::string &name)
+    {
+        auto it = tables_.find(name);
+        BISC_ASSERT(it != tables_.end(), "no such table: ", name);
+        return *it->second;
+    }
+
+    bool hasTable(const std::string &name) const
+    {
+        return tables_.count(name) != 0;
+    }
+
+    PlannerConfig planner;
+
+    /**
+     * The loaded "minidb" SSDlet module (scan/sample offload code).
+     * Loaded lazily by the executor on the first offload and kept
+     * resident — like a production engine would keep its offload
+     * module loaded.
+     */
+    std::uint64_t minidb_module = 0;
+    bool minidb_module_loaded = false;
+
+    /**
+     * Sampled page-selectivity statistics, keyed by table + key set.
+     * Like a real engine's persistent statistics, the quick check
+     * runs once per (table, predicate-keys) pair.
+     */
+    std::map<std::string, double> selectivity_stats;
+
+  private:
+    sisc::Env &env_;
+    host::HostSystem &host_;
+    std::map<std::string, std::unique_ptr<Table>> tables_;
+};
+
+}  // namespace bisc::db
+
+#endif  // BISCUIT_DB_MINIDB_H_

@@ -1,0 +1,83 @@
+#include "db/planner.h"
+
+#include <cstdio>
+
+#include "db/executor.h"
+
+namespace bisc::db {
+
+PlanDecision
+decideOffload(MiniDb &db, Table &table, const ExprPtr &pred,
+              DbStats &stats)
+{
+    PlanDecision d;
+    const PlannerConfig &cfg = db.planner;
+
+    if (!cfg.enable_ndp) {
+        d.note = "NDP disabled";
+        return d;
+    }
+    if (!pred) {
+        d.note = "no filter predicate";
+        return d;
+    }
+    if (table.sizeBytes() < cfg.min_table_bytes) {
+        d.note = "target table too small (" +
+                 std::to_string(table.sizeBytes() >> 10) + " KiB)";
+        return d;
+    }
+
+    KeyDerivation kd = deriveKeys(*pred, table.schema());
+    if (!kd.offloadable) {
+        d.note = kd.reason;
+        return d;
+    }
+    d.keys = kd.keys;
+
+    // Quick check: probe evenly spread pages through the matchers.
+    // Results are cached per (table, key set), like persistent
+    // engine statistics.
+    std::string stat_key = table.name();
+    for (const auto &k : d.keys.keys()) {
+        stat_key += '|';
+        stat_key += k;
+    }
+    auto cached = db.selectivity_stats.find(stat_key);
+    if (cached != db.selectivity_stats.end()) {
+        d.sampled_selectivity = cached->second;
+    } else {
+        std::uint64_t total = table.pageCount();
+        std::uint64_t samples =
+            std::min<std::uint64_t>(cfg.sample_pages, total);
+        std::vector<std::uint64_t> pages;
+        pages.reserve(samples);
+        for (std::uint64_t i = 0; i < samples; ++i)
+            pages.push_back(i * total / samples);
+
+        std::uint64_t matched =
+            ndpSamplePages(db, table, d.keys, pages, stats);
+        d.sampled_selectivity = static_cast<double>(matched) /
+                                static_cast<double>(samples);
+        db.selectivity_stats.emplace(stat_key,
+                                     d.sampled_selectivity);
+    }
+
+    char buf[96];
+    if (d.sampled_selectivity > cfg.page_selectivity_threshold) {
+        std::snprintf(buf, sizeof(buf),
+                      "sampling advises against offload "
+                      "(page selectivity %.2f > %.2f)",
+                      d.sampled_selectivity,
+                      cfg.page_selectivity_threshold);
+        d.note = buf;
+        return d;
+    }
+    std::snprintf(buf, sizeof(buf),
+                  "offloaded (sampled page selectivity %.2f)",
+                  d.sampled_selectivity);
+    d.note = buf;
+    d.offload = true;
+    return d;
+}
+
+}  // namespace bisc::db

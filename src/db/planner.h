@@ -1,0 +1,40 @@
+/**
+ * @file
+ * The NDP offload decision (paper §V-C): the four-step heuristic the
+ * authors implanted into MariaDB's query planner — (1) identify a
+ * candidate table with filter predicates amenable to offloading,
+ * (2) estimate selectivity with a sampling quick-check, (3) compare
+ * against a threshold, (4) offload when it pays.
+ */
+
+#ifndef BISCUIT_DB_PLANNER_H_
+#define BISCUIT_DB_PLANNER_H_
+
+#include <string>
+
+#include "db/expr.h"
+#include "db/minidb.h"
+#include "db/table.h"
+#include "pm/pattern_matcher.h"
+
+namespace bisc::db {
+
+struct PlanDecision
+{
+    bool offload = false;
+    pm::KeySet keys;
+    double sampled_selectivity = -1.0;  ///< -1: sampling not reached
+    std::string note;  ///< human-readable decision trace
+};
+
+/**
+ * Decide whether the scan of @p table with @p pred should be pushed
+ * down to the SSD. Runs the timed sampling probe when the static
+ * checks pass.
+ */
+PlanDecision decideOffload(MiniDb &db, Table &table,
+                           const ExprPtr &pred, DbStats &stats);
+
+}  // namespace bisc::db
+
+#endif  // BISCUIT_DB_PLANNER_H_

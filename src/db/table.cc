@@ -1,0 +1,119 @@
+#include "db/table.h"
+
+#include <algorithm>
+#include <cstring>
+
+namespace bisc::db {
+
+Table::Table(fs::FileSystem &fs, std::string name, Schema schema)
+    : fs_(fs), name_(std::move(name)),
+      file_("/db/" + name_ + ".tbl"), schema_(std::move(schema)),
+      page_size_(fs.pageSize()),
+      rows_per_page_(page_size_ / schema_.rowWidth())
+{
+    BISC_ASSERT(rows_per_page_ > 0, "row wider than a page in table ",
+                name_);
+}
+
+void
+Table::load(const std::function<bool(Row &)> &next)
+{
+    if (fs_.exists(file_))
+        fs_.remove(file_);
+    fs_.create(file_);
+
+    std::vector<std::uint8_t> page(page_size_, 0);
+    Bytes used = 0;
+    std::uint64_t page_idx = 0;
+    row_count_ = 0;
+
+    // Stream rows into page-sized buffers, installing each packed
+    // page directly (zero time, offline population).
+    auto flushPage = [&] {
+        fs_.ensureSize(file_, (page_idx + 1) * page_size_);
+        ftl::Lpn lpn = fs_.lpnAt(file_, page_idx * page_size_);
+        fs_.device().ftl().install(lpn, page.data(), page_size_);
+        ++page_idx;
+        std::fill(page.begin(), page.end(), 0);
+        used = 0;
+    };
+
+    Row row;
+    while (next(row)) {
+        if (used + schema_.rowWidth() > page_size_)
+            flushPage();
+        schema_.encodeRow(row, page.data() + used);
+        used += schema_.rowWidth();
+        ++row_count_;
+    }
+    if (used > 0)
+        flushPage();
+    page_count_ = page_idx;
+}
+
+void
+Table::loadRows(const std::vector<Row> &rows)
+{
+    std::size_t i = 0;
+    load([&](Row &out) {
+        if (i >= rows.size())
+            return false;
+        out = rows[i++];
+        return true;
+    });
+}
+
+Row
+Table::rowAt(std::uint64_t index) const
+{
+    BISC_ASSERT(index < row_count_, "row index out of range");
+    std::uint64_t page = index / rows_per_page_;
+    std::uint64_t slot = index % rows_per_page_;
+    std::vector<std::uint8_t> buf(schema_.rowWidth());
+    fs_.peek(file_, page * page_size_ + slot * schema_.rowWidth(),
+             buf.size(), buf.data());
+    return schema_.decodeRow(buf.data());
+}
+
+std::uint64_t
+Table::rowsInPage(std::uint64_t page) const
+{
+    if (page + 1 < page_count_)
+        return rows_per_page_;
+    if (page + 1 == page_count_) {
+        std::uint64_t rem = row_count_ % rows_per_page_;
+        return rem == 0 ? rows_per_page_ : rem;
+    }
+    return 0;
+}
+
+std::vector<Row>
+Table::decodePage(const std::uint8_t *data, Bytes len,
+                  std::uint64_t page) const
+{
+    std::vector<Row> rows;
+    std::uint64_t n = rowsInPage(page);
+    rows.reserve(n);
+    for (std::uint64_t i = 0; i < n; ++i) {
+        Bytes off = i * schema_.rowWidth();
+        if (off + schema_.rowWidth() > len)
+            break;
+        rows.push_back(schema_.decodeRow(data + off));
+    }
+    return rows;
+}
+
+void
+Table::forEachRow(const std::function<void(const Row &)> &fn) const
+{
+    std::vector<std::uint8_t> page(page_size_);
+    for (std::uint64_t p = 0; p < page_count_; ++p) {
+        fs_.peek(file_, p * page_size_, page_size_, page.data());
+        std::uint64_t n = rowsInPage(p);
+        for (std::uint64_t i = 0; i < n; ++i)
+            fn(schema_.decodeRow(page.data() +
+                                 i * schema_.rowWidth()));
+    }
+}
+
+}  // namespace bisc::db

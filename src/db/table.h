@@ -1,0 +1,81 @@
+/**
+ * @file
+ * MiniDB heap tables: fixed-width row slots packed into SSD pages.
+ *
+ * Rows never straddle pages, so the per-channel pattern matcher's
+ * page-granular verdicts map exactly onto row sets, and the paper's
+ * page-level selectivity metric ("fraction of pages that satisfy the
+ * filter") is directly computable.
+ */
+
+#ifndef BISCUIT_DB_TABLE_H_
+#define BISCUIT_DB_TABLE_H_
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "db/types.h"
+#include "fs/file_system.h"
+#include "util/common.h"
+
+namespace bisc::db {
+
+class Table
+{
+  public:
+    Table(fs::FileSystem &fs, std::string name, Schema schema);
+
+    const std::string &name() const { return name_; }
+    const Schema &schema() const { return schema_; }
+    const std::string &file() const { return file_; }
+
+    Bytes rowWidth() const { return schema_.rowWidth(); }
+    std::uint64_t rowsPerPage() const { return rows_per_page_; }
+    std::uint64_t rowCount() const { return row_count_; }
+    std::uint64_t pageCount() const { return page_count_; }
+    Bytes sizeBytes() const { return page_count_ * page_size_; }
+    Bytes pageSize() const { return page_size_; }
+
+    /**
+     * Bulk load (zero time, like the paper's offline TPC-H
+     * population). @p next yields one row at a time; returns false at
+     * end of data. Replaces any previous contents.
+     */
+    void load(const std::function<bool(Row &)> &next);
+
+    /** Convenience bulk load from a materialized vector. */
+    void loadRows(const std::vector<Row> &rows);
+
+    /** Functional row access (zero time; verification only). */
+    Row rowAt(std::uint64_t index) const;
+
+    /** Number of valid rows in page @p page. */
+    std::uint64_t rowsInPage(std::uint64_t page) const;
+
+    /**
+     * Decode every row of page @p page from raw page bytes (as
+     * returned by either datapath).
+     */
+    std::vector<Row> decodePage(const std::uint8_t *data,
+                                Bytes len, std::uint64_t page) const;
+
+    /** Functional whole-table iteration (verification only). */
+    void forEachRow(const std::function<void(const Row &)> &fn) const;
+
+    fs::FileSystem &fs() { return fs_; }
+
+  private:
+    fs::FileSystem &fs_;
+    std::string name_;
+    std::string file_;
+    Schema schema_;
+    Bytes page_size_;
+    std::uint64_t rows_per_page_;
+    std::uint64_t row_count_ = 0;
+    std::uint64_t page_count_ = 0;
+};
+
+}  // namespace bisc::db
+
+#endif  // BISCUIT_DB_TABLE_H_

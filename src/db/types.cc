@@ -1,0 +1,196 @@
+#include "db/types.h"
+
+#include <cstdio>
+#include <cstring>
+
+namespace bisc::db {
+
+std::string
+makeDate(int year, int month, int day)
+{
+    char buf[24];
+    std::snprintf(buf, sizeof(buf), "%04d-%02d-%02d", year, month, day);
+    return std::string(buf, 10);
+}
+
+namespace {
+
+/** Howard Hinnant's civil-days algorithm. */
+std::int64_t
+daysFromCivil(std::int64_t y, unsigned m, unsigned d)
+{
+    y -= m <= 2;
+    const std::int64_t era = (y >= 0 ? y : y - 399) / 400;
+    const unsigned yoe = static_cast<unsigned>(y - era * 400);
+    const unsigned doy = (153 * (m + (m > 2 ? -3 : 9)) + 2) / 5 + d - 1;
+    const unsigned doe = yoe * 365 + yoe / 4 - yoe / 100 + doy;
+    return era * 146097 + static_cast<std::int64_t>(doe) - 719468;
+}
+
+void
+civilFromDays(std::int64_t z, std::int64_t &y, unsigned &m, unsigned &d)
+{
+    z += 719468;
+    const std::int64_t era = (z >= 0 ? z : z - 146096) / 146097;
+    const unsigned doe = static_cast<unsigned>(z - era * 146097);
+    const unsigned yoe =
+        (doe - doe / 1460 + doe / 36524 - doe / 146096) / 365;
+    y = static_cast<std::int64_t>(yoe) + era * 400;
+    const unsigned doy = doe - (365 * yoe + yoe / 4 - yoe / 100);
+    const unsigned mp = (5 * doy + 2) / 153;
+    d = doy - (153 * mp + 2) / 5 + 1;
+    m = mp + (mp < 10 ? 3 : -9);
+    y += (m <= 2);
+}
+
+}  // namespace
+
+std::int64_t
+dateToDays(const std::string &date)
+{
+    BISC_ASSERT(date.size() == 10, "bad date: '", date, "'");
+    int y = std::stoi(date.substr(0, 4));
+    int m = std::stoi(date.substr(5, 2));
+    int d = std::stoi(date.substr(8, 2));
+    return daysFromCivil(y, static_cast<unsigned>(m),
+                         static_cast<unsigned>(d));
+}
+
+std::string
+daysToDate(std::int64_t days)
+{
+    std::int64_t y;
+    unsigned m, d;
+    civilFromDays(days, y, m, d);
+    return makeDate(static_cast<int>(y), static_cast<int>(m),
+                    static_cast<int>(d));
+}
+
+std::string
+dateAddDays(const std::string &date, std::int64_t days)
+{
+    return daysToDate(dateToDays(date) + days);
+}
+
+int
+compareValues(const Value &a, const Value &b)
+{
+    if (std::holds_alternative<std::string>(a)) {
+        BISC_ASSERT(std::holds_alternative<std::string>(b),
+                    "comparing string with numeric");
+        const auto &x = std::get<std::string>(a);
+        const auto &y = std::get<std::string>(b);
+        return x < y ? -1 : (x == y ? 0 : 1);
+    }
+    double x = std::holds_alternative<std::int64_t>(a)
+                   ? static_cast<double>(std::get<std::int64_t>(a))
+                   : std::get<double>(a);
+    BISC_ASSERT(!std::holds_alternative<std::string>(b),
+                "comparing numeric with string");
+    double y = std::holds_alternative<std::int64_t>(b)
+                   ? static_cast<double>(std::get<std::int64_t>(b))
+                   : std::get<double>(b);
+    return x < y ? -1 : (x == y ? 0 : 1);
+}
+
+std::string
+valueToString(const Value &v)
+{
+    if (std::holds_alternative<std::int64_t>(v))
+        return std::to_string(std::get<std::int64_t>(v));
+    if (std::holds_alternative<double>(v)) {
+        char buf[32];
+        std::snprintf(buf, sizeof(buf), "%.2f", std::get<double>(v));
+        return buf;
+    }
+    return std::get<std::string>(v);
+}
+
+Schema::Schema(std::vector<Column> columns)
+    : columns_(std::move(columns))
+{
+    offsets_.reserve(columns_.size());
+    for (const auto &c : columns_) {
+        offsets_.push_back(row_width_);
+        row_width_ += c.width;
+    }
+    BISC_ASSERT(row_width_ > 0, "empty schema");
+}
+
+int
+Schema::indexOf(const std::string &name) const
+{
+    for (std::size_t i = 0; i < columns_.size(); ++i) {
+        if (columns_[i].name == name)
+            return static_cast<int>(i);
+    }
+    BISC_PANIC("no such column: ", name);
+}
+
+void
+Schema::encodeRow(const std::vector<Value> &row, std::uint8_t *out) const
+{
+    BISC_ASSERT(row.size() == columns_.size(), "row arity mismatch");
+    std::memset(out, 0, row_width_);
+    for (std::size_t i = 0; i < columns_.size(); ++i) {
+        const Column &c = columns_[i];
+        std::uint8_t *dst = out + offsets_[i];
+        switch (c.type) {
+          case Type::Int64: {
+            auto v = std::get<std::int64_t>(row[i]);
+            std::memcpy(dst, &v, 8);
+            break;
+          }
+          case Type::Double: {
+            auto v = std::get<double>(row[i]);
+            std::memcpy(dst, &v, 8);
+            break;
+          }
+          case Type::String:
+          case Type::Date: {
+            const auto &s = std::get<std::string>(row[i]);
+            std::size_t n =
+                std::min<std::size_t>(s.size(), c.width);
+            std::memcpy(dst, s.data(), n);
+            break;
+          }
+        }
+    }
+}
+
+std::vector<Value>
+Schema::decodeRow(const std::uint8_t *slot) const
+{
+    std::vector<Value> row;
+    row.reserve(columns_.size());
+    for (std::size_t i = 0; i < columns_.size(); ++i) {
+        const Column &c = columns_[i];
+        const std::uint8_t *src = slot + offsets_[i];
+        switch (c.type) {
+          case Type::Int64: {
+            std::int64_t v;
+            std::memcpy(&v, src, 8);
+            row.emplace_back(v);
+            break;
+          }
+          case Type::Double: {
+            double v;
+            std::memcpy(&v, src, 8);
+            row.emplace_back(v);
+            break;
+          }
+          case Type::String:
+          case Type::Date: {
+            Bytes n = 0;
+            while (n < c.width && src[n] != 0)
+                ++n;
+            row.emplace_back(std::string(
+                reinterpret_cast<const char *>(src), n));
+            break;
+          }
+        }
+    }
+    return row;
+}
+
+}  // namespace bisc::db

@@ -1,0 +1,119 @@
+/**
+ * @file
+ * MiniDB value and schema types.
+ *
+ * Rows are stored in fixed-width slots so that (a) rows never straddle
+ * pages — making page-granular pattern-matcher filtering exact at the
+ * page level — and (b) date and string fields appear as plain text the
+ * channel matcher can key on (e.g. "1995-09" hits every September-1995
+ * date in a page).
+ */
+
+#ifndef BISCUIT_DB_TYPES_H_
+#define BISCUIT_DB_TYPES_H_
+
+#include <cstdint>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "util/common.h"
+#include "util/log.h"
+
+namespace bisc::db {
+
+enum class Type {
+    Int64,   ///< 8-byte little-endian
+    Double,  ///< 8-byte IEEE754
+    String,  ///< fixed width, NUL padded
+    Date,    ///< "YYYY-MM-DD", 10 bytes
+};
+
+using Value = std::variant<std::int64_t, double, std::string>;
+
+/** Build a zero-padded date string. */
+std::string makeDate(int year, int month, int day);
+
+/** Days since 1970-01-01 for a date string (civil calendar). */
+std::int64_t dateToDays(const std::string &date);
+
+/** Inverse of dateToDays. */
+std::string daysToDate(std::int64_t days);
+
+/** Add @p days to a date string. */
+std::string dateAddDays(const std::string &date, std::int64_t days);
+
+/** Three-way comparison; panics on mixed incomparable types. */
+int compareValues(const Value &a, const Value &b);
+
+/** Readable form for debugging and result dumps. */
+std::string valueToString(const Value &v);
+
+struct Column
+{
+    std::string name;
+    Type type = Type::Int64;
+    Bytes width = 8;  ///< storage width (8 for numerics)
+};
+
+/** Fixed-width column helper. */
+inline Column
+col(std::string name, Type type, Bytes width = 0)
+{
+    Column c;
+    c.name = std::move(name);
+    c.type = type;
+    switch (type) {
+      case Type::Int64:
+      case Type::Double:
+        c.width = 8;
+        break;
+      case Type::Date:
+        c.width = 10;
+        break;
+      case Type::String:
+        BISC_ASSERT(width > 0, "string column '", c.name,
+                    "' needs a width");
+        c.width = width;
+        break;
+    }
+    return c;
+}
+
+class Schema
+{
+  public:
+    Schema() = default;
+    explicit Schema(std::vector<Column> columns);
+
+    const std::vector<Column> &columns() const { return columns_; }
+    std::size_t size() const { return columns_.size(); }
+    const Column &at(std::size_t i) const { return columns_.at(i); }
+
+    /** Column index by name; panics when absent. */
+    int indexOf(const std::string &name) const;
+
+    /** Byte offset of column @p i within a row slot. */
+    Bytes offsetOf(std::size_t i) const { return offsets_.at(i); }
+
+    /** Total fixed row width. */
+    Bytes rowWidth() const { return row_width_; }
+
+    /** Encode @p row into @p out (rowWidth() bytes). */
+    void encodeRow(const std::vector<Value> &row,
+                   std::uint8_t *out) const;
+
+    /** Decode a row slot. */
+    std::vector<Value> decodeRow(const std::uint8_t *slot) const;
+
+  private:
+    std::vector<Column> columns_;
+    std::vector<Bytes> offsets_;
+    Bytes row_width_ = 0;
+};
+
+using Row = std::vector<Value>;
+
+}  // namespace bisc::db
+
+#endif  // BISCUIT_DB_TYPES_H_

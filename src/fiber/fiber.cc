@@ -1,0 +1,92 @@
+#include "fiber/fiber.h"
+
+#include <exception>
+
+#include "util/log.h"
+
+namespace bisc::fiber {
+
+namespace {
+
+/// The fiber currently executing on this thread (nullptr = scheduler).
+thread_local Fiber *g_current = nullptr;
+
+/// Handoff slot for the trampoline: set immediately before the first
+/// swap into a new fiber's context (single-threaded scheduling makes
+/// this safe).
+thread_local Fiber *g_starting = nullptr;
+
+}  // namespace
+
+Fiber::Fiber(std::string name, Entry entry, std::size_t stack_size)
+    : name_(std::move(name)), entry_(std::move(entry)), stack_(stack_size)
+{
+    BISC_ASSERT(entry_, "fiber '", name_, "' needs an entry function");
+    if (getcontext(&ctx_) != 0)
+        BISC_PANIC("getcontext failed for fiber '", name_, "'");
+    ctx_.uc_stack.ss_sp = stack_.data();
+    ctx_.uc_stack.ss_size = stack_.size();
+    ctx_.uc_link = &ret_;
+    makecontext(&ctx_, reinterpret_cast<void (*)()>(&Fiber::trampoline),
+                0);
+}
+
+Fiber::~Fiber()
+{
+    // A fiber destroyed mid-flight leaks whatever its stack owned; that
+    // indicates a scheduler bug except during forced teardown.
+    if (started_ && !finished_)
+        BISC_WARN("destroying unfinished fiber '", name_, "'");
+}
+
+void
+Fiber::resume()
+{
+    BISC_ASSERT(g_current == nullptr,
+                "resume() must be called from the scheduler context");
+    BISC_ASSERT(!finished_, "resuming finished fiber '", name_, "'");
+    g_current = this;
+    if (!started_) {
+        started_ = true;
+        g_starting = this;
+    }
+    if (swapcontext(&ret_, &ctx_) != 0)
+        BISC_PANIC("swapcontext into fiber '", name_, "' failed");
+    g_current = nullptr;
+}
+
+Fiber *
+Fiber::current()
+{
+    return g_current;
+}
+
+void
+Fiber::suspendCurrent()
+{
+    Fiber *self = g_current;
+    BISC_ASSERT(self != nullptr, "suspendCurrent() outside any fiber");
+    if (swapcontext(&self->ctx_, &self->ret_) != 0)
+        BISC_PANIC("swapcontext out of fiber '", self->name_, "' failed");
+}
+
+void
+Fiber::trampoline()
+{
+    Fiber *self = g_starting;
+    g_starting = nullptr;
+    BISC_ASSERT(self != nullptr, "trampoline without a starting fiber");
+    try {
+        self->entry_();
+    } catch (const std::exception &e) {
+        BISC_PANIC("uncaught exception in fiber '", self->name_,
+                   "': ", e.what());
+    } catch (...) {
+        BISC_PANIC("uncaught non-std exception in fiber '", self->name_,
+                   "'");
+    }
+    self->finished_ = true;
+    // Returning lets uc_link (ret_) take over, landing back in resume().
+}
+
+}  // namespace bisc::fiber

@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Stackful cooperative fibers (paper §IV-B, "Cooperative
+ * Multithreading").
+ *
+ * Each SSDlet instance is assigned a fiber; context switches happen only
+ * at explicit yield points or blocking I/O calls, which is what makes
+ * lock-free port sharing legal on a single device core. This
+ * implementation uses POSIX ucontext on a private stack; the simulation
+ * kernel (src/sim) is the only scheduler.
+ */
+
+#ifndef BISCUIT_FIBER_FIBER_H_
+#define BISCUIT_FIBER_FIBER_H_
+
+#include <ucontext.h>
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace bisc::fiber {
+
+/**
+ * A single cooperatively scheduled execution context.
+ *
+ * A Fiber runs its entry function on a dedicated stack. resume() must be
+ * called from the scheduler context; the fiber runs until it calls
+ * suspendCurrent() or its entry function returns. Fibers are neither
+ * copyable nor movable (the stack address is baked into the context).
+ */
+class Fiber
+{
+  public:
+    using Entry = std::function<void()>;
+
+    /** Default fiber stack size (generous; host-process memory). */
+    static constexpr std::size_t kDefaultStackSize = 512 * 1024;
+
+    Fiber(std::string name, Entry entry,
+          std::size_t stack_size = kDefaultStackSize);
+    ~Fiber();
+
+    Fiber(const Fiber &) = delete;
+    Fiber &operator=(const Fiber &) = delete;
+
+    /** Human-readable name for diagnostics. */
+    const std::string &name() const { return name_; }
+
+    /** True once the entry function has returned. */
+    bool finished() const { return finished_; }
+
+    /**
+     * Switch from the scheduler into this fiber. Returns when the fiber
+     * suspends or finishes. Panics if called on a finished fiber or
+     * from inside any fiber.
+     */
+    void resume();
+
+    /** The fiber currently executing, or nullptr in scheduler context. */
+    static Fiber *current();
+
+    /**
+     * Suspend the currently running fiber and return control to the
+     * scheduler (the resume() caller). Panics outside fiber context.
+     */
+    static void suspendCurrent();
+
+  private:
+    static void trampoline();
+
+    std::string name_;
+    Entry entry_;
+    std::vector<std::uint8_t> stack_;
+    ucontext_t ctx_;
+    ucontext_t ret_;
+    bool started_ = false;
+    bool finished_ = false;
+};
+
+}  // namespace bisc::fiber
+
+#endif  // BISCUIT_FIBER_FIBER_H_

@@ -1,0 +1,237 @@
+#include "fs/file_system.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "util/log.h"
+
+namespace bisc::fs {
+
+FileSystem::FileSystem(ssd::SsdDevice &dev)
+    : dev_(dev), page_size_(dev.config().geometry.page_size)
+{}
+
+void
+FileSystem::create(const std::string &path)
+{
+    BISC_ASSERT(!exists(path), "create on existing path: ", path);
+    inodes_.emplace(path, Inode{});
+}
+
+void
+FileSystem::remove(const std::string &path)
+{
+    auto it = inodes_.find(path);
+    if (it == inodes_.end())
+        return;
+    for (ftl::Lpn lpn : it->second.pages) {
+        dev_.ftl().trim(lpn);
+        free_lpns_.push_back(lpn);
+    }
+    inodes_.erase(it);
+}
+
+Bytes
+FileSystem::size(const std::string &path) const
+{
+    return inodeOf(path).size;
+}
+
+std::vector<std::string>
+FileSystem::list(const std::string &prefix) const
+{
+    std::vector<std::string> out;
+    for (const auto &[path, node] : inodes_) {
+        if (path.compare(0, prefix.size(), prefix) == 0)
+            out.push_back(path);
+    }
+    return out;
+}
+
+void
+FileSystem::populate(const std::string &path, const void *data, Bytes len)
+{
+    const auto *p = static_cast<const std::uint8_t *>(data);
+    populateWith(path, len, [p](Bytes off, std::uint8_t *buf, Bytes n) {
+        std::memcpy(buf, p + off, n);
+    });
+}
+
+void
+FileSystem::populateWith(
+    const std::string &path, Bytes total,
+    const std::function<void(Bytes, std::uint8_t *, Bytes)> &filler)
+{
+    if (exists(path))
+        remove(path);
+    create(path);
+    Inode &node = inodeOf(path);
+    std::vector<std::uint8_t> buf(page_size_);
+    for (Bytes off = 0; off < total; off += page_size_) {
+        Bytes n = std::min(page_size_, total - off);
+        std::fill(buf.begin(), buf.end(), 0);
+        filler(off, buf.data(), n);
+        ftl::Lpn lpn = allocLpn();
+        dev_.ftl().install(lpn, buf.data(), page_size_);
+        node.pages.push_back(lpn);
+    }
+    node.size = total;
+}
+
+Tick
+FileSystem::read(const std::string &path, Bytes offset, Bytes len,
+                 std::uint8_t *out, Tick earliest)
+{
+    const Inode &node = inodeOf(path);
+    if (offset >= node.size)
+        return std::max(earliest, dev_.kernel().now());
+    len = std::min(len, node.size - offset);
+
+    Tick done = earliest;
+    Bytes copied = 0;
+    while (copied < len) {
+        Bytes pos = offset + copied;
+        Bytes page_idx = pos / page_size_;
+        Bytes in_page = pos % page_size_;
+        Bytes n = std::min(page_size_ - in_page, len - copied);
+        std::uint8_t *dst = out == nullptr ? nullptr : out + copied;
+        Tick t = dev_.internalRead(node.pages[page_idx], in_page, n,
+                                   dst, earliest);
+        done = std::max(done, t);
+        copied += n;
+    }
+    return done;
+}
+
+Tick
+FileSystem::write(const std::string &path, Bytes offset,
+                  const std::uint8_t *data, Bytes len)
+{
+    Inode &node = inodeOf(path);
+    if (len == 0)
+        return dev_.kernel().now();
+    extendTo(node, offset + len - 1);
+
+    Tick done = dev_.kernel().now();
+    std::vector<std::uint8_t> buf(page_size_);
+    Bytes written = 0;
+    while (written < len) {
+        Bytes pos = offset + written;
+        Bytes page_idx = pos / page_size_;
+        Bytes in_page = pos % page_size_;
+        Bytes n = std::min(page_size_ - in_page, len - written);
+        ftl::Lpn lpn = node.pages[page_idx];
+        if (n == page_size_) {
+            done = std::max(done,
+                            dev_.internalWrite(lpn, data + written, n));
+        } else {
+            // Read-modify-write for partial pages.
+            dev_.internalRead(lpn, 0, page_size_, buf.data());
+            std::memcpy(buf.data() + in_page, data + written, n);
+            done = std::max(
+                done, dev_.internalWrite(lpn, buf.data(), page_size_));
+        }
+        written += n;
+    }
+    node.size = std::max(node.size, offset + len);
+    return done;
+}
+
+void
+FileSystem::ensureSize(const std::string &path, Bytes size)
+{
+    Inode &node = inodeOf(path);
+    if (size == 0)
+        return;
+    extendTo(node, size - 1);
+    node.size = std::max(node.size, size);
+}
+
+Bytes
+FileSystem::peek(const std::string &path, Bytes offset, Bytes len,
+                 std::uint8_t *out) const
+{
+    const Inode &node = inodeOf(path);
+    if (offset >= node.size)
+        return 0;
+    len = std::min(len, node.size - offset);
+
+    auto &ftl = dev_.ftl();
+    auto &nand = dev_.nand();
+    Bytes copied = 0;
+    while (copied < len) {
+        Bytes pos = offset + copied;
+        Bytes page_idx = pos / page_size_;
+        Bytes in_page = pos % page_size_;
+        Bytes n = std::min(page_size_ - in_page, len - copied);
+        ftl::Lpn lpn = node.pages[page_idx];
+        if (!ftl.isMapped(lpn)) {
+            std::fill(out + copied, out + copied + n, 0);
+        } else {
+            const auto *page = nand.peekPage(ftl.physicalOf(lpn));
+            for (Bytes i = 0; i < n; ++i) {
+                Bytes src = in_page + i;
+                out[copied + i] =
+                    (page != nullptr && src < page->size())
+                        ? (*page)[src]
+                        : 0;
+            }
+        }
+        copied += n;
+    }
+    return copied;
+}
+
+ftl::Lpn
+FileSystem::lpnAt(const std::string &path, Bytes offset) const
+{
+    const Inode &node = inodeOf(path);
+    BISC_ASSERT(offset < node.size, "offset past EOF: ", offset,
+                " in ", path);
+    return node.pages[offset / page_size_];
+}
+
+const std::vector<ftl::Lpn> &
+FileSystem::pagesOf(const std::string &path) const
+{
+    return inodeOf(path).pages;
+}
+
+FileSystem::Inode &
+FileSystem::inodeOf(const std::string &path)
+{
+    auto it = inodes_.find(path);
+    BISC_ASSERT(it != inodes_.end(), "no such file: ", path);
+    return it->second;
+}
+
+const FileSystem::Inode &
+FileSystem::inodeOf(const std::string &path) const
+{
+    auto it = inodes_.find(path);
+    BISC_ASSERT(it != inodes_.end(), "no such file: ", path);
+    return it->second;
+}
+
+void
+FileSystem::extendTo(Inode &node, Bytes upto)
+{
+    Bytes pages_needed = upto / page_size_ + 1;
+    while (node.pages.size() < pages_needed)
+        node.pages.push_back(allocLpn());
+}
+
+ftl::Lpn
+FileSystem::allocLpn()
+{
+    if (!free_lpns_.empty()) {
+        ftl::Lpn lpn = free_lpns_.back();
+        free_lpns_.pop_back();
+        return lpn;
+    }
+    BISC_ASSERT(next_lpn_ < dev_.ftl().logicalPages(),
+                "file system out of space");
+    return next_lpn_++;
+}
+
+}  // namespace bisc::fs

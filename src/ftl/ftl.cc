@@ -1,0 +1,214 @@
+#include "ftl/ftl.h"
+
+#include <algorithm>
+#include <limits>
+
+namespace bisc::ftl {
+
+Ftl::Ftl(sim::Kernel &kernel, nand::NandFlash &nand,
+         const FtlParams &params)
+    : kernel_(kernel), nand_(nand), params_(params)
+{
+    const auto &geo = nand_.geometry();
+    logical_pages_ = static_cast<std::uint64_t>(
+        static_cast<double>(geo.totalPages()) *
+        (1.0 - params_.overprovision));
+    gc_reserve_ = params_.gc_reserve_blocks != 0
+                      ? params_.gc_reserve_blocks
+                      : geo.dies();
+
+    // All blocks start free, distributed to their die slots. Pop from
+    // the back, so push low block numbers last to allocate them first.
+    slots_.resize(geo.dies());
+    for (nand::Pbn pbn = geo.totalBlocks(); pbn-- > 0;)
+        slots_[pbn % geo.dies()].free.push_back(pbn);
+}
+
+Tick
+Ftl::read(Lpn lpn, Bytes offset, Bytes len, std::uint8_t *out,
+          Tick earliest)
+{
+    BISC_ASSERT(lpn < logical_pages_, "lpn out of range: ", lpn);
+    Tick start = std::max(earliest, kernel_.now());
+    Tick fw_done = start + params_.fw_read_overhead;
+    auto it = map_.find(lpn);
+    if (it == map_.end()) {
+        if (out != nullptr)
+            std::fill(out, out + len, 0);
+        return fw_done;
+    }
+    // Firmware dispatch, then media + channel (NAND pipelines them).
+    return nand_.readPage(it->second, offset, len, out, fw_done);
+}
+
+Tick
+Ftl::write(Lpn lpn, const std::uint8_t *data, Bytes len)
+{
+    BISC_ASSERT(lpn < logical_pages_, "lpn out of range: ", lpn);
+    BISC_ASSERT(len <= pageSize(), "write beyond page: ", len);
+    invalidate(lpn);
+    nand::Ppn ppn = allocPage(/*timed=*/true);
+    Tick done = nand_.programPage(ppn, data, len);
+    bindMapping(lpn, ppn);
+    return done + params_.fw_write_overhead;
+}
+
+void
+Ftl::trim(Lpn lpn)
+{
+    invalidate(lpn);
+}
+
+void
+Ftl::install(Lpn lpn, const std::uint8_t *data, Bytes len)
+{
+    BISC_ASSERT(lpn < logical_pages_, "lpn out of range: ", lpn);
+    invalidate(lpn);
+    nand::Ppn ppn = allocPage(/*timed=*/false);
+    nand_.installPage(ppn, data, len);
+    bindMapping(lpn, ppn);
+}
+
+nand::Ppn
+Ftl::physicalOf(Lpn lpn) const
+{
+    auto it = map_.find(lpn);
+    BISC_ASSERT(it != map_.end(), "physicalOf on unmapped lpn ", lpn);
+    return it->second;
+}
+
+std::uint64_t
+Ftl::freeBlocks() const
+{
+    return totalFreeBlocks();
+}
+
+std::uint64_t
+Ftl::wearSpread() const
+{
+    const auto &geo = nand_.geometry();
+    std::uint64_t min_e = std::numeric_limits<std::uint64_t>::max();
+    std::uint64_t max_e = 0;
+    for (nand::Pbn pbn = 0; pbn < geo.totalBlocks(); ++pbn) {
+        std::uint64_t e = nand_.eraseCount(pbn);
+        min_e = std::min(min_e, e);
+        max_e = std::max(max_e, e);
+    }
+    return max_e - min_e;
+}
+
+nand::Ppn
+Ftl::allocPage(bool timed)
+{
+    const auto &geo = nand_.geometry();
+
+    if (timed && !in_gc_ && totalFreeBlocks() < gc_reserve_)
+        gcOnce();
+
+    // Round-robin over die slots, skipping starved ones.
+    for (std::uint32_t attempt = 0; attempt < geo.dies(); ++attempt) {
+        Slot &slot = slots_[slot_cursor_];
+        slot_cursor_ = (slot_cursor_ + 1) % geo.dies();
+
+        if (slot.active && slot.next_idx >= geo.pages_per_block) {
+            sealed_.insert(*slot.active);
+            slot.active.reset();
+        }
+        if (!slot.active) {
+            if (slot.free.empty())
+                continue;
+            slot.active = slot.free.back();
+            slot.free.pop_back();
+            slot.next_idx = 0;
+        }
+        return geo.pageOfBlock(*slot.active, slot.next_idx++);
+    }
+    if (!timed || in_gc_) {
+        BISC_PANIC("allocation ran out of space (untimed install or "
+                   "nested GC); populate less data or enlarge the "
+                   "device");
+    }
+    // All slots starved even after the reserve check; reclaim harder.
+    gcOnce();
+    return allocPage(timed);
+}
+
+void
+Ftl::gcOnce()
+{
+    BISC_ASSERT(!sealed_.empty(),
+                "GC with no sealed blocks: device over-committed");
+    // Greedy victim: the sealed block with the fewest valid pages.
+    nand::Pbn victim = 0;
+    std::uint32_t best = std::numeric_limits<std::uint32_t>::max();
+    for (nand::Pbn pbn : sealed_) {
+        auto it = valid_count_.find(pbn);
+        std::uint32_t v = it == valid_count_.end() ? 0 : it->second;
+        if (v < best) {
+            best = v;
+            victim = pbn;
+        }
+    }
+    const auto &geo = nand_.geometry();
+    BISC_ASSERT(best < geo.pages_per_block,
+                "GC victim fully valid: device is full");
+    sealed_.erase(victim);
+    ++gc_runs_;
+    in_gc_ = true;
+
+    std::vector<std::uint8_t> buf(geo.page_size);
+    for (std::uint32_t i = 0; i < geo.pages_per_block; ++i) {
+        nand::Ppn src = geo.pageOfBlock(victim, i);
+        auto rit = rev_.find(src);
+        if (rit == rev_.end())
+            continue;
+        Lpn lpn = rit->second;
+        nand_.readPage(src, 0, geo.page_size, buf.data());
+        rev_.erase(rit);
+        auto vit = valid_count_.find(victim);
+        if (vit != valid_count_.end() && vit->second > 0)
+            --vit->second;
+        nand::Ppn dst = allocPage(/*timed=*/true);
+        nand_.programPage(dst, buf.data(), geo.page_size);
+        bindMapping(lpn, dst);
+        ++pages_relocated_;
+    }
+    in_gc_ = false;
+    valid_count_.erase(victim);
+    nand_.eraseBlock(victim);
+    slots_[victim % geo.dies()].free.push_back(victim);
+}
+
+void
+Ftl::invalidate(Lpn lpn)
+{
+    auto it = map_.find(lpn);
+    if (it == map_.end())
+        return;
+    nand::Ppn ppn = it->second;
+    map_.erase(it);
+    rev_.erase(ppn);
+    nand::Pbn pbn = nand_.geometry().blockOf(ppn);
+    auto vit = valid_count_.find(pbn);
+    if (vit != valid_count_.end() && vit->second > 0)
+        --vit->second;
+}
+
+void
+Ftl::bindMapping(Lpn lpn, nand::Ppn ppn)
+{
+    map_[lpn] = ppn;
+    rev_[ppn] = lpn;
+    ++valid_count_[nand_.geometry().blockOf(ppn)];
+}
+
+std::uint64_t
+Ftl::totalFreeBlocks() const
+{
+    std::uint64_t n = 0;
+    for (const auto &slot : slots_)
+        n += slot.free.size();
+    return n;
+}
+
+}  // namespace bisc::ftl

@@ -1,0 +1,120 @@
+/**
+ * @file
+ * Pointer chasing over an on-SSD graph store (paper §V-C, Table IV).
+ *
+ * The paper traverses a Neo4j store of the Twitter social graph; each
+ * hop is a data-dependent 4 KiB read, so traversal time is essentially
+ * the sum of read latencies — the experiment that shows Biscuit's
+ * internal read-latency advantage end to end. This module provides a
+ * record-oriented graph store (power-law out-degrees, fixed-size
+ * vertex records) and both traversal implementations: random walks by
+ * the host over the conventional datapath, and the same walks by a
+ * chaser SSDlet using internal reads.
+ */
+
+#ifndef BISCUIT_GRAPH_GRAPH_H_
+#define BISCUIT_GRAPH_GRAPH_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "fs/file_system.h"
+#include "host/host_system.h"
+#include "runtime/runtime.h"
+#include "util/common.h"
+
+namespace bisc::graph {
+
+struct GraphSpec
+{
+    std::uint64_t vertices = 100000;
+    std::uint32_t avg_degree = 12;
+    double degree_skew = 0.8;  ///< zipf skew of out-degrees
+    std::uint64_t seed = 42;
+};
+
+/** Fixed-size vertex record layout within the graph file. */
+struct RecordLayout
+{
+    static constexpr Bytes kRecordSize = 256;
+    static constexpr Bytes kHeaderSize = 4096;
+    static constexpr std::uint32_t kMaxNeighbors =
+        static_cast<std::uint32_t>((kRecordSize - 8) / 8);
+
+    static Bytes
+    recordOffset(std::uint64_t v)
+    {
+        return kHeaderSize + v * kRecordSize;
+    }
+};
+
+/**
+ * The on-SSD graph store. build() synthesizes a graph (zero time, like
+ * the paper's offline dataset preparation); open() attaches to an
+ * existing file.
+ */
+class GraphStore
+{
+  public:
+    /** Create and populate the store at @p path. */
+    static GraphStore build(fs::FileSystem &fs, const std::string &path,
+                            const GraphSpec &spec);
+
+    /** Attach to an existing store (reads the header page). */
+    static GraphStore open(fs::FileSystem &fs, const std::string &path);
+
+    const std::string &path() const { return path_; }
+    std::uint64_t vertices() const { return vertices_; }
+    Bytes fileSize() const;
+
+    /**
+     * Decode the neighbor list out of a raw vertex record (as read by
+     * either traversal side).
+     */
+    static std::vector<std::uint64_t> decodeRecord(
+        const std::uint8_t *rec, Bytes len);
+
+    /** Functional neighbor lookup (zero-time, for verification). */
+    std::vector<std::uint64_t> neighborsOf(std::uint64_t v) const;
+
+  private:
+    GraphStore(fs::FileSystem &fs, std::string path,
+               std::uint64_t vertices)
+        : fs_(&fs), path_(std::move(path)), vertices_(vertices)
+    {}
+
+    fs::FileSystem *fs_;
+    std::string path_;
+    std::uint64_t vertices_;
+};
+
+struct ChaseResult
+{
+    std::uint64_t hops = 0;
+    std::uint64_t visited_sum = 0;  ///< checksum of visited vertices
+    Tick elapsed = 0;
+};
+
+struct ChaseSpec
+{
+    std::uint64_t walks = 100;   ///< starting nodes (paper: 100)
+    std::uint32_t hops = 1000;   ///< hops per walk
+    std::uint64_t seed = 7;
+    /** Host CPU per hop (next-pointer logic, Neo4j bookkeeping). */
+    Tick host_hop_cpu = Tick{6300};
+    /** Device CPU per hop on the slow core. */
+    Tick device_hop_cpu = Tick{9900};
+};
+
+/** Random walks over the conventional host datapath. */
+ChaseResult chaseConv(host::HostSystem &host, const GraphStore &graph,
+                      const ChaseSpec &spec);
+
+/** The same walks performed by a chaser SSDlet with internal reads. */
+ChaseResult chaseBiscuit(rt::Runtime &runtime, const GraphStore &graph,
+                         const ChaseSpec &spec);
+
+}  // namespace bisc::graph
+
+#endif  // BISCUIT_GRAPH_GRAPH_H_

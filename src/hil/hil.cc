@@ -1,0 +1,3 @@
+#include "hil/hil.h"
+
+// Header-only implementation; this TU anchors the library.

@@ -1,0 +1,216 @@
+#include "host/grep.h"
+
+#include <algorithm>
+
+#include "runtime/module.h"
+#include "sisc/application.h"
+#include "sisc/env.h"
+#include "sisc/file.h"
+#include "sisc/port.h"
+#include "sisc/ssd.h"
+#include "slet/file.h"
+#include "slet/ssdlet.h"
+
+namespace bisc::host {
+
+// ----- Boyer-Moore -----
+
+BoyerMoore::BoyerMoore(std::string pattern)
+    : pattern_(std::move(pattern)), bad_char_(256)
+{
+    BISC_ASSERT(!pattern_.empty(), "empty grep pattern");
+    const std::size_t m = pattern_.size();
+
+    // Bad-character rule: last index of each byte in the pattern.
+    std::fill(bad_char_.begin(), bad_char_.end(), -1);
+    for (std::size_t i = 0; i < m; ++i)
+        bad_char_[static_cast<std::uint8_t>(pattern_[i])] =
+            static_cast<std::ptrdiff_t>(i);
+
+    // Good-suffix rule (standard two-phase preprocessing).
+    good_suffix_.assign(m + 1, m);
+    std::vector<std::size_t> border(m + 1, 0);
+    std::size_t i = m, j = m + 1;
+    border[i] = j;
+    while (i > 0) {
+        while (j <= m && pattern_[i - 1] != pattern_[j - 1]) {
+            if (good_suffix_[j] == m)
+                good_suffix_[j] = j - i;
+            j = border[j];
+        }
+        --i;
+        --j;
+        border[i] = j;
+    }
+    j = border[0];
+    for (i = 0; i <= m; ++i) {
+        if (good_suffix_[i] == m)
+            good_suffix_[i] = j;
+        if (i == j)
+            j = border[j];
+    }
+}
+
+std::optional<std::size_t>
+BoyerMoore::find(const std::uint8_t *data, std::size_t len,
+                 std::size_t start) const
+{
+    const std::size_t m = pattern_.size();
+    if (len < m)
+        return std::nullopt;
+    std::size_t s = start;
+    while (s + m <= len) {
+        std::size_t j = m;
+        while (j > 0 &&
+               pattern_[j - 1] == static_cast<char>(data[s + j - 1]))
+            --j;
+        if (j == 0)
+            return s;
+        std::ptrdiff_t bc =
+            static_cast<std::ptrdiff_t>(j) - 1 -
+            bad_char_[data[s + j - 1]];
+        std::size_t shift = std::max<std::ptrdiff_t>(
+            1, std::max<std::ptrdiff_t>(
+                   bc, static_cast<std::ptrdiff_t>(good_suffix_[j])));
+        s += shift;
+    }
+    return std::nullopt;
+}
+
+std::uint64_t
+BoyerMoore::count(const std::uint8_t *data, std::size_t len) const
+{
+    std::uint64_t n = 0;
+    std::size_t pos = 0;
+    while (auto hit = find(data, len, pos)) {
+        ++n;
+        pos = *hit + 1;
+    }
+    return n;
+}
+
+// ----- Conventional grep -----
+
+GrepResult
+grepConv(HostSystem &host, const std::string &path,
+         const std::string &pattern)
+{
+    BoyerMoore bm(pattern);
+    GrepResult result;
+    Tick t0 = host.kernel().now();
+    Bytes size = host.fs().size(path);
+    const Bytes window = 1_MiB;
+    const std::size_t overlap = pattern.size() - 1;
+
+    std::vector<std::uint8_t> carry;  // tail of the previous chunk
+    host.streamRead(
+        path, 0, size, window,
+        [&](Bytes off, const std::uint8_t *data, Bytes n) {
+            (void)off;
+            host.consumeCpuPerByte(n,
+                                   host.config().grep_ns_per_byte);
+            result.matches += bm.count(data, n);
+            // Matches straddling the chunk boundary: search the seam
+            // and keep only hits spanning it.
+            if (!carry.empty()) {
+                std::vector<std::uint8_t> seam = carry;
+                seam.insert(seam.end(), data,
+                            data + std::min<Bytes>(overlap, n));
+                std::size_t boundary = carry.size();
+                std::size_t pos = 0;
+                while (auto hit = bm.find(seam.data(), seam.size(),
+                                          pos)) {
+                    if (*hit < boundary &&
+                        *hit + bm.pattern().size() > boundary) {
+                        ++result.matches;
+                    }
+                    pos = *hit + 1;
+                }
+            }
+            if (overlap > 0) {
+                Bytes keep = std::min<Bytes>(overlap, n);
+                carry.assign(data + n - keep, data + n);
+            }
+            result.bytes_scanned += n;
+        });
+    result.elapsed = host.kernel().now() - t0;
+    return result;
+}
+
+// ----- NDP grep SSDlet -----
+
+namespace {
+
+/**
+ * Streams its file argument through the channel pattern matchers and
+ * counts occurrences of the key; only the count leaves the SSD.
+ */
+class GrepLet
+    : public slet::SSDLet<slet::In<>, slet::Out<std::uint64_t>,
+                          slet::Arg<slet::File, std::string>>
+{
+  public:
+    void
+    run() override
+    {
+        auto &file = arg<0>();
+        const std::string &pattern = arg<1>();
+        pm::KeySet keys;
+        bool ok = keys.addKey(pattern);
+        BISC_ASSERT(ok, "pattern exceeds matcher limits: ", pattern);
+
+        BoyerMoore bm(pattern);
+        std::uint64_t total = 0;
+        auto token = file.scanMatched(
+            0, file.size(), keys,
+            [&](Bytes off, const std::uint8_t *data, Bytes n) {
+                (void)off;
+                // The matcher IP reports hit positions; device
+                // software only tallies them (a couple of
+                // microseconds per hit on the R7 core).
+                std::uint64_t hits = bm.count(data, n);
+                consumeCpu(kUsec + 2 * kUsec * hits);
+                total += hits;
+            });
+        token.wait();
+        out<0>().put(total);
+    }
+};
+
+RegisterSSDLet("grep", "idGrep", GrepLet);
+
+}  // namespace
+
+GrepResult
+grepBiscuit(rt::Runtime &runtime, const std::string &path,
+            const std::string &pattern)
+{
+    auto &kernel = runtime.kernel();
+    GrepResult result;
+    Tick t0 = kernel.now();
+
+    sisc::SSD ssd(runtime);
+    if (!runtime.fs().exists("/var/isc/slets/grep.slet")) {
+        rt::ModuleRegistry::global().installModuleFile(
+            runtime.fs(), "/var/isc/slets/grep.slet", "grep");
+    }
+    auto mid = ssd.loadModule(
+        sisc::File(ssd, "/var/isc/slets/grep.slet"));
+    {
+        sisc::Application app(ssd);
+        sisc::SSDLet grep(app, mid, "idGrep",
+                          std::make_tuple(slet::File(path), pattern));
+        auto port = app.connectTo<std::uint64_t>(grep.out(0));
+        app.start();
+        std::uint64_t count = 0;
+        while (port.get(count))
+            result.matches += count;
+        app.wait();
+        ssd.unloadModule(mid);
+    }
+    result.bytes_scanned = runtime.fs().size(path);
+    result.elapsed = kernel.now() - t0;
+    return result;
+}
+
+}  // namespace bisc::host

@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Simple string search (paper §V-C, Table V): Linux grep with
+ * Boyer-Moore on the host versus an NDP grep SSDlet that leans on the
+ * per-channel hardware pattern matcher.
+ */
+
+#ifndef BISCUIT_HOST_GREP_H_
+#define BISCUIT_HOST_GREP_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "host/host_system.h"
+#include "runtime/runtime.h"
+#include "util/common.h"
+
+namespace bisc::host {
+
+/**
+ * Boyer-Moore exact string search (bad-character + good-suffix
+ * rules), the algorithm Linux grep uses (paper ref [33]).
+ */
+class BoyerMoore
+{
+  public:
+    explicit BoyerMoore(std::string pattern);
+
+    const std::string &pattern() const { return pattern_; }
+
+    /** First occurrence at/after @p start; nullopt when absent. */
+    std::optional<std::size_t> find(const std::uint8_t *data,
+                                    std::size_t len,
+                                    std::size_t start = 0) const;
+
+    /** Number of (possibly overlapping) occurrences. */
+    std::uint64_t count(const std::uint8_t *data,
+                        std::size_t len) const;
+
+  private:
+    std::string pattern_;
+    std::vector<std::ptrdiff_t> bad_char_;
+    std::vector<std::size_t> good_suffix_;
+};
+
+struct GrepResult
+{
+    std::uint64_t matches = 0;
+    Bytes bytes_scanned = 0;
+    Tick elapsed = 0;
+};
+
+/**
+ * Conventional grep: stream the file to the host with OS readahead
+ * and scan it with Boyer-Moore on a host core. Degrades under
+ * background memory load.
+ */
+GrepResult grepConv(HostSystem &host, const std::string &path,
+                    const std::string &pattern);
+
+/**
+ * NDP grep: load the grep SSDlet, stream the file through the
+ * per-channel pattern matchers and count occurrences on the device;
+ * only the final count crosses the host interface.
+ */
+GrepResult grepBiscuit(rt::Runtime &runtime, const std::string &path,
+                       const std::string &pattern);
+
+}  // namespace bisc::host
+
+#endif  // BISCUIT_HOST_GREP_H_

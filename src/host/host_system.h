@@ -1,0 +1,146 @@
+/**
+ * @file
+ * The host system model: a Xeon-class server (paper §V-A: Dell R720,
+ * 2x E5-2640, 24 hardware threads) attached to the target SSD.
+ *
+ * The measured application thread runs on a serializing CPU resource
+ * whose speed degrades with background memory load (StreamBench
+ * threads, §V-C): Conv workloads slow down under load while Biscuit
+ * workloads, running inside the SSD, do not — one of the paper's
+ * central observations.
+ *
+ * The power model reproduces Fig. 9 / Table VI: system idle power plus
+ * host-activity and SSD-activity components.
+ */
+
+#ifndef BISCUIT_HOST_HOST_SYSTEM_H_
+#define BISCUIT_HOST_HOST_SYSTEM_H_
+
+#include <cstdint>
+#include <string>
+
+#include "fs/file_system.h"
+#include "sim/kernel.h"
+#include "sim/server.h"
+#include "ssd/device.h"
+#include "util/common.h"
+
+namespace bisc::host {
+
+struct HostConfig
+{
+    /** Hardware threads of the server (2 sockets x 12). */
+    std::uint32_t hw_threads = 24;
+
+    /**
+     * Memory-contention slowdown per background StreamBench thread.
+     * Calibrated so 24 threads degrade a memory-bound host scan by
+     * ~1.63x (Table V: grep 12.2 s -> 19.9 s).
+     */
+    double contention_per_thread = 0.0263;
+
+    /** Host CPU cost per byte for a Boyer-Moore scan (~690 MB/s). */
+    double grep_ns_per_byte = 1.45;
+
+    /** Host CPU cost per byte for DB page processing (row parse,
+     *  predicate eval) — MariaDB-class engines run well below raw
+     *  memory bandwidth per thread. */
+    double db_scan_ns_per_byte = 4.0;
+
+    /** Host per-I/O-request CPU cost (syscall, bio, completion). */
+    Tick io_request_cpu = Tick{6300};  // 6.3 us
+
+    /**
+     * Portion of the conventional read path that is host-CPU work and
+     * therefore inflates under memory load (driver + completion).
+     */
+    Tick io_cpu_portion = Tick{8000};  // 8 us
+
+    // ----- Power model (Fig. 9 / Table VI) -----
+
+    /** Whole-system idle power. */
+    double idle_watts = 103.0;
+
+    /** Added power when the host CPU side is fully busy. */
+    double host_active_watts = 19.0;
+
+    /** Added power when the SSD runs at full internal bandwidth. */
+    double ssd_active_watts = 33.0;
+};
+
+class HostSystem
+{
+  public:
+    HostSystem(sim::Kernel &kernel, ssd::SsdDevice &dev,
+               fs::FileSystem &fs, const HostConfig &cfg = HostConfig{});
+
+    const HostConfig &config() const { return cfg_; }
+    sim::Kernel &kernel() { return kernel_; }
+    ssd::SsdDevice &device() { return dev_; }
+    fs::FileSystem &fs() { return fs_; }
+
+    /** The CPU resource the measured application thread runs on. */
+    sim::Server &cpu() { return cpu_; }
+
+    /**
+     * Set the number of background StreamBench threads. Adjusts the
+     * contention factor applied to all host CPU work.
+     */
+    void setLoadThreads(std::uint32_t n);
+
+    std::uint32_t loadThreads() const { return load_threads_; }
+
+    /** Current slowdown multiplier for host CPU work. */
+    double contentionFactor() const;
+
+    /** Charge @p work of host CPU time (scaled by contention). */
+    void consumeCpu(Tick work);
+
+    /** Charge per-byte host CPU work at @p ns_per_byte. */
+    void consumeCpuPerByte(Bytes bytes, double ns_per_byte);
+
+    /**
+     * Conventional file read (Linux pread path): one NVMe command per
+     * window of pages plus host-side CPU costs that inflate under
+     * load. Blocks the host fiber; @p buf may be null for timing-only.
+     * Returns bytes read.
+     */
+    Bytes pread(const std::string &path, Bytes offset, void *buf,
+                Bytes len);
+
+    /**
+     * Streaming sequential read of a whole region with OS readahead:
+     * I/O is overlapped with the caller's compute, so the caller only
+     * blocks when the data isn't there yet. @p on_chunk receives
+     * (offset, data, len) for each readahead window and runs its own
+     * CPU charges.
+     */
+    void streamRead(const std::string &path, Bytes offset, Bytes len,
+                    Bytes window,
+                    const std::function<void(Bytes, const std::uint8_t *,
+                                             Bytes)> &on_chunk);
+
+    // ----- Power accounting -----
+
+    /**
+     * Instantaneous system power given host/SSD utilization in [0,1].
+     */
+    double
+    power(double host_util, double ssd_util) const
+    {
+        return cfg_.idle_watts + host_util * cfg_.host_active_watts +
+               ssd_util * cfg_.ssd_active_watts;
+    }
+
+  private:
+    sim::Kernel &kernel_;
+    ssd::SsdDevice &dev_;
+    fs::FileSystem &fs_;
+    HostConfig cfg_;
+    sim::Server cpu_;
+    std::uint32_t load_threads_ = 0;
+};
+
+}  // namespace bisc::host
+
+#endif  // BISCUIT_HOST_HOST_SYSTEM_H_

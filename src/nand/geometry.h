@@ -1,0 +1,116 @@
+/**
+ * @file
+ * NAND array geometry and timing parameters.
+ *
+ * The target SSD (paper Table I) is a multi-channel, multi-way
+ * enterprise NVMe device. The simulator models channels (shared buses),
+ * ways (dies per channel) and pages; plane-level parallelism is folded
+ * into the die service rate.
+ *
+ * Layout: physical pages are striped channel-first. Writing
+ * slot(ppn) = ppn mod dies and row(ppn) = ppn div dies, consecutive
+ * ppns visit every die once per "super-row", so sequential physical
+ * reads enjoy the full aggregate channel bandwidth. A block is the set
+ * of pages of one die across pages_per_block consecutive rows.
+ */
+
+#ifndef BISCUIT_NAND_GEOMETRY_H_
+#define BISCUIT_NAND_GEOMETRY_H_
+
+#include <cstdint>
+
+#include "util/common.h"
+#include "util/log.h"
+
+namespace bisc::nand {
+
+/** Physical page number: dense index over the whole array. */
+using Ppn = std::uint64_t;
+
+/** Physical block number: dense index, pbn = blockRow * dies + slot. */
+using Pbn = std::uint64_t;
+
+struct Geometry
+{
+    std::uint32_t channels = 8;
+    std::uint32_t ways_per_channel = 4;
+    std::uint32_t pages_per_block = 256;
+    Bytes page_size = Bytes{16} << 10;  // 16 KiB
+    std::uint32_t blocks_per_die = 64;
+
+    std::uint32_t dies() const { return channels * ways_per_channel; }
+
+    std::uint64_t
+    totalBlocks() const
+    {
+        return static_cast<std::uint64_t>(dies()) * blocks_per_die;
+    }
+
+    std::uint64_t
+    totalPages() const
+    {
+        return totalBlocks() * pages_per_block;
+    }
+
+    Bytes capacity() const { return totalPages() * page_size; }
+
+    /** Die slot of a page: its position within a super-row. */
+    std::uint32_t slotOf(Ppn ppn) const
+    {
+        return static_cast<std::uint32_t>(ppn % dies());
+    }
+
+    std::uint32_t channelOf(Ppn ppn) const { return slotOf(ppn) % channels; }
+
+    std::uint32_t wayOf(Ppn ppn) const { return slotOf(ppn) / channels; }
+
+    /** Block containing page @p ppn. */
+    Pbn
+    blockOf(Ppn ppn) const
+    {
+        std::uint64_t row = ppn / dies();
+        std::uint64_t block_row = row / pages_per_block;
+        return block_row * dies() + slotOf(ppn);
+    }
+
+    /** The @p i-th page of block @p pbn. */
+    Ppn
+    pageOfBlock(Pbn pbn, std::uint32_t i) const
+    {
+        BISC_ASSERT(i < pages_per_block, "page index out of block");
+        std::uint64_t block_row = pbn / dies();
+        std::uint64_t slot = pbn % dies();
+        std::uint64_t row = block_row * pages_per_block + i;
+        return row * dies() + slot;
+    }
+
+    /** Index of @p ppn within its block (inverse of pageOfBlock). */
+    std::uint32_t
+    pageIndexInBlock(Ppn ppn) const
+    {
+        std::uint64_t row = ppn / dies();
+        return static_cast<std::uint32_t>(row % pages_per_block);
+    }
+};
+
+struct NandTiming
+{
+    /** Media array read time (tR) for one page. */
+    Tick read_page = 60 * kUsec;
+
+    /** Media program time (tPROG) for one page. */
+    Tick program_page = 300 * kUsec;
+
+    /** Block erase time (tBERS). */
+    Tick erase_block = 3 * kMsec;
+
+    /** Channel bus transfer rate, bytes/s (per channel). */
+    double channel_bw = 600.0e6;
+
+    /** Fixed command/ECC overhead per page transfer on the channel. */
+    Tick channel_cmd = 2 * kUsec;
+};
+
+}  // namespace bisc::nand
+
+#endif  // BISCUIT_NAND_GEOMETRY_H_

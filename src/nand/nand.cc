@@ -1,0 +1,103 @@
+#include "nand/nand.h"
+
+#include <cstring>
+
+namespace bisc::nand {
+
+NandFlash::NandFlash(sim::Kernel &kernel, const Geometry &geo,
+                     const NandTiming &timing)
+    : kernel_(kernel), geo_(geo), timing_(timing)
+{
+    dies_.reserve(geo_.dies());
+    for (std::uint32_t d = 0; d < geo_.dies(); ++d) {
+        dies_.push_back(std::make_unique<sim::Server>(
+            kernel_, "die" + std::to_string(d)));
+    }
+    channels_.reserve(geo_.channels);
+    for (std::uint32_t c = 0; c < geo_.channels; ++c) {
+        channels_.push_back(std::make_unique<sim::Server>(
+            kernel_, "ch" + std::to_string(c)));
+    }
+}
+
+Tick
+NandFlash::readPage(Ppn ppn, Bytes offset, Bytes len, std::uint8_t *out,
+                    Tick earliest)
+{
+    BISC_ASSERT(ppn < geo_.totalPages(), "ppn out of range: ", ppn);
+    BISC_ASSERT(offset + len <= geo_.page_size,
+                "read beyond page: off=", offset, " len=", len);
+    // Media sense, then pipelined bus transfer of the requested bytes.
+    Tick media_done = dieServer(ppn).reserveAt(earliest,
+                                               timing_.read_page);
+    Tick xfer = timing_.channel_cmd +
+                transferTicks(len, timing_.channel_bw);
+    Tick done = channelServer(ppn).reserveAt(media_done, xfer);
+
+    if (out != nullptr) {
+        auto it = pages_.find(ppn);
+        if (it == pages_.end()) {
+            std::memset(out, 0, len);
+        } else {
+            const auto &page = it->second;
+            for (Bytes i = 0; i < len; ++i) {
+                Bytes src = offset + i;
+                out[i] = src < page.size() ? page[src] : 0;
+            }
+        }
+    }
+    ++page_reads_;
+    bytes_read_ += len;
+    return done;
+}
+
+Tick
+NandFlash::programPage(Ppn ppn, const std::uint8_t *data, Bytes len,
+                       Tick earliest)
+{
+    BISC_ASSERT(ppn < geo_.totalPages(), "ppn out of range: ", ppn);
+    BISC_ASSERT(len <= geo_.page_size, "program beyond page: ", len);
+    BISC_ASSERT(!isProgrammed(ppn),
+                "program-once violation on ppn ", ppn);
+    // Bus transfer into the die's page register, then media program.
+    Tick xfer = timing_.channel_cmd +
+                transferTicks(len, timing_.channel_bw);
+    Tick bus_done = channelServer(ppn).reserveAt(earliest, xfer);
+    Tick done = dieServer(ppn).reserveAt(bus_done,
+                                         timing_.program_page);
+    installPage(ppn, data, len);
+    ++page_writes_;
+    return done;
+}
+
+Tick
+NandFlash::eraseBlock(Pbn pbn, Tick earliest)
+{
+    BISC_ASSERT(pbn < geo_.totalBlocks(), "pbn out of range: ", pbn);
+    Ppn first = geo_.pageOfBlock(pbn, 0);
+    Tick done = dieServer(first).reserveAt(earliest,
+                                           timing_.erase_block);
+    for (std::uint32_t i = 0; i < geo_.pages_per_block; ++i)
+        pages_.erase(geo_.pageOfBlock(pbn, i));
+    ++erase_counts_[pbn];
+    ++block_erases_;
+    return done;
+}
+
+void
+NandFlash::installPage(Ppn ppn, const std::uint8_t *data, Bytes len)
+{
+    BISC_ASSERT(ppn < geo_.totalPages(), "ppn out of range: ", ppn);
+    BISC_ASSERT(len <= geo_.page_size, "install beyond page: ", len);
+    auto &page = pages_[ppn];
+    page.assign(data, data + len);
+}
+
+const std::vector<std::uint8_t> *
+NandFlash::peekPage(Ppn ppn) const
+{
+    auto it = pages_.find(ppn);
+    return it == pages_.end() ? nullptr : &it->second;
+}
+
+}  // namespace bisc::nand

@@ -1,0 +1,127 @@
+/**
+ * @file
+ * NandFlash: functional + timing model of the SSD's NAND array.
+ *
+ * Data plane: pages hold real bytes (sparse map, so multi-GiB logical
+ * capacity costs only what is actually written). Timing plane: each die
+ * is a serializing media resource (tR / tPROG / tBERS) and each channel
+ * a serializing bus; a page read pipelines media then bus, so multi-page
+ * requests naturally overlap across channels and ways.
+ */
+
+#ifndef BISCUIT_NAND_NAND_H_
+#define BISCUIT_NAND_NAND_H_
+
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "nand/geometry.h"
+#include "sim/kernel.h"
+#include "sim/server.h"
+#include "util/common.h"
+
+namespace bisc::nand {
+
+class NandFlash
+{
+  public:
+    NandFlash(sim::Kernel &kernel, const Geometry &geo,
+              const NandTiming &timing);
+
+    const Geometry &geometry() const { return geo_; }
+    const NandTiming &timing() const { return timing_; }
+
+    /**
+     * Read @p len bytes at @p offset within page @p ppn into @p out
+     * (may be null for timing-only probes). Returns the absolute
+     * completion tick; the caller sleeps until then for a synchronous
+     * read. Unwritten pages read as zeros (erased flash). @p earliest
+     * lower-bounds the media start (e.g., after firmware dispatch).
+     */
+    Tick readPage(Ppn ppn, Bytes offset, Bytes len, std::uint8_t *out,
+                  Tick earliest = 0);
+
+    /**
+     * Program page @p ppn with @p len bytes (rest of the page zero).
+     * Programming an already-programmed page is an FTL bug and panics.
+     * Returns the completion tick.
+     */
+    Tick programPage(Ppn ppn, const std::uint8_t *data, Bytes len,
+                     Tick earliest = 0);
+
+    /** Erase block @p pbn, clearing all of its pages. */
+    Tick eraseBlock(Pbn pbn, Tick earliest = 0);
+
+    /** True if @p ppn has been programmed since its last erase. */
+    bool isProgrammed(Ppn ppn) const { return pages_.count(ppn) != 0; }
+
+    /** Erase cycles endured by block @p pbn. */
+    std::uint64_t
+    eraseCount(Pbn pbn) const
+    {
+        auto it = erase_counts_.find(pbn);
+        return it == erase_counts_.end() ? 0 : it->second;
+    }
+
+    /**
+     * Zero-time data installation used by workload population (setup
+     * phases that the paper performs offline). Overwrites silently;
+     * timed traffic must use programPage/eraseBlock instead.
+     */
+    void installPage(Ppn ppn, const std::uint8_t *data, Bytes len);
+
+    /** Direct read-only view of a page's bytes; nullptr if unwritten. */
+    const std::vector<std::uint8_t> *peekPage(Ppn ppn) const;
+
+    // Aggregate statistics.
+    std::uint64_t pageReads() const { return page_reads_; }
+    std::uint64_t pageWrites() const { return page_writes_; }
+    std::uint64_t blockErases() const { return block_erases_; }
+    Bytes bytesRead() const { return bytes_read_; }
+
+    /** Busy time of channel @p ch's bus (utilization probes). */
+    Tick channelBusyTicks(std::uint32_t ch) const
+    {
+        return channels_[ch]->busyTicks();
+    }
+
+    /**
+     * Aggregate raw read bandwidth across all channels in bytes/s
+     * (the SSD-internal bandwidth ceiling an NDP program can tap).
+     */
+    double
+    aggregateChannelBw() const
+    {
+        return timing_.channel_bw * geo_.channels;
+    }
+
+  private:
+    sim::Server &dieServer(Ppn ppn) { return *dies_[geo_.slotOf(ppn)]; }
+
+    sim::Server &
+    channelServer(Ppn ppn)
+    {
+        return *channels_[geo_.channelOf(ppn)];
+    }
+
+    sim::Kernel &kernel_;
+    Geometry geo_;
+    NandTiming timing_;
+
+    std::vector<std::unique_ptr<sim::Server>> dies_;
+    std::vector<std::unique_ptr<sim::Server>> channels_;
+
+    std::unordered_map<Ppn, std::vector<std::uint8_t>> pages_;
+    std::unordered_map<Pbn, std::uint64_t> erase_counts_;
+
+    std::uint64_t page_reads_ = 0;
+    std::uint64_t page_writes_ = 0;
+    std::uint64_t block_erases_ = 0;
+    Bytes bytes_read_ = 0;
+};
+
+}  // namespace bisc::nand
+
+#endif  // BISCUIT_NAND_NAND_H_

@@ -1,0 +1,71 @@
+#include "pm/pattern_matcher.h"
+
+#include <algorithm>
+#include <cstring>
+
+namespace bisc::pm {
+
+bool
+KeySet::addKey(const std::string &key)
+{
+    if (key.empty() || key.size() > kMaxKeyLength ||
+        keys_.size() >= kMaxKeys) {
+        return false;
+    }
+    keys_.push_back(key);
+    return true;
+}
+
+namespace {
+
+/** memmem-style search; returns offset or npos. */
+std::size_t
+findKey(const std::uint8_t *data, std::size_t len, const std::string &key)
+{
+    if (key.size() > len)
+        return std::string::npos;
+    const auto *k = reinterpret_cast<const std::uint8_t *>(key.data());
+    const void *hit = memmem(data, len, k, key.size());
+    if (hit == nullptr)
+        return std::string::npos;
+    return static_cast<std::size_t>(
+        static_cast<const std::uint8_t *>(hit) - data);
+}
+
+}  // namespace
+
+MatchResult
+PatternMatcher::scan(const std::uint8_t *data, std::size_t len) const
+{
+    MatchResult r;
+    for (std::size_t i = 0; i < keys_.keys().size(); ++i) {
+        std::size_t off = findKey(data, len, keys_.keys()[i]);
+        if (off != std::string::npos) {
+            r.any = true;
+            r.hit[i] = true;
+            r.first_offset[i] = off;
+        }
+    }
+    return r;
+}
+
+std::vector<std::size_t>
+PatternMatcher::findAll(const std::uint8_t *data, std::size_t len) const
+{
+    std::vector<std::size_t> hits;
+    for (const auto &key : keys_.keys()) {
+        std::size_t base = 0;
+        while (base < len) {
+            std::size_t off = findKey(data + base, len - base, key);
+            if (off == std::string::npos)
+                break;
+            hits.push_back(base + off);
+            base += off + 1;
+        }
+    }
+    std::sort(hits.begin(), hits.end());
+    hits.erase(std::unique(hits.begin(), hits.end()), hits.end());
+    return hits;
+}
+
+}  // namespace bisc::pm

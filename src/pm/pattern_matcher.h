@@ -1,0 +1,105 @@
+/**
+ * @file
+ * The per-channel hardware pattern matcher (paper §IV-A, §V-A).
+ *
+ * The target SSD places one key-based matcher on every flash channel:
+ * given at most three keywords of up to 16 bytes each, the IP inspects
+ * data streaming off the channel at full channel throughput. Biscuit
+ * SSDlets enable it on large reads so that only matching data ever
+ * reaches the device CPUs (let alone the host).
+ *
+ * Functional model: literal multi-keyword byte search over a data
+ * window. Timing model: matching itself is free (it rides the channel
+ * transfer); the *software control* of the IP costs device-CPU time per
+ * request, which is why measured PM bandwidth sits below raw internal
+ * bandwidth (Fig. 7).
+ */
+
+#ifndef BISCUIT_PM_PATTERN_MATCHER_H_
+#define BISCUIT_PM_PATTERN_MATCHER_H_
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace bisc::pm {
+
+/** Hardware limits of the matcher IP. */
+constexpr std::size_t kMaxKeys = 3;
+constexpr std::size_t kMaxKeyLength = 16;
+
+/**
+ * A matcher configuration: up to kMaxKeys literal keys. Configurations
+ * are value types; the runtime ships them to channels as part of a
+ * matched-read command.
+ */
+class KeySet
+{
+  public:
+    KeySet() = default;
+
+    /**
+     * Add a literal key. Returns false (and ignores the key) if the
+     * key violates the hardware limits: empty, longer than 16 bytes,
+     * or a fourth key.
+     */
+    bool addKey(const std::string &key);
+
+    std::size_t size() const { return keys_.size(); }
+    bool empty() const { return keys_.empty(); }
+
+    const std::vector<std::string> &keys() const { return keys_; }
+
+  private:
+    std::vector<std::string> keys_;
+};
+
+/**
+ * Match results for one scanned window: which keys hit and where the
+ * first hit per key is.
+ */
+struct MatchResult
+{
+    bool any = false;
+    std::array<bool, kMaxKeys> hit{};
+    std::array<std::size_t, kMaxKeys> first_offset{};
+};
+
+/**
+ * One channel's matcher IP. Stateless between scans except for the
+ * loaded key set; scan() inspects a byte window exactly as the hardware
+ * sees page data streaming by.
+ */
+class PatternMatcher
+{
+  public:
+    /** Load a key set into the IP registers. */
+    void configure(const KeySet &keys) { keys_ = keys; }
+
+    const KeySet &keySet() const { return keys_; }
+
+    /** Scan a window; OR-semantics across keys (any key may hit). */
+    MatchResult scan(const std::uint8_t *data, std::size_t len) const;
+
+    /** Convenience: true when any configured key occurs in the window. */
+    bool
+    matches(const std::uint8_t *data, std::size_t len) const
+    {
+        return scan(data, len).any;
+    }
+
+    /**
+     * Find all match offsets of any key in the window (used by
+     * record-oriented scans to locate candidate rows).
+     */
+    std::vector<std::size_t> findAll(const std::uint8_t *data,
+                                     std::size_t len) const;
+
+  private:
+    KeySet keys_;
+};
+
+}  // namespace bisc::pm
+
+#endif  // BISCUIT_PM_PATTERN_MATCHER_H_

@@ -1,0 +1,99 @@
+#include "runtime/allocator.h"
+
+#include "util/log.h"
+
+namespace bisc::rt {
+
+Allocator::Allocator(std::string name, Bytes capacity)
+    : name_(std::move(name)), capacity_(roundUp(capacity))
+{
+    BISC_ASSERT(capacity_ > 0, "allocator '", name_,
+                "' needs capacity");
+    blocks_.emplace(0, Block{capacity_, true});
+}
+
+Bytes
+Allocator::largestFree() const
+{
+    Bytes best = 0;
+    for (const auto &[addr, b] : blocks_) {
+        if (b.free && b.size > best)
+            best = b.size;
+    }
+    return best;
+}
+
+double
+Allocator::fragmentation() const
+{
+    Bytes total_free = capacity_ - used_;
+    if (total_free == 0)
+        return 0.0;
+    return 1.0 - static_cast<double>(largestFree()) /
+                     static_cast<double>(total_free);
+}
+
+std::optional<MemAddr>
+Allocator::allocate(Bytes size)
+{
+    if (size == 0)
+        size = 1;
+    size = roundUp(size);
+
+    // First fit over the address-ordered block map.
+    for (auto it = blocks_.begin(); it != blocks_.end(); ++it) {
+        Block &b = it->second;
+        if (!b.free || b.size < size)
+            continue;
+        MemAddr addr = it->first;
+        if (b.size > size) {
+            // Split: remainder stays free.
+            blocks_.emplace(addr + size, Block{b.size - size, true});
+            b.size = size;
+        }
+        b.free = false;
+        used_ += size;
+        peak_ = std::max(peak_, used_);
+        ++live_;
+        return addr;
+    }
+    return std::nullopt;
+}
+
+void
+Allocator::free(MemAddr addr)
+{
+    auto it = blocks_.find(addr);
+    BISC_ASSERT(it != blocks_.end() && !it->second.free,
+                "allocator '", name_, "': bad free at ", addr);
+    it->second.free = true;
+    used_ -= it->second.size;
+    --live_;
+
+    // Coalesce with the successor.
+    auto next = std::next(it);
+    if (next != blocks_.end() && next->second.free) {
+        it->second.size += next->second.size;
+        blocks_.erase(next);
+    }
+    // Coalesce with the predecessor.
+    if (it != blocks_.begin()) {
+        auto prev = std::prev(it);
+        if (prev->second.free) {
+            prev->second.size += it->second.size;
+            blocks_.erase(it);
+        }
+    }
+}
+
+bool
+Allocator::owns(MemAddr addr) const
+{
+    auto it = blocks_.upper_bound(addr);
+    if (it == blocks_.begin())
+        return false;
+    --it;
+    return !it->second.free && addr < it->first + it->second.size;
+}
+
+}  // namespace bisc::rt

@@ -1,0 +1,103 @@
+/**
+ * @file
+ * Dynamic memory allocation for the Biscuit runtime (paper §IV-B).
+ *
+ * The runtime maintains two allocators over device DRAM: a *system*
+ * allocator for runtime-internal objects (module images, channels,
+ * queues) that SSDlets may not touch, and a *user* allocator backing
+ * SSDlet instances. Both are boundary-tag free-list allocators in the
+ * spirit of Doug Lea's malloc: first-fit over an address-ordered free
+ * list with immediate coalescing of neighbours.
+ *
+ * The allocator manages a *simulated* address space: it returns
+ * offsets, tracks fragmentation and enforces isolation accounting, but
+ * the bytes themselves live wherever the host process keeps its data.
+ * This keeps the memory-protection semantics (system vs. user spaces,
+ * per-instance regions) testable without an MMU — which the real
+ * target SSD also lacks.
+ */
+
+#ifndef BISCUIT_RUNTIME_ALLOCATOR_H_
+#define BISCUIT_RUNTIME_ALLOCATOR_H_
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+
+#include "util/common.h"
+
+namespace bisc::rt {
+
+/** A simulated device-DRAM address (offset within the arena). */
+using MemAddr = Bytes;
+
+class Allocator
+{
+  public:
+    /** Minimum alignment of returned addresses. */
+    static constexpr Bytes kAlignment = 16;
+
+    Allocator(std::string name, Bytes capacity);
+
+    const std::string &name() const { return name_; }
+    Bytes capacity() const { return capacity_; }
+
+    /** Bytes currently handed out (including per-block rounding). */
+    Bytes used() const { return used_; }
+
+    /** High-water mark of used(). */
+    Bytes peak() const { return peak_; }
+
+    /** Number of live allocations. */
+    std::size_t liveBlocks() const { return live_; }
+
+    /** Largest single allocation that would currently succeed. */
+    Bytes largestFree() const;
+
+    /**
+     * External fragmentation in [0,1]: 1 - largestFree/totalFree
+     * (zero when the free space is one block or empty).
+     */
+    double fragmentation() const;
+
+    /**
+     * Allocate @p size bytes. Returns the block address, or nullopt
+     * when no free block fits (the caller decides whether that is
+     * fatal — the runtime fails a module load; an SSDlet sees a null
+     * allocation).
+     */
+    std::optional<MemAddr> allocate(Bytes size);
+
+    /** Release a block; panics on addresses this arena never issued. */
+    void free(MemAddr addr);
+
+    /** True if @p addr falls inside a live block of this arena. */
+    bool owns(MemAddr addr) const;
+
+  private:
+    struct Block
+    {
+        Bytes size;
+        bool free;
+    };
+
+    /** Round a request up to alignment granularity. */
+    static Bytes roundUp(Bytes n)
+    {
+        return (n + kAlignment - 1) / kAlignment * kAlignment;
+    }
+
+    std::string name_;
+    Bytes capacity_;
+    Bytes used_ = 0;
+    Bytes peak_ = 0;
+    std::size_t live_ = 0;
+
+    /** All blocks, keyed by start address (free and allocated). */
+    std::map<MemAddr, Block> blocks_;
+};
+
+}  // namespace bisc::rt
+
+#endif  // BISCUIT_RUNTIME_ALLOCATOR_H_

@@ -1,0 +1,101 @@
+/**
+ * @file
+ * The runtime-facing interface of an SSDlet instance, plus the device
+ * execution context handed to it.
+ *
+ * libslet's SSDLet<IN, OUT, ARG> template derives from SsdletBase; the
+ * runtime only ever sees this interface, which is how one registered
+ * binary image yields many independent instances (paper §IV-B,
+ * "Biscuit can create multiple SSDlet instances from one SSDlet
+ * binary ... and locates each one in a separate address space").
+ */
+
+#ifndef BISCUIT_RUNTIME_SSDLET_BASE_H_
+#define BISCUIT_RUNTIME_SSDLET_BASE_H_
+
+#include <memory>
+#include <string>
+#include <typeindex>
+
+#include "runtime/allocator.h"
+#include "runtime/stream.h"
+#include "runtime/types.h"
+#include "sim/server.h"
+#include "util/packet.h"
+
+namespace bisc::rt {
+
+class Runtime;
+
+/** Everything a running SSDlet may touch on the device. */
+struct DeviceContext
+{
+    Runtime *runtime = nullptr;
+    sim::Server *core = nullptr;
+    AppId app = 0;
+    InstanceId instance = 0;
+};
+
+/** Static description of one port of an SSDlet class. */
+struct PortInfo
+{
+    std::type_index type = std::type_index(typeid(void));
+    bool serializable = false;
+
+    /**
+     * Factory for an inter-SSDlet connection carrying this port's
+     * element type (only the typed port template knows how to build a
+     * TypedStream<T>, so the runtime calls back through this).
+     */
+    std::function<std::shared_ptr<Connection>(sim::Kernel &,
+                                              std::size_t)>
+        make_typed;
+};
+
+/**
+ * Customization point binding argument values to the device context
+ * after deserialization (e.g., slet::File learns which file system and
+ * core it operates against). The primary template is a no-op.
+ */
+template <typename T>
+struct ContextBinder
+{
+    static void bind(T &, const DeviceContext &) {}
+};
+
+class SsdletBase
+{
+  public:
+    virtual ~SsdletBase() = default;
+
+    /** User code: the body of the SSDlet (paper Code 1). */
+    virtual void run() = 0;
+
+    virtual std::size_t numInputs() const = 0;
+    virtual std::size_t numOutputs() const = 0;
+    virtual PortInfo inputInfo(std::size_t i) const = 0;
+    virtual PortInfo outputInfo(std::size_t i) const = 0;
+
+    virtual void bindInput(std::size_t i,
+                           std::shared_ptr<Connection> c) = 0;
+    virtual void bindOutput(std::size_t i,
+                            std::shared_ptr<Connection> c) = 0;
+    virtual std::shared_ptr<Connection>
+    inputConnection(std::size_t i) const = 0;
+    virtual std::shared_ptr<Connection>
+    outputConnection(std::size_t i) const = 0;
+
+    /** Deserialize constructor arguments shipped from the host. */
+    virtual void initArgs(Packet &args) = 0;
+
+    DeviceContext &context() { return ctx_; }
+    const DeviceContext &context() const { return ctx_; }
+    void setContext(const DeviceContext &ctx) { ctx_ = ctx; }
+
+  private:
+    DeviceContext ctx_;
+};
+
+}  // namespace bisc::rt
+
+#endif  // BISCUIT_RUNTIME_SSDLET_BASE_H_

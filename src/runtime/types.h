@@ -1,0 +1,36 @@
+/**
+ * @file
+ * Shared identifier types of the Biscuit runtime and host library.
+ */
+
+#ifndef BISCUIT_RUNTIME_TYPES_H_
+#define BISCUIT_RUNTIME_TYPES_H_
+
+#include <cstdint>
+
+namespace bisc::rt {
+
+/** A loaded SSDlet module on the device. */
+using ModuleId = std::uint64_t;
+
+/** An Application instance (the unit of multi-core scheduling). */
+using AppId = std::uint64_t;
+
+/** One SSDlet instance. */
+using InstanceId = std::uint64_t;
+
+/**
+ * A reference to one port of one SSDlet instance, as used by host-side
+ * coordination code (Application::connect and friends).
+ */
+struct PortRef
+{
+    AppId app = 0;
+    InstanceId instance = 0;
+    bool output = false;
+    std::size_t index = 0;
+};
+
+}  // namespace bisc::rt
+
+#endif  // BISCUIT_RUNTIME_TYPES_H_

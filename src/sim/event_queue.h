@@ -1,0 +1,99 @@
+/**
+ * @file
+ * The discrete-event queue driving all simulated time in Biscuit's
+ * host-side emulation.
+ */
+
+#ifndef BISCUIT_SIM_EVENT_QUEUE_H_
+#define BISCUIT_SIM_EVENT_QUEUE_H_
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "util/common.h"
+
+namespace bisc::sim {
+
+/**
+ * A time-ordered queue of callbacks. Events scheduled for the same tick
+ * fire in insertion order (a strict tie-break keeps runs deterministic).
+ */
+class EventQueue
+{
+  public:
+    using Callback = std::function<void()>;
+
+    /** Current simulated time. */
+    Tick now() const { return now_; }
+
+    /** Schedule @p fn to fire @p delay ticks from now. */
+    void
+    schedule(Tick delay, Callback fn)
+    {
+        scheduleAt(now_ + delay, std::move(fn));
+    }
+
+    /** Schedule @p fn at absolute tick @p when (>= now). */
+    void
+    scheduleAt(Tick when, Callback fn)
+    {
+        if (when < now_)
+            when = now_;
+        heap_.push(Event{when, seq_++, std::move(fn)});
+    }
+
+    /** True when no events remain. */
+    bool empty() const { return heap_.empty(); }
+
+    /** Number of pending events. */
+    std::size_t size() const { return heap_.size(); }
+
+    /** Tick of the earliest pending event; undefined when empty. */
+    Tick nextTime() const { return heap_.top().when; }
+
+    /**
+     * Pop and execute the earliest event, advancing the clock to its
+     * tick. Returns false when the queue is empty.
+     */
+    bool
+    runOne()
+    {
+        if (heap_.empty())
+            return false;
+        // Move out before pop: the callback may schedule new events.
+        Event ev = std::move(const_cast<Event &>(heap_.top()));
+        heap_.pop();
+        now_ = ev.when;
+        ev.fn();
+        return true;
+    }
+
+  private:
+    struct Event
+    {
+        Tick when;
+        std::uint64_t seq;
+        Callback fn;
+    };
+
+    struct Later
+    {
+        bool
+        operator()(const Event &a, const Event &b) const
+        {
+            if (a.when != b.when)
+                return a.when > b.when;
+            return a.seq > b.seq;
+        }
+    };
+
+    Tick now_ = 0;
+    std::uint64_t seq_ = 0;
+    std::priority_queue<Event, std::vector<Event>, Later> heap_;
+};
+
+}  // namespace bisc::sim
+
+#endif  // BISCUIT_SIM_EVENT_QUEUE_H_

@@ -1,0 +1,194 @@
+#include "sim/kernel.h"
+
+#include <utility>
+
+namespace bisc::sim {
+
+namespace {
+
+thread_local Kernel *g_current_kernel = nullptr;
+
+/// Maps the raw fiber pointer back to its kernel task id. Set around
+/// each resume so that blocking calls can identify themselves.
+thread_local FiberId g_current_fiber_id = 0;
+
+}  // namespace
+
+CurrentKernelGuard::CurrentKernelGuard(Kernel &k) : prev_(g_current_kernel)
+{
+    g_current_kernel = &k;
+}
+
+CurrentKernelGuard::~CurrentKernelGuard()
+{
+    g_current_kernel = prev_;
+}
+
+Kernel::Kernel() = default;
+
+Kernel::~Kernel()
+{
+    // Unfinished fibers at teardown are reported by ~Fiber.
+}
+
+Kernel &
+Kernel::current()
+{
+    BISC_ASSERT(g_current_kernel != nullptr,
+                "Kernel::current() outside of Kernel::run()");
+    return *g_current_kernel;
+}
+
+FiberId
+Kernel::spawn(std::string name, std::function<void()> fn)
+{
+    FiberId id = next_id_++;
+    auto task = std::make_unique<Task>();
+    task->id = id;
+    task->fib = std::make_unique<fiber::Fiber>(std::move(name),
+                                               std::move(fn));
+    task->ready = true;
+    ready_.push_back(id);
+    tasks_.emplace(id, std::move(task));
+    return id;
+}
+
+bool
+Kernel::finished(FiberId id) const
+{
+    auto it = tasks_.find(id);
+    return it == tasks_.end();
+}
+
+Tick
+Kernel::run()
+{
+    return runUntil(~Tick{0});
+}
+
+Tick
+Kernel::runUntil(Tick deadline)
+{
+    CurrentKernelGuard guard(*this);
+    while (true) {
+        while (!ready_.empty()) {
+            FiberId id = ready_.front();
+            ready_.pop_front();
+            auto it = tasks_.find(id);
+            if (it == tasks_.end())
+                continue;  // finished while queued
+            Task *t = it->second.get();
+            if (!t->ready)
+                continue;  // stale queue entry
+            t->ready = false;
+            running_ = t;
+            FiberId prev = g_current_fiber_id;
+            g_current_fiber_id = id;
+            t->fib->resume();
+            g_current_fiber_id = prev;
+            running_ = nullptr;
+            if (t->fib->finished()) {
+                if (t->done)
+                    t->done->notifyAll();
+                tasks_.erase(id);
+            }
+        }
+        if (events_.empty() || events_.nextTime() > deadline)
+            break;
+        events_.runOne();
+    }
+    return now();
+}
+
+void
+Kernel::yieldFiber()
+{
+    FiberId id = currentFiberId();
+    // Re-ready immediately so the fiber runs again after current queue.
+    Task *t = tasks_.at(id).get();
+    t->ready = true;
+    ready_.push_back(id);
+    fiber::Fiber::suspendCurrent();
+}
+
+void
+Kernel::sleep(Tick delay)
+{
+    sleepUntil(now() + delay);
+}
+
+void
+Kernel::sleepUntil(Tick when)
+{
+    FiberId id = currentFiberId();
+    scheduleAt(when, [this, id] { makeReady(id); });
+    block();
+}
+
+void
+Kernel::join(FiberId id)
+{
+    auto it = tasks_.find(id);
+    if (it == tasks_.end())
+        return;  // already finished
+    Task *t = it->second.get();
+    if (!t->done) {
+        t->done_storage = std::make_unique<Waiter>(*this);
+        t->done = t->done_storage.get();
+    }
+    t->done->wait();
+}
+
+void
+Kernel::makeReady(FiberId id)
+{
+    auto it = tasks_.find(id);
+    if (it == tasks_.end())
+        return;  // fiber finished in the meantime
+    Task *t = it->second.get();
+    if (t->ready)
+        return;  // already queued
+    t->ready = true;
+    ready_.push_back(id);
+}
+
+FiberId
+Kernel::currentFiberId() const
+{
+    BISC_ASSERT(running_ != nullptr && g_current_fiber_id != 0,
+                "blocking call outside of a kernel fiber");
+    return g_current_fiber_id;
+}
+
+void
+Kernel::block()
+{
+    fiber::Fiber::suspendCurrent();
+}
+
+void
+Waiter::wait()
+{
+    FiberId id = kernel_.currentFiberId();
+    waiting_.push_back(id);
+    kernel_.block();
+}
+
+void
+Waiter::notifyOne()
+{
+    if (waiting_.empty())
+        return;
+    FiberId id = waiting_.front();
+    waiting_.pop_front();
+    kernel_.makeReady(id);
+}
+
+void
+Waiter::notifyAll()
+{
+    while (!waiting_.empty())
+        notifyOne();
+}
+
+}  // namespace bisc::sim

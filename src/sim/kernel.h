@@ -1,0 +1,180 @@
+/**
+ * @file
+ * The simulation kernel: a discrete-event loop plus a cooperative fiber
+ * scheduler. Host programs and SSDlets all execute as fibers under one
+ * virtual clock, so the whole Biscuit system (host + device) runs in a
+ * single OS process with real data flow and simulated timing.
+ */
+
+#ifndef BISCUIT_SIM_KERNEL_H_
+#define BISCUIT_SIM_KERNEL_H_
+
+#include <deque>
+#include <functional>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "fiber/fiber.h"
+#include "sim/event_queue.h"
+#include "util/common.h"
+#include "util/log.h"
+
+namespace bisc::sim {
+
+class Kernel;
+
+/** Opaque identifier of a kernel-managed fiber. */
+using FiberId = std::uint64_t;
+
+/**
+ * A wake-up list: fibers block on a Waiter and are made runnable again
+ * by notifyOne()/notifyAll(). This is the only blocking primitive; all
+ * higher-level waits (port full/empty, I/O completion) reduce to it.
+ */
+class Waiter
+{
+  public:
+    explicit Waiter(Kernel &kernel) : kernel_(kernel) {}
+
+    Waiter(const Waiter &) = delete;
+    Waiter &operator=(const Waiter &) = delete;
+
+    /** Block the calling fiber until notified. */
+    void wait();
+
+    /** Wake the longest-waiting fiber, if any. */
+    void notifyOne();
+
+    /** Wake every waiting fiber. */
+    void notifyAll();
+
+    /** Number of fibers currently blocked here. */
+    std::size_t waiters() const { return waiting_.size(); }
+
+  private:
+    Kernel &kernel_;
+    std::deque<FiberId> waiting_;
+};
+
+/**
+ * Discrete-event kernel with integrated cooperative fiber scheduling.
+ *
+ * The run loop alternates between draining the ready-fiber queue and
+ * firing the earliest timed event; simulated time only advances when no
+ * fiber is runnable, exactly like a cooperative runtime where compute
+ * costs are charged explicitly.
+ */
+class Kernel
+{
+  public:
+    Kernel();
+    ~Kernel();
+
+    Kernel(const Kernel &) = delete;
+    Kernel &operator=(const Kernel &) = delete;
+
+    /** Current simulated time in ns. */
+    Tick now() const { return events_.now(); }
+
+    /** Schedule a callback @p delay ticks from now. */
+    void
+    schedule(Tick delay, EventQueue::Callback fn)
+    {
+        events_.schedule(delay, std::move(fn));
+    }
+
+    /** Schedule a callback at absolute tick @p when. */
+    void
+    scheduleAt(Tick when, EventQueue::Callback fn)
+    {
+        events_.scheduleAt(when, std::move(fn));
+    }
+
+    /**
+     * Create a fiber that becomes runnable immediately. The kernel owns
+     * the fiber and reaps it when its entry function returns.
+     */
+    FiberId spawn(std::string name, std::function<void()> fn);
+
+    /** True if the given fiber has finished (or never existed). */
+    bool finished(FiberId id) const;
+
+    /**
+     * Run until no fiber is runnable and no event is pending. Returns
+     * the final simulated time.
+     */
+    Tick run();
+
+    /**
+     * Run until simulated time reaches @p deadline (or the system goes
+     * idle, whichever is first).
+     */
+    Tick runUntil(Tick deadline);
+
+    // ----- Blocking API: every call below must come from a fiber. -----
+
+    /** Yield the processor; the fiber re-runs after other ready fibers. */
+    void yieldFiber();
+
+    /** Block the calling fiber for @p delay simulated ticks. */
+    void sleep(Tick delay);
+
+    /** Block the calling fiber until absolute tick @p when. */
+    void sleepUntil(Tick when);
+
+    /** Block the calling fiber until another fiber finishes. */
+    void join(FiberId id);
+
+    /** The kernel currently executing (valid inside run()). */
+    static Kernel &current();
+
+    /** Number of live (unreaped) fibers. */
+    std::size_t liveFibers() const { return tasks_.size(); }
+
+  private:
+    friend class Waiter;
+
+    struct Task
+    {
+        FiberId id;
+        std::unique_ptr<fiber::Fiber> fib;
+        bool ready = false;
+        Waiter *done = nullptr;  // lazily created join waiter
+        std::unique_ptr<Waiter> done_storage;
+    };
+
+    /** Mark a blocked fiber runnable again. */
+    void makeReady(FiberId id);
+
+    /** Id of the currently running fiber; panics in scheduler context. */
+    FiberId currentFiberId() const;
+
+    /** Suspend the current fiber (does not re-ready it). */
+    void block();
+
+    EventQueue events_;
+    std::unordered_map<FiberId, std::unique_ptr<Task>> tasks_;
+    std::deque<FiberId> ready_;
+    FiberId next_id_ = 1;
+    Task *running_ = nullptr;
+};
+
+/**
+ * RAII guard installing a kernel as Kernel::current() for the lifetime
+ * of the guard. Kernel::run() installs one automatically.
+ */
+class CurrentKernelGuard
+{
+  public:
+    explicit CurrentKernelGuard(Kernel &k);
+    ~CurrentKernelGuard();
+
+  private:
+    Kernel *prev_;
+};
+
+}  // namespace bisc::sim
+
+#endif  // BISCUIT_SIM_KERNEL_H_

@@ -1,0 +1,27 @@
+#include "sim/stats.h"
+
+namespace bisc::sim {
+
+double
+TimeSeries::integral() const
+{
+    if (points_.size() < 2)
+        return 0.0;
+    double acc = 0.0;
+    for (std::size_t i = 0; i + 1 < points_.size(); ++i) {
+        double dt = toSeconds(points_[i + 1].first - points_[i].first);
+        acc += points_[i].second * dt;
+    }
+    return acc;
+}
+
+double
+TimeSeries::mean() const
+{
+    if (points_.size() < 2)
+        return points_.empty() ? 0.0 : points_.front().second;
+    double span = toSeconds(points_.back().first - points_.front().first);
+    return span > 0.0 ? integral() / span : points_.front().second;
+}
+
+}  // namespace bisc::sim

@@ -1,0 +1,110 @@
+/**
+ * @file
+ * Lightweight statistics: named scalar counters and time series used by
+ * benches to report the paper's tables and figures.
+ */
+
+#ifndef BISCUIT_SIM_STATS_H_
+#define BISCUIT_SIM_STATS_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "util/common.h"
+
+namespace bisc::sim {
+
+/** A named scalar statistics registry. */
+class Stats
+{
+  public:
+    /** Add @p delta to counter @p name (creating it at zero). */
+    void add(const std::string &name, double delta) { vals_[name] += delta; }
+
+    /** Set counter @p name. */
+    void set(const std::string &name, double v) { vals_[name] = v; }
+
+    /** Read counter @p name (0 when absent). */
+    double
+    get(const std::string &name) const
+    {
+        auto it = vals_.find(name);
+        return it == vals_.end() ? 0.0 : it->second;
+    }
+
+    bool has(const std::string &name) const { return vals_.count(name); }
+
+    /** All counters, sorted by name. */
+    const std::map<std::string, double> &all() const { return vals_; }
+
+    void clear() { vals_.clear(); }
+
+  private:
+    std::map<std::string, double> vals_;
+};
+
+/** A (tick, value) trace, e.g. the power waveform of Fig. 9. */
+class TimeSeries
+{
+  public:
+    void
+    record(Tick t, double v)
+    {
+        points_.emplace_back(t, v);
+    }
+
+    const std::vector<std::pair<Tick, double>> &points() const
+    {
+        return points_;
+    }
+
+    bool empty() const { return points_.empty(); }
+
+    /**
+     * Time-weighted integral of the series from its first to last
+     * sample (trapezoid-free step integration: value holds until the
+     * next sample). Used for energy = ∫ power dt.
+     */
+    double integral() const;
+
+    /** Time-weighted mean over the recorded span. */
+    double mean() const;
+
+  private:
+    std::vector<std::pair<Tick, double>> points_;
+};
+
+/** Online scalar summary (count/mean/min/max) for latency samples. */
+class Summary
+{
+  public:
+    void
+    record(double v)
+    {
+        ++n_;
+        sum_ += v;
+        if (n_ == 1 || v < min_)
+            min_ = v;
+        if (n_ == 1 || v > max_)
+            max_ = v;
+    }
+
+    std::uint64_t count() const { return n_; }
+    double sum() const { return sum_; }
+    double mean() const { return n_ ? sum_ / static_cast<double>(n_) : 0; }
+    double min() const { return min_; }
+    double max() const { return max_; }
+
+  private:
+    std::uint64_t n_ = 0;
+    double sum_ = 0;
+    double min_ = 0;
+    double max_ = 0;
+};
+
+}  // namespace bisc::sim
+
+#endif  // BISCUIT_SIM_STATS_H_

@@ -1,0 +1,64 @@
+#include "sisc/application.h"
+
+namespace bisc::sisc {
+
+Application::Application(SSD &ssd) : ssd_(ssd)
+{
+    ssd_.hopToDevice();
+    id_ = ssd_.runtime().createApp();
+    ssd_.hopToHost();
+}
+
+Application::~Application()
+{
+    if (destroyed_)
+        return;
+    auto &rt = ssd_.runtime();
+    if (rt.appStarted(id_) && !rt.appFinished(id_)) {
+        BISC_WARN("Application ", id_,
+                  " destroyed while SSDlets are running; resources "
+                  "leak until the runtime resets");
+        return;
+    }
+    // Quiet teardown (no timing): the host process is exiting the
+    // scope; control traffic for cleanup is not on any measured path.
+    rt.destroyApp(id_);
+    destroyed_ = true;
+}
+
+void
+Application::connect(const rt::PortRef &out, const rt::PortRef &in)
+{
+    ssd_.hopToDevice();
+    if (out.app == in.app) {
+        ssd_.runtime().connect(out, in);
+    } else {
+        // One endpoint belongs to another Application: inter-app port.
+        ssd_.runtime().connectAcross(out, in);
+    }
+    ssd_.hopToHost();
+}
+
+void
+Application::start()
+{
+    ssd_.hopToDevice();
+    ssd_.runtime().startApp(id_);
+    ssd_.hopToHost();
+}
+
+void
+Application::wait()
+{
+    ssd_.runtime().waitApp(id_);
+    // Completion notification crosses back to the host.
+    ssd_.hopToHost();
+}
+
+bool
+Application::finished() const
+{
+    return ssd_.runtime().appFinished(id_);
+}
+
+}  // namespace bisc::sisc

@@ -1,0 +1,148 @@
+/**
+ * @file
+ * Application and the host-side SSDLet proxy (paper §III-B, Code 3).
+ *
+ * An Application groups cooperating SSDlets: the host program creates
+ * proxies, wires their ports, starts the application and exchanges
+ * data through host ports. Applications are the unit of multi-core
+ * scheduling on the device — every SSDlet of one application runs on
+ * the same core.
+ */
+
+#ifndef BISCUIT_SISC_APPLICATION_H_
+#define BISCUIT_SISC_APPLICATION_H_
+
+#include <string>
+#include <tuple>
+#include <typeindex>
+#include <utility>
+
+#include "runtime/runtime.h"
+#include "runtime/types.h"
+#include "sisc/port.h"
+#include "sisc/ssd.h"
+#include "util/serialize.h"
+
+namespace bisc::sisc {
+
+class Application
+{
+  public:
+    explicit Application(SSD &ssd);
+
+    Application(const Application &) = delete;
+    Application &operator=(const Application &) = delete;
+
+    ~Application();
+
+    SSD &ssd() { return ssd_; }
+    rt::AppId id() const { return id_; }
+
+    /**
+     * Connect an output to an input. Endpoints in this application
+     * use an inter-SSDlet (typed, lock-free) connection; an endpoint
+     * in another application makes this an inter-application (Packet,
+     * SPSC) connection — the API does not distinguish the two, the
+     * runtime picks the flavor.
+     */
+    void connect(const rt::PortRef &out, const rt::PortRef &in);
+
+    /**
+     * Expose a device output to the host: returns the typed host
+     * input port (paper Code 3: `wc.connectTo<pair<...>>(...)`).
+     */
+    template <typename T>
+    InputPort<T>
+    connectTo(const rt::PortRef &out)
+    {
+        ssd_.hopToDevice();
+        auto conn = ssd_.runtime().connectToHost(
+            out, std::type_index(typeid(T)));
+        ssd_.hopToHost();
+        return InputPort<T>(&ssd_, std::move(conn));
+    }
+
+    /** Feed a device input from the host. */
+    template <typename T>
+    OutputPort<T>
+    connectFrom(const rt::PortRef &in)
+    {
+        ssd_.hopToDevice();
+        auto conn = ssd_.runtime().connectFromHost(
+            in, std::type_index(typeid(T)));
+        ssd_.hopToHost();
+        return OutputPort<T>(&ssd_, std::move(conn));
+    }
+
+    /**
+     * Start every SSDlet of the application once all communication
+     * channels are set up (paper: Application::start).
+     */
+    void start();
+
+    /** Block the host fiber until every SSDlet finished. */
+    void wait();
+
+    bool finished() const;
+
+  private:
+    SSD &ssd_;
+    rt::AppId id_;
+    bool destroyed_ = false;
+};
+
+/**
+ * Host-side proxy for an SSDlet instance (libsisc's SSDLet class). The
+ * constructor instantiates the SSDlet on the device, shipping the
+ * serialized argument tuple.
+ */
+class SSDLet
+{
+  public:
+    /** Instantiate with no arguments. */
+    SSDLet(Application &app, rt::ModuleId mid, const std::string &id)
+        : SSDLet(app, mid, id, std::tuple<>())
+    {}
+
+    /** Instantiate with an argument tuple (paper: make_tuple(...)). */
+    template <typename... As>
+    SSDLet(Application &app, rt::ModuleId mid, const std::string &id,
+           const std::tuple<As...> &args)
+        : app_(&app)
+    {
+        static_assert((IsSerializable<As>::value && ...),
+                      "SSDlet arguments must be serializable");
+        Packet p;
+        if constexpr (sizeof...(As) > 0)
+            Wire<std::tuple<As...>>::put(p, args);
+        SSD &ssd = app.ssd();
+        ssd.hopToDevice();
+        instance_ = ssd.runtime().createInstance(app.id(), mid, id,
+                                                 std::move(p));
+        ssd.hopToHost();
+    }
+
+    rt::InstanceId instance() const { return instance_; }
+
+    /** Reference to this SSDlet's @p i-th output port. */
+    rt::PortRef
+    out(std::size_t i) const
+    {
+        return rt::PortRef{app_->id(), instance_, true, i};
+    }
+
+    /** Reference to this SSDlet's @p i-th input port. */
+    rt::PortRef
+    in(std::size_t i) const
+    {
+        return rt::PortRef{app_->id(), instance_, false, i};
+    }
+
+  private:
+    Application *app_ = nullptr;
+    rt::InstanceId instance_ = 0;
+};
+
+}  // namespace bisc::sisc
+
+#endif  // BISCUIT_SISC_APPLICATION_H_

@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Env: one-stop construction of a complete Biscuit system — kernel,
+ * SSD device, file system, device runtime — plus a helper that runs a
+ * host program as a fiber under the virtual clock. Used by examples,
+ * tests and every benchmark.
+ */
+
+#ifndef BISCUIT_SISC_ENV_H_
+#define BISCUIT_SISC_ENV_H_
+
+#include <functional>
+#include <string>
+
+#include "fs/file_system.h"
+#include "runtime/module.h"
+#include "runtime/runtime.h"
+#include "sim/kernel.h"
+#include "ssd/config.h"
+#include "ssd/device.h"
+
+namespace bisc::sisc {
+
+class Env
+{
+  public:
+    explicit Env(const ssd::SsdConfig &cfg = ssd::defaultConfig())
+        : device(kernel, cfg), fs(device), runtime(kernel, device, fs)
+    {}
+
+    /**
+     * Synthesize the .slet file for a registered @p module at @p path
+     * on the SSD file system (setup step, zero time).
+     */
+    void
+    installModule(const std::string &path, const std::string &module)
+    {
+        rt::ModuleRegistry::global().installModuleFile(fs, path,
+                                                       module);
+    }
+
+    /**
+     * Run @p host_main as the host program fiber and drive the
+     * simulation until the system goes idle. Returns the final
+     * simulated time.
+     */
+    Tick
+    run(std::function<void()> host_main)
+    {
+        kernel.spawn("host", std::move(host_main));
+        return kernel.run();
+    }
+
+    sim::Kernel kernel;
+    ssd::SsdDevice device;
+    fs::FileSystem fs;
+    rt::Runtime runtime;
+};
+
+}  // namespace bisc::sisc
+
+#endif  // BISCUIT_SISC_ENV_H_

@@ -1,0 +1,131 @@
+#include "sisc/file.h"
+
+#include <algorithm>
+#include <cstring>
+#include <vector>
+
+#include "sisc/ssd.h"
+
+namespace bisc::sisc {
+
+File::File(SSD &ssd, std::string path)
+    : ssd_(&ssd), path_(std::move(path))
+{}
+
+namespace {
+
+fs::FileSystem &
+fsOf(SSD *ssd, const std::string &path)
+{
+    BISC_ASSERT(ssd != nullptr, "File '", path,
+                "' is not attached to an SSD");
+    return ssd->runtime().fs();
+}
+
+}  // namespace
+
+bool
+File::exists() const
+{
+    return fsOf(ssd_, path_).exists(path_);
+}
+
+Bytes
+File::size() const
+{
+    return fsOf(ssd_, path_).size(path_);
+}
+
+void
+File::create()
+{
+    fsOf(ssd_, path_).create(path_);
+}
+
+void
+File::remove()
+{
+    fsOf(ssd_, path_).remove(path_);
+}
+
+void
+File::populate(const void *data, Bytes len)
+{
+    fsOf(ssd_, path_).populate(path_, data, len);
+}
+
+void
+File::populateWith(Bytes total,
+                   const std::function<void(Bytes, std::uint8_t *,
+                                            Bytes)> &filler)
+{
+    fsOf(ssd_, path_).populateWith(path_, total, filler);
+}
+
+Bytes
+File::pread(Bytes offset, void *buf, Bytes len)
+{
+    auto &fs = fsOf(ssd_, path_);
+    auto &dev = ssd_->runtime().device();
+    auto &kernel = ssd_->runtime().kernel();
+    const Bytes page = fs.pageSize();
+
+    Bytes file_size = fs.size(path_);
+    if (offset >= file_size)
+        return 0;
+    len = std::min(len, file_size - offset);
+
+    // One NVMe command covering every page the range touches.
+    std::vector<ftl::Lpn> pages;
+    Bytes first_page = offset / page;
+    Bytes last_page = (offset + len - 1) / page;
+    const auto &table = fs.pagesOf(path_);
+    for (Bytes p = first_page; p <= last_page; ++p)
+        pages.push_back(table[p]);
+
+    Tick done = dev.hostReadPages(pages, nullptr);
+    kernel.sleepUntil(done);
+
+    if (buf != nullptr)
+        fs.peek(path_, offset, len, static_cast<std::uint8_t *>(buf));
+    return len;
+}
+
+void
+File::pwrite(Bytes offset, const void *data, Bytes len)
+{
+    auto &fs = fsOf(ssd_, path_);
+    auto &dev = ssd_->runtime().device();
+    auto &kernel = ssd_->runtime().kernel();
+    const Bytes page = fs.pageSize();
+    const auto *src = static_cast<const std::uint8_t *>(data);
+
+    if (!fs.exists(path_))
+        fs.create(path_);
+    if (len == 0)
+        return;
+
+    // Materialize every touched page, then issue page-sized NVMe
+    // writes; partial edges merge with the page's current bytes.
+    fs.ensureSize(path_, offset + len);
+    Tick done = kernel.now();
+    std::vector<std::uint8_t> buf(page);
+    Bytes written = 0;
+    while (written < len) {
+        Bytes pos = offset + written;
+        Bytes page_start = (pos / page) * page;
+        Bytes in_page = pos % page;
+        Bytes n = std::min(page - in_page, len - written);
+        std::fill(buf.begin(), buf.end(), 0);
+        if (n < page)
+            fs.peek(path_, page_start, page, buf.data());
+        std::memcpy(buf.data() + in_page, src + written, n);
+        ftl::Lpn lpn = fs.lpnAt(path_, page_start);
+        Tick t = dev.hostWrite(lpn, buf.data(), page);
+        done = std::max(done, t);
+        written += n;
+    }
+    kernel.sleepUntil(done);
+}
+
+}  // namespace bisc::sisc

@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Host-side File (paper §III-D).
+ *
+ * A libsisc File names data on the SSD's file system. Host programs
+ * pass File objects to SSDlets (as arguments or through ports) to
+ * delegate access; the host's own reads/writes travel the conventional
+ * NVMe datapath — which is precisely the path Biscuit removes for
+ * offloaded work.
+ */
+
+#ifndef BISCUIT_SISC_FILE_H_
+#define BISCUIT_SISC_FILE_H_
+
+#include <functional>
+#include <string>
+
+#include "util/common.h"
+#include "util/serialize.h"
+
+namespace bisc::sisc {
+
+class SSD;
+
+class File
+{
+  public:
+    File() = default;
+
+    /** Name @p path on the SSD behind @p ssd. */
+    File(SSD &ssd, std::string path);
+
+    const std::string &path() const { return path_; }
+
+    bool exists() const;
+    Bytes size() const;
+    void create();
+    void remove();
+
+    /**
+     * Zero-time population for workload setup (the datasets the paper
+     * loads offline before measuring).
+     */
+    void populate(const void *data, Bytes len);
+
+    /** Streamed population for large synthetic datasets. */
+    void populateWith(Bytes total,
+                      const std::function<void(Bytes, std::uint8_t *,
+                                               Bytes)> &filler);
+
+    /**
+     * Conventional timed read (Linux pread over NVMe): one command,
+     * pages fetched in parallel, DMA over PCIe, completion interrupt.
+     * Blocks the host fiber; returns bytes read (clamped at EOF).
+     */
+    Bytes pread(Bytes offset, void *buf, Bytes len);
+
+    /** Conventional timed write. */
+    void pwrite(Bytes offset, const void *data, Bytes len);
+
+  private:
+    SSD *ssd_ = nullptr;
+    std::string path_;
+};
+
+}  // namespace bisc::sisc
+
+namespace bisc {
+
+/** Host Files serialize identically to device Files: the path. */
+template <>
+struct Wire<sisc::File>
+{
+    static void
+    put(Packet &p, const sisc::File &f)
+    {
+        p.putString(f.path());
+    }
+
+    static void
+    get(Packet &, sisc::File &)
+    {
+        // Host-side deserialization of a File would need the SSD
+        // handle; Biscuit never ships Files device-to-host.
+        BISC_PANIC("sisc::File cannot be deserialized on the host");
+    }
+};
+
+}  // namespace bisc
+
+#endif  // BISCUIT_SISC_FILE_H_

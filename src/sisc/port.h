@@ -1,0 +1,152 @@
+/**
+ * @file
+ * Host-side typed ports over host-to-device data channels.
+ *
+ * InputPort<T> consumes a device-to-host stream; OutputPort<T> feeds a
+ * host-to-device stream. Both charge the host half of the Table II
+ * latency decomposition (the device half is charged by libslet).
+ */
+
+#ifndef BISCUIT_SISC_PORT_H_
+#define BISCUIT_SISC_PORT_H_
+
+#include <memory>
+#include <optional>
+
+#include "runtime/runtime.h"
+#include "runtime/stream.h"
+#include "sisc/ssd.h"
+#include "util/serialize.h"
+
+namespace bisc::sisc {
+
+template <typename T>
+class InputPort
+{
+    static_assert(IsSerializable<T>::value,
+                  "host-to-device data must be (de)serializable");
+
+  public:
+    InputPort() = default;
+
+    InputPort(SSD *ssd, std::shared_ptr<rt::Connection> conn)
+        : ssd_(ssd), conn_(std::move(conn))
+    {}
+
+    bool connected() const { return conn_ != nullptr; }
+
+    /**
+     * Receive the next value from the device; blocks the host fiber.
+     * Returns false at end of stream (every producing SSDlet done).
+     */
+    bool
+    get(T &v)
+    {
+        BISC_ASSERT(conn_ != nullptr, "get() on unconnected host port");
+        Packet p;
+        if (!conn_->packets->awaitPacket(p))
+            return false;
+        const auto &cfg = ssd_->config();
+        ssd_->runtime().kernel().sleep(cfg.host_cm_recv +
+                                       cfg.sched_latency);
+        v = deserialize<T>(p);
+        return true;
+    }
+
+    /** Non-blocking receive. */
+    std::optional<T>
+    tryGet()
+    {
+        BISC_ASSERT(conn_ != nullptr, "tryGet() on unconnected port");
+        Packet p;
+        if (!conn_->packets->tryGet(p))
+            return std::nullopt;
+        const auto &cfg = ssd_->config();
+        ssd_->runtime().kernel().sleep(cfg.host_cm_recv +
+                                       cfg.sched_latency);
+        return deserialize<T>(p);
+    }
+
+  private:
+    SSD *ssd_ = nullptr;
+    std::shared_ptr<rt::Connection> conn_;
+};
+
+template <typename T>
+class OutputPort
+{
+    static_assert(IsSerializable<T>::value,
+                  "host-to-device data must be (de)serializable");
+
+  public:
+    OutputPort() = default;
+
+    OutputPort(SSD *ssd, std::shared_ptr<rt::Connection> conn)
+        : ssd_(ssd), conn_(std::move(conn))
+    {
+        conn_->add_producer();
+    }
+
+    OutputPort(const OutputPort &) = delete;
+    OutputPort &operator=(const OutputPort &) = delete;
+
+    OutputPort(OutputPort &&other) noexcept { swap(other); }
+
+    OutputPort &
+    operator=(OutputPort &&other) noexcept
+    {
+        swap(other);
+        return *this;
+    }
+
+    ~OutputPort() { close(); }
+
+    bool connected() const { return conn_ != nullptr; }
+
+    /** Ship a value to the device; blocks while out of credits. */
+    void
+    put(T v)
+    {
+        BISC_ASSERT(conn_ != nullptr && !closed_,
+                    "put() on a closed or unconnected host port");
+        conn_->packets->acquireSlot();
+        const auto &cfg = ssd_->config();
+        auto &k = ssd_->runtime().kernel();
+        k.sleep(cfg.host_cm_send);
+        Packet p = serialize(v);
+        Bytes bytes = p.size();
+        Tick arrive = ssd_->runtime().device().hil().messageToDevice(
+            bytes, k.now());
+        conn_->packets->deliverAt(arrive, std::move(p));
+    }
+
+    /**
+     * Signal end of stream to the device side. Idempotent; also runs
+     * on destruction.
+     */
+    void
+    close()
+    {
+        if (conn_ != nullptr && !closed_) {
+            closed_ = true;
+            conn_->remove_producer();
+        }
+    }
+
+  private:
+    void
+    swap(OutputPort &other)
+    {
+        std::swap(ssd_, other.ssd_);
+        std::swap(conn_, other.conn_);
+        std::swap(closed_, other.closed_);
+    }
+
+    SSD *ssd_ = nullptr;
+    std::shared_ptr<rt::Connection> conn_;
+    bool closed_ = false;
+};
+
+}  // namespace bisc::sisc
+
+#endif  // BISCUIT_SISC_PORT_H_

@@ -1,0 +1,3 @@
+#include "sisc/ssd.h"
+
+// SSD is header-only; this TU anchors the bisc_sisc library.

@@ -1,0 +1,93 @@
+/**
+ * @file
+ * The host-side SSD handle (paper Code 3: `SSD ssd("/dev/nvme0n1")`).
+ *
+ * Wraps the device runtime behind the control channel: every control
+ * operation pays the host-to-device hop, the device-side work, and the
+ * device-to-host hop, mirroring how libsisc's channel manager
+ * multiplexes one control channel and on-demand data channels.
+ */
+
+#ifndef BISCUIT_SISC_SSD_H_
+#define BISCUIT_SISC_SSD_H_
+
+#include <string>
+#include <utility>
+
+#include "runtime/runtime.h"
+#include "runtime/types.h"
+#include "sisc/file.h"
+
+namespace bisc::sisc {
+
+class SSD
+{
+  public:
+    /**
+     * Open the Biscuit-capable device @p devnode served by
+     * @p runtime. The node name is cosmetic in the emulation; the
+     * runtime identifies the device.
+     */
+    explicit SSD(rt::Runtime &runtime,
+                 std::string devnode = "/dev/nvme0n1")
+        : runtime_(runtime), devnode_(std::move(devnode))
+    {}
+
+    const std::string &devnode() const { return devnode_; }
+
+    rt::Runtime &runtime() { return runtime_; }
+    const ssd::SsdConfig &config() const { return runtime_.config(); }
+
+    /** Load an SSDlet module file into the device (paper Code 3). */
+    rt::ModuleId
+    loadModule(const File &slet)
+    {
+        hopToDevice();
+        rt::ModuleId mid = runtime_.loadModule(slet.path());
+        hopToHost();
+        return mid;
+    }
+
+    void
+    unloadModule(rt::ModuleId mid)
+    {
+        hopToDevice();
+        runtime_.unloadModule(mid);
+        hopToHost();
+    }
+
+    /**
+     * Control-channel hop host -> device: sender-side channel manager
+     * work plus the PCIe message flight.
+     */
+    void
+    hopToDevice()
+    {
+        auto &k = runtime_.kernel();
+        k.sleep(config().host_cm_send);
+        Tick arrive = runtime_.device().hil().messageToDevice(
+            kControlBytes, k.now());
+        k.sleepUntil(arrive);
+    }
+
+    /** Control-channel hop device -> host. */
+    void
+    hopToHost()
+    {
+        auto &k = runtime_.kernel();
+        Tick arrive = runtime_.device().hil().messageToHost(
+            kControlBytes, k.now());
+        k.sleepUntil(arrive);
+        k.sleep(config().host_cm_recv);
+    }
+
+  private:
+    static constexpr Bytes kControlBytes = 64;
+
+    rt::Runtime &runtime_;
+    std::string devnode_;
+};
+
+}  // namespace bisc::sisc
+
+#endif  // BISCUIT_SISC_SSD_H_

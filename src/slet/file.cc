@@ -1,0 +1,139 @@
+#include "slet/file.h"
+
+#include <algorithm>
+
+#include "runtime/runtime.h"
+
+namespace bisc::slet {
+
+void
+File::Async::wait()
+{
+    BISC_ASSERT(rt_ != nullptr, "wait() on an empty Async token");
+    rt_->kernel().sleepUntil(ready_);
+}
+
+bool
+File::Async::done() const
+{
+    BISC_ASSERT(rt_ != nullptr, "done() on an empty Async token");
+    return rt_->kernel().now() >= ready_;
+}
+
+Bytes
+File::size() const
+{
+    return ctx().runtime->fs().size(path_);
+}
+
+bool
+File::exists() const
+{
+    return ctx().runtime->fs().exists(path_);
+}
+
+Bytes
+File::read(Bytes offset, void *buf, Bytes len)
+{
+    Async a = readAsync(offset, buf, len);
+    a.wait();
+    return a.bytes();
+}
+
+File::Async
+File::readAsync(Bytes offset, void *buf, Bytes len)
+{
+    const auto &c = ctx();
+    auto &fs = c.runtime->fs();
+    auto &kernel = c.runtime->kernel();
+    const auto &cfg = c.runtime->config();
+    const Bytes page = fs.pageSize();
+
+    Bytes file_size = fs.size(path_);
+    if (offset >= file_size)
+        return Async(c.runtime, kernel.now(), 0);
+    len = std::min(len, file_size - offset);
+
+    // Issue per covered page: a small CPU cost on the application's
+    // core, then the flash read pipelined behind it.
+    Tick done = kernel.now();
+    Bytes covered = 0;
+    while (covered < len) {
+        Bytes pos = offset + covered;
+        Bytes in_page = pos % page;
+        Bytes n = std::min(page - in_page, len - covered);
+        Tick issued = c.core->reserve(cfg.read_issue_cost);
+        std::uint8_t *dst =
+            buf == nullptr
+                ? nullptr
+                : static_cast<std::uint8_t *>(buf) + covered;
+        Tick t = fs.read(path_, pos, n, dst, issued);
+        done = std::max(done, t);
+        covered += n;
+    }
+    return Async(c.runtime, done, len);
+}
+
+File::Async
+File::scanMatched(
+    Bytes offset, Bytes len, const pm::KeySet &keys,
+    const std::function<void(Bytes, const std::uint8_t *, Bytes)>
+        &on_match)
+{
+    const auto &c = ctx();
+    auto &fs = c.runtime->fs();
+    auto &dev = c.runtime->device();
+    auto &kernel = c.runtime->kernel();
+    const auto &cfg = c.runtime->config();
+    const Bytes page = fs.pageSize();
+
+    Bytes file_size = fs.size(path_);
+    if (offset >= file_size)
+        return Async(c.runtime, kernel.now(), 0);
+    len = std::min(len, file_size - offset);
+
+    std::vector<std::uint8_t> data(page);
+    Tick done = kernel.now();
+    Bytes covered = 0;
+    while (covered < len) {
+        Bytes pos = offset + covered;
+        Bytes in_page = pos % page;
+        Bytes n = std::min(page - in_page, len - covered);
+        // IP control on the core precedes the channel stream-through.
+        Tick ctrl = c.core->reserve(cfg.pm_control_per_page);
+        Tick t = fs.read(path_, pos, n, nullptr, ctrl);
+        done = std::max(done, t);
+
+        // Functional match: exactly what the channel IP would see.
+        auto r = dev.matchPage(fs.lpnAt(path_, pos), in_page, n, keys);
+        if (r.any) {
+            Bytes got = fs.peek(path_, pos, n, data.data());
+            on_match(pos, data.data(), got);
+        }
+        covered += n;
+    }
+    return Async(c.runtime, done, len);
+}
+
+File::Async
+File::write(Bytes offset, const void *data, Bytes len)
+{
+    const auto &c = ctx();
+    auto &fs = c.runtime->fs();
+    if (!fs.exists(path_))
+        fs.create(path_);
+    Tick done = fs.write(path_, offset,
+                         static_cast<const std::uint8_t *>(data), len);
+    last_write_ = std::max(last_write_, done);
+    return Async(c.runtime, done, len);
+}
+
+void
+File::flush()
+{
+    const auto &c = ctx();
+    if (last_write_ > c.runtime->kernel().now())
+        c.runtime->kernel().sleepUntil(last_write_);
+}
+
+}  // namespace bisc::slet

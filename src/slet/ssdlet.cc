@@ -1,0 +1,3 @@
+#include "slet/ssdlet.h"
+
+// SSDLet is a class template; this TU anchors the bisc_slet library.

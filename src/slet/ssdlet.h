@@ -1,0 +1,201 @@
+/**
+ * @file
+ * The SSDLet class template of libslet (paper §III-B, Code 1-2).
+ *
+ * Programmers derive from SSDLet<In<...>, Out<...>, Arg<...>>, override
+ * run(), and access typed ports via in<I>()/out<I>() and arguments via
+ * arg<I>(). The template materializes the runtime-facing SsdletBase
+ * interface (port descriptors, index-based binding, argument
+ * deserialization) so one registered image can be instantiated many
+ * times.
+ */
+
+#ifndef BISCUIT_SLET_SSDLET_H_
+#define BISCUIT_SLET_SSDLET_H_
+
+#include <cstddef>
+#include <tuple>
+#include <utility>
+
+#include "runtime/ssdlet_base.h"
+#include "slet/port.h"
+#include "util/serialize.h"
+
+namespace bisc::slet {
+
+/** Input element types of an SSDlet. */
+template <typename... Ts>
+struct In {};
+
+/** Output element types of an SSDlet. */
+template <typename... Ts>
+struct Out {};
+
+/** Host-supplied constructor argument types of an SSDlet. */
+template <typename... Ts>
+struct Arg {};
+
+namespace detail {
+
+/** Call f on the i-th tuple element (runtime index). */
+template <typename Tuple, typename F, std::size_t... Idx>
+void
+visitAtImpl(Tuple &t, std::size_t i, F &&f,
+            std::index_sequence<Idx...>)
+{
+    bool hit =
+        ((i == Idx ? (f(std::get<Idx>(t)), true) : false) || ...);
+    BISC_ASSERT(hit, "port index ", i, " out of range");
+}
+
+template <typename Tuple, typename F>
+void
+visitAt(Tuple &t, std::size_t i, F &&f)
+{
+    visitAtImpl(t, i, std::forward<F>(f),
+                std::make_index_sequence<
+                    std::tuple_size_v<std::remove_reference_t<Tuple>>>{});
+}
+
+}  // namespace detail
+
+template <typename IN, typename OUT, typename ARG = Arg<>>
+class SSDLet;
+
+template <typename... Is, typename... Os, typename... As>
+class SSDLet<In<Is...>, Out<Os...>, Arg<As...>> : public rt::SsdletBase
+{
+  public:
+    using ArgTuple = std::tuple<As...>;
+
+    SSDLet()
+    {
+        std::apply([this](auto &...p) { (p.setOwner(this), ...); },
+                   ins_);
+        std::apply([this](auto &...p) { (p.setOwner(this), ...); },
+                   outs_);
+    }
+
+    // ----- SsdletBase interface (runtime-facing) -----
+
+    std::size_t numInputs() const override { return sizeof...(Is); }
+    std::size_t numOutputs() const override { return sizeof...(Os); }
+
+    rt::PortInfo
+    inputInfo(std::size_t i) const override
+    {
+        rt::PortInfo info;
+        detail::visitAt(ins_, i,
+                        [&info](const auto &p) { info = p.info(); });
+        return info;
+    }
+
+    rt::PortInfo
+    outputInfo(std::size_t i) const override
+    {
+        rt::PortInfo info;
+        detail::visitAt(outs_, i,
+                        [&info](const auto &p) { info = p.info(); });
+        return info;
+    }
+
+    void
+    bindInput(std::size_t i, std::shared_ptr<rt::Connection> c) override
+    {
+        detail::visitAt(ins_, i,
+                        [&c](auto &p) { p.bind(std::move(c)); });
+    }
+
+    void
+    bindOutput(std::size_t i,
+               std::shared_ptr<rt::Connection> c) override
+    {
+        detail::visitAt(outs_, i,
+                        [&c](auto &p) { p.bind(std::move(c)); });
+    }
+
+    std::shared_ptr<rt::Connection>
+    inputConnection(std::size_t i) const override
+    {
+        std::shared_ptr<rt::Connection> c;
+        detail::visitAt(ins_, i,
+                        [&c](const auto &p) { c = p.connection(); });
+        return c;
+    }
+
+    std::shared_ptr<rt::Connection>
+    outputConnection(std::size_t i) const override
+    {
+        std::shared_ptr<rt::Connection> c;
+        detail::visitAt(outs_, i,
+                        [&c](const auto &p) { c = p.connection(); });
+        return c;
+    }
+
+    void
+    initArgs([[maybe_unused]] Packet &args) override
+    {
+        if constexpr (sizeof...(As) > 0) {
+            static_assert((IsSerializable<As>::value && ...),
+                          "SSDlet arguments must be serializable");
+            args_ = deserialize<ArgTuple>(args);
+            std::apply(
+                [this](auto &...a) {
+                    (rt::ContextBinder<std::decay_t<decltype(a)>>::bind(
+                         a, this->context()),
+                     ...);
+                },
+                args_);
+        }
+    }
+
+  protected:
+    /** The I-th input port. */
+    template <std::size_t I>
+    auto &in()
+    {
+        return std::get<I>(ins_);
+    }
+
+    /** The I-th output port. */
+    template <std::size_t I>
+    auto &out()
+    {
+        return std::get<I>(outs_);
+    }
+
+    /** The I-th host-supplied argument. */
+    template <std::size_t I>
+    auto &arg()
+    {
+        return std::get<I>(args_);
+    }
+
+    /**
+     * Cooperative yield: let other SSDlets of this application run.
+     * Costs one scheduling quantum on the device core.
+     */
+    void
+    yield()
+    {
+        auto &ctx = context();
+        ctx.core->compute(ctx.runtime->config().sched_latency);
+        ctx.runtime->kernel().yieldFiber();
+    }
+
+    /** Charge @p work of compute on this SSDlet's device core. */
+    void
+    consumeCpu(Tick work)
+    {
+        context().core->compute(work);
+    }
+
+  private:
+    std::tuple<InputPort<Is>...> ins_;
+    std::tuple<OutputPort<Os>...> outs_;
+    ArgTuple args_;
+};
+
+}  // namespace bisc::slet
+
+#endif  // BISCUIT_SLET_SSDLET_H_

@@ -1,0 +1,63 @@
+#include "ssd/config.h"
+
+#include <sstream>
+
+#include "pm/pattern_matcher.h"
+
+namespace bisc::ssd {
+
+std::string
+SsdConfig::describe() const
+{
+    std::ostringstream os;
+    os << "SSD specification (cf. paper Table I)\n"
+       << "  Host interface    : PCIe Gen.3 x4 ("
+       << hil_params.pcie_bw / 1e9 << " GB/s max throughput)\n"
+       << "  Protocol          : NVMe 1.1\n"
+       << "  Device density    : "
+       << static_cast<double>(geometry.capacity()) / (1ull << 30)
+       << " GiB (simulated)\n"
+       << "  SSD architecture  : " << geometry.channels << " channels x "
+       << geometry.ways_per_channel << " ways, "
+       << geometry.page_size / 1024 << " KiB pages\n"
+       << "  Storage medium    : multi-bit NAND (tR "
+       << toMicros(nand_timing.read_page) << " us, "
+       << nand_timing.channel_bw / 1e6 << " MB/s per channel)\n"
+       << "  Compute resources : " << device_cores
+       << " ARM Cortex R7 cores @750MHz (modeled "
+       << device_core_slowdown << "x host-core slowdown)\n"
+       << "  Hardware IP       : key-based pattern matcher per channel ("
+       << pm::kMaxKeys << " keys x " << pm::kMaxKeyLength << " B)\n"
+       << "  Internal BW       : " << internalBw() / 1e9
+       << " GB/s aggregate channel bandwidth\n";
+    return os.str();
+}
+
+SsdConfig
+defaultConfig()
+{
+    SsdConfig c;
+    // Geometry: 8 channels x 4 ways, 16 KiB pages, 8 GiB simulated
+    // density (the paper's 1 TB scaled down; density only bounds how
+    // much workload data can be populated, not any timing parameter).
+    c.geometry.channels = 8;
+    c.geometry.ways_per_channel = 4;
+    c.geometry.pages_per_block = 256;
+    c.geometry.page_size = 16_KiB;
+    c.geometry.blocks_per_die = 64;
+    return c;
+}
+
+SsdConfig
+testConfig()
+{
+    SsdConfig c;
+    c.geometry.channels = 4;
+    c.geometry.ways_per_channel = 2;
+    c.geometry.pages_per_block = 8;
+    c.geometry.page_size = 4_KiB;
+    c.geometry.blocks_per_die = 16;
+    return c;
+}
+
+}  // namespace bisc::ssd

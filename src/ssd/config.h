@@ -1,0 +1,138 @@
+/**
+ * @file
+ * SsdConfig: every tunable of the simulated Biscuit platform in one
+ * place, mirroring the paper's Table I and the measured latency
+ * decompositions of §V-B.
+ *
+ * All port-latency constants are *components*; the values reported by
+ * the Table II bench emerge from events that sum them. The defaults are
+ * calibrated against the paper's measurements:
+ *
+ *   inter-application port  = sched_latency                 = 10.7 us
+ *   inter-SSDlet port       = sched + type_abstraction      = 31.0 us
+ *   D2H host port           = dev_cm_send + msg + host_cm_recv + sched
+ *                           = 62.2 + 12.8 + 44.4 + 10.7     = 130.1 us
+ *   H2D host port           = host_cm_send + msg + dev_cm_recv + sched
+ *                           = 22.2 + 12.8 + 255.9 + 10.7    = 301.6 us
+ *
+ * Why dev_cm_recv >> dev_cm_send: the receiver side of the channel
+ * manager does roughly twice the sender's work (paper §V-B), and on the
+ * device that work runs on a 750 MHz R7 core touching slow DRAM, while
+ * the host side runs on a 2.5 GHz Xeon.
+ */
+
+#ifndef BISCUIT_SSD_CONFIG_H_
+#define BISCUIT_SSD_CONFIG_H_
+
+#include <cstdint>
+#include <string>
+
+#include "ftl/ftl.h"
+#include "hil/hil.h"
+#include "nand/geometry.h"
+#include "util/common.h"
+
+namespace bisc::ssd {
+
+struct SsdConfig
+{
+    // ----- Table I -----
+    nand::Geometry geometry;
+    nand::NandTiming nand_timing;
+    ftl::FtlParams ftl_params;
+    hil::HilParams hil_params;
+
+    /** Two ARM Cortex R7 cores @750 MHz, no cache coherence. */
+    std::uint32_t device_cores = 2;
+
+    /**
+     * Relative slowdown of device-side software versus the same work
+     * on a host core (frequency + issue width + memory system).
+     */
+    double device_core_slowdown = 8.0;
+
+    // ----- Port-latency decomposition (Table II components) -----
+
+    /** Fiber scheduling / context-switch latency. */
+    Tick sched_latency = Tick{10700};  // 10.7 us
+
+    /** Type abstraction/de-abstraction in inter-SSDlet ports. */
+    Tick type_abstraction = Tick{20300};  // 20.3 us
+
+    /** Host channel manager, sender side. */
+    Tick host_cm_send = Tick{22200};  // 22.2 us
+
+    /** Host channel manager, receiver side (~2x sender work). */
+    Tick host_cm_recv = Tick{44400};  // 44.4 us
+
+    /** Device channel manager, sender side (slow core). */
+    Tick dev_cm_send = Tick{62200};  // 62.2 us
+
+    /** Device channel manager, receiver side (2x work on slow core). */
+    Tick dev_cm_recv = Tick{255900};  // 255.9 us
+
+    // ----- Pattern matcher (per flash channel) -----
+
+    /**
+     * Device-CPU cost to program/steer the matcher IP per page
+     * streamed. This software overhead is why PM bandwidth sits below
+     * raw internal bandwidth in Fig. 7.
+     */
+    Tick pm_control_per_page = Tick{4400};  // 4.4 us
+
+    /** Device-CPU cost to issue one async internal read request. */
+    Tick read_issue_cost = Tick{900};  // 0.9 us
+
+    // ----- Control plane -----
+
+    /** Device-side cost of one control-channel operation. */
+    Tick control_op_cost = 30 * kUsec;
+
+    /** Nominal per-instance user memory (stack + private heap). */
+    Bytes instance_user_mem = 256_KiB;
+
+    // ----- Module loading -----
+
+    /** Fixed cost of module verification + symbol relocation. */
+    Tick module_load_fixed = 500 * kUsec;
+
+    /** Per-byte relocation/copy cost of loading an SSDlet module. */
+    double module_load_bw = 200.0e6;
+
+    // ----- Runtime memory -----
+
+    /** Device DRAM available to the user memory allocator. */
+    Bytes user_mem_bytes = 512_MiB;
+
+    /** Device DRAM reserved for the system allocator. */
+    Bytes system_mem_bytes = 128_MiB;
+
+    /** Bounded-queue capacity (entries) of a port connection. */
+    std::size_t port_queue_capacity = 64;
+
+    /** Channel pool size of each channel manager. */
+    std::size_t channel_pool_size = 16;
+
+    /** Human-readable spec dump (Table I style). */
+    std::string describe() const;
+
+    /** Aggregate internal channel bandwidth, bytes/s. */
+    double
+    internalBw() const
+    {
+        return nand_timing.channel_bw * geometry.channels;
+    }
+};
+
+/** The default configuration reproducing the paper's target SSD. */
+SsdConfig defaultConfig();
+
+/**
+ * A small-geometry configuration for fast unit tests: identical timing
+ * constants, tiny capacity.
+ */
+SsdConfig testConfig();
+
+}  // namespace bisc::ssd
+
+#endif  // BISCUIT_SSD_CONFIG_H_

@@ -1,0 +1,83 @@
+#include "ssd/device.h"
+
+#include <algorithm>
+
+namespace bisc::ssd {
+
+SsdDevice::SsdDevice(sim::Kernel &kernel, const SsdConfig &config)
+    : kernel_(kernel), config_(config)
+{
+    nand_ = std::make_unique<nand::NandFlash>(kernel_, config_.geometry,
+                                              config_.nand_timing);
+    ftl_ = std::make_unique<ftl::Ftl>(kernel_, *nand_,
+                                      config_.ftl_params);
+    hil_ = std::make_unique<hil::Hil>(kernel_, config_.hil_params);
+    for (std::uint32_t i = 0; i < config_.device_cores; ++i) {
+        cores_.push_back(std::make_unique<sim::Server>(
+            kernel_, "devcore" + std::to_string(i)));
+    }
+    for (std::uint32_t c = 0; c < config_.geometry.channels; ++c)
+        matchers_.push_back(std::make_unique<pm::PatternMatcher>());
+    scratch_.resize(config_.geometry.page_size);
+}
+
+pm::MatchResult
+SsdDevice::matchPage(ftl::Lpn lpn, Bytes offset, Bytes len,
+                     const pm::KeySet &keys)
+{
+    BISC_ASSERT(offset + len <= config_.geometry.page_size,
+                "match window beyond page");
+    if (!ftl_->isMapped(lpn))
+        return pm::MatchResult{};
+    nand::Ppn ppn = ftl_->physicalOf(lpn);
+    const auto *page = nand_->peekPage(ppn);
+    if (page == nullptr)
+        return pm::MatchResult{};
+    auto &ip = matcher(config_.geometry.channelOf(ppn));
+    ip.configure(keys);
+    Bytes avail = page->size() > offset ? page->size() - offset : 0;
+    Bytes n = std::min(len, avail);
+    return ip.scan(page->data() + offset, n);
+}
+
+Tick
+SsdDevice::hostRead(ftl::Lpn lpn, Bytes offset, Bytes len,
+                    std::uint8_t *out)
+{
+    Tick sub_done = kernel_.now() + hil_->submissionLatency();
+    Tick media_done = ftl_->read(lpn, offset, len, out, sub_done);
+    Tick dma_done = hil_->dmaToHost(len, media_done);
+    return dma_done + hil_->completionLatency();
+}
+
+Tick
+SsdDevice::hostWrite(ftl::Lpn lpn, const std::uint8_t *data, Bytes len)
+{
+    Tick sub_done = kernel_.now() + hil_->submissionLatency();
+    Tick dma_done = hil_->dmaToDevice(len, sub_done);
+    // The FTL program path overlaps command handling; completion posts
+    // once both payload DMA and program have finished.
+    Tick prog_done = ftl_->write(lpn, data, len);
+    Tick done = std::max(dma_done, prog_done);
+    return done + hil_->completionLatency();
+}
+
+Tick
+SsdDevice::hostReadPages(const std::vector<ftl::Lpn> &pages,
+                         std::uint8_t *out)
+{
+    const Bytes page_size = config_.geometry.page_size;
+    Tick sub_done = kernel_.now() + hil_->submissionLatency();
+    Tick last_dma = sub_done;
+    for (std::size_t i = 0; i < pages.size(); ++i) {
+        std::uint8_t *dst =
+            out == nullptr ? nullptr : out + i * page_size;
+        Tick media_done =
+            ftl_->read(pages[i], 0, page_size, dst, sub_done);
+        Tick dma_done = hil_->dmaToHost(page_size, media_done);
+        last_dma = std::max(last_dma, dma_done);
+    }
+    return last_dma + hil_->completionLatency();
+}
+
+}  // namespace bisc::ssd

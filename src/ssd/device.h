@@ -1,0 +1,119 @@
+/**
+ * @file
+ * SsdDevice: the assembled target SSD — NAND array + FTL + host
+ * interface + per-channel pattern matchers + two device CPU cores.
+ *
+ * The device exposes the two datapaths the paper measures against each
+ * other (§V-B): the *conventional* path (NVMe command in, NAND read,
+ * DMA out, completion) and the *internal* path available to SSDlets
+ * (firmware + NAND only — no host interface crossing), whose latency
+ * and bandwidth advantages are the entire premise of Biscuit.
+ */
+
+#ifndef BISCUIT_SSD_DEVICE_H_
+#define BISCUIT_SSD_DEVICE_H_
+
+#include <memory>
+#include <vector>
+
+#include "ftl/ftl.h"
+#include "hil/hil.h"
+#include "nand/nand.h"
+#include "pm/pattern_matcher.h"
+#include "sim/kernel.h"
+#include "sim/server.h"
+#include "ssd/config.h"
+#include "util/common.h"
+
+namespace bisc::ssd {
+
+class SsdDevice
+{
+  public:
+    SsdDevice(sim::Kernel &kernel, const SsdConfig &config);
+
+    sim::Kernel &kernel() { return kernel_; }
+    const SsdConfig &config() const { return config_; }
+    nand::NandFlash &nand() { return *nand_; }
+    ftl::Ftl &ftl() { return *ftl_; }
+    hil::Hil &hil() { return *hil_; }
+
+    /** Device CPU core @p i (SSDlet applications are pinned to one). */
+    sim::Server &core(std::uint32_t i) { return *cores_.at(i); }
+
+    std::uint32_t coreCount() const
+    {
+        return static_cast<std::uint32_t>(cores_.size());
+    }
+
+    /** The matcher IP of flash channel @p ch. */
+    pm::PatternMatcher &matcher(std::uint32_t ch)
+    {
+        return *matchers_.at(ch);
+    }
+
+    // ----- Internal datapath (SSDlet-visible) -----
+
+    /**
+     * Device-internal read: firmware + NAND only. Returns completion
+     * tick; does not block.
+     */
+    Tick
+    internalRead(ftl::Lpn lpn, Bytes offset, Bytes len,
+                 std::uint8_t *out, Tick earliest = 0)
+    {
+        return ftl_->read(lpn, offset, len, out, earliest);
+    }
+
+    /** Device-internal write. */
+    Tick
+    internalWrite(ftl::Lpn lpn, const std::uint8_t *data, Bytes len)
+    {
+        return ftl_->write(lpn, data, len);
+    }
+
+    /**
+     * Functional pattern-match of a logical page region against
+     * @p keys, exactly as the channel matcher sees the data stream.
+     * Timing is the caller's: a matched read costs a normal internal
+     * read plus pm_control_per_page of device-CPU time.
+     */
+    pm::MatchResult matchPage(ftl::Lpn lpn, Bytes offset, Bytes len,
+                              const pm::KeySet &keys);
+
+    // ----- Conventional (host) datapath -----
+
+    /**
+     * One NVMe read command covering @p len bytes of logical page
+     * @p lpn: submission, firmware+NAND, DMA to host, completion.
+     * Returns the tick the host sees the completion.
+     */
+    Tick hostRead(ftl::Lpn lpn, Bytes offset, Bytes len,
+                  std::uint8_t *out);
+
+    /** One NVMe write command (page-sized). */
+    Tick hostWrite(ftl::Lpn lpn, const std::uint8_t *data, Bytes len);
+
+    /**
+     * Multi-page NVMe read: single submission/completion pair, pages
+     * fetched in parallel by the FTL and DMA'd as they arrive. @p out
+     * must hold pages.size() * pageSize bytes (may be null).
+     * Returns the completion tick.
+     */
+    Tick hostReadPages(const std::vector<ftl::Lpn> &pages,
+                       std::uint8_t *out);
+
+  private:
+    sim::Kernel &kernel_;
+    SsdConfig config_;
+    std::unique_ptr<nand::NandFlash> nand_;
+    std::unique_ptr<ftl::Ftl> ftl_;
+    std::unique_ptr<hil::Hil> hil_;
+    std::vector<std::unique_ptr<sim::Server>> cores_;
+    std::vector<std::unique_ptr<pm::PatternMatcher>> matchers_;
+    std::vector<std::uint8_t> scratch_;
+};
+
+}  // namespace bisc::ssd
+
+#endif  // BISCUIT_SSD_DEVICE_H_

@@ -1,0 +1,399 @@
+#include "tpch/dbgen.h"
+
+#include <array>
+#include <cstdio>
+
+#include "db/table.h"
+#include "db/types.h"
+#include "util/rng.h"
+
+namespace bisc::tpch {
+
+using db::col;
+using db::Row;
+using db::Schema;
+using db::Type;
+using db::Value;
+
+namespace {
+
+// ----- Value pools (abridged from the TPC-H specification) -----
+
+const char *const kRegions[5] = {"AFRICA", "AMERICA", "ASIA", "EUROPE",
+                                 "MIDDLE EAST"};
+
+struct NationDef
+{
+    const char *name;
+    int region;
+};
+
+const NationDef kNations[25] = {
+    {"ALGERIA", 0},   {"ARGENTINA", 1}, {"BRAZIL", 1},
+    {"CANADA", 1},    {"EGYPT", 4},     {"ETHIOPIA", 0},
+    {"FRANCE", 3},    {"GERMANY", 3},   {"INDIA", 2},
+    {"INDONESIA", 2}, {"IRAN", 4},      {"IRAQ", 4},
+    {"JAPAN", 2},     {"JORDAN", 4},    {"KENYA", 0},
+    {"MOROCCO", 0},   {"MOZAMBIQUE", 0}, {"PERU", 1},
+    {"CHINA", 2},     {"ROMANIA", 3},   {"SAUDI ARABIA", 4},
+    {"VIETNAM", 2},   {"RUSSIA", 3},    {"UNITED KINGDOM", 3},
+    {"UNITED STATES", 1},
+};
+
+const char *const kSegments[5] = {"AUTOMOBILE", "BUILDING",
+                                  "FURNITURE", "MACHINERY",
+                                  "HOUSEHOLD"};
+
+const char *const kPriorities[5] = {"1-URGENT", "2-HIGH", "3-MEDIUM",
+                                    "4-NOT SPECI", "5-LOW"};
+
+const char *const kShipModes[7] = {"REG AIR", "AIR", "RAIL", "SHIP",
+                                   "TRUCK", "MAIL", "FOB"};
+
+const char *const kInstructs[4] = {"DELIVER IN PERSON",
+                                   "COLLECT COD", "NONE",
+                                   "TAKE BACK RETURN"};
+
+const char *const kContainers[8] = {"SM CASE", "SM BOX", "MED BOX",
+                                    "MED BAG", "LG CASE", "LG BOX",
+                                    "JUMBO PACK", "WRAP JAR"};
+
+const char *const kTypes1[6] = {"STANDARD", "SMALL", "MEDIUM",
+                                "LARGE", "ECONOMY", "PROMO"};
+const char *const kTypes2[5] = {"ANODIZED", "BURNISHED", "PLATED",
+                                "POLISHED", "BRUSHED"};
+const char *const kTypes3[5] = {"TIN", "NICKEL", "BRASS", "STEEL",
+                                "COPPER"};
+
+const char *const kColors[17] = {
+    "almond", "azure", "beige",  "blue",   "brown",  "chocolate",
+    "coral",  "cyan",  "forest", "green",  "indigo", "ivory",
+    "lemon",  "navy",  "olive",  "orchid", "red"};
+
+const char *const kCommentWords[12] = {
+    "carefully", "quickly", "furiously", "deposits", "packages",
+    "accounts",  "pending", "requests",  "ideas",    "foxes",
+    "theodolites", "platelets"};
+
+std::string
+randomComment(Rng &rng, int words)
+{
+    std::string s;
+    for (int i = 0; i < words; ++i) {
+        if (i)
+            s += ' ';
+        s += kCommentWords[rng.below(12)];
+    }
+    return s;
+}
+
+std::string
+phoneFor(Rng &rng, std::int64_t nation)
+{
+    char buf[16];
+    std::snprintf(buf, sizeof(buf), "%02d-%03d-%04d",
+                  static_cast<int>(10 + nation),
+                  static_cast<int>(100 + rng.below(900)),
+                  static_cast<int>(1000 + rng.below(9000)));
+    return buf;
+}
+
+double
+money(Rng &rng, double lo, double hi)
+{
+    return lo + (hi - lo) * rng.uniform();
+}
+
+}  // namespace
+
+TpchSizes
+TpchSizes::of(double sf)
+{
+    TpchSizes s;
+    auto scale = [sf](double base) {
+        auto v = static_cast<std::uint64_t>(base * sf + 0.5);
+        return v == 0 ? 1 : v;
+    };
+    s.suppliers = scale(10000);
+    s.parts = scale(200000);
+    s.partsupps = s.parts * 4;
+    s.customers = scale(150000);
+    s.orders = scale(1500000);
+    return s;
+}
+
+void
+buildTpch(db::MiniDb &db, const TpchConfig &cfg)
+{
+    TpchSizes n = TpchSizes::of(cfg.scale_factor);
+    Rng rng(cfg.seed);
+
+    // ----- region -----
+    auto &region = db.createTable(
+        "region", Schema({col("r_regionkey", Type::Int64),
+                          col("r_name", Type::String, 12),
+                          col("r_comment", Type::String, 24)}));
+    {
+        std::vector<Row> rows;
+        for (std::int64_t i = 0; i < 5; ++i)
+            rows.push_back({i, std::string(kRegions[i]),
+                            randomComment(rng, 3)});
+        region.loadRows(rows);
+    }
+
+    // ----- nation -----
+    auto &nation = db.createTable(
+        "nation", Schema({col("n_nationkey", Type::Int64),
+                          col("n_name", Type::String, 16),
+                          col("n_regionkey", Type::Int64)}));
+    {
+        std::vector<Row> rows;
+        for (std::int64_t i = 0; i < 25; ++i)
+            rows.push_back({i, std::string(kNations[i].name),
+                            static_cast<std::int64_t>(
+                                kNations[i].region)});
+        nation.loadRows(rows);
+    }
+
+    // ----- supplier -----
+    auto &supplier = db.createTable(
+        "supplier", Schema({col("s_suppkey", Type::Int64),
+                            col("s_name", Type::String, 18),
+                            col("s_nationkey", Type::Int64),
+                            col("s_acctbal", Type::Double),
+                            col("s_phone", Type::String, 12),
+                            col("s_comment", Type::String, 36)}));
+    {
+        std::uint64_t i = 0;
+        supplier.load([&](Row &row) {
+            if (i >= n.suppliers)
+                return false;
+            std::int64_t key = static_cast<std::int64_t>(++i);
+            char name[20];
+            std::snprintf(name, sizeof(name), "Supplier#%09lld",
+                          static_cast<long long>(key));
+            std::int64_t nat =
+                static_cast<std::int64_t>(rng.below(25));
+            std::string comment = randomComment(rng, 3);
+            if (rng.below(100) < 2)  // Q16's complaints filter
+                comment = "Customer stuff Complaints";
+            row = {key, std::string(name), nat,
+                   money(rng, -999.0, 9999.0), phoneFor(rng, nat),
+                   comment};
+            return true;
+        });
+    }
+
+    // ----- part -----
+    auto &part = db.createTable(
+        "part", Schema({col("p_partkey", Type::Int64),
+                        col("p_name", Type::String, 24),
+                        col("p_mfgr", Type::String, 16),
+                        col("p_brand", Type::String, 10),
+                        col("p_type", Type::String, 26),
+                        col("p_size", Type::Int64),
+                        col("p_container", Type::String, 12),
+                        col("p_retailprice", Type::Double)}));
+    {
+        std::uint64_t i = 0;
+        part.load([&](Row &row) {
+            if (i >= n.parts)
+                return false;
+            std::int64_t key = static_cast<std::int64_t>(++i);
+            std::string name = std::string(kColors[rng.below(17)]) +
+                               ' ' + kColors[rng.below(17)];
+            int mfgr = 1 + static_cast<int>(rng.below(5));
+            char mfgr_s[18], brand_s[12];
+            std::snprintf(mfgr_s, sizeof(mfgr_s), "Manufacturer#%d",
+                          mfgr);
+            std::snprintf(brand_s, sizeof(brand_s), "Brand#%d%d",
+                          mfgr, static_cast<int>(1 + rng.below(5)));
+            std::string type = std::string(kTypes1[rng.below(6)]) +
+                               ' ' + kTypes2[rng.below(5)] + ' ' +
+                               kTypes3[rng.below(5)];
+            row = {key,
+                   name,
+                   std::string(mfgr_s),
+                   std::string(brand_s),
+                   type,
+                   static_cast<std::int64_t>(1 + rng.below(50)),
+                   std::string(kContainers[rng.below(8)]),
+                   money(rng, 900.0, 2000.0)};
+            return true;
+        });
+    }
+
+    // ----- partsupp -----
+    auto &partsupp = db.createTable(
+        "partsupp", Schema({col("ps_partkey", Type::Int64),
+                            col("ps_suppkey", Type::Int64),
+                            col("ps_availqty", Type::Int64),
+                            col("ps_supplycost", Type::Double)}));
+    {
+        std::uint64_t i = 0;
+        partsupp.load([&](Row &row) {
+            if (i >= n.partsupps)
+                return false;
+            std::int64_t pkey =
+                static_cast<std::int64_t>(i / 4 + 1);
+            std::int64_t skey = static_cast<std::int64_t>(
+                (i % 4) * (n.suppliers / 4) + rng.below(
+                    std::max<std::uint64_t>(1, n.suppliers / 4)) + 1);
+            ++i;
+            row = {pkey, skey,
+                   static_cast<std::int64_t>(1 + rng.below(9999)),
+                   money(rng, 1.0, 1000.0)};
+            return true;
+        });
+    }
+
+    // ----- customer -----
+    auto &customer = db.createTable(
+        "customer", Schema({col("c_custkey", Type::Int64),
+                            col("c_name", Type::String, 20),
+                            col("c_nationkey", Type::Int64),
+                            col("c_mktsegment", Type::String, 12),
+                            col("c_acctbal", Type::Double),
+                            col("c_phone", Type::String, 12),
+                            col("c_comment", Type::String, 30)}));
+    {
+        std::uint64_t i = 0;
+        customer.load([&](Row &row) {
+            if (i >= n.customers)
+                return false;
+            std::int64_t key = static_cast<std::int64_t>(++i);
+            char name[22];
+            std::snprintf(name, sizeof(name), "Customer#%09lld",
+                          static_cast<long long>(key));
+            std::int64_t nat =
+                static_cast<std::int64_t>(rng.below(25));
+            row = {key,
+                   std::string(name),
+                   nat,
+                   std::string(kSegments[rng.below(5)]),
+                   money(rng, -999.0, 9999.0),
+                   phoneFor(rng, nat),
+                   randomComment(rng, 3)};
+            return true;
+        });
+    }
+
+    // ----- orders (o_orderdate monotone: warehouse load order) -----
+    auto &orders = db.createTable(
+        "orders", Schema({col("o_orderkey", Type::Int64),
+                          col("o_custkey", Type::Int64),
+                          col("o_orderstatus", Type::String, 2),
+                          col("o_totalprice", Type::Double),
+                          col("o_orderdate", Type::Date),
+                          col("o_orderpriority", Type::String, 12),
+                          col("o_shippriority", Type::Int64),
+                          col("o_comment", Type::String, 30)}));
+    const std::int64_t start_day = db::dateToDays(kStartDate);
+    const std::int64_t end_day = db::dateToDays(kEndDate);
+    {
+        std::uint64_t i = 0;
+        orders.load([&](Row &row) {
+            if (i >= n.orders)
+                return false;
+            std::int64_t key = static_cast<std::int64_t>(++i);
+            std::int64_t day =
+                start_day +
+                static_cast<std::int64_t>(
+                    (end_day - start_day) *
+                    (static_cast<double>(i - 1) /
+                     static_cast<double>(n.orders)));
+            std::string date = db::daysToDate(day);
+            std::string status =
+                day + 121 < end_day
+                    ? (rng.below(20) == 0 ? "P" : "F")
+                    : "O";
+            std::string comment = randomComment(rng, 3);
+            if (rng.below(100) < 2)
+                comment = "dogged special requests wake";
+            row = {key,
+                   static_cast<std::int64_t>(1 +
+                                             rng.below(n.customers)),
+                   status,
+                   money(rng, 1000.0, 400000.0),
+                   date,
+                   std::string(kPriorities[rng.below(5)]),
+                   std::int64_t{0},
+                   comment};
+            return true;
+        });
+    }
+
+    // ----- lineitem -----
+    auto &lineitem = db.createTable(
+        "lineitem",
+        Schema({col("l_orderkey", Type::Int64),
+                col("l_partkey", Type::Int64),
+                col("l_suppkey", Type::Int64),
+                col("l_linenumber", Type::Int64),
+                col("l_quantity", Type::Double),
+                col("l_extendedprice", Type::Double),
+                col("l_discount", Type::Double),
+                col("l_tax", Type::Double),
+                col("l_returnflag", Type::String, 2),
+                col("l_linestatus", Type::String, 2),
+                col("l_shipdate", Type::Date),
+                col("l_commitdate", Type::Date),
+                col("l_receiptdate", Type::Date),
+                col("l_shipinstruct", Type::String, 18),
+                col("l_shipmode", Type::String, 8),
+                col("l_comment", Type::String, 20)}));
+    {
+        std::uint64_t order = 0;
+        std::uint64_t line = 0, lines_this_order = 0;
+        std::int64_t order_day = start_day;
+        lineitem.load([&](Row &row) {
+            while (line >= lines_this_order) {
+                if (order >= n.orders)
+                    return false;
+                ++order;
+                lines_this_order = 1 + rng.below(7);
+                line = 0;
+                order_day =
+                    start_day +
+                    static_cast<std::int64_t>(
+                        (end_day - start_day) *
+                        (static_cast<double>(order - 1) /
+                         static_cast<double>(n.orders)));
+            }
+            ++line;
+            std::int64_t ship =
+                order_day + 1 +
+                static_cast<std::int64_t>(rng.below(121));
+            std::int64_t commit =
+                order_day + 30 +
+                static_cast<std::int64_t>(rng.below(61));
+            std::int64_t receipt =
+                ship + 1 + static_cast<std::int64_t>(rng.below(30));
+            double qty = 1.0 + static_cast<double>(rng.below(50));
+            double price = qty * money(rng, 900.0, 2000.0) / 10.0;
+            bool shipped = ship <= end_day;
+            row = {static_cast<std::int64_t>(order),
+                   static_cast<std::int64_t>(1 + rng.below(n.parts)),
+                   static_cast<std::int64_t>(1 +
+                                             rng.below(n.suppliers)),
+                   static_cast<std::int64_t>(line),
+                   qty,
+                   price,
+                   0.01 * static_cast<double>(rng.below(11)),
+                   0.01 * static_cast<double>(rng.below(9)),
+                   std::string(shipped && rng.below(4) == 0 ? "R"
+                               : shipped                    ? "A"
+                                                            : "N"),
+                   std::string(shipped ? "F" : "O"),
+                   db::daysToDate(ship),
+                   db::daysToDate(commit),
+                   db::daysToDate(receipt),
+                   std::string(kInstructs[rng.below(4)]),
+                   std::string(kShipModes[rng.below(7)]),
+                   randomComment(rng, 2)};
+            return true;
+        });
+    }
+}
+
+}  // namespace bisc::tpch

@@ -1,0 +1,1031 @@
+#include "tpch/queries.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+#include "db/planner.h"
+#include "tpch/dbgen.h"
+#include "util/log.h"
+
+namespace bisc::tpch {
+
+using db::AggSpec;
+using db::CmpOp;
+using db::EngineMode;
+using db::ExprPtr;
+using db::MiniDb;
+using db::Row;
+using db::ScanOutcome;
+using db::Table;
+using db::Value;
+
+namespace {
+
+double
+dv(const Value &v)
+{
+    return std::holds_alternative<std::int64_t>(v)
+               ? static_cast<double>(std::get<std::int64_t>(v))
+               : std::get<double>(v);
+}
+
+const std::string &
+sv(const Value &v)
+{
+    return std::get<std::string>(v);
+}
+
+/** Append a computed column to every row (charged per row). */
+void
+addComputed(MiniDb &db, std::vector<Row> &rows,
+            const std::function<Value(const Row &)> &fn)
+{
+    for (auto &row : rows)
+        row.push_back(fn(row));
+    db.host().consumeCpu(db.planner.row_cpu * rows.size());
+}
+
+void
+limitRows(std::vector<Row> &rows, std::size_t n)
+{
+    if (rows.size() > n)
+        rows.resize(n);
+}
+
+/** Everything a query body needs. */
+struct Ctx
+{
+    MiniDb &db;
+    EngineMode mode;
+    QueryOutcome &out;
+
+    Table &t(const char *name) { return db.table(name); }
+
+    int
+    ix(const char *table, const char *column)
+    {
+        return db.table(table).schema().indexOf(column);
+    }
+
+    /**
+     * The planner's candidate scan: its offload decision defines the
+     * query's Fig. 10 category.
+     */
+    ScanOutcome
+    primary(Table &table, const ExprPtr &pred)
+    {
+        ScanOutcome s =
+            db::scanTable(db, table, pred, mode, out.stats);
+        out.ndp_used = s.used_ndp;
+        out.planner_note = s.note;
+        out.sampled_selectivity = s.sampled_selectivity;
+        return s;
+    }
+
+    /** A secondary scan (never the offload candidate). */
+    ScanOutcome
+    scan(Table &table, const ExprPtr &pred)
+    {
+        return db::scanTable(db, table, pred, EngineMode::Conv,
+                             out.stats);
+    }
+
+    std::vector<Row>
+    join(const std::vector<Row> &outer, Bytes outer_width,
+         int outer_col, Table &inner, const char *inner_col,
+         const ExprPtr &inner_pred = nullptr)
+    {
+        return db::bnlJoin(db, outer, outer_width, outer_col, inner,
+                           inner.schema().indexOf(inner_col),
+                           inner_pred, out.stats);
+    }
+};
+
+// =====================================================================
+// The 22 queries. Column index bookkeeping: joined rows concatenate
+// outer columns then inner columns; width variables track storage
+// bytes for the BNL buffer model.
+// =====================================================================
+
+// Q1: pricing summary report. One-sided shipdate range: the planner
+// never attempts NDP ("expects the selectivity to be very low").
+std::vector<Row>
+q1(Ctx &c)
+{
+    auto &L = c.t("lineitem");
+    const auto &ls = L.schema();
+    auto s = c.primary(
+        L, db::cmp(ls, "l_shipdate", CmpOp::Le,
+                   std::string("1998-06-15")));
+    addComputed(c.db, s.rows, [&](const Row &r) {
+        return Value(dv(r[c.ix("lineitem", "l_extendedprice")]) *
+                     (1.0 - dv(r[c.ix("lineitem", "l_discount")])));
+    });
+    int disc_price = static_cast<int>(ls.size());
+    auto grouped = db::groupBy(
+        c.db, s.rows,
+        {ls.indexOf("l_returnflag"), ls.indexOf("l_linestatus")},
+        {{AggSpec::Op::Sum, ls.indexOf("l_quantity")},
+         {AggSpec::Op::Sum, ls.indexOf("l_extendedprice")},
+         {AggSpec::Op::Sum, disc_price},
+         {AggSpec::Op::Avg, ls.indexOf("l_quantity")},
+         {AggSpec::Op::Count, -1}},
+        c.out.stats);
+    db::sortRows(grouped, {{0, false}, {1, false}});
+    return grouped;
+}
+
+// Q2: minimum-cost supplier. Part filter samples out (BRASS is a
+// fifth of all types: nearly every page matches).
+std::vector<Row>
+q2(Ctx &c)
+{
+    auto &P = c.t("part");
+    const auto &ps = P.schema();
+    auto parts = c.primary(
+        P, db::exprAnd({db::like(ps, "p_type", "%BRASS"),
+                        db::cmp(ps, "p_size", CmpOp::Eq,
+                                std::int64_t{15})}));
+    auto j1 = c.join(parts.rows, P.rowWidth(),
+                     ps.indexOf("p_partkey"), c.t("partsupp"),
+                     "ps_partkey");
+    Bytes w1 = P.rowWidth() + c.t("partsupp").rowWidth();
+    int ps_suppkey = static_cast<int>(ps.size()) +
+                     c.ix("partsupp", "ps_suppkey");
+    auto j2 = c.join(j1, w1, ps_suppkey, c.t("supplier"), "s_suppkey");
+    Bytes w2 = w1 + c.t("supplier").rowWidth();
+    int s_nat = static_cast<int>(ps.size()) + 4 +
+                c.ix("supplier", "s_nationkey");
+    auto j3 = c.join(j2, w2, s_nat, c.t("nation"), "n_nationkey");
+    Bytes w3 = w2 + c.t("nation").rowWidth();
+    int n_reg = static_cast<int>(ps.size()) + 4 + 6 +
+                c.ix("nation", "n_regionkey");
+    auto &R = c.t("region");
+    auto j4 = c.join(j3, w3, n_reg, R, "r_regionkey",
+                     db::cmp(R.schema(), "r_name", CmpOp::Eq,
+                             std::string("EUROPE")));
+    int s_acctbal = static_cast<int>(ps.size()) + 4 +
+                    c.ix("supplier", "s_acctbal");
+    db::sortRows(j4, {{s_acctbal, true}});
+    limitRows(j4, 100);
+    return j4;
+}
+
+// Q3: shipping priority. Customer segment filter samples out.
+std::vector<Row>
+q3(Ctx &c)
+{
+    auto &C = c.t("customer");
+    const auto &cs = C.schema();
+    auto cust = c.primary(C, db::cmp(cs, "c_mktsegment", CmpOp::Eq,
+                                     std::string("BUILDING")));
+    auto &O = c.t("orders");
+    auto j1 = c.join(cust.rows, C.rowWidth(),
+                     cs.indexOf("c_custkey"), O, "o_custkey",
+                     db::cmp(O.schema(), "o_orderdate", CmpOp::Lt,
+                             std::string("1995-03-15")));
+    Bytes w1 = C.rowWidth() + O.rowWidth();
+    int o_orderkey = static_cast<int>(cs.size()) +
+                     c.ix("orders", "o_orderkey");
+    auto &L = c.t("lineitem");
+    auto j2 = c.join(j1, w1, o_orderkey, L, "l_orderkey",
+                     db::cmp(L.schema(), "l_shipdate", CmpOp::Gt,
+                             std::string("1995-03-15")));
+    int base = static_cast<int>(cs.size() + O.schema().size());
+    addComputed(c.db, j2, [&](const Row &r) {
+        return Value(
+            dv(r[base + c.ix("lineitem", "l_extendedprice")]) *
+            (1.0 - dv(r[base + c.ix("lineitem", "l_discount")])));
+    });
+    int rev = static_cast<int>(cs.size() + O.schema().size() +
+                               L.schema().size());
+    auto grouped = db::groupBy(
+        c.db, j2,
+        {o_orderkey,
+         static_cast<int>(cs.size()) + c.ix("orders", "o_orderdate")},
+        {{AggSpec::Op::Sum, rev}}, c.out.stats);
+    db::sortRows(grouped, {{2, true}});
+    limitRows(grouped, 10);
+    return grouped;
+}
+
+// Q4: order priority checking. Three-month o_orderdate window: month
+// keys, clustered orders, NDP offloads.
+std::vector<Row>
+q4(Ctx &c)
+{
+    auto &O = c.t("orders");
+    const auto &os = O.schema();
+    auto orders = c.primary(
+        O, db::between(os, "o_orderdate", std::string("1993-07-01"),
+                       std::string("1993-09-30")));
+    auto &L = c.t("lineitem");
+    auto j = c.join(orders.rows, O.rowWidth(),
+                    os.indexOf("o_orderkey"), L, "l_orderkey",
+                    db::cmpCols(L.schema(), "l_commitdate", CmpOp::Lt,
+                                "l_receiptdate"));
+    // EXISTS semantics: one hit per order.
+    std::set<std::int64_t> seen;
+    std::vector<Row> exists;
+    int o_orderkey = os.indexOf("o_orderkey");
+    for (auto &r : j) {
+        auto key = std::get<std::int64_t>(r[o_orderkey]);
+        if (seen.insert(key).second)
+            exists.push_back(r);
+    }
+    auto grouped = db::groupBy(c.db, exists,
+                               {os.indexOf("o_orderpriority")},
+                               {{AggSpec::Op::Count, -1}},
+                               c.out.stats);
+    db::sortRows(grouped, {{0, false}});
+    return grouped;
+}
+
+// Q5: local supplier volume. One-year o_orderdate window offloads;
+// the offloaded plan puts the filtered orders first in the join
+// order, while the conventional MariaDB plan drives the BNL from the
+// smallest predicated table (customer), re-scanning the fact tables
+// once per buffer block.
+std::vector<Row>
+q5(Ctx &c)
+{
+    auto &O = c.t("orders");
+    auto &L = c.t("lineitem");
+    auto &C = c.t("customer");
+    auto &N = c.t("nation");
+    auto &R = c.t("region");
+    const auto &os = O.schema();
+    auto date_pred = db::between(os, "o_orderdate",
+                                 std::string("1994-01-01"),
+                                 std::string("1994-12-31"));
+    auto asia = db::cmp(R.schema(), "r_name", CmpOp::Eq,
+                        std::string("ASIA"));
+
+    std::vector<Row> j4;
+    int base_l, base_n;
+    if (c.mode == EngineMode::Biscuit) {
+        // NDP plan: filtered orders first. Layout [O, L, C, N, R].
+        auto orders = c.primary(O, date_pred);
+        auto j1 = c.join(orders.rows, O.rowWidth(),
+                         os.indexOf("o_orderkey"), L, "l_orderkey");
+        Bytes w1 = O.rowWidth() + L.rowWidth();
+        auto j2 = c.join(j1, w1, os.indexOf("o_custkey"), C,
+                         "c_custkey");
+        Bytes w2 = w1 + C.rowWidth();
+        int c_nat = static_cast<int>(os.size() + L.schema().size()) +
+                    c.ix("customer", "c_nationkey");
+        auto j3 = c.join(j2, w2, c_nat, N, "n_nationkey");
+        Bytes w3 = w2 + N.rowWidth();
+        base_n = static_cast<int>(os.size() + L.schema().size() +
+                                  C.schema().size());
+        int n_reg = base_n + c.ix("nation", "n_regionkey");
+        j4 = c.join(j3, w3, n_reg, R, "r_regionkey", asia);
+        base_l = static_cast<int>(os.size());
+    } else {
+        // MariaDB plan: customer drives; orders/lineitem are BNL
+        // inners re-scanned per block. Layout [C, O, L, N, R].
+        c.out.planner_note =
+            "conventional plan (customer-outer BNL)";
+        const auto &cs = C.schema();
+        auto cust = c.scan(C, nullptr);
+        auto j1 = c.join(cust.rows, C.rowWidth(),
+                         cs.indexOf("c_custkey"), O, "o_custkey",
+                         date_pred);
+        Bytes w1 = C.rowWidth() + O.rowWidth();
+        int o_orderkey = static_cast<int>(cs.size()) +
+                         c.ix("orders", "o_orderkey");
+        auto j2 = c.join(j1, w1, o_orderkey, L, "l_orderkey");
+        Bytes w2 = w1 + L.rowWidth();
+        int c_nat = cs.indexOf("c_nationkey");
+        auto j3 = c.join(j2, w2, c_nat, N, "n_nationkey");
+        Bytes w3 = w2 + N.rowWidth();
+        base_n = static_cast<int>(cs.size() + os.size() +
+                                  L.schema().size());
+        int n_reg = base_n + c.ix("nation", "n_regionkey");
+        j4 = c.join(j3, w3, n_reg, R, "r_regionkey", asia);
+        base_l = static_cast<int>(cs.size() + os.size());
+    }
+
+    addComputed(c.db, j4, [&](const Row &r) {
+        return Value(
+            dv(r[base_l + c.ix("lineitem", "l_extendedprice")]) *
+            (1.0 - dv(r[base_l + c.ix("lineitem", "l_discount")])));
+    });
+    int n_name = base_n + c.ix("nation", "n_name");
+    int rev = static_cast<int>(j4.empty() ? 0 : j4[0].size() - 1);
+    auto grouped = db::groupBy(c.db, j4, {n_name},
+                               {{AggSpec::Op::Sum, rev}},
+                               c.out.stats);
+    db::sortRows(grouped, {{1, true}});
+    return grouped;
+}
+
+// Q6: revenue forecast. Pure scan + aggregate on lineitem; the
+// one-year shipdate conjunct provides the key.
+std::vector<Row>
+q6(Ctx &c)
+{
+    auto &L = c.t("lineitem");
+    const auto &ls = L.schema();
+    auto s = c.primary(
+        L, db::exprAnd(
+               {db::between(ls, "l_shipdate",
+                            std::string("1994-01-01"),
+                            std::string("1994-12-31")),
+                db::between(ls, "l_discount", 0.05, 0.07),
+                db::cmp(ls, "l_quantity", CmpOp::Lt, 24.0)}));
+    double revenue = 0;
+    for (auto &r : s.rows) {
+        revenue += dv(r[ls.indexOf("l_extendedprice")]) *
+                   dv(r[ls.indexOf("l_discount")]);
+    }
+    c.db.host().consumeCpu(c.db.planner.row_cpu * s.rows.size());
+    return {{Value(revenue)}};
+}
+
+// Q7: volume shipping. The filter lives on tiny nation tables; the
+// planner gives up NDP ("target table size is too small").
+std::vector<Row>
+q7(Ctx &c)
+{
+    auto &N = c.t("nation");
+    const auto &ns = N.schema();
+    auto nations = c.primary(
+        N, db::inSet(ns, "n_name",
+                     {std::string("FRANCE"), std::string("GERMANY")}));
+    auto &S = c.t("supplier");
+    auto j1 = c.join(nations.rows, N.rowWidth(),
+                     ns.indexOf("n_nationkey"), S, "s_nationkey");
+    Bytes w1 = N.rowWidth() + S.rowWidth();
+    int s_suppkey = static_cast<int>(ns.size()) +
+                    c.ix("supplier", "s_suppkey");
+    auto &L = c.t("lineitem");
+    auto j2 = c.join(j1, w1, s_suppkey, L, "l_suppkey");
+    // The date window applies after the join (not the NDP candidate).
+    int base_l = static_cast<int>(ns.size() + S.schema().size());
+    std::vector<Row> filtered;
+    for (auto &r : j2) {
+        const auto &d = sv(r[base_l + c.ix("lineitem", "l_shipdate")]);
+        if (d >= "1995-01-01" && d <= "1996-12-31")
+            filtered.push_back(std::move(r));
+    }
+    c.db.host().consumeCpu(c.db.planner.row_cpu * j2.size());
+    addComputed(c.db, filtered, [&](const Row &r) {
+        return Value(
+            dv(r[base_l + c.ix("lineitem", "l_extendedprice")]) *
+            (1.0 - dv(r[base_l + c.ix("lineitem", "l_discount")])));
+    });
+    int n_name = ns.indexOf("n_name");
+    int vol = filtered.empty()
+                  ? 0
+                  : static_cast<int>(filtered[0].size() - 1);
+    auto grouped = db::groupBy(c.db, filtered, {n_name},
+                               {{AggSpec::Op::Sum, vol}},
+                               c.out.stats);
+    db::sortRows(grouped, {{0, false}});
+    return grouped;
+}
+
+// Q8: national market share. Two-year o_orderdate window: year keys.
+std::vector<Row>
+q8(Ctx &c)
+{
+    auto &O = c.t("orders");
+    const auto &os = O.schema();
+    auto orders = c.primary(
+        O, db::between(os, "o_orderdate", std::string("1995-01-01"),
+                       std::string("1996-12-31")));
+    auto &L = c.t("lineitem");
+    auto j1 = c.join(orders.rows, O.rowWidth(),
+                     os.indexOf("o_orderkey"), L, "l_orderkey");
+    Bytes w1 = O.rowWidth() + L.rowWidth();
+    int l_partkey = static_cast<int>(os.size()) +
+                    c.ix("lineitem", "l_partkey");
+    auto &P = c.t("part");
+    auto j2 = c.join(j1, w1, l_partkey, P, "p_partkey",
+                     db::cmp(P.schema(), "p_type", CmpOp::Eq,
+                             std::string("ECONOMY ANODIZED STEEL")));
+    int base_l = static_cast<int>(os.size());
+    addComputed(c.db, j2, [&](const Row &r) {
+        return Value(
+            dv(r[base_l + c.ix("lineitem", "l_extendedprice")]) *
+            (1.0 - dv(r[base_l + c.ix("lineitem", "l_discount")])));
+    });
+    // Group volume by order year.
+    int o_date = os.indexOf("o_orderdate");
+    for (auto &r : j2)
+        r.push_back(Value(sv(r[o_date]).substr(0, 4)));
+    int year = j2.empty() ? 0 : static_cast<int>(j2[0].size() - 1);
+    int vol = year - 1;
+    auto grouped = db::groupBy(c.db, j2, {year},
+                               {{AggSpec::Op::Sum, vol}},
+                               c.out.stats);
+    db::sortRows(grouped, {{0, false}});
+    return grouped;
+}
+
+// Q9: product type profit. '%green%' p_name filter samples out.
+std::vector<Row>
+q9(Ctx &c)
+{
+    auto &P = c.t("part");
+    const auto &ps = P.schema();
+    auto parts =
+        c.primary(P, db::like(ps, "p_name", "%green%"));
+    auto &L = c.t("lineitem");
+    auto j1 = c.join(parts.rows, P.rowWidth(),
+                     ps.indexOf("p_partkey"), L, "l_partkey");
+    Bytes w1 = P.rowWidth() + L.rowWidth();
+    int l_suppkey = static_cast<int>(ps.size()) +
+                    c.ix("lineitem", "l_suppkey");
+    auto &S = c.t("supplier");
+    auto j2 = c.join(j1, w1, l_suppkey, S, "s_suppkey");
+    Bytes w2 = w1 + S.rowWidth();
+    int s_nat = static_cast<int>(ps.size() + L.schema().size()) +
+                c.ix("supplier", "s_nationkey");
+    auto &N = c.t("nation");
+    auto j3 = c.join(j2, w2, s_nat, N, "n_nationkey");
+    int base_l = static_cast<int>(ps.size());
+    addComputed(c.db, j3, [&](const Row &r) {
+        return Value(
+            dv(r[base_l + c.ix("lineitem", "l_extendedprice")]) *
+            (1.0 - dv(r[base_l + c.ix("lineitem", "l_discount")])) -
+            0.5 * dv(r[base_l + c.ix("lineitem", "l_quantity")]));
+    });
+    int n_name = static_cast<int>(ps.size() + L.schema().size() +
+                                  S.schema().size()) +
+                 c.ix("nation", "n_name");
+    int profit = j3.empty() ? 0 : static_cast<int>(j3[0].size() - 1);
+    auto grouped = db::groupBy(c.db, j3, {n_name},
+                               {{AggSpec::Op::Sum, profit}},
+                               c.out.stats);
+    db::sortRows(grouped, {{0, false}});
+    return grouped;
+}
+
+// Q10: returned item reporting. Three-month o_orderdate offloads;
+// conventional MariaDB drives the BNL from customer.
+std::vector<Row>
+q10(Ctx &c)
+{
+    auto &O = c.t("orders");
+    auto &L = c.t("lineitem");
+    auto &C = c.t("customer");
+    const auto &os = O.schema();
+    auto date_pred = db::between(os, "o_orderdate",
+                                 std::string("1993-10-01"),
+                                 std::string("1993-12-31"));
+    auto returned = db::cmp(L.schema(), "l_returnflag", CmpOp::Eq,
+                            std::string("R"));
+
+    std::vector<Row> j2;
+    int base_l, c_name;
+    if (c.mode == EngineMode::Biscuit) {
+        // NDP plan: filtered orders first. Layout [O, L, C].
+        auto orders = c.primary(O, date_pred);
+        auto j1 = c.join(orders.rows, O.rowWidth(),
+                         os.indexOf("o_orderkey"), L, "l_orderkey",
+                         returned);
+        Bytes w1 = O.rowWidth() + L.rowWidth();
+        j2 = c.join(j1, w1, os.indexOf("o_custkey"), C, "c_custkey");
+        base_l = static_cast<int>(os.size());
+        c_name = static_cast<int>(os.size() + L.schema().size()) +
+                 c.ix("customer", "c_name");
+    } else {
+        // MariaDB plan: customer-outer BNL. Layout [C, O, L].
+        c.out.planner_note =
+            "conventional plan (customer-outer BNL)";
+        const auto &cs = C.schema();
+        auto cust = c.scan(C, nullptr);
+        auto j1 = c.join(cust.rows, C.rowWidth(),
+                         cs.indexOf("c_custkey"), O, "o_custkey",
+                         date_pred);
+        Bytes w1 = C.rowWidth() + O.rowWidth();
+        int o_orderkey = static_cast<int>(cs.size()) +
+                         c.ix("orders", "o_orderkey");
+        j2 = c.join(j1, w1, o_orderkey, L, "l_orderkey", returned);
+        base_l = static_cast<int>(cs.size() + os.size());
+        c_name = cs.indexOf("c_name");
+    }
+
+    addComputed(c.db, j2, [&](const Row &r) {
+        return Value(
+            dv(r[base_l + c.ix("lineitem", "l_extendedprice")]) *
+            (1.0 - dv(r[base_l + c.ix("lineitem", "l_discount")])));
+    });
+    int rev = j2.empty() ? 0 : static_cast<int>(j2[0].size() - 1);
+    auto grouped = db::groupBy(c.db, j2, {c_name},
+                               {{AggSpec::Op::Sum, rev}},
+                               c.out.stats);
+    db::sortRows(grouped, {{1, true}});
+    limitRows(grouped, 20);
+    return grouped;
+}
+
+// Q11: important stock. Nation filter on a tiny table: no NDP.
+std::vector<Row>
+q11(Ctx &c)
+{
+    auto &N = c.t("nation");
+    const auto &ns = N.schema();
+    auto nations = c.primary(N, db::cmp(ns, "n_name", CmpOp::Eq,
+                                        std::string("GERMANY")));
+    auto &S = c.t("supplier");
+    auto j1 = c.join(nations.rows, N.rowWidth(),
+                     ns.indexOf("n_nationkey"), S, "s_nationkey");
+    Bytes w1 = N.rowWidth() + S.rowWidth();
+    int s_suppkey = static_cast<int>(ns.size()) +
+                    c.ix("supplier", "s_suppkey");
+    auto &PS = c.t("partsupp");
+    auto j2 = c.join(j1, w1, s_suppkey, PS, "ps_suppkey");
+    int base_ps = static_cast<int>(ns.size() + S.schema().size());
+    addComputed(c.db, j2, [&](const Row &r) {
+        return Value(
+            dv(r[base_ps + c.ix("partsupp", "ps_supplycost")]) *
+            dv(r[base_ps + c.ix("partsupp", "ps_availqty")]));
+    });
+    int ps_partkey = base_ps + c.ix("partsupp", "ps_partkey");
+    int val = j2.empty() ? 0 : static_cast<int>(j2[0].size() - 1);
+    auto grouped = db::groupBy(c.db, j2, {ps_partkey},
+                               {{AggSpec::Op::Sum, val}},
+                               c.out.stats);
+    db::sortRows(grouped, {{1, true}});
+    limitRows(grouped, 50);
+    return grouped;
+}
+
+// Q12: shipping mode priority. One-year l_receiptdate window
+// offloads (the planner prefers the single year key over the two IN
+// keys); the conventional MariaDB plan drives the BNL from the
+// smaller orders table and re-scans lineitem per block.
+std::vector<Row>
+q12(Ctx &c)
+{
+    auto &L = c.t("lineitem");
+    auto &O = c.t("orders");
+    const auto &ls = L.schema();
+    const auto &os = O.schema();
+    auto pred = db::exprAnd(
+        {db::between(ls, "l_receiptdate", std::string("1994-01-01"),
+                     std::string("1994-12-31")),
+         db::inSet(ls, "l_shipmode",
+                   {std::string("MAIL"), std::string("SHIP")}),
+         db::cmpCols(ls, "l_commitdate", CmpOp::Lt, "l_receiptdate"),
+         db::cmpCols(ls, "l_shipdate", CmpOp::Lt, "l_commitdate")});
+
+    std::vector<Row> j;
+    int l_base, o_base;
+    if (c.mode == EngineMode::Biscuit) {
+        // NDP plan: filtered lineitem first. Layout [L, O].
+        auto lines = c.primary(L, pred);
+        j = c.join(lines.rows, L.rowWidth(),
+                   ls.indexOf("l_orderkey"), O, "o_orderkey");
+        l_base = 0;
+        o_base = static_cast<int>(ls.size());
+    } else {
+        // MariaDB plan: orders-outer BNL. Layout [O, L].
+        c.out.planner_note = "conventional plan (orders-outer BNL)";
+        auto orders = c.scan(O, nullptr);
+        j = c.join(orders.rows, O.rowWidth(),
+                   os.indexOf("o_orderkey"), L, "l_orderkey", pred);
+        o_base = 0;
+        l_base = static_cast<int>(os.size());
+    }
+
+    int o_prio = o_base + c.ix("orders", "o_orderpriority");
+    for (auto &r : j) {
+        const auto &p = sv(r[o_prio]);
+        bool high = p == "1-URGENT" || p == "2-HIGH";
+        r.push_back(Value(std::int64_t{high ? 1 : 0}));
+        r.push_back(Value(std::int64_t{high ? 0 : 1}));
+    }
+    int hi = j.empty() ? 0 : static_cast<int>(j[0].size() - 2);
+    auto grouped = db::groupBy(
+        c.db, j, {l_base + ls.indexOf("l_shipmode")},
+        {{AggSpec::Op::Sum, hi}, {AggSpec::Op::Sum, hi + 1}},
+        c.out.stats);
+    db::sortRows(grouped, {{0, false}});
+    return grouped;
+}
+
+// Q13: customer distribution. NOT LIKE cannot run on the matcher IP.
+std::vector<Row>
+q13(Ctx &c)
+{
+    auto &O = c.t("orders");
+    const auto &os = O.schema();
+    auto orders = c.primary(
+        O, db::notLike(os, "o_comment", "%special%requests%"));
+    auto grouped = db::groupBy(c.db, orders.rows,
+                               {os.indexOf("o_custkey")},
+                               {{AggSpec::Op::Count, -1}},
+                               c.out.stats);
+    // Distribution of counts.
+    auto dist = db::groupBy(c.db, grouped, {1},
+                            {{AggSpec::Op::Count, -1}}, c.out.stats);
+    db::sortRows(dist, {{1, true}, {0, true}});
+    return dist;
+}
+
+// Q14: promotion effect. One-month l_shipdate window: the flagship
+// offload — early filtering flips the join from part-outer (many
+// full lineitem passes) to filtered-lineitem-outer.
+std::vector<Row>
+q14(Ctx &c)
+{
+    auto &L = c.t("lineitem");
+    auto &P = c.t("part");
+    const auto &ls = L.schema();
+    auto pred = db::between(ls, "l_shipdate",
+                            std::string("1995-09-01"),
+                            std::string("1995-09-30"));
+
+    std::vector<Row> joined;
+    int l_base, p_base;
+    if (c.mode == EngineMode::Biscuit) {
+        // NDP plan: filter lineitem on the device, then put the
+        // (small) filtered row set first in the join order — the
+        // paper's query-planning heuristic for offloaded filters.
+        auto lines = c.primary(L, pred);
+        joined = c.join(lines.rows, L.rowWidth(),
+                        ls.indexOf("l_partkey"), P, "p_partkey");
+        l_base = 0;
+        p_base = static_cast<int>(ls.size());
+    } else {
+        // MariaDB default: smallest table (part) drives the BNL; the
+        // big lineitem table is re-scanned once per buffer block,
+        // evaluating the date filter on the host each pass.
+        c.out.planner_note = "conventional plan (part-outer BNL)";
+        auto parts = c.scan(P, nullptr);
+        joined = c.join(parts.rows, P.rowWidth(),
+                        P.schema().indexOf("p_partkey"), L,
+                        "l_partkey", pred);
+        p_base = 0;
+        l_base = static_cast<int>(P.schema().size());
+    }
+    double promo = 0, total = 0;
+    for (auto &r : joined) {
+        double rev =
+            dv(r[l_base + c.ix("lineitem", "l_extendedprice")]) *
+            (1.0 - dv(r[l_base + c.ix("lineitem", "l_discount")]));
+        total += rev;
+        if (sv(r[p_base + c.ix("part", "p_type")]).rfind("PROMO",
+                                                         0) == 0)
+            promo += rev;
+    }
+    c.db.host().consumeCpu(c.db.planner.row_cpu * joined.size());
+    return {{Value(total > 0 ? 100.0 * promo / total : 0.0)}};
+}
+
+// Q15: top supplier. Three-month l_shipdate window offloads.
+std::vector<Row>
+q15(Ctx &c)
+{
+    auto &L = c.t("lineitem");
+    const auto &ls = L.schema();
+    auto lines = c.primary(
+        L, db::between(ls, "l_shipdate", std::string("1996-01-01"),
+                       std::string("1996-03-31")));
+    addComputed(c.db, lines.rows, [&](const Row &r) {
+        return Value(dv(r[c.ix("lineitem", "l_extendedprice")]) *
+                     (1.0 - dv(r[c.ix("lineitem", "l_discount")])));
+    });
+    int rev = static_cast<int>(ls.size());
+    auto grouped = db::groupBy(c.db, lines.rows,
+                               {ls.indexOf("l_suppkey")},
+                               {{AggSpec::Op::Sum, rev}},
+                               c.out.stats);
+    db::sortRows(grouped, {{1, true}});
+    limitRows(grouped, 1);
+    // Attach the supplier record.
+    auto &S = c.t("supplier");
+    auto j = c.join(grouped, 16, 0, S, "s_suppkey");
+    return j;
+}
+
+// Q16: part/supplier relationship (simplified: the spec's negated
+// brand/type predicates are replaced by a brand equality so the
+// planner reaches its sampling stage, which rejects the offload — a
+// fifth of pages would not match, but nearly all do).
+std::vector<Row>
+q16(Ctx &c)
+{
+    auto &P = c.t("part");
+    const auto &ps = P.schema();
+    auto parts = c.primary(P, db::cmp(ps, "p_brand", CmpOp::Eq,
+                                      std::string("Brand#35")));
+    auto &PS = c.t("partsupp");
+    auto j = c.join(parts.rows, P.rowWidth(),
+                    ps.indexOf("p_partkey"), PS, "ps_partkey");
+    auto grouped = db::groupBy(
+        c.db, j,
+        {ps.indexOf("p_brand"), ps.indexOf("p_type"),
+         ps.indexOf("p_size")},
+        {{AggSpec::Op::Count, -1}}, c.out.stats);
+    db::sortRows(grouped, {{3, true}});
+    limitRows(grouped, 40);
+    return grouped;
+}
+
+// Q17: small-quantity-order revenue. Brand+container filter samples
+// out (a 25th of rows still touches nearly every page).
+std::vector<Row>
+q17(Ctx &c)
+{
+    auto &P = c.t("part");
+    const auto &ps = P.schema();
+    auto parts = c.primary(
+        P, db::exprAnd({db::cmp(ps, "p_brand", CmpOp::Eq,
+                                std::string("Brand#23")),
+                        db::cmp(ps, "p_container", CmpOp::Eq,
+                                std::string("MED BOX"))}));
+    auto &L = c.t("lineitem");
+    auto j = c.join(parts.rows, P.rowWidth(),
+                    ps.indexOf("p_partkey"), L, "l_partkey");
+    // avg quantity per part, then the below-20% slice.
+    int l_qty = static_cast<int>(ps.size()) +
+                c.ix("lineitem", "l_quantity");
+    int p_key = ps.indexOf("p_partkey");
+    std::map<std::int64_t, std::pair<double, int>> avg;
+    for (auto &r : j) {
+        auto &acc = avg[std::get<std::int64_t>(r[p_key])];
+        acc.first += dv(r[l_qty]);
+        acc.second += 1;
+    }
+    double total = 0;
+    int l_price = static_cast<int>(ps.size()) +
+                  c.ix("lineitem", "l_extendedprice");
+    for (auto &r : j) {
+        auto &acc = avg[std::get<std::int64_t>(r[p_key])];
+        if (dv(r[l_qty]) < 0.2 * acc.first / acc.second)
+            total += dv(r[l_price]);
+    }
+    c.db.host().consumeCpu(2 * c.db.planner.row_cpu * j.size());
+    return {{Value(total / 7.0)}};
+}
+
+// Q18: large volume customer. No filter predicate at all.
+std::vector<Row>
+q18(Ctx &c)
+{
+    auto &L = c.t("lineitem");
+    const auto &ls = L.schema();
+    auto lines = c.primary(L, nullptr);
+    auto per_order = db::groupBy(
+        c.db, lines.rows, {ls.indexOf("l_orderkey")},
+        {{AggSpec::Op::Sum, ls.indexOf("l_quantity")}}, c.out.stats);
+    std::vector<Row> big;
+    for (auto &r : per_order) {
+        if (dv(r[1]) > 270.0)
+            big.push_back(r);
+    }
+    c.db.host().consumeCpu(c.db.planner.row_cpu * per_order.size());
+    auto &O = c.t("orders");
+    auto j = c.join(big, 16, 0, O, "o_orderkey");
+    db::sortRows(j, {{1, true}});
+    limitRows(j, 100);
+    return j;
+}
+
+// Q19: discounted revenue. The OR arms mix numeric ranges the matcher
+// cannot express: no NDP attempt.
+std::vector<Row>
+q19(Ctx &c)
+{
+    auto &L = c.t("lineitem");
+    const auto &ls = L.schema();
+    auto lines = c.primary(
+        L, db::exprOr(
+               {db::exprAnd({db::between(ls, "l_quantity", 1.0, 11.0),
+                             db::cmp(ls, "l_shipmode", CmpOp::Eq,
+                                     std::string("AIR"))}),
+                db::exprAnd({db::between(ls, "l_quantity", 10.0,
+                                         20.0),
+                             db::cmp(ls, "l_shipmode", CmpOp::Eq,
+                                     std::string("AIR"))}),
+                db::exprAnd(
+                    {db::between(ls, "l_quantity", 20.0, 30.0),
+                     db::cmp(ls, "l_shipinstruct", CmpOp::Eq,
+                             std::string("DELIVER IN PERSON"))})}));
+    auto &P = c.t("part");
+    auto j = c.join(lines.rows, L.rowWidth(),
+                    ls.indexOf("l_partkey"), P, "p_partkey",
+                    db::cmp(P.schema(), "p_brand", CmpOp::Eq,
+                            std::string("Brand#12")));
+    double rev = 0;
+    for (auto &r : j) {
+        rev += dv(r[c.ix("lineitem", "l_extendedprice")]) *
+               (1.0 - dv(r[c.ix("lineitem", "l_discount")]));
+    }
+    c.db.host().consumeCpu(c.db.planner.row_cpu * j.size());
+    return {{Value(rev)}};
+}
+
+// Q20: potential part promotion. 'forest%' p_name filter samples out.
+std::vector<Row>
+q20(Ctx &c)
+{
+    auto &P = c.t("part");
+    const auto &ps = P.schema();
+    auto parts = c.primary(P, db::like(ps, "p_name", "forest%"));
+    auto &PS = c.t("partsupp");
+    auto j1 = c.join(parts.rows, P.rowWidth(),
+                     ps.indexOf("p_partkey"), PS, "ps_partkey");
+    Bytes w1 = P.rowWidth() + PS.rowWidth();
+    int ps_suppkey = static_cast<int>(ps.size()) +
+                     c.ix("partsupp", "ps_suppkey");
+    auto &S = c.t("supplier");
+    auto j2 = c.join(j1, w1, ps_suppkey, S, "s_suppkey");
+    int s_name = static_cast<int>(ps.size() + PS.schema().size()) +
+                 c.ix("supplier", "s_name");
+    auto grouped = db::groupBy(c.db, j2, {s_name},
+                               {{AggSpec::Op::Count, -1}},
+                               c.out.stats);
+    db::sortRows(grouped, {{0, false}});
+    limitRows(grouped, 50);
+    return grouped;
+}
+
+// Q21: suppliers who kept orders waiting. Single-character status
+// predicate: expected selectivity too low, no NDP attempt.
+std::vector<Row>
+q21(Ctx &c)
+{
+    auto &O = c.t("orders");
+    const auto &os = O.schema();
+    auto orders = c.primary(O, db::cmp(os, "o_orderstatus", CmpOp::Eq,
+                                       std::string("F")));
+    auto &L = c.t("lineitem");
+    auto j1 = c.join(orders.rows, O.rowWidth(),
+                     os.indexOf("o_orderkey"), L, "l_orderkey",
+                     db::cmpCols(L.schema(), "l_receiptdate",
+                                 CmpOp::Gt, "l_commitdate"));
+    Bytes w1 = O.rowWidth() + L.rowWidth();
+    int l_suppkey = static_cast<int>(os.size()) +
+                    c.ix("lineitem", "l_suppkey");
+    auto &S = c.t("supplier");
+    auto j2 = c.join(j1, w1, l_suppkey, S, "s_suppkey");
+    int s_name = static_cast<int>(os.size() + L.schema().size()) +
+                 c.ix("supplier", "s_name");
+    auto grouped = db::groupBy(c.db, j2, {s_name},
+                               {{AggSpec::Op::Count, -1}},
+                               c.out.stats);
+    db::sortRows(grouped, {{1, true}});
+    limitRows(grouped, 100);
+    return grouped;
+}
+
+// Q22: global sales opportunity. Two-character country codes are
+// below the matcher's useful key length: no NDP attempt.
+std::vector<Row>
+q22(Ctx &c)
+{
+    auto &C = c.t("customer");
+    const auto &cs = C.schema();
+    auto cust = c.primary(
+        C, db::inSet(cs, "c_phone",
+                     {std::string("13"), std::string("31"),
+                      std::string("23")}));
+    // Custom predicate: phone prefix in the code set and positive
+    // balance (the IN above intentionally fails to match whole
+    // fields; re-filter by prefix here).
+    std::vector<Row> eligible;
+    int c_phone = cs.indexOf("c_phone");
+    int c_bal = cs.indexOf("c_acctbal");
+    auto all = c.scan(C, nullptr);
+    for (auto &r : all.rows) {
+        const auto &p = sv(r[c_phone]);
+        bool code = p.rfind("13", 0) == 0 || p.rfind("31", 0) == 0 ||
+                    p.rfind("23", 0) == 0;
+        if (code && dv(r[c_bal]) > 0.0)
+            eligible.push_back(r);
+    }
+    c.db.host().consumeCpu(c.db.planner.row_cpu * all.rows.size());
+    (void)cust;
+    for (auto &r : eligible)
+        r.push_back(Value(sv(r[c_phone]).substr(0, 2)));
+    int code_col =
+        eligible.empty() ? 0 : static_cast<int>(eligible[0].size() - 1);
+    auto grouped = db::groupBy(c.db, eligible, {code_col},
+                               {{AggSpec::Op::Count, -1},
+                                {AggSpec::Op::Sum, c_bal}},
+                               c.out.stats);
+    db::sortRows(grouped, {{0, false}});
+    return grouped;
+}
+
+using QueryFn = std::vector<Row> (*)(Ctx &);
+
+struct QueryEntry
+{
+    QueryFn fn;
+    const char *title;
+};
+
+const std::map<int, QueryEntry> &
+queryMap()
+{
+    static const std::map<int, QueryEntry> m = {
+        {1, {q1, "pricing summary report"}},
+        {2, {q2, "minimum cost supplier"}},
+        {3, {q3, "shipping priority"}},
+        {4, {q4, "order priority checking"}},
+        {5, {q5, "local supplier volume"}},
+        {6, {q6, "forecasting revenue change"}},
+        {7, {q7, "volume shipping"}},
+        {8, {q8, "national market share"}},
+        {9, {q9, "product type profit"}},
+        {10, {q10, "returned item reporting"}},
+        {11, {q11, "important stock identification"}},
+        {12, {q12, "shipping modes and priority"}},
+        {13, {q13, "customer distribution"}},
+        {14, {q14, "promotion effect"}},
+        {15, {q15, "top supplier"}},
+        {16, {q16, "parts/supplier relationship"}},
+        {17, {q17, "small-quantity-order revenue"}},
+        {18, {q18, "large volume customer"}},
+        {19, {q19, "discounted revenue"}},
+        {20, {q20, "potential part promotion"}},
+        {21, {q21, "suppliers who kept orders waiting"}},
+        {22, {q22, "global sales opportunity"}},
+    };
+    return m;
+}
+
+}  // namespace
+
+std::vector<int>
+allQueries()
+{
+    std::vector<int> qs;
+    for (const auto &[num, entry] : queryMap())
+        qs.push_back(num);
+    return qs;
+}
+
+std::string
+queryTitle(int q)
+{
+    auto it = queryMap().find(q);
+    BISC_ASSERT(it != queryMap().end(), "no such query: Q", q);
+    return "Q" + std::to_string(q) + " " + it->second.title;
+}
+
+QueryOutcome
+runQuery(int q, db::MiniDb &db, db::EngineMode mode)
+{
+    auto it = queryMap().find(q);
+    BISC_ASSERT(it != queryMap().end(), "no such query: Q", q);
+    QueryOutcome out;
+    Ctx ctx{db, mode, out};
+    auto &kernel = db.env().kernel;
+    Tick t0 = kernel.now();
+    out.rows = it->second.fn(ctx);
+    out.elapsed = kernel.now() - t0;
+    out.stats.elapsed = out.elapsed;
+    return out;
+}
+
+QueryRun
+runQueryBoth(int q, db::MiniDb &db)
+{
+    QueryRun run;
+    run.number = q;
+    run.title = queryTitle(q);
+    run.conv = runQuery(q, db, EngineMode::Conv);
+    run.biscuit = runQuery(q, db, EngineMode::Biscuit);
+    return run;
+}
+
+bool
+QueryRun::resultsMatch() const
+{
+    if (conv.rows.size() != biscuit.rows.size())
+        return false;
+    for (std::size_t i = 0; i < conv.rows.size(); ++i) {
+        if (conv.rows[i].size() != biscuit.rows[i].size())
+            return false;
+        for (std::size_t j = 0; j < conv.rows[i].size(); ++j) {
+            const Value &a = conv.rows[i][j];
+            const Value &b = biscuit.rows[i][j];
+            if (std::holds_alternative<std::string>(a)) {
+                if (!std::holds_alternative<std::string>(b) ||
+                    std::get<std::string>(a) !=
+                        std::get<std::string>(b))
+                    return false;
+            } else {
+                // Join-order changes reorder floating-point
+                // accumulation; compare numerics with tolerance.
+                double x = dv(a), y = dv(b);
+                double tol =
+                    1e-6 + 1e-9 * std::max(std::abs(x), std::abs(y));
+                if (std::abs(x - y) > tol)
+                    return false;
+            }
+        }
+    }
+    return true;
+}
+
+}  // namespace bisc::tpch

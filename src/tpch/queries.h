@@ -1,0 +1,78 @@
+/**
+ * @file
+ * The 22 TPC-H queries, each runnable through either engine mode
+ * (Conv vs. Biscuit) exactly as the paper's modified MariaDB runs
+ * them (§V-C, Fig. 10).
+ *
+ * Queries are implemented as plan compositions over MiniDB's executor
+ * primitives — structurally faithful (same filters, join chains and
+ * aggregates drive the I/O), semantically simplified where the paper's
+ * engine would use SQL features immaterial to the NDP datapath
+ * (documented per query in DESIGN.md).
+ */
+
+#ifndef BISCUIT_TPCH_QUERIES_H_
+#define BISCUIT_TPCH_QUERIES_H_
+
+#include <string>
+#include <vector>
+
+#include "db/executor.h"
+#include "db/minidb.h"
+
+namespace bisc::tpch {
+
+struct QueryOutcome
+{
+    std::vector<db::Row> rows;  ///< final (possibly truncated) result
+    db::DbStats stats;
+    Tick elapsed = 0;
+    bool ndp_used = false;
+    double sampled_selectivity = -1.0;  ///< -1: sampling not reached
+    std::string planner_note;
+};
+
+struct QueryRun
+{
+    int number = 0;
+    std::string title;
+    QueryOutcome conv;
+    QueryOutcome biscuit;
+
+    double
+    speedup() const
+    {
+        return biscuit.elapsed == 0
+                   ? 1.0
+                   : static_cast<double>(conv.elapsed) /
+                         static_cast<double>(biscuit.elapsed);
+    }
+
+    /** Paper's I/O reduction: pages read by Conv / by Biscuit. */
+    double
+    ioReduction() const
+    {
+        double b = static_cast<double>(biscuit.stats.pages_to_host);
+        return b == 0 ? 1.0
+                      : static_cast<double>(conv.stats.pages_to_host) /
+                            b;
+    }
+
+    bool resultsMatch() const;
+};
+
+/** Query numbers in suite order. */
+std::vector<int> allQueries();
+
+/** Short description, e.g. "Q14 promotion effect". */
+std::string queryTitle(int q);
+
+/** Run one query in one mode (call from the host fiber). */
+QueryOutcome runQuery(int q, db::MiniDb &db, db::EngineMode mode);
+
+/** Run Conv then Biscuit and bundle the comparison. */
+QueryRun runQueryBoth(int q, db::MiniDb &db);
+
+}  // namespace bisc::tpch
+
+#endif  // BISCUIT_TPCH_QUERIES_H_

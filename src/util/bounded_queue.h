@@ -1,0 +1,90 @@
+/**
+ * @file
+ * BoundedQueue: the fixed-capacity ring buffer underlying every Biscuit
+ * port (paper §IV-B, "I/O Ports as Bounded Queues").
+ *
+ * The queue is deliberately NOT thread-safe: inter-SSDlet SPSC/SPMC/MPSC
+ * connections are legal without locks because all SSDlets of an
+ * application are pinned to one device core and scheduled cooperatively.
+ * Host-to-device and inter-application traffic is serialized through the
+ * channel managers, which own their queues exclusively.
+ */
+
+#ifndef BISCUIT_UTIL_BOUNDED_QUEUE_H_
+#define BISCUIT_UTIL_BOUNDED_QUEUE_H_
+
+#include <cstddef>
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "util/log.h"
+
+namespace bisc {
+
+template <typename T>
+class BoundedQueue
+{
+  public:
+    /** Create a queue holding at most @p capacity elements. */
+    explicit BoundedQueue(std::size_t capacity)
+        : slots_(capacity), capacity_(capacity)
+    {
+        BISC_ASSERT(capacity > 0, "queue capacity must be positive");
+    }
+
+    std::size_t capacity() const { return capacity_; }
+    std::size_t size() const { return size_; }
+    bool empty() const { return size_ == 0; }
+    bool full() const { return size_ == capacity_; }
+
+    /** Enqueue by move; returns false when full. */
+    bool
+    tryPush(T &&v)
+    {
+        if (full())
+            return false;
+        slots_[tail_] = std::move(v);
+        tail_ = (tail_ + 1) % capacity_;
+        ++size_;
+        return true;
+    }
+
+    /** Enqueue by copy; returns false when full. */
+    bool
+    tryPush(const T &v)
+    {
+        T tmp(v);
+        return tryPush(std::move(tmp));
+    }
+
+    /** Dequeue; empty optional when the queue is empty. */
+    std::optional<T>
+    tryPop()
+    {
+        if (empty())
+            return std::nullopt;
+        T v = std::move(slots_[head_]);
+        head_ = (head_ + 1) % capacity_;
+        --size_;
+        return v;
+    }
+
+    /** Peek at the front element without consuming it. */
+    const T *
+    front() const
+    {
+        return empty() ? nullptr : &slots_[head_];
+    }
+
+  private:
+    std::vector<T> slots_;
+    std::size_t capacity_;
+    std::size_t head_ = 0;
+    std::size_t tail_ = 0;
+    std::size_t size_ = 0;
+};
+
+}  // namespace bisc
+
+#endif  // BISCUIT_UTIL_BOUNDED_QUEUE_H_

@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Common typedefs, size literals and small helpers shared by all
+ * Biscuit modules.
+ */
+
+#ifndef BISCUIT_UTIL_COMMON_H_
+#define BISCUIT_UTIL_COMMON_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace bisc {
+
+/** Simulated time in nanoseconds. */
+using Tick = std::uint64_t;
+
+/** Logical block address (in sectors or pages depending on context). */
+using Lba = std::uint64_t;
+
+/** A byte count. */
+using Bytes = std::uint64_t;
+
+constexpr Tick kUsec = 1000ull;
+constexpr Tick kMsec = 1000ull * kUsec;
+constexpr Tick kSec = 1000ull * kMsec;
+
+constexpr Bytes operator""_KiB(unsigned long long v) { return v << 10; }
+constexpr Bytes operator""_MiB(unsigned long long v) { return v << 20; }
+constexpr Bytes operator""_GiB(unsigned long long v) { return v << 30; }
+
+/** Convert a tick count to (double) seconds. */
+constexpr double
+toSeconds(Tick t)
+{
+    return static_cast<double>(t) / static_cast<double>(kSec);
+}
+
+/** Convert a tick count to (double) microseconds. */
+constexpr double
+toMicros(Tick t)
+{
+    return static_cast<double>(t) / static_cast<double>(kUsec);
+}
+
+/** Convert (double) seconds to ticks, rounding to nearest. */
+constexpr Tick
+fromSeconds(double s)
+{
+    return static_cast<Tick>(s * static_cast<double>(kSec) + 0.5);
+}
+
+/**
+ * Ticks needed to move @p bytes at @p bytes_per_sec, rounding up so that
+ * non-zero transfers always consume time.
+ */
+constexpr Tick
+transferTicks(Bytes bytes, double bytes_per_sec)
+{
+    if (bytes == 0 || bytes_per_sec <= 0.0)
+        return 0;
+    double secs = static_cast<double>(bytes) / bytes_per_sec;
+    Tick t = fromSeconds(secs);
+    return t == 0 ? 1 : t;
+}
+
+/** Integer ceiling division. */
+template <typename T>
+constexpr T
+divCeil(T a, T b)
+{
+    return (a + b - 1) / b;
+}
+
+}  // namespace bisc
+
+#endif  // BISCUIT_UTIL_COMMON_H_

@@ -1,0 +1,55 @@
+#include "util/log.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <stdexcept>
+
+namespace bisc {
+
+namespace {
+
+LogLevel g_level = LogLevel::Warn;
+
+}  // namespace
+
+void
+setLogLevel(LogLevel level)
+{
+    g_level = level;
+}
+
+LogLevel
+logLevel()
+{
+    return g_level;
+}
+
+namespace detail {
+
+void
+panicImpl(const char *file, int line, const std::string &msg)
+{
+    std::fprintf(stderr, "panic: %s (%s:%d)\n", msg.c_str(), file, line);
+    std::fflush(stderr);
+    std::abort();
+}
+
+void
+fatalImpl(const char *file, int line, const std::string &msg)
+{
+    std::fprintf(stderr, "fatal: %s (%s:%d)\n", msg.c_str(), file, line);
+    std::fflush(stderr);
+    std::exit(1);
+}
+
+void
+logImpl(LogLevel level, const char *tag, const std::string &msg)
+{
+    if (level > g_level)
+        return;
+    std::fprintf(stderr, "%s: %s\n", tag, msg.c_str());
+}
+
+}  // namespace detail
+
+}  // namespace bisc

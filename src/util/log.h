@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Logging and error-termination helpers, in the spirit of gem5's
+ * logging.hh: panic() for internal invariant violations, fatal() for
+ * user-caused unrecoverable errors, warn()/inform() for status output.
+ */
+
+#ifndef BISCUIT_UTIL_LOG_H_
+#define BISCUIT_UTIL_LOG_H_
+
+#include <sstream>
+#include <string>
+
+namespace bisc {
+
+/** Verbosity levels for runtime log output. */
+enum class LogLevel {
+    Quiet = 0,
+    Warn = 1,
+    Inform = 2,
+    Debug = 3,
+};
+
+/** Set the global log verbosity (default: Warn). */
+void setLogLevel(LogLevel level);
+
+/** Current global log verbosity. */
+LogLevel logLevel();
+
+namespace detail {
+
+[[noreturn]] void panicImpl(const char *file, int line,
+                            const std::string &msg);
+[[noreturn]] void fatalImpl(const char *file, int line,
+                            const std::string &msg);
+void logImpl(LogLevel level, const char *tag, const std::string &msg);
+
+/** Build a message string from streamable parts. */
+template <typename... Args>
+std::string
+format(Args &&...args)
+{
+    std::ostringstream os;
+    (os << ... << std::forward<Args>(args));
+    return os.str();
+}
+
+}  // namespace detail
+
+}  // namespace bisc
+
+/** Abort: an internal invariant was violated (a Biscuit bug). */
+#define BISC_PANIC(...) \
+    ::bisc::detail::panicImpl(__FILE__, __LINE__, \
+                              ::bisc::detail::format(__VA_ARGS__))
+
+/** Exit: unrecoverable condition caused by the user (bad config etc.). */
+#define BISC_FATAL(...) \
+    ::bisc::detail::fatalImpl(__FILE__, __LINE__, \
+                              ::bisc::detail::format(__VA_ARGS__))
+
+/** Warn about suspicious but non-fatal conditions. */
+#define BISC_WARN(...) \
+    ::bisc::detail::logImpl(::bisc::LogLevel::Warn, "warn", \
+                            ::bisc::detail::format(__VA_ARGS__))
+
+/** Informational status message. */
+#define BISC_INFORM(...) \
+    ::bisc::detail::logImpl(::bisc::LogLevel::Inform, "info", \
+                            ::bisc::detail::format(__VA_ARGS__))
+
+/** Verbose debug message. */
+#define BISC_DEBUG(...) \
+    ::bisc::detail::logImpl(::bisc::LogLevel::Debug, "debug", \
+                            ::bisc::detail::format(__VA_ARGS__))
+
+/** Panic unless @p cond holds. */
+#define BISC_ASSERT(cond, ...) \
+    do { \
+        if (!(cond)) { \
+            BISC_PANIC("assertion failed: " #cond " ", ##__VA_ARGS__); \
+        } \
+    } while (0)
+
+#endif  // BISCUIT_UTIL_LOG_H_

@@ -1,0 +1,13 @@
+#include "util/rng.h"
+
+#include <cmath>
+
+namespace bisc {
+
+double
+Rng::powd(double base, double exp)
+{
+    return std::pow(base, exp);
+}
+
+}  // namespace bisc

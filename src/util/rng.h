@@ -1,0 +1,117 @@
+/**
+ * @file
+ * Deterministic random number generation for workload synthesis.
+ *
+ * A thin wrapper over SplitMix64/xoshiro256** so that data generators
+ * (TPC-H, graphs, web logs) are reproducible across runs and platforms
+ * without depending on libstdc++'s distribution implementations.
+ */
+
+#ifndef BISCUIT_UTIL_RNG_H_
+#define BISCUIT_UTIL_RNG_H_
+
+#include <cstdint>
+
+namespace bisc {
+
+/** xoshiro256** seeded via SplitMix64; deterministic across platforms. */
+class Rng
+{
+  public:
+    explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ull)
+    {
+        std::uint64_t x = seed;
+        for (auto &word : s_) {
+            // SplitMix64 step.
+            x += 0x9e3779b97f4a7c15ull;
+            std::uint64_t z = x;
+            z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+            z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+            word = z ^ (z >> 31);
+        }
+    }
+
+    /** Next raw 64-bit value. */
+    std::uint64_t
+    next()
+    {
+        const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+        const std::uint64_t t = s_[1] << 17;
+        s_[2] ^= s_[0];
+        s_[3] ^= s_[1];
+        s_[1] ^= s_[2];
+        s_[0] ^= s_[3];
+        s_[2] ^= t;
+        s_[3] = rotl(s_[3], 45);
+        return result;
+    }
+
+    /** Uniform integer in [0, bound). @p bound must be non-zero. */
+    std::uint64_t
+    below(std::uint64_t bound)
+    {
+        // Lemire's multiply-shift rejection-free approximation is fine
+        // for workload synthesis (bias < 2^-64 * bound).
+        return static_cast<std::uint64_t>(
+            (static_cast<unsigned __int128>(next()) * bound) >> 64);
+    }
+
+    /** Uniform integer in [lo, hi] inclusive. */
+    std::int64_t
+    range(std::int64_t lo, std::int64_t hi)
+    {
+        return lo + static_cast<std::int64_t>(
+                        below(static_cast<std::uint64_t>(hi - lo + 1)));
+    }
+
+    /** Uniform double in [0, 1). */
+    double
+    uniform()
+    {
+        return static_cast<double>(next() >> 11) * 0x1.0p-53;
+    }
+
+    /** Bernoulli draw with probability @p p. */
+    bool chance(double p) { return uniform() < p; }
+
+    /**
+     * Approximate Zipf-like draw over [0, n): rank skew matching the
+     * heavy-tailed degree distributions of social graphs.
+     */
+    std::uint64_t
+    zipf(std::uint64_t n, double skew = 1.0)
+    {
+        // Inverse-CDF on a continuous power-law approximation.
+        double u = uniform();
+        double exponent = 1.0 - skew;
+        double x;
+        if (exponent > 1e-9 || exponent < -1e-9) {
+            double max_cdf = 1.0;  // normalized below
+            (void)max_cdf;
+            double nn = static_cast<double>(n);
+            double a = 1.0;
+            double b = powd(nn, exponent);
+            x = powd(u * (b - a) + a, 1.0 / exponent);
+        } else {
+            double nn = static_cast<double>(n);
+            x = powd(nn, u);
+        }
+        auto r = static_cast<std::uint64_t>(x) - 1;
+        return r >= n ? n - 1 : r;
+    }
+
+  private:
+    static std::uint64_t
+    rotl(std::uint64_t x, int k)
+    {
+        return (x << k) | (x >> (64 - k));
+    }
+
+    static double powd(double base, double exp);
+
+    std::uint64_t s_[4];
+};
+
+}  // namespace bisc
+
+#endif  // BISCUIT_UTIL_RNG_H_

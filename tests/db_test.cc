@@ -1,0 +1,493 @@
+/**
+ * @file
+ * Unit tests for MiniDB: value/schema encoding, heap tables,
+ * predicate evaluation, pattern-key derivation and the scan/join
+ * executor primitives on a hand-made table.
+ */
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "db/executor.h"
+#include "db/expr.h"
+#include "db/minidb.h"
+#include "db/planner.h"
+#include "db/table.h"
+#include "db/types.h"
+#include "host/host_system.h"
+#include "sisc/env.h"
+
+namespace bisc::db {
+namespace {
+
+TEST(DbTypes, DateHelpers)
+{
+    EXPECT_EQ(makeDate(1995, 9, 1), "1995-09-01");
+    EXPECT_EQ(dateToDays("1970-01-01"), 0);
+    EXPECT_EQ(dateToDays("1970-01-02"), 1);
+    EXPECT_EQ(daysToDate(dateToDays("1998-08-02")), "1998-08-02");
+    EXPECT_EQ(dateAddDays("1995-12-31", 1), "1996-01-01");
+    EXPECT_EQ(dateAddDays("1996-02-28", 1), "1996-02-29");  // leap
+    EXPECT_EQ(dateAddDays("1997-02-28", 1), "1997-03-01");
+}
+
+TEST(DbTypes, CompareValues)
+{
+    EXPECT_LT(compareValues(Value(std::int64_t{1}), Value(2.5)), 0);
+    EXPECT_EQ(compareValues(Value(2.0), Value(std::int64_t{2})), 0);
+    EXPECT_GT(compareValues(Value(std::string("b")),
+                            Value(std::string("a"))),
+              0);
+    EXPECT_DEATH(compareValues(Value(std::string("x")), Value(1.0)),
+                 "comparing");
+}
+
+TEST(DbTypes, SchemaEncodeDecodeRoundTrip)
+{
+    Schema s({col("k", Type::Int64), col("price", Type::Double),
+              col("name", Type::String, 12),
+              col("day", Type::Date)});
+    EXPECT_EQ(s.rowWidth(), 8u + 8 + 12 + 10);
+    Row row{std::int64_t{42}, 3.25, std::string("widget"),
+            std::string("1995-09-01")};
+    std::vector<std::uint8_t> slot(s.rowWidth());
+    s.encodeRow(row, slot.data());
+    Row back = s.decodeRow(slot.data());
+    EXPECT_EQ(std::get<std::int64_t>(back[0]), 42);
+    EXPECT_EQ(std::get<double>(back[1]), 3.25);
+    EXPECT_EQ(std::get<std::string>(back[2]), "widget");
+    EXPECT_EQ(std::get<std::string>(back[3]), "1995-09-01");
+}
+
+TEST(DbTypes, LongStringsTruncateToWidth)
+{
+    Schema s({col("name", Type::String, 4)});
+    Row row{std::string("abcdefgh")};
+    std::vector<std::uint8_t> slot(s.rowWidth());
+    s.encodeRow(row, slot.data());
+    Row back = s.decodeRow(slot.data());
+    EXPECT_EQ(std::get<std::string>(back[0]), "abcd");
+}
+
+TEST(DbExpr, LikeMatching)
+{
+    EXPECT_TRUE(likeMatch("PROMO BRUSHED TIN", "PROMO%"));
+    EXPECT_FALSE(likeMatch("STANDARD TIN", "PROMO%"));
+    EXPECT_TRUE(likeMatch("LARGE POLISHED BRASS", "%BRASS"));
+    EXPECT_FALSE(likeMatch("LARGE POLISHED BRASSY", "%BRASS"));
+    EXPECT_TRUE(likeMatch("the special little requests here",
+                          "%special%requests%"));
+    EXPECT_FALSE(likeMatch("special", "%special%requests%"));
+    EXPECT_TRUE(likeMatch("anything", "%"));
+    EXPECT_TRUE(likeMatch("exact", "exact"));
+    EXPECT_FALSE(likeMatch("exact!", "exact"));
+}
+
+class ExprTest : public ::testing::Test
+{
+  protected:
+    ExprTest()
+        : schema_({col("id", Type::Int64),
+                   col("qty", Type::Double),
+                   col("day", Type::Date),
+                   col("mode", Type::String, 8)})
+    {}
+
+    Row
+    row(std::int64_t id, double qty, const std::string &day,
+        const std::string &mode)
+    {
+        return Row{id, qty, day, mode};
+    }
+
+    Schema schema_;
+};
+
+TEST_F(ExprTest, EvalBasics)
+{
+    auto p = exprAnd(
+        {between(schema_, "day", std::string("1994-01-01"),
+                 std::string("1994-12-31")),
+         cmp(schema_, "qty", CmpOp::Lt, 24.0),
+         inSet(schema_, "mode",
+               {std::string("MAIL"), std::string("SHIP")})});
+    EXPECT_TRUE(evalPred(*p, row(1, 10, "1994-06-15", "MAIL")));
+    EXPECT_FALSE(evalPred(*p, row(1, 30, "1994-06-15", "MAIL")));
+    EXPECT_FALSE(evalPred(*p, row(1, 10, "1995-06-15", "MAIL")));
+    EXPECT_FALSE(evalPred(*p, row(1, 10, "1994-06-15", "AIR")));
+}
+
+TEST_F(ExprTest, EvalOrNotAndColCmp)
+{
+    auto p = exprOr({cmp(schema_, "id", CmpOp::Eq, std::int64_t{7}),
+                     exprNot(cmp(schema_, "mode", CmpOp::Eq,
+                                 std::string("AIR")))});
+    EXPECT_TRUE(evalPred(*p, row(7, 0, "1994-01-01", "AIR")));
+    EXPECT_TRUE(evalPred(*p, row(1, 0, "1994-01-01", "SHIP")));
+    EXPECT_FALSE(evalPred(*p, row(1, 0, "1994-01-01", "AIR")));
+
+    Schema two({col("a", Type::Date), col("b", Type::Date)});
+    auto q = cmpCols(two, "a", CmpOp::Lt, "b");
+    EXPECT_TRUE(evalPred(
+        *q, Row{std::string("1994-01-01"), std::string("1994-01-02")}));
+    EXPECT_FALSE(evalPred(
+        *q, Row{std::string("1994-01-02"), std::string("1994-01-01")}));
+}
+
+TEST_F(ExprTest, DeriveEqualityKey)
+{
+    auto k = deriveKeys(*cmp(schema_, "day", CmpOp::Eq,
+                             std::string("1995-01-17")),
+                        schema_);
+    ASSERT_TRUE(k.offloadable);
+    ASSERT_EQ(k.keys.size(), 1u);
+    EXPECT_EQ(k.keys.keys()[0], "1995-01-17");
+}
+
+TEST_F(ExprTest, DeriveRejectsShortKey)
+{
+    auto k = deriveKeys(*cmp(schema_, "mode", CmpOp::Eq,
+                             std::string("F")),
+                        schema_);
+    EXPECT_FALSE(k.offloadable);
+    EXPECT_NE(k.reason.find("low selectivity"), std::string::npos);
+}
+
+TEST_F(ExprTest, DeriveRejectsNumericAndOneSided)
+{
+    EXPECT_FALSE(deriveKeys(*cmp(schema_, "qty", CmpOp::Eq, 5.0),
+                            schema_)
+                     .offloadable);
+    EXPECT_FALSE(deriveKeys(*cmp(schema_, "day", CmpOp::Le,
+                                 std::string("1998-09-02")),
+                            schema_)
+                     .offloadable);
+}
+
+TEST_F(ExprTest, DeriveMonthAndYearPrefixes)
+{
+    auto month = deriveKeys(
+        *between(schema_, "day", std::string("1995-09-01"),
+                 std::string("1995-09-30")),
+        schema_);
+    ASSERT_TRUE(month.offloadable);
+    EXPECT_EQ(month.keys.keys(),
+              (std::vector<std::string>{"1995-09"}));
+
+    auto quarter = deriveKeys(
+        *between(schema_, "day", std::string("1993-07-01"),
+                 std::string("1993-09-30")),
+        schema_);
+    ASSERT_TRUE(quarter.offloadable);
+    EXPECT_EQ(quarter.keys.size(), 3u);
+
+    auto years = deriveKeys(
+        *between(schema_, "day", std::string("1995-01-01"),
+                 std::string("1996-12-31")),
+        schema_);
+    ASSERT_TRUE(years.offloadable);
+    EXPECT_EQ(years.keys.keys(),
+              (std::vector<std::string>{"1995-", "1996-"}));
+
+    auto too_wide = deriveKeys(
+        *between(schema_, "day", std::string("1992-01-01"),
+                 std::string("1998-12-31")),
+        schema_);
+    EXPECT_FALSE(too_wide.offloadable);
+}
+
+TEST_F(ExprTest, DeriveLikeAndNotLike)
+{
+    auto yes = deriveKeys(*like(schema_, "mode", "PRO%"), schema_);
+    ASSERT_TRUE(yes.offloadable);
+    EXPECT_EQ(yes.keys.keys()[0], "PRO");
+
+    auto no = deriveKeys(*notLike(schema_, "mode", "%special%"),
+                         schema_);
+    EXPECT_FALSE(no.offloadable);
+    EXPECT_NE(no.reason.find("NOT LIKE"), std::string::npos);
+}
+
+TEST_F(ExprTest, DeriveAndPicksFewestKeys)
+{
+    auto p = exprAnd(
+        {between(schema_, "day", std::string("1994-01-01"),
+                 std::string("1994-12-31")),  // 1 year key
+         inSet(schema_, "mode",
+               {std::string("MAIL"), std::string("SHIP")})});  // 2
+    auto k = deriveKeys(*p, schema_);
+    ASSERT_TRUE(k.offloadable);
+    EXPECT_EQ(k.keys.keys(), (std::vector<std::string>{"1994-"}));
+}
+
+TEST_F(ExprTest, DeriveOrUnionsOrRejects)
+{
+    auto ok = deriveKeys(
+        *exprOr({cmp(schema_, "day", CmpOp::Eq,
+                     std::string("1995-01-17")),
+                 cmp(schema_, "day", CmpOp::Eq,
+                     std::string("1995-01-18"))}),
+        schema_);
+    ASSERT_TRUE(ok.offloadable);
+    EXPECT_EQ(ok.keys.size(), 2u);
+
+    auto mixed = deriveKeys(
+        *exprOr({cmp(schema_, "day", CmpOp::Eq,
+                     std::string("1995-01-17")),
+                 cmp(schema_, "qty", CmpOp::Lt, 10.0)}),
+        schema_);
+    EXPECT_FALSE(mixed.offloadable);
+}
+
+// ----- Table + executor on a hand-made dataset -----
+
+class MiniDbTest : public ::testing::Test
+{
+  protected:
+    MiniDbTest()
+        : env_(ssd::testConfig()),
+          host_(env_.kernel, env_.device, env_.fs), db_(env_, host_)
+    {
+        // The tiny test SSD has 4 KiB pages; keep the planner's
+        // minimum size small so scans qualify for offload.
+        db_.planner.min_table_bytes = 8_KiB;
+        db_.planner.sample_pages = 8;
+
+        auto &t = db_.createTable(
+            "events", Schema({col("id", Type::Int64),
+                              col("day", Type::Date),
+                              col("qty", Type::Double),
+                              col("tag", Type::String, 10)}));
+        // 20000 rows, days ascending over two years: clustered
+        // dates, like a warehouse fact table.
+        std::vector<Row> rows;
+        for (std::int64_t i = 0; i < 20000; ++i) {
+            rows.push_back(
+                {i, dateAddDays("1994-01-01", i * 730 / 20000),
+                 static_cast<double>(i % 50),
+                 std::string(i % 3 == 0 ? "alpha" : "beta")});
+        }
+        t.loadRows(rows);
+    }
+
+    sisc::Env env_;
+    host::HostSystem host_;
+    MiniDb db_;
+};
+
+TEST_F(MiniDbTest, TableRoundTrip)
+{
+    auto &t = db_.table("events");
+    EXPECT_EQ(t.rowCount(), 20000u);
+    EXPECT_GT(t.pageCount(), 100u);
+    Row r0 = t.rowAt(0);
+    EXPECT_EQ(std::get<std::int64_t>(r0[0]), 0);
+    Row last = t.rowAt(19999);
+    EXPECT_EQ(std::get<std::int64_t>(last[0]), 19999);
+    std::uint64_t seen = 0;
+    t.forEachRow([&](const Row &) { ++seen; });
+    EXPECT_EQ(seen, 20000u);
+}
+
+TEST_F(MiniDbTest, RowsNeverStraddlePages)
+{
+    auto &t = db_.table("events");
+    EXPECT_EQ(t.rowsPerPage(), t.pageSize() / t.rowWidth());
+    // Total pages consistent with rows-per-page packing.
+    EXPECT_EQ(t.pageCount(),
+              divCeil<std::uint64_t>(t.rowCount(), t.rowsPerPage()));
+}
+
+TEST_F(MiniDbTest, ConvScanFiltersExactly)
+{
+    auto &t = db_.table("events");
+    auto pred = cmp(t.schema(), "tag", CmpOp::Eq,
+                    std::string("alpha"));
+    DbStats stats;
+    ScanOutcome out;
+    env_.run([&] {
+        out = scanTable(db_, t, pred, EngineMode::Conv, stats);
+    });
+    EXPECT_FALSE(out.used_ndp);
+    EXPECT_EQ(out.rows.size(), 6667u);  // ceil(20000/3)
+    EXPECT_EQ(stats.pages_to_host, t.pageCount());
+}
+
+TEST_F(MiniDbTest, NdpScanMatchesConvResults)
+{
+    auto &t = db_.table("events");
+    auto pred = between(t.schema(), "day", std::string("1994-03-01"),
+                        std::string("1994-03-31"));
+    DbStats conv_stats, ndp_stats;
+    ScanOutcome conv, ndp;
+    env_.run([&] {
+        conv = scanTable(db_, t, pred, EngineMode::Conv, conv_stats);
+        ndp = scanTable(db_, t, pred, EngineMode::Biscuit, ndp_stats);
+    });
+    ASSERT_TRUE(ndp.used_ndp) << ndp.note;
+    ASSERT_EQ(ndp.rows.size(), conv.rows.size());
+    for (std::size_t i = 0; i < conv.rows.size(); ++i)
+        EXPECT_EQ(std::get<std::int64_t>(ndp.rows[i][0]),
+                  std::get<std::int64_t>(conv.rows[i][0]));
+    // Clustered dates: far fewer pages crossed the interface.
+    EXPECT_LT(ndp_stats.pages_to_host, conv_stats.pages_to_host / 4);
+}
+
+TEST_F(MiniDbTest, SamplingRejectsUnselectivePredicate)
+{
+    auto &t = db_.table("events");
+    // "alpha" hits a third of rows: every page matches.
+    auto pred = cmp(t.schema(), "tag", CmpOp::Eq,
+                    std::string("alpha"));
+    DbStats stats;
+    ScanOutcome out;
+    env_.run([&] {
+        out = scanTable(db_, t, pred, EngineMode::Biscuit, stats);
+    });
+    EXPECT_FALSE(out.used_ndp);
+    EXPECT_NE(out.note.find("sampling advises against"),
+              std::string::npos)
+        << out.note;
+    EXPECT_GT(out.sampled_selectivity, 0.9);
+    // The scan still produced correct results via the Conv path.
+    EXPECT_EQ(out.rows.size(), 6667u);
+}
+
+TEST_F(MiniDbTest, PlannerNotesSmallTablesAndMissingPredicates)
+{
+    auto &small = db_.createTable(
+        "tiny", Schema({col("k", Type::Int64),
+                        col("day", Type::Date)}));
+    small.loadRows({{std::int64_t{1}, std::string("1994-01-01")}});
+    db_.planner.min_table_bytes = 1_MiB;
+
+    DbStats stats;
+    env_.run([&] {
+        auto d1 = decideOffload(
+            db_, small,
+            cmp(small.schema(), "day", CmpOp::Eq,
+                std::string("1994-01-01")),
+            stats);
+        EXPECT_FALSE(d1.offload);
+        EXPECT_NE(d1.note.find("too small"), std::string::npos);
+
+        auto d2 = decideOffload(db_, db_.table("events"), nullptr,
+                                stats);
+        EXPECT_FALSE(d2.offload);
+        EXPECT_NE(d2.note.find("no filter predicate"),
+                  std::string::npos);
+    });
+}
+
+TEST_F(MiniDbTest, NdpScanIsFasterOnSelectivePredicate)
+{
+    auto &t = db_.table("events");
+    auto pred = between(t.schema(), "day", std::string("1994-03-01"),
+                        std::string("1994-03-31"));
+    Tick conv_time = 0, ndp_time = 0;
+    env_.run([&] {
+        DbStats s0, s1, s2;
+        // Warm-up: load the offload module once (resident afterwards,
+        // as in a steady-state engine).
+        scanTable(db_, t, pred, EngineMode::Biscuit, s0);
+        Tick t0 = env_.kernel.now();
+        scanTable(db_, t, pred, EngineMode::Conv, s1);
+        conv_time = env_.kernel.now() - t0;
+        t0 = env_.kernel.now();
+        scanTable(db_, t, pred, EngineMode::Biscuit, s2);
+        ndp_time = env_.kernel.now() - t0;
+    });
+    // The tiny test table keeps the gap modest, but NDP must win
+    // (the host CPU no longer touches ~95% of the pages).
+    EXPECT_LT(ndp_time, conv_time);
+}
+
+TEST_F(MiniDbTest, BnlJoinCombinesAndCharges)
+{
+    auto &dims = db_.createTable(
+        "dims", Schema({col("k", Type::Int64),
+                        col("label", Type::String, 8)}));
+    std::vector<Row> dim_rows;
+    for (std::int64_t i = 0; i < 50; ++i)
+        dim_rows.push_back({i, std::string("L") + std::to_string(i)});
+    dims.loadRows(dim_rows);
+
+    auto &t = db_.table("events");
+    DbStats stats;
+    std::vector<Row> joined;
+    env_.run([&] {
+        auto events = scanTable(
+            db_, t,
+            cmp(t.schema(), "day", CmpOp::Lt,
+                std::string("1994-02-01")),
+            EngineMode::Conv, stats);
+        // Join on id%50 ... build a computed key column first.
+        for (auto &r : events.rows)
+            r.push_back(
+                Value(std::get<std::int64_t>(r[0]) % 50));
+        joined = bnlJoin(db_, events.rows, t.rowWidth() + 8, 4, dims,
+                         0, nullptr, stats);
+    });
+    ASSERT_FALSE(joined.empty());
+    // Every joined row aligns key columns.
+    for (const auto &r : joined) {
+        EXPECT_EQ(std::get<std::int64_t>(r[4]),
+                  std::get<std::int64_t>(r[5]));
+    }
+    EXPECT_GT(stats.pages_to_host, db_.table("events").pageCount());
+}
+
+TEST_F(MiniDbTest, GroupByAggregates)
+{
+    std::vector<Row> rows;
+    for (std::int64_t i = 0; i < 10; ++i)
+        rows.push_back({Value(std::string(i % 2 ? "odd" : "even")),
+                        Value(static_cast<double>(i))});
+    DbStats stats;
+    std::vector<Row> grouped;
+    env_.run([&] {
+        grouped = groupBy(db_, rows, {0},
+                          {{AggSpec::Op::Sum, 1},
+                           {AggSpec::Op::Avg, 1},
+                           {AggSpec::Op::Count, -1},
+                           {AggSpec::Op::Min, 1},
+                           {AggSpec::Op::Max, 1}},
+                          stats);
+    });
+    ASSERT_EQ(grouped.size(), 2u);
+    sortRows(grouped, {{0, false}});
+    // even: 0+2+4+6+8 = 20; odd: 1+3+5+7+9 = 25.
+    EXPECT_EQ(std::get<std::string>(grouped[0][0]), "even");
+    EXPECT_DOUBLE_EQ(std::get<double>(grouped[0][1]), 20.0);
+    EXPECT_DOUBLE_EQ(std::get<double>(grouped[0][2]), 4.0);
+    EXPECT_EQ(std::get<std::int64_t>(grouped[0][3]), 5);
+    EXPECT_DOUBLE_EQ(std::get<double>(grouped[0][4]), 0.0);
+    EXPECT_DOUBLE_EQ(std::get<double>(grouped[0][5]), 8.0);
+    EXPECT_DOUBLE_EQ(std::get<double>(grouped[1][1]), 25.0);
+}
+
+TEST_F(MiniDbTest, SortAndFilterRows)
+{
+    std::vector<Row> rows = {{Value(std::int64_t{3})},
+                             {Value(std::int64_t{1})},
+                             {Value(std::int64_t{2})}};
+    sortRows(rows, {{0, false}});
+    EXPECT_EQ(std::get<std::int64_t>(rows[0][0]), 1);
+    sortRows(rows, {{0, true}});
+    EXPECT_EQ(std::get<std::int64_t>(rows[0][0]), 3);
+
+    Schema s({col("v", Type::Int64)});
+    DbStats stats;
+    std::vector<Row> kept;
+    env_.run([&] {
+        kept = filterRows(db_, rows,
+                          cmp(s, "v", CmpOp::Ge, std::int64_t{2}),
+                          stats);
+    });
+    EXPECT_EQ(kept.size(), 2u);
+}
+
+}  // namespace
+}  // namespace bisc::db

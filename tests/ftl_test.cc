@@ -1,0 +1,213 @@
+/**
+ * @file
+ * Unit tests for the page-mapped FTL: mapping, out-of-place writes,
+ * TRIM, garbage collection and wear accounting.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <numeric>
+#include <vector>
+
+#include "ftl/ftl.h"
+#include "nand/nand.h"
+#include "sim/kernel.h"
+#include "util/common.h"
+
+namespace bisc::ftl {
+namespace {
+
+nand::Geometry
+tinyGeo()
+{
+    nand::Geometry g;
+    g.channels = 2;
+    g.ways_per_channel = 2;
+    g.pages_per_block = 4;
+    g.page_size = 1_KiB;
+    g.blocks_per_die = 8;
+    return g;
+}
+
+class FtlTest : public ::testing::Test
+{
+  protected:
+    FtlTest()
+        : nand_(kernel_, tinyGeo(), nand::NandTiming{}),
+          ftl_(kernel_, nand_, FtlParams{})
+    {}
+
+    std::vector<std::uint8_t>
+    pattern(std::uint8_t seed)
+    {
+        std::vector<std::uint8_t> v(ftl_.pageSize());
+        for (std::size_t i = 0; i < v.size(); ++i)
+            v[i] = static_cast<std::uint8_t>(seed + i);
+        return v;
+    }
+
+    sim::Kernel kernel_;
+    nand::NandFlash nand_;
+    Ftl ftl_;
+};
+
+TEST_F(FtlTest, ExportedCapacityExcludesOverprovisioning)
+{
+    auto total = tinyGeo().totalPages();
+    EXPECT_LT(ftl_.logicalPages(), total);
+    EXPECT_GT(ftl_.logicalPages(), total * 9 / 10 - 2);
+}
+
+TEST_F(FtlTest, WriteReadRoundTrip)
+{
+    auto data = pattern(3);
+    ftl_.write(10, data.data(), data.size());
+    std::vector<std::uint8_t> out(ftl_.pageSize());
+    ftl_.read(10, 0, out.size(), out.data());
+    EXPECT_EQ(out, data);
+}
+
+TEST_F(FtlTest, UnmappedReadsZeroWithoutMediaAccess)
+{
+    std::vector<std::uint8_t> out(128, 0xee);
+    auto before = nand_.pageReads();
+    Tick done = ftl_.read(5, 0, out.size(), out.data());
+    EXPECT_EQ(nand_.pageReads(), before);
+    EXPECT_EQ(done, FtlParams{}.fw_read_overhead);
+    for (auto b : out)
+        EXPECT_EQ(b, 0);
+}
+
+TEST_F(FtlTest, OverwriteGoesOutOfPlace)
+{
+    auto a = pattern(1);
+    auto b = pattern(2);
+    ftl_.write(0, a.data(), a.size());
+    auto ppn1 = ftl_.physicalOf(0);
+    ftl_.write(0, b.data(), b.size());
+    auto ppn2 = ftl_.physicalOf(0);
+    EXPECT_NE(ppn1, ppn2);
+
+    std::vector<std::uint8_t> out(ftl_.pageSize());
+    ftl_.read(0, 0, out.size(), out.data());
+    EXPECT_EQ(out, b);
+}
+
+TEST_F(FtlTest, TrimUnmaps)
+{
+    auto data = pattern(9);
+    ftl_.write(4, data.data(), data.size());
+    EXPECT_TRUE(ftl_.isMapped(4));
+    ftl_.trim(4);
+    EXPECT_FALSE(ftl_.isMapped(4));
+    std::vector<std::uint8_t> out(16, 0xff);
+    ftl_.read(4, 0, out.size(), out.data());
+    for (auto b : out)
+        EXPECT_EQ(b, 0);
+}
+
+TEST_F(FtlTest, InstallPopulatesWithoutTime)
+{
+    auto data = pattern(5);
+    ftl_.install(8, data.data(), data.size());
+    EXPECT_TRUE(ftl_.isMapped(8));
+    std::vector<std::uint8_t> out(ftl_.pageSize());
+    ftl_.read(8, 0, out.size(), out.data());
+    EXPECT_EQ(out, data);
+}
+
+TEST_F(FtlTest, SequentialWritesStripeAcrossChannels)
+{
+    auto data = pattern(1);
+    const auto &geo = nand_.geometry();
+    std::vector<int> per_channel(geo.channels, 0);
+    for (Lpn l = 0; l < geo.channels * 2; ++l) {
+        ftl_.write(l, data.data(), data.size());
+        per_channel[geo.channelOf(ftl_.physicalOf(l))]++;
+    }
+    for (auto c : per_channel)
+        EXPECT_EQ(c, 2);  // even spread
+}
+
+TEST_F(FtlTest, GcReclaimsInvalidatedSpace)
+{
+    auto data = pattern(7);
+    // Hammer a small set of logical pages until GC must run. The tiny
+    // device has 32 blocks x 4 pages; overwriting forces invalidation.
+    for (int round = 0; round < 40; ++round) {
+        for (Lpn l = 0; l < 8; ++l)
+            ftl_.write(l, data.data(), data.size());
+    }
+    EXPECT_GT(ftl_.gcRuns(), 0u);
+    EXPECT_GT(nand_.blockErases(), 0u);
+    // Data survives garbage collection.
+    std::vector<std::uint8_t> out(ftl_.pageSize());
+    for (Lpn l = 0; l < 8; ++l) {
+        ftl_.read(l, 0, out.size(), out.data());
+        EXPECT_EQ(out, data) << "lpn " << l;
+    }
+    // The FTL never runs itself out of free blocks.
+    EXPECT_GT(ftl_.freeBlocks(), 0u);
+}
+
+TEST_F(FtlTest, GcRelocatesOnlyValidPages)
+{
+    auto data = pattern(2);
+    // Fill some pages then trim half; GC should relocate few pages.
+    for (Lpn l = 0; l < 16; ++l)
+        ftl_.write(l, data.data(), data.size());
+    for (Lpn l = 0; l < 16; l += 2)
+        ftl_.trim(l);
+    auto before = ftl_.pagesRelocated();
+    for (int round = 0; round < 40; ++round) {
+        for (Lpn l = 1; l < 16; l += 2)
+            ftl_.write(l, data.data(), data.size());
+    }
+    EXPECT_GT(ftl_.gcRuns(), 0u);
+    // Relocation happened but far fewer pages than were written.
+    auto relocated = ftl_.pagesRelocated() - before;
+    EXPECT_LT(relocated, 40u * 8u);
+}
+
+TEST_F(FtlTest, WearStaysBounded)
+{
+    auto data = pattern(4);
+    for (int round = 0; round < 60; ++round)
+        for (Lpn l = 0; l < 6; ++l)
+            ftl_.write(l, data.data(), data.size());
+    // Greedy GC over a uniform workload keeps wear within a small
+    // spread relative to the max erase count.
+    EXPECT_GT(nand_.blockErases(), 10u);
+    EXPECT_LT(ftl_.wearSpread(), 40u);
+}
+
+TEST_F(FtlTest, ReadLatencyIncludesFirmwareOverhead)
+{
+    auto data = pattern(1);
+    ftl_.install(0, data.data(), data.size());
+    nand::NandTiming t;
+    FtlParams p;
+    Tick done = ftl_.read(0, 0, 1_KiB, nullptr);
+    Tick expect = p.fw_read_overhead + t.read_page + t.channel_cmd +
+                  transferTicks(1_KiB, t.channel_bw);
+    EXPECT_EQ(done, expect);
+}
+
+TEST_F(FtlTest, PopulateBeyondCapacityPanics)
+{
+    auto data = pattern(0);
+    EXPECT_DEATH(
+        {
+            for (Lpn l = 0; l < tinyGeo().totalPages() + 10; ++l)
+                ftl_.install(l % ftl_.logicalPages() +
+                                 (l / ftl_.logicalPages()) * 0,
+                             data.data(), data.size());
+            // Unreachable: install overwrites wrap around, so force
+            // exhaustion by never invalidating.
+        },
+        "");
+}
+
+}  // namespace
+}  // namespace bisc::ftl

@@ -1,0 +1,162 @@
+/**
+ * @file
+ * Unit tests for the per-channel hardware pattern matcher model.
+ */
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "pm/pattern_matcher.h"
+
+namespace bisc::pm {
+namespace {
+
+const std::uint8_t *
+bytes(const std::string &s)
+{
+    return reinterpret_cast<const std::uint8_t *>(s.data());
+}
+
+TEST(KeySet, EnforcesHardwareLimits)
+{
+    KeySet ks;
+    EXPECT_TRUE(ks.addKey("abc"));
+    EXPECT_TRUE(ks.addKey("0123456789abcdef"));   // exactly 16 bytes
+    EXPECT_FALSE(ks.addKey("0123456789abcdef0")); // 17 bytes: too long
+    EXPECT_FALSE(ks.addKey(""));                  // empty
+    EXPECT_TRUE(ks.addKey("third"));
+    EXPECT_FALSE(ks.addKey("fourth"));            // over kMaxKeys
+    EXPECT_EQ(ks.size(), 3u);
+}
+
+TEST(PatternMatcher, SingleKeyHit)
+{
+    KeySet ks;
+    ks.addKey("1995-1-17");
+    PatternMatcher pm;
+    pm.configure(ks);
+    std::string page = "....1995-1-16....1995-1-17....";
+    auto r = pm.scan(bytes(page), page.size());
+    EXPECT_TRUE(r.any);
+    EXPECT_TRUE(r.hit[0]);
+    EXPECT_EQ(r.first_offset[0], page.find("1995-1-17"));
+}
+
+TEST(PatternMatcher, MissReportsNoHit)
+{
+    KeySet ks;
+    ks.addKey("needle");
+    PatternMatcher pm;
+    pm.configure(ks);
+    std::string page = "just a haystack with nothing in it";
+    EXPECT_FALSE(pm.matches(bytes(page), page.size()));
+}
+
+TEST(PatternMatcher, MultiKeyOrSemantics)
+{
+    KeySet ks;
+    ks.addKey("alpha");
+    ks.addKey("beta");
+    ks.addKey("gamma");
+    PatternMatcher pm;
+    pm.configure(ks);
+
+    std::string page = "xxx beta yyy";
+    auto r = pm.scan(bytes(page), page.size());
+    EXPECT_TRUE(r.any);
+    EXPECT_FALSE(r.hit[0]);
+    EXPECT_TRUE(r.hit[1]);
+    EXPECT_FALSE(r.hit[2]);
+}
+
+TEST(PatternMatcher, EmptyKeySetNeverMatches)
+{
+    PatternMatcher pm;
+    std::string page = "anything";
+    EXPECT_FALSE(pm.matches(bytes(page), page.size()));
+}
+
+TEST(PatternMatcher, MatchAtBoundaries)
+{
+    KeySet ks;
+    ks.addKey("edge");
+    PatternMatcher pm;
+    pm.configure(ks);
+    std::string head = "edge.......";
+    std::string tail = ".......edge";
+    EXPECT_TRUE(pm.matches(bytes(head), head.size()));
+    EXPECT_TRUE(pm.matches(bytes(tail), tail.size()));
+}
+
+TEST(PatternMatcher, KeyLongerThanWindow)
+{
+    KeySet ks;
+    ks.addKey("longkey");
+    PatternMatcher pm;
+    pm.configure(ks);
+    std::string page = "lk";
+    EXPECT_FALSE(pm.matches(bytes(page), page.size()));
+}
+
+TEST(PatternMatcher, BinaryDataWithEmbeddedNulBytes)
+{
+    KeySet ks;
+    ks.addKey("key");
+    PatternMatcher pm;
+    pm.configure(ks);
+    std::string page("\0\0key\0\0", 7);
+    EXPECT_TRUE(pm.matches(bytes(page), page.size()));
+}
+
+TEST(PatternMatcher, FindAllLocatesEveryOccurrence)
+{
+    KeySet ks;
+    ks.addKey("ab");
+    PatternMatcher pm;
+    pm.configure(ks);
+    std::string page = "ab..ab..ab";
+    auto hits = pm.findAll(bytes(page), page.size());
+    EXPECT_EQ(hits, (std::vector<std::size_t>{0, 4, 8}));
+}
+
+TEST(PatternMatcher, FindAllOverlappingOccurrences)
+{
+    KeySet ks;
+    ks.addKey("aa");
+    PatternMatcher pm;
+    pm.configure(ks);
+    std::string page = "aaaa";
+    auto hits = pm.findAll(bytes(page), page.size());
+    EXPECT_EQ(hits, (std::vector<std::size_t>{0, 1, 2}));
+}
+
+TEST(PatternMatcher, FindAllMergesMultipleKeysSorted)
+{
+    KeySet ks;
+    ks.addKey("xx");
+    ks.addKey("yy");
+    PatternMatcher pm;
+    pm.configure(ks);
+    std::string page = "yy..xx";
+    auto hits = pm.findAll(bytes(page), page.size());
+    EXPECT_EQ(hits, (std::vector<std::size_t>{0, 4}));
+}
+
+TEST(PatternMatcher, ReconfigureReplacesKeys)
+{
+    KeySet a;
+    a.addKey("old");
+    PatternMatcher pm;
+    pm.configure(a);
+    KeySet b;
+    b.addKey("new");
+    pm.configure(b);
+    std::string page = "old";
+    EXPECT_FALSE(pm.matches(bytes(page), page.size()));
+    std::string page2 = "new";
+    EXPECT_TRUE(pm.matches(bytes(page2), page2.size()));
+}
+
+}  // namespace
+}  // namespace bisc::pm

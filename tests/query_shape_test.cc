@@ -1,0 +1,229 @@
+/**
+ * @file
+ * Result-shape sanity for every TPC-H query not already validated
+ * against a brute-force reference: non-degenerate outputs, expected
+ * arities, orderings and invariants, with Conv/Biscuit equivalence
+ * asserted throughout.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+
+#include "db/minidb.h"
+#include "host/host_system.h"
+#include "sisc/env.h"
+#include "tpch/dbgen.h"
+#include "tpch/queries.h"
+
+namespace bisc::tpch {
+namespace {
+
+class QueryShapeTest : public ::testing::Test
+{
+  protected:
+    static void
+    SetUpTestSuite()
+    {
+        env_ = new sisc::Env(ssd::defaultConfig());
+        host_ = new host::HostSystem(env_->kernel, env_->device,
+                                     env_->fs);
+        db_ = new db::MiniDb(*env_, *host_);
+        db_->planner.min_table_bytes = 128_KiB;
+        TpchConfig cfg;
+        cfg.scale_factor = 0.01;
+        buildTpch(*db_, cfg);
+    }
+
+    static void
+    TearDownTestSuite()
+    {
+        delete db_;
+        delete host_;
+        delete env_;
+        db_ = nullptr;
+        host_ = nullptr;
+        env_ = nullptr;
+    }
+
+    static QueryRun
+    run(int q)
+    {
+        QueryRun r;
+        env_->run([&] { r = runQueryBoth(q, *db_); });
+        EXPECT_TRUE(r.resultsMatch()) << "Q" << q;
+        return r;
+    }
+
+    static sisc::Env *env_;
+    static host::HostSystem *host_;
+    static db::MiniDb *db_;
+};
+
+sisc::Env *QueryShapeTest::env_ = nullptr;
+host::HostSystem *QueryShapeTest::host_ = nullptr;
+db::MiniDb *QueryShapeTest::db_ = nullptr;
+
+TEST_F(QueryShapeTest, Q2SortsByAccountBalanceDescending)
+{
+    auto r = run(2);
+    ASSERT_FALSE(r.conv.rows.empty());
+    // s_acctbal lives at part-cols + partsupp-cols + 3.
+    auto &P = db_->table("part");
+    int col = static_cast<int>(P.schema().size()) + 4 + 3;
+    double prev = 1e18;
+    for (const auto &row : r.conv.rows) {
+        double v = std::get<double>(row.at(col));
+        EXPECT_LE(v, prev + 1e-9);
+        prev = v;
+    }
+}
+
+TEST_F(QueryShapeTest, Q3ReturnsTopTenByRevenue)
+{
+    auto r = run(3);
+    ASSERT_LE(r.conv.rows.size(), 10u);
+    ASSERT_FALSE(r.conv.rows.empty());
+    double prev = 1e18;
+    for (const auto &row : r.conv.rows) {
+        double rev = std::get<double>(row.at(2));
+        EXPECT_GT(rev, 0.0);
+        EXPECT_LE(rev, prev + 1e-9);
+        prev = rev;
+    }
+}
+
+TEST_F(QueryShapeTest, Q5GroupsAsianNations)
+{
+    auto r = run(5);
+    // ASIA has five nations in our pool; revenue positive.
+    EXPECT_LE(r.conv.rows.size(), 5u);
+    std::set<std::string> asian = {"INDIA", "INDONESIA", "JAPAN",
+                                   "CHINA", "VIETNAM"};
+    for (const auto &row : r.conv.rows) {
+        EXPECT_TRUE(asian.count(std::get<std::string>(row.at(0))))
+            << std::get<std::string>(row.at(0));
+        EXPECT_GT(std::get<double>(row.at(1)), 0.0);
+    }
+}
+
+TEST_F(QueryShapeTest, Q7And8And9ProduceGroupedRevenue)
+{
+    auto r7 = run(7);
+    for (const auto &row : r7.conv.rows) {
+        const auto &n = std::get<std::string>(row.at(0));
+        EXPECT_TRUE(n == "FRANCE" || n == "GERMANY") << n;
+    }
+
+    auto r8 = run(8);
+    for (const auto &row : r8.conv.rows) {
+        const auto &year = std::get<std::string>(row.at(0));
+        EXPECT_TRUE(year == "1995" || year == "1996") << year;
+    }
+
+    auto r9 = run(9);
+    ASSERT_FALSE(r9.conv.rows.empty());
+    // Profit per nation; nations are from the 25-entry pool.
+    EXPECT_LE(r9.conv.rows.size(), 25u);
+}
+
+TEST_F(QueryShapeTest, Q10CapsAtTwentyCustomers)
+{
+    auto r = run(10);
+    EXPECT_LE(r.conv.rows.size(), 20u);
+    ASSERT_FALSE(r.conv.rows.empty());
+    double prev = 1e18;
+    for (const auto &row : r.conv.rows) {
+        double rev = std::get<double>(row.at(1));
+        EXPECT_LE(rev, prev + 1e-9);
+        prev = rev;
+    }
+}
+
+TEST_F(QueryShapeTest, Q11And15RankValues)
+{
+    auto r11 = run(11);
+    EXPECT_LE(r11.conv.rows.size(), 50u);
+    ASSERT_FALSE(r11.conv.rows.empty());
+
+    auto r15 = run(15);
+    // Exactly one top supplier joined with its supplier record.
+    ASSERT_EQ(r15.conv.rows.size(), 1u);
+    // columns: suppkey, revenue, then supplier columns.
+    EXPECT_GT(std::get<double>(r15.conv.rows[0].at(1)), 0.0);
+    EXPECT_EQ(std::get<std::int64_t>(r15.conv.rows[0].at(0)),
+              std::get<std::int64_t>(r15.conv.rows[0].at(2)));
+}
+
+TEST_F(QueryShapeTest, Q13DistributionCoversAllCustomersWithOrders)
+{
+    auto r = run(13);
+    ASSERT_FALSE(r.conv.rows.empty());
+    // rows: (order_count, num_customers); total customers with
+    // non-excluded orders ties out to distinct custkeys.
+    std::uint64_t custs = 0;
+    for (const auto &row : r.conv.rows)
+        custs += static_cast<std::uint64_t>(
+            std::get<std::int64_t>(row.at(1)));
+    EXPECT_GT(custs, 0u);
+    EXPECT_LE(custs, db_->table("customer").rowCount());
+}
+
+TEST_F(QueryShapeTest, Q16And20CountSuppliersAndParts)
+{
+    auto r16 = run(16);
+    EXPECT_LE(r16.conv.rows.size(), 40u);
+    ASSERT_FALSE(r16.conv.rows.empty());
+    for (const auto &row : r16.conv.rows)
+        EXPECT_EQ(std::get<std::string>(row.at(0)), "Brand#35");
+
+    auto r20 = run(20);
+    for (const auto &row : r20.conv.rows) {
+        EXPECT_EQ(std::get<std::string>(row.at(0)).rfind("Supplier#",
+                                                         0),
+                  0u);
+        EXPECT_GT(std::get<std::int64_t>(row.at(1)), 0);
+    }
+}
+
+TEST_F(QueryShapeTest, Q17And19ProduceScalars)
+{
+    auto r17 = run(17);
+    ASSERT_EQ(r17.conv.rows.size(), 1u);
+    EXPECT_GE(std::get<double>(r17.conv.rows[0].at(0)), 0.0);
+
+    auto r19 = run(19);
+    ASSERT_EQ(r19.conv.rows.size(), 1u);
+    EXPECT_GE(std::get<double>(r19.conv.rows[0].at(0)), 0.0);
+}
+
+TEST_F(QueryShapeTest, Q21RanksWaitingSuppliers)
+{
+    auto r = run(21);
+    EXPECT_LE(r.conv.rows.size(), 100u);
+    ASSERT_FALSE(r.conv.rows.empty());
+    std::int64_t prev = 1ll << 60;
+    for (const auto &row : r.conv.rows) {
+        auto n = std::get<std::int64_t>(row.at(1));
+        EXPECT_GT(n, 0);
+        EXPECT_LE(n, prev);
+        prev = n;
+    }
+}
+
+TEST_F(QueryShapeTest, Q22GroupsByCountryCodeWithPositiveBalances)
+{
+    auto r = run(22);
+    ASSERT_FALSE(r.conv.rows.empty());
+    EXPECT_LE(r.conv.rows.size(), 3u);  // three code prefixes
+    for (const auto &row : r.conv.rows) {
+        const auto &code = std::get<std::string>(row.at(0));
+        EXPECT_TRUE(code == "13" || code == "31" || code == "23")
+            << code;
+        EXPECT_GT(std::get<double>(row.at(2)), 0.0);  // sum acctbal
+    }
+}
+
+}  // namespace
+}  // namespace bisc::tpch

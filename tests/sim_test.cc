@@ -1,0 +1,329 @@
+/**
+ * @file
+ * Unit tests for the discrete-event kernel, fibers, waiters and the
+ * busy-until Server resource.
+ */
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "fiber/fiber.h"
+#include "sim/event_queue.h"
+#include "sim/kernel.h"
+#include "sim/server.h"
+#include "sim/stats.h"
+#include "util/common.h"
+
+namespace bisc::sim {
+namespace {
+
+TEST(EventQueue, FiresInTimeOrder)
+{
+    EventQueue q;
+    std::vector<int> order;
+    q.schedule(30, [&] { order.push_back(3); });
+    q.schedule(10, [&] { order.push_back(1); });
+    q.schedule(20, [&] { order.push_back(2); });
+    while (q.runOne()) {
+    }
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+    EXPECT_EQ(q.now(), 30u);
+}
+
+TEST(EventQueue, SameTickInsertionOrder)
+{
+    EventQueue q;
+    std::vector<int> order;
+    for (int i = 0; i < 5; ++i)
+        q.schedule(7, [&order, i] { order.push_back(i); });
+    while (q.runOne()) {
+    }
+    EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(EventQueue, CallbackMaySchedule)
+{
+    EventQueue q;
+    int fired = 0;
+    q.schedule(5, [&] {
+        ++fired;
+        q.schedule(5, [&] { ++fired; });
+    });
+    while (q.runOne()) {
+    }
+    EXPECT_EQ(fired, 2);
+    EXPECT_EQ(q.now(), 10u);
+}
+
+TEST(EventQueue, PastEventClampsToNow)
+{
+    EventQueue q;
+    q.schedule(10, [&] { q.scheduleAt(3, [] {}); });
+    while (q.runOne()) {
+    }
+    EXPECT_EQ(q.now(), 10u);
+}
+
+TEST(Fiber, RunsToCompletion)
+{
+    bool ran = false;
+    fiber::Fiber f("t", [&] { ran = true; });
+    EXPECT_FALSE(f.finished());
+    f.resume();
+    EXPECT_TRUE(ran);
+    EXPECT_TRUE(f.finished());
+}
+
+TEST(Fiber, SuspendAndResume)
+{
+    int step = 0;
+    fiber::Fiber f("t", [&] {
+        step = 1;
+        fiber::Fiber::suspendCurrent();
+        step = 2;
+    });
+    f.resume();
+    EXPECT_EQ(step, 1);
+    EXPECT_FALSE(f.finished());
+    f.resume();
+    EXPECT_EQ(step, 2);
+    EXPECT_TRUE(f.finished());
+}
+
+TEST(Fiber, CurrentTracksExecution)
+{
+    EXPECT_EQ(fiber::Fiber::current(), nullptr);
+    fiber::Fiber *seen = nullptr;
+    fiber::Fiber f("t", [&] { seen = fiber::Fiber::current(); });
+    f.resume();
+    EXPECT_EQ(seen, &f);
+    EXPECT_EQ(fiber::Fiber::current(), nullptr);
+}
+
+TEST(Kernel, SleepAdvancesVirtualTime)
+{
+    Kernel k;
+    Tick woke = 0;
+    k.spawn("sleeper", [&] {
+        Kernel::current().sleep(5 * kUsec);
+        woke = Kernel::current().now();
+    });
+    k.run();
+    EXPECT_EQ(woke, 5 * kUsec);
+}
+
+TEST(Kernel, FibersInterleaveOnYield)
+{
+    Kernel k;
+    std::vector<std::string> log;
+    k.spawn("a", [&] {
+        log.push_back("a1");
+        Kernel::current().yieldFiber();
+        log.push_back("a2");
+    });
+    k.spawn("b", [&] {
+        log.push_back("b1");
+        Kernel::current().yieldFiber();
+        log.push_back("b2");
+    });
+    k.run();
+    EXPECT_EQ(log,
+              (std::vector<std::string>{"a1", "b1", "a2", "b2"}));
+}
+
+TEST(Kernel, SleepOrdering)
+{
+    Kernel k;
+    std::vector<int> order;
+    k.spawn("late", [&] {
+        Kernel::current().sleep(20);
+        order.push_back(2);
+    });
+    k.spawn("early", [&] {
+        Kernel::current().sleep(10);
+        order.push_back(1);
+    });
+    k.run();
+    EXPECT_EQ(order, (std::vector<int>{1, 2}));
+}
+
+TEST(Kernel, JoinWaitsForChild)
+{
+    Kernel k;
+    Tick join_time = 0;
+    k.spawn("parent", [&] {
+        auto &kk = Kernel::current();
+        FiberId child = kk.spawn("child", [&] {
+            Kernel::current().sleep(100);
+        });
+        kk.join(child);
+        join_time = kk.now();
+    });
+    k.run();
+    EXPECT_EQ(join_time, 100u);
+}
+
+TEST(Kernel, JoinFinishedChildReturnsImmediately)
+{
+    Kernel k;
+    bool done = false;
+    k.spawn("parent", [&] {
+        auto &kk = Kernel::current();
+        FiberId child = kk.spawn("child", [] {});
+        kk.sleep(50);  // child certainly finished by now
+        kk.join(child);
+        done = true;
+    });
+    k.run();
+    EXPECT_TRUE(done);
+}
+
+TEST(Kernel, RunUntilStopsAtDeadline)
+{
+    Kernel k;
+    int fired = 0;
+    k.schedule(10, [&] { ++fired; });
+    k.schedule(100, [&] { ++fired; });
+    k.runUntil(50);
+    EXPECT_EQ(fired, 1);
+    EXPECT_EQ(k.now(), 10u);
+    k.run();
+    EXPECT_EQ(fired, 2);
+}
+
+TEST(Waiter, NotifyOneWakesFifo)
+{
+    Kernel k;
+    Waiter w(k);
+    std::vector<int> order;
+    for (int i = 0; i < 3; ++i) {
+        k.spawn("w" + std::to_string(i), [&, i] {
+            w.wait();
+            order.push_back(i);
+        });
+    }
+    k.spawn("notifier", [&] {
+        auto &kk = Kernel::current();
+        kk.sleep(1);
+        EXPECT_EQ(w.waiters(), 3u);
+        w.notifyOne();
+        kk.sleep(1);
+        w.notifyAll();
+    });
+    k.run();
+    EXPECT_EQ(order, (std::vector<int>{0, 1, 2}));
+}
+
+TEST(Server, SerializesRequests)
+{
+    Kernel k;
+    Server s(k, "core");
+    Tick t1 = 0, t2 = 0;
+    k.spawn("a", [&] {
+        s.compute(100);
+        t1 = Kernel::current().now();
+    });
+    k.spawn("b", [&] {
+        s.compute(100);
+        t2 = Kernel::current().now();
+    });
+    k.run();
+    EXPECT_EQ(t1, 100u);
+    EXPECT_EQ(t2, 200u);  // queued behind a
+    EXPECT_EQ(s.busyTicks(), 200u);
+    EXPECT_EQ(s.requests(), 2u);
+}
+
+TEST(Server, SpeedFactorScalesWork)
+{
+    Kernel k;
+    Server s(k, "slow", 2.0);
+    Tick t = 0;
+    k.spawn("a", [&] {
+        s.compute(100);
+        t = Kernel::current().now();
+    });
+    k.run();
+    EXPECT_EQ(t, 200u);
+}
+
+TEST(Server, IdleGapNotAccumulated)
+{
+    Kernel k;
+    Server s(k, "core");
+    k.spawn("a", [&] {
+        auto &kk = Kernel::current();
+        s.compute(10);
+        kk.sleep(1000);  // idle gap
+        s.compute(10);
+    });
+    k.run();
+    EXPECT_EQ(s.busyTicks(), 20u);
+    EXPECT_EQ(k.now(), 1020u);
+}
+
+TEST(Server, ReserveTransferUsesRate)
+{
+    Kernel k;
+    Server link(k, "link");
+    Tick done = link.reserveTransfer(1_MiB, static_cast<double>(1_GiB));
+    EXPECT_NEAR(static_cast<double>(done),
+                static_cast<double>(kSec) / 1024, 2.0);
+}
+
+TEST(Stats, CountersAccumulate)
+{
+    Stats st;
+    st.add("pages", 3);
+    st.add("pages", 4);
+    st.set("speedup", 11.0);
+    EXPECT_DOUBLE_EQ(st.get("pages"), 7.0);
+    EXPECT_DOUBLE_EQ(st.get("speedup"), 11.0);
+    EXPECT_DOUBLE_EQ(st.get("missing"), 0.0);
+    EXPECT_TRUE(st.has("pages"));
+    EXPECT_FALSE(st.has("missing"));
+}
+
+TEST(TimeSeries, StepIntegral)
+{
+    TimeSeries ts;
+    ts.record(0, 100.0);           // 100 W for 1 s
+    ts.record(kSec, 200.0);        // 200 W for 1 s
+    ts.record(2 * kSec, 0.0);
+    EXPECT_NEAR(ts.integral(), 300.0, 1e-6);  // 100*1 + 200*1 J
+    EXPECT_NEAR(ts.mean(), 150.0, 1e-6);
+}
+
+TEST(Summary, TracksExtremes)
+{
+    Summary s;
+    s.record(5);
+    s.record(1);
+    s.record(9);
+    EXPECT_EQ(s.count(), 3u);
+    EXPECT_DOUBLE_EQ(s.min(), 1);
+    EXPECT_DOUBLE_EQ(s.max(), 9);
+    EXPECT_DOUBLE_EQ(s.mean(), 5);
+}
+
+TEST(Kernel, ManyFibersStress)
+{
+    Kernel k;
+    int finished = 0;
+    for (int i = 0; i < 200; ++i) {
+        k.spawn("f" + std::to_string(i), [&, i] {
+            auto &kk = Kernel::current();
+            for (int j = 0; j < 10; ++j)
+                kk.sleep(static_cast<Tick>(1 + (i * 7 + j) % 13));
+            ++finished;
+        });
+    }
+    k.run();
+    EXPECT_EQ(finished, 200);
+    EXPECT_EQ(k.liveFibers(), 0u);
+}
+
+}  // namespace
+}  // namespace bisc::sim
