@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_ftl.dir/ablation_ftl.cc.o"
+  "CMakeFiles/ablation_ftl.dir/ablation_ftl.cc.o.d"
+  "ablation_ftl"
+  "ablation_ftl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_ftl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_ndp.dir/ablation_ndp.cc.o"
+  "CMakeFiles/ablation_ndp.dir/ablation_ndp.cc.o.d"
+  "ablation_ndp"
+  "ablation_ndp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_ndp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7_read_bandwidth.dir/fig7_read_bandwidth.cc.o"
+  "CMakeFiles/fig7_read_bandwidth.dir/fig7_read_bandwidth.cc.o.d"
+  "fig7_read_bandwidth"
+  "fig7_read_bandwidth.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_read_bandwidth.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

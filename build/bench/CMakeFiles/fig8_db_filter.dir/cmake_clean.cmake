@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig8_db_filter.dir/fig8_db_filter.cc.o"
+  "CMakeFiles/fig8_db_filter.dir/fig8_db_filter.cc.o.d"
+  "fig8_db_filter"
+  "fig8_db_filter.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8_db_filter.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

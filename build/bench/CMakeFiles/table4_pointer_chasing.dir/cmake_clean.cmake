@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table4_pointer_chasing.dir/table4_pointer_chasing.cc.o"
+  "CMakeFiles/table4_pointer_chasing.dir/table4_pointer_chasing.cc.o.d"
+  "table4_pointer_chasing"
+  "table4_pointer_chasing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table4_pointer_chasing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table5_string_search.dir/table5_string_search.cc.o"
+  "CMakeFiles/table5_string_search.dir/table5_string_search.cc.o.d"
+  "table5_string_search"
+  "table5_string_search.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table5_string_search.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/db_offload.dir/db_offload.cpp.o"
+  "CMakeFiles/db_offload.dir/db_offload.cpp.o.d"
+  "db_offload"
+  "db_offload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/db_offload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,35 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/quickstart.cpp" "examples/CMakeFiles/quickstart.dir/quickstart.cpp.o" "gcc" "examples/CMakeFiles/quickstart.dir/quickstart.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sisc/CMakeFiles/bisc_sisc.dir/DependInfo.cmake"
+  "/root/repo/build/src/slet/CMakeFiles/bisc_slet.dir/DependInfo.cmake"
+  "/root/repo/build/src/host/CMakeFiles/bisc_host.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/bisc_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/db/CMakeFiles/bisc_db.dir/DependInfo.cmake"
+  "/root/repo/build/src/tpch/CMakeFiles/bisc_tpch.dir/DependInfo.cmake"
+  "/root/repo/build/src/runtime/CMakeFiles/bisc_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/fs/CMakeFiles/bisc_fs.dir/DependInfo.cmake"
+  "/root/repo/build/src/ssd/CMakeFiles/bisc_ssd.dir/DependInfo.cmake"
+  "/root/repo/build/src/ftl/CMakeFiles/bisc_ftl.dir/DependInfo.cmake"
+  "/root/repo/build/src/nand/CMakeFiles/bisc_nand.dir/DependInfo.cmake"
+  "/root/repo/build/src/hil/CMakeFiles/bisc_hil.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/bisc_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/fiber/CMakeFiles/bisc_fiber.dir/DependInfo.cmake"
+  "/root/repo/build/src/pm/CMakeFiles/bisc_pm.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/bisc_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

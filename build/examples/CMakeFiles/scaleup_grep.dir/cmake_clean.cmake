@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scaleup_grep.dir/scaleup_grep.cpp.o"
+  "CMakeFiles/scaleup_grep.dir/scaleup_grep.cpp.o.d"
+  "scaleup_grep"
+  "scaleup_grep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scaleup_grep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

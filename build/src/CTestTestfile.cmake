@@ -1,0 +1,22 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("util")
+subdirs("fiber")
+subdirs("sim")
+subdirs("nand")
+subdirs("pm")
+subdirs("ftl")
+subdirs("hil")
+subdirs("ssd")
+subdirs("fs")
+subdirs("runtime")
+subdirs("slet")
+subdirs("sisc")
+subdirs("host")
+subdirs("db")
+subdirs("tpch")
+subdirs("graph")

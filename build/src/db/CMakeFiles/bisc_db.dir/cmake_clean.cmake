@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bisc_db.dir/executor.cc.o"
+  "CMakeFiles/bisc_db.dir/executor.cc.o.d"
+  "CMakeFiles/bisc_db.dir/expr.cc.o"
+  "CMakeFiles/bisc_db.dir/expr.cc.o.d"
+  "CMakeFiles/bisc_db.dir/planner.cc.o"
+  "CMakeFiles/bisc_db.dir/planner.cc.o.d"
+  "CMakeFiles/bisc_db.dir/table.cc.o"
+  "CMakeFiles/bisc_db.dir/table.cc.o.d"
+  "CMakeFiles/bisc_db.dir/types.cc.o"
+  "CMakeFiles/bisc_db.dir/types.cc.o.d"
+  "libbisc_db.a"
+  "libbisc_db.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bisc_db.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bisc_fiber.dir/fiber.cc.o"
+  "CMakeFiles/bisc_fiber.dir/fiber.cc.o.d"
+  "libbisc_fiber.a"
+  "libbisc_fiber.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bisc_fiber.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bisc_fs.dir/file_system.cc.o"
+  "CMakeFiles/bisc_fs.dir/file_system.cc.o.d"
+  "libbisc_fs.a"
+  "libbisc_fs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bisc_fs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bisc_ftl.dir/ftl.cc.o"
+  "CMakeFiles/bisc_ftl.dir/ftl.cc.o.d"
+  "libbisc_ftl.a"
+  "libbisc_ftl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bisc_ftl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

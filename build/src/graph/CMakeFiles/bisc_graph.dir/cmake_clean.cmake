@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bisc_graph.dir/graph.cc.o"
+  "CMakeFiles/bisc_graph.dir/graph.cc.o.d"
+  "libbisc_graph.a"
+  "libbisc_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bisc_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

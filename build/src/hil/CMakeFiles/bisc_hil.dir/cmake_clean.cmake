@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bisc_hil.dir/hil.cc.o"
+  "CMakeFiles/bisc_hil.dir/hil.cc.o.d"
+  "libbisc_hil.a"
+  "libbisc_hil.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bisc_hil.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bisc_host.dir/grep.cc.o"
+  "CMakeFiles/bisc_host.dir/grep.cc.o.d"
+  "CMakeFiles/bisc_host.dir/host_system.cc.o"
+  "CMakeFiles/bisc_host.dir/host_system.cc.o.d"
+  "CMakeFiles/bisc_host.dir/load_gen.cc.o"
+  "CMakeFiles/bisc_host.dir/load_gen.cc.o.d"
+  "libbisc_host.a"
+  "libbisc_host.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bisc_host.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

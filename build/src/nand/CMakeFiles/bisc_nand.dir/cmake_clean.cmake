@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bisc_nand.dir/nand.cc.o"
+  "CMakeFiles/bisc_nand.dir/nand.cc.o.d"
+  "libbisc_nand.a"
+  "libbisc_nand.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bisc_nand.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

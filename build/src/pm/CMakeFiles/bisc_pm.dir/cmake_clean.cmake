@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bisc_pm.dir/pattern_matcher.cc.o"
+  "CMakeFiles/bisc_pm.dir/pattern_matcher.cc.o.d"
+  "libbisc_pm.a"
+  "libbisc_pm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bisc_pm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

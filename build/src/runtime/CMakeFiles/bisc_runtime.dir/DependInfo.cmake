@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/runtime/allocator.cc" "src/runtime/CMakeFiles/bisc_runtime.dir/allocator.cc.o" "gcc" "src/runtime/CMakeFiles/bisc_runtime.dir/allocator.cc.o.d"
+  "/root/repo/src/runtime/module.cc" "src/runtime/CMakeFiles/bisc_runtime.dir/module.cc.o" "gcc" "src/runtime/CMakeFiles/bisc_runtime.dir/module.cc.o.d"
+  "/root/repo/src/runtime/runtime.cc" "src/runtime/CMakeFiles/bisc_runtime.dir/runtime.cc.o" "gcc" "src/runtime/CMakeFiles/bisc_runtime.dir/runtime.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ssd/CMakeFiles/bisc_ssd.dir/DependInfo.cmake"
+  "/root/repo/build/src/fs/CMakeFiles/bisc_fs.dir/DependInfo.cmake"
+  "/root/repo/build/src/fiber/CMakeFiles/bisc_fiber.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/bisc_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/bisc_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/ftl/CMakeFiles/bisc_ftl.dir/DependInfo.cmake"
+  "/root/repo/build/src/nand/CMakeFiles/bisc_nand.dir/DependInfo.cmake"
+  "/root/repo/build/src/hil/CMakeFiles/bisc_hil.dir/DependInfo.cmake"
+  "/root/repo/build/src/pm/CMakeFiles/bisc_pm.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

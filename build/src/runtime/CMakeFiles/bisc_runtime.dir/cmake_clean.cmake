@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bisc_runtime.dir/allocator.cc.o"
+  "CMakeFiles/bisc_runtime.dir/allocator.cc.o.d"
+  "CMakeFiles/bisc_runtime.dir/module.cc.o"
+  "CMakeFiles/bisc_runtime.dir/module.cc.o.d"
+  "CMakeFiles/bisc_runtime.dir/runtime.cc.o"
+  "CMakeFiles/bisc_runtime.dir/runtime.cc.o.d"
+  "libbisc_runtime.a"
+  "libbisc_runtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bisc_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

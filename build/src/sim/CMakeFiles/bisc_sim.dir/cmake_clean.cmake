@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bisc_sim.dir/kernel.cc.o"
+  "CMakeFiles/bisc_sim.dir/kernel.cc.o.d"
+  "CMakeFiles/bisc_sim.dir/stats.cc.o"
+  "CMakeFiles/bisc_sim.dir/stats.cc.o.d"
+  "libbisc_sim.a"
+  "libbisc_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bisc_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

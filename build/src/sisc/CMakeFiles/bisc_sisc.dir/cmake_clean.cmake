@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bisc_sisc.dir/application.cc.o"
+  "CMakeFiles/bisc_sisc.dir/application.cc.o.d"
+  "CMakeFiles/bisc_sisc.dir/file.cc.o"
+  "CMakeFiles/bisc_sisc.dir/file.cc.o.d"
+  "CMakeFiles/bisc_sisc.dir/ssd.cc.o"
+  "CMakeFiles/bisc_sisc.dir/ssd.cc.o.d"
+  "libbisc_sisc.a"
+  "libbisc_sisc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bisc_sisc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

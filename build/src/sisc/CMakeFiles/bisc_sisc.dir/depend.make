@@ -1,0 +1,2 @@
+# Empty dependencies file for bisc_sisc.
+# This may be replaced when dependencies are built.

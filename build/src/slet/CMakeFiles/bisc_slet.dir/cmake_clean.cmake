@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bisc_slet.dir/file.cc.o"
+  "CMakeFiles/bisc_slet.dir/file.cc.o.d"
+  "CMakeFiles/bisc_slet.dir/ssdlet.cc.o"
+  "CMakeFiles/bisc_slet.dir/ssdlet.cc.o.d"
+  "libbisc_slet.a"
+  "libbisc_slet.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bisc_slet.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

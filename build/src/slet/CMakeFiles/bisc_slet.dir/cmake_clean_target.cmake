@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libbisc_slet.a"
+)

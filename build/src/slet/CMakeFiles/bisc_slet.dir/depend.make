@@ -1,0 +1,2 @@
+# Empty dependencies file for bisc_slet.
+# This may be replaced when dependencies are built.

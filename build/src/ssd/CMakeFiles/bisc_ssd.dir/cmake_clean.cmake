@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bisc_ssd.dir/config.cc.o"
+  "CMakeFiles/bisc_ssd.dir/config.cc.o.d"
+  "CMakeFiles/bisc_ssd.dir/device.cc.o"
+  "CMakeFiles/bisc_ssd.dir/device.cc.o.d"
+  "libbisc_ssd.a"
+  "libbisc_ssd.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bisc_ssd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bisc_tpch.dir/dbgen.cc.o"
+  "CMakeFiles/bisc_tpch.dir/dbgen.cc.o.d"
+  "CMakeFiles/bisc_tpch.dir/queries.cc.o"
+  "CMakeFiles/bisc_tpch.dir/queries.cc.o.d"
+  "libbisc_tpch.a"
+  "libbisc_tpch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bisc_tpch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

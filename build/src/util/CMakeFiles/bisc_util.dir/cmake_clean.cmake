@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bisc_util.dir/log.cc.o"
+  "CMakeFiles/bisc_util.dir/log.cc.o.d"
+  "CMakeFiles/bisc_util.dir/rng.cc.o"
+  "CMakeFiles/bisc_util.dir/rng.cc.o.d"
+  "libbisc_util.a"
+  "libbisc_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bisc_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

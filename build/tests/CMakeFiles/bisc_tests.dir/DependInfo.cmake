@@ -1,0 +1,59 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/biscuit_app_test.cc" "tests/CMakeFiles/bisc_tests.dir/biscuit_app_test.cc.o" "gcc" "tests/CMakeFiles/bisc_tests.dir/biscuit_app_test.cc.o.d"
+  "/root/repo/tests/db_test.cc" "tests/CMakeFiles/bisc_tests.dir/db_test.cc.o" "gcc" "tests/CMakeFiles/bisc_tests.dir/db_test.cc.o.d"
+  "/root/repo/tests/dbgen_test.cc" "tests/CMakeFiles/bisc_tests.dir/dbgen_test.cc.o" "gcc" "tests/CMakeFiles/bisc_tests.dir/dbgen_test.cc.o.d"
+  "/root/repo/tests/failure_test.cc" "tests/CMakeFiles/bisc_tests.dir/failure_test.cc.o" "gcc" "tests/CMakeFiles/bisc_tests.dir/failure_test.cc.o.d"
+  "/root/repo/tests/fs_test.cc" "tests/CMakeFiles/bisc_tests.dir/fs_test.cc.o" "gcc" "tests/CMakeFiles/bisc_tests.dir/fs_test.cc.o.d"
+  "/root/repo/tests/ftl_test.cc" "tests/CMakeFiles/bisc_tests.dir/ftl_test.cc.o" "gcc" "tests/CMakeFiles/bisc_tests.dir/ftl_test.cc.o.d"
+  "/root/repo/tests/graph_test.cc" "tests/CMakeFiles/bisc_tests.dir/graph_test.cc.o" "gcc" "tests/CMakeFiles/bisc_tests.dir/graph_test.cc.o.d"
+  "/root/repo/tests/host_test.cc" "tests/CMakeFiles/bisc_tests.dir/host_test.cc.o" "gcc" "tests/CMakeFiles/bisc_tests.dir/host_test.cc.o.d"
+  "/root/repo/tests/introspection_test.cc" "tests/CMakeFiles/bisc_tests.dir/introspection_test.cc.o" "gcc" "tests/CMakeFiles/bisc_tests.dir/introspection_test.cc.o.d"
+  "/root/repo/tests/misc_coverage_test.cc" "tests/CMakeFiles/bisc_tests.dir/misc_coverage_test.cc.o" "gcc" "tests/CMakeFiles/bisc_tests.dir/misc_coverage_test.cc.o.d"
+  "/root/repo/tests/multicore_test.cc" "tests/CMakeFiles/bisc_tests.dir/multicore_test.cc.o" "gcc" "tests/CMakeFiles/bisc_tests.dir/multicore_test.cc.o.d"
+  "/root/repo/tests/nand_test.cc" "tests/CMakeFiles/bisc_tests.dir/nand_test.cc.o" "gcc" "tests/CMakeFiles/bisc_tests.dir/nand_test.cc.o.d"
+  "/root/repo/tests/pm_test.cc" "tests/CMakeFiles/bisc_tests.dir/pm_test.cc.o" "gcc" "tests/CMakeFiles/bisc_tests.dir/pm_test.cc.o.d"
+  "/root/repo/tests/port_edge_test.cc" "tests/CMakeFiles/bisc_tests.dir/port_edge_test.cc.o" "gcc" "tests/CMakeFiles/bisc_tests.dir/port_edge_test.cc.o.d"
+  "/root/repo/tests/property_test.cc" "tests/CMakeFiles/bisc_tests.dir/property_test.cc.o" "gcc" "tests/CMakeFiles/bisc_tests.dir/property_test.cc.o.d"
+  "/root/repo/tests/query_shape_test.cc" "tests/CMakeFiles/bisc_tests.dir/query_shape_test.cc.o" "gcc" "tests/CMakeFiles/bisc_tests.dir/query_shape_test.cc.o.d"
+  "/root/repo/tests/runtime_test.cc" "tests/CMakeFiles/bisc_tests.dir/runtime_test.cc.o" "gcc" "tests/CMakeFiles/bisc_tests.dir/runtime_test.cc.o.d"
+  "/root/repo/tests/scaleup_test.cc" "tests/CMakeFiles/bisc_tests.dir/scaleup_test.cc.o" "gcc" "tests/CMakeFiles/bisc_tests.dir/scaleup_test.cc.o.d"
+  "/root/repo/tests/serialize_fuzz_test.cc" "tests/CMakeFiles/bisc_tests.dir/serialize_fuzz_test.cc.o" "gcc" "tests/CMakeFiles/bisc_tests.dir/serialize_fuzz_test.cc.o.d"
+  "/root/repo/tests/sim_test.cc" "tests/CMakeFiles/bisc_tests.dir/sim_test.cc.o" "gcc" "tests/CMakeFiles/bisc_tests.dir/sim_test.cc.o.d"
+  "/root/repo/tests/slet_file_test.cc" "tests/CMakeFiles/bisc_tests.dir/slet_file_test.cc.o" "gcc" "tests/CMakeFiles/bisc_tests.dir/slet_file_test.cc.o.d"
+  "/root/repo/tests/ssd_device_test.cc" "tests/CMakeFiles/bisc_tests.dir/ssd_device_test.cc.o" "gcc" "tests/CMakeFiles/bisc_tests.dir/ssd_device_test.cc.o.d"
+  "/root/repo/tests/timing_property_test.cc" "tests/CMakeFiles/bisc_tests.dir/timing_property_test.cc.o" "gcc" "tests/CMakeFiles/bisc_tests.dir/timing_property_test.cc.o.d"
+  "/root/repo/tests/tpch_test.cc" "tests/CMakeFiles/bisc_tests.dir/tpch_test.cc.o" "gcc" "tests/CMakeFiles/bisc_tests.dir/tpch_test.cc.o.d"
+  "/root/repo/tests/util_test.cc" "tests/CMakeFiles/bisc_tests.dir/util_test.cc.o" "gcc" "tests/CMakeFiles/bisc_tests.dir/util_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/bisc_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/fiber/CMakeFiles/bisc_fiber.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/bisc_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/nand/CMakeFiles/bisc_nand.dir/DependInfo.cmake"
+  "/root/repo/build/src/pm/CMakeFiles/bisc_pm.dir/DependInfo.cmake"
+  "/root/repo/build/src/ftl/CMakeFiles/bisc_ftl.dir/DependInfo.cmake"
+  "/root/repo/build/src/hil/CMakeFiles/bisc_hil.dir/DependInfo.cmake"
+  "/root/repo/build/src/ssd/CMakeFiles/bisc_ssd.dir/DependInfo.cmake"
+  "/root/repo/build/src/fs/CMakeFiles/bisc_fs.dir/DependInfo.cmake"
+  "/root/repo/build/src/runtime/CMakeFiles/bisc_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/slet/CMakeFiles/bisc_slet.dir/DependInfo.cmake"
+  "/root/repo/build/src/sisc/CMakeFiles/bisc_sisc.dir/DependInfo.cmake"
+  "/root/repo/build/src/host/CMakeFiles/bisc_host.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/bisc_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/db/CMakeFiles/bisc_db.dir/DependInfo.cmake"
+  "/root/repo/build/src/tpch/CMakeFiles/bisc_tpch.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
