@@ -112,7 +112,7 @@ BENCHMARK(BM_PacketSerializePairVector);
 void
 BM_BoyerMooreScan(benchmark::State &state)
 {
-    Rng rng(5);
+    Rng rng(seedFromEnv(5));
     std::vector<std::uint8_t> hay(1 << 20);
     for (auto &b : hay)
         b = static_cast<std::uint8_t>('a' + rng.below(26));
@@ -126,7 +126,7 @@ BENCHMARK(BM_BoyerMooreScan);
 void
 BM_PatternMatcherScan(benchmark::State &state)
 {
-    Rng rng(6);
+    Rng rng(seedFromEnv(6));
     std::vector<std::uint8_t> page(16 << 10);
     for (auto &b : page)
         b = static_cast<std::uint8_t>('a' + rng.below(26));
@@ -146,7 +146,7 @@ void
 BM_AllocatorChurn(benchmark::State &state)
 {
     rt::Allocator alloc("bench", 16_MiB);
-    Rng rng(7);
+    Rng rng(seedFromEnv(7));
     std::vector<rt::MemAddr> live;
     for (auto _ : state) {
         if (live.size() < 64 || rng.chance(0.55)) {

@@ -243,7 +243,8 @@ bench/CMakeFiles/fig10_tpch.dir/fig10_tpch.cc.o: \
  /root/repo/src/ftl/ftl.h /usr/include/c++/12/optional \
  /usr/include/c++/12/set /usr/include/c++/12/bits/stl_set.h \
  /usr/include/c++/12/bits/stl_multiset.h /root/repo/src/nand/nand.h \
- /root/repo/src/nand/geometry.h /root/repo/src/sim/kernel.h \
+ /root/repo/src/nand/fault.h /root/repo/src/nand/geometry.h \
+ /root/repo/src/util/rng.h /root/repo/src/sim/kernel.h \
  /usr/include/c++/12/deque /usr/include/c++/12/bits/stl_deque.h \
  /usr/include/c++/12/bits/deque.tcc /root/repo/src/fiber/fiber.h \
  /usr/include/ucontext.h \
@@ -252,15 +253,16 @@ bench/CMakeFiles/fig10_tpch.dir/fig10_tpch.cc.o: \
  /usr/include/x86_64-linux-gnu/bits/types/stack_t.h \
  /root/repo/src/sim/event_queue.h /usr/include/c++/12/queue \
  /usr/include/c++/12/bits/stl_queue.h /root/repo/src/sim/server.h \
- /root/repo/src/ssd/device.h /root/repo/src/hil/hil.h \
- /root/repo/src/pm/pattern_matcher.h /root/repo/src/ssd/config.h \
+ /root/repo/src/util/status.h /usr/include/c++/12/utility \
+ /usr/include/c++/12/bits/stl_relops.h /root/repo/src/ssd/device.h \
+ /root/repo/src/hil/hil.h /root/repo/src/pm/pattern_matcher.h \
+ /root/repo/src/sim/stats.h /root/repo/src/ssd/config.h \
  /root/repo/src/host/host_system.h /root/repo/src/sisc/env.h \
  /root/repo/src/runtime/module.h /root/repo/src/runtime/ssdlet_base.h \
  /usr/include/c++/12/typeindex /root/repo/src/runtime/allocator.h \
- /root/repo/src/runtime/stream.h /usr/include/c++/12/utility \
- /usr/include/c++/12/bits/stl_relops.h \
- /root/repo/src/util/bounded_queue.h /root/repo/src/util/packet.h \
- /usr/include/c++/12/cstring /usr/include/string.h /usr/include/strings.h \
+ /root/repo/src/runtime/stream.h /root/repo/src/util/bounded_queue.h \
+ /root/repo/src/util/packet.h /usr/include/c++/12/cstring \
+ /usr/include/string.h /usr/include/strings.h \
  /root/repo/src/runtime/types.h /root/repo/src/runtime/runtime.h \
  /root/repo/src/tpch/dbgen.h /root/repo/src/tpch/queries.h \
  /root/repo/src/db/executor.h /root/repo/src/db/expr.h

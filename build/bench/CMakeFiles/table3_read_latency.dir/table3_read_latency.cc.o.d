@@ -216,23 +216,25 @@ bench/CMakeFiles/table3_read_latency.dir/table3_read_latency.cc.o: \
  /usr/include/c++/12/bits/ranges_algobase.h \
  /usr/include/c++/12/bits/uses_allocator_args.h \
  /usr/include/c++/12/pstl/glue_memory_defs.h \
- /usr/include/c++/12/pstl/execution_defs.h /root/repo/src/nand/geometry.h \
- /root/repo/src/util/common.h /usr/include/c++/12/cstddef \
- /root/repo/src/util/log.h /usr/include/c++/12/sstream \
- /usr/include/c++/12/istream /usr/include/c++/12/bits/istream.tcc \
- /usr/include/c++/12/bits/sstream.tcc /root/repo/src/sim/kernel.h \
- /usr/include/c++/12/deque /usr/include/c++/12/bits/stl_deque.h \
- /usr/include/c++/12/bits/deque.tcc /root/repo/src/fiber/fiber.h \
- /usr/include/ucontext.h \
+ /usr/include/c++/12/pstl/execution_defs.h /root/repo/src/nand/fault.h \
+ /root/repo/src/nand/geometry.h /root/repo/src/util/common.h \
+ /usr/include/c++/12/cstddef /root/repo/src/util/log.h \
+ /usr/include/c++/12/sstream /usr/include/c++/12/istream \
+ /usr/include/c++/12/bits/istream.tcc \
+ /usr/include/c++/12/bits/sstream.tcc /root/repo/src/util/rng.h \
+ /root/repo/src/sim/kernel.h /usr/include/c++/12/deque \
+ /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
+ /root/repo/src/fiber/fiber.h /usr/include/ucontext.h \
  /usr/include/x86_64-linux-gnu/bits/indirect-return.h \
  /usr/include/x86_64-linux-gnu/sys/ucontext.h \
  /usr/include/x86_64-linux-gnu/bits/types/stack_t.h \
  /root/repo/src/sim/event_queue.h /usr/include/c++/12/queue \
  /usr/include/c++/12/bits/stl_queue.h /root/repo/src/sim/server.h \
- /root/repo/src/ssd/device.h /root/repo/src/hil/hil.h \
- /root/repo/src/pm/pattern_matcher.h /root/repo/src/ssd/config.h \
+ /root/repo/src/util/status.h /usr/include/c++/12/utility \
+ /usr/include/c++/12/bits/stl_relops.h /root/repo/src/ssd/device.h \
+ /root/repo/src/hil/hil.h /root/repo/src/pm/pattern_matcher.h \
+ /root/repo/src/sim/stats.h /root/repo/src/ssd/config.h \
  /root/repo/src/sisc/application.h /usr/include/c++/12/typeindex \
- /usr/include/c++/12/utility /usr/include/c++/12/bits/stl_relops.h \
  /root/repo/src/runtime/runtime.h /root/repo/src/runtime/allocator.h \
  /root/repo/src/runtime/module.h /root/repo/src/runtime/ssdlet_base.h \
  /root/repo/src/runtime/stream.h /root/repo/src/util/bounded_queue.h \

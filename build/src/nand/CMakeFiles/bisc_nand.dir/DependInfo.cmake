@@ -8,6 +8,7 @@ set(CMAKE_DEPENDS_LANGUAGES
 
 # The set of dependency files which are needed:
 set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/nand/fault_model.cc" "src/nand/CMakeFiles/bisc_nand.dir/fault_model.cc.o" "gcc" "src/nand/CMakeFiles/bisc_nand.dir/fault_model.cc.o.d"
   "/root/repo/src/nand/nand.cc" "src/nand/CMakeFiles/bisc_nand.dir/nand.cc.o" "gcc" "src/nand/CMakeFiles/bisc_nand.dir/nand.cc.o.d"
   )
 

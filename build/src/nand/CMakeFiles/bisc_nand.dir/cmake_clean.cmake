@@ -1,4 +1,6 @@
 file(REMOVE_RECURSE
+  "CMakeFiles/bisc_nand.dir/fault_model.cc.o"
+  "CMakeFiles/bisc_nand.dir/fault_model.cc.o.d"
   "CMakeFiles/bisc_nand.dir/nand.cc.o"
   "CMakeFiles/bisc_nand.dir/nand.cc.o.d"
   "libbisc_nand.a"

@@ -203,15 +203,16 @@ src/nand/CMakeFiles/bisc_nand.dir/nand.cc.o: /root/repo/src/nand/nand.cc \
  /usr/include/c++/12/bits/erase_if.h /usr/include/c++/12/vector \
  /usr/include/c++/12/bits/stl_vector.h \
  /usr/include/c++/12/bits/stl_bvector.h \
- /usr/include/c++/12/bits/vector.tcc /root/repo/src/nand/geometry.h \
- /root/repo/src/util/common.h /usr/include/c++/12/cstddef \
- /root/repo/src/util/log.h /usr/include/c++/12/sstream \
- /usr/include/c++/12/istream /usr/include/c++/12/bits/istream.tcc \
- /usr/include/c++/12/bits/sstream.tcc /root/repo/src/sim/kernel.h \
- /usr/include/c++/12/deque /usr/include/c++/12/bits/stl_deque.h \
- /usr/include/c++/12/bits/deque.tcc /usr/include/c++/12/functional \
- /usr/include/c++/12/bits/std_function.h /usr/include/c++/12/array \
- /usr/include/c++/12/bits/stl_algo.h \
+ /usr/include/c++/12/bits/vector.tcc /root/repo/src/nand/fault.h \
+ /root/repo/src/nand/geometry.h /root/repo/src/util/common.h \
+ /usr/include/c++/12/cstddef /root/repo/src/util/log.h \
+ /usr/include/c++/12/sstream /usr/include/c++/12/istream \
+ /usr/include/c++/12/bits/istream.tcc \
+ /usr/include/c++/12/bits/sstream.tcc /root/repo/src/util/rng.h \
+ /root/repo/src/sim/kernel.h /usr/include/c++/12/deque \
+ /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
+ /usr/include/c++/12/functional /usr/include/c++/12/bits/std_function.h \
+ /usr/include/c++/12/array /usr/include/c++/12/bits/stl_algo.h \
  /usr/include/c++/12/bits/algorithmfwd.h \
  /usr/include/c++/12/bits/stl_heap.h \
  /usr/include/c++/12/bits/uniform_int_dist.h /root/repo/src/fiber/fiber.h \
@@ -221,4 +222,6 @@ src/nand/CMakeFiles/bisc_nand.dir/nand.cc.o: /root/repo/src/nand/nand.cc \
  /usr/include/x86_64-linux-gnu/bits/types/stack_t.h \
  /root/repo/src/sim/event_queue.h /usr/include/c++/12/queue \
  /usr/include/c++/12/bits/stl_queue.h /root/repo/src/sim/server.h \
- /usr/include/c++/12/cstring /usr/include/string.h /usr/include/strings.h
+ /root/repo/src/util/status.h /usr/include/c++/12/utility \
+ /usr/include/c++/12/bits/stl_relops.h /usr/include/c++/12/cstring \
+ /usr/include/string.h /usr/include/strings.h

@@ -232,6 +232,8 @@ src/runtime/CMakeFiles/bisc_runtime.dir/module.cc.o: \
  /root/repo/src/fs/file_system.h /root/repo/src/ftl/ftl.h \
  /usr/include/c++/12/set /usr/include/c++/12/bits/stl_set.h \
  /usr/include/c++/12/bits/stl_multiset.h /root/repo/src/nand/nand.h \
- /root/repo/src/nand/geometry.h /root/repo/src/ssd/device.h \
- /root/repo/src/hil/hil.h /root/repo/src/pm/pattern_matcher.h \
+ /root/repo/src/nand/fault.h /root/repo/src/nand/geometry.h \
+ /root/repo/src/util/rng.h /root/repo/src/util/status.h \
+ /root/repo/src/ssd/device.h /root/repo/src/hil/hil.h \
+ /root/repo/src/pm/pattern_matcher.h /root/repo/src/sim/stats.h \
  /root/repo/src/ssd/config.h

@@ -226,7 +226,8 @@ src/sisc/CMakeFiles/bisc_sisc.dir/file.cc.o: /root/repo/src/sisc/file.cc \
  /root/repo/src/ftl/ftl.h /usr/include/c++/12/optional \
  /usr/include/c++/12/set /usr/include/c++/12/bits/stl_set.h \
  /usr/include/c++/12/bits/stl_multiset.h /root/repo/src/nand/nand.h \
- /root/repo/src/nand/geometry.h /root/repo/src/sim/kernel.h \
+ /root/repo/src/nand/fault.h /root/repo/src/nand/geometry.h \
+ /root/repo/src/util/rng.h /root/repo/src/sim/kernel.h \
  /usr/include/c++/12/deque /usr/include/c++/12/bits/stl_deque.h \
  /usr/include/c++/12/bits/deque.tcc /root/repo/src/fiber/fiber.h \
  /usr/include/ucontext.h \
@@ -235,8 +236,9 @@ src/sisc/CMakeFiles/bisc_sisc.dir/file.cc.o: /root/repo/src/sisc/file.cc \
  /usr/include/x86_64-linux-gnu/bits/types/stack_t.h \
  /root/repo/src/sim/event_queue.h /usr/include/c++/12/queue \
  /usr/include/c++/12/bits/stl_queue.h /root/repo/src/sim/server.h \
- /root/repo/src/ssd/device.h /root/repo/src/hil/hil.h \
- /root/repo/src/pm/pattern_matcher.h /root/repo/src/ssd/config.h \
+ /root/repo/src/util/status.h /root/repo/src/ssd/device.h \
+ /root/repo/src/hil/hil.h /root/repo/src/pm/pattern_matcher.h \
+ /root/repo/src/sim/stats.h /root/repo/src/ssd/config.h \
  /root/repo/src/runtime/allocator.h /root/repo/src/runtime/module.h \
  /root/repo/src/runtime/ssdlet_base.h /root/repo/src/runtime/stream.h \
  /root/repo/src/util/bounded_queue.h /root/repo/src/runtime/types.h

@@ -231,14 +231,15 @@ src/slet/CMakeFiles/bisc_slet.dir/file.cc.o: /root/repo/src/slet/file.cc \
  /root/repo/src/util/packet.h /usr/include/c++/12/cstring \
  /usr/include/string.h /usr/include/strings.h \
  /root/repo/src/runtime/types.h /root/repo/src/sim/server.h \
- /root/repo/src/util/serialize.h /usr/include/c++/12/algorithm \
- /usr/include/c++/12/bits/ranges_algo.h \
+ /root/repo/src/util/serialize.h /root/repo/src/util/status.h \
+ /usr/include/c++/12/algorithm /usr/include/c++/12/bits/ranges_algo.h \
  /usr/include/c++/12/bits/ranges_util.h \
  /usr/include/c++/12/pstl/glue_algorithm_defs.h \
  /root/repo/src/runtime/runtime.h /root/repo/src/fs/file_system.h \
  /root/repo/src/ftl/ftl.h /usr/include/c++/12/set \
  /usr/include/c++/12/bits/stl_set.h \
  /usr/include/c++/12/bits/stl_multiset.h /root/repo/src/nand/nand.h \
- /root/repo/src/nand/geometry.h /root/repo/src/ssd/device.h \
- /root/repo/src/hil/hil.h /root/repo/src/ssd/config.h \
- /root/repo/src/runtime/module.h
+ /root/repo/src/nand/fault.h /root/repo/src/nand/geometry.h \
+ /root/repo/src/util/rng.h /root/repo/src/ssd/device.h \
+ /root/repo/src/hil/hil.h /root/repo/src/sim/stats.h \
+ /root/repo/src/ssd/config.h /root/repo/src/runtime/module.h

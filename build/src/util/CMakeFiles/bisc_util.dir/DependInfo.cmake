@@ -10,6 +10,7 @@ set(CMAKE_DEPENDS_LANGUAGES
 set(CMAKE_DEPENDS_DEPENDENCY_FILES
   "/root/repo/src/util/log.cc" "src/util/CMakeFiles/bisc_util.dir/log.cc.o" "gcc" "src/util/CMakeFiles/bisc_util.dir/log.cc.o.d"
   "/root/repo/src/util/rng.cc" "src/util/CMakeFiles/bisc_util.dir/rng.cc.o" "gcc" "src/util/CMakeFiles/bisc_util.dir/rng.cc.o.d"
+  "/root/repo/src/util/status.cc" "src/util/CMakeFiles/bisc_util.dir/status.cc.o" "gcc" "src/util/CMakeFiles/bisc_util.dir/status.cc.o.d"
   )
 
 # Targets to which this target links.

@@ -3,6 +3,8 @@ file(REMOVE_RECURSE
   "CMakeFiles/bisc_util.dir/log.cc.o.d"
   "CMakeFiles/bisc_util.dir/rng.cc.o"
   "CMakeFiles/bisc_util.dir/rng.cc.o.d"
+  "CMakeFiles/bisc_util.dir/status.cc.o"
+  "CMakeFiles/bisc_util.dir/status.cc.o.d"
   "libbisc_util.a"
   "libbisc_util.pdb"
 )

@@ -12,6 +12,7 @@ set(CMAKE_DEPENDS_DEPENDENCY_FILES
   "/root/repo/tests/db_test.cc" "tests/CMakeFiles/bisc_tests.dir/db_test.cc.o" "gcc" "tests/CMakeFiles/bisc_tests.dir/db_test.cc.o.d"
   "/root/repo/tests/dbgen_test.cc" "tests/CMakeFiles/bisc_tests.dir/dbgen_test.cc.o" "gcc" "tests/CMakeFiles/bisc_tests.dir/dbgen_test.cc.o.d"
   "/root/repo/tests/failure_test.cc" "tests/CMakeFiles/bisc_tests.dir/failure_test.cc.o" "gcc" "tests/CMakeFiles/bisc_tests.dir/failure_test.cc.o.d"
+  "/root/repo/tests/fault_injection_test.cc" "tests/CMakeFiles/bisc_tests.dir/fault_injection_test.cc.o" "gcc" "tests/CMakeFiles/bisc_tests.dir/fault_injection_test.cc.o.d"
   "/root/repo/tests/fs_test.cc" "tests/CMakeFiles/bisc_tests.dir/fs_test.cc.o" "gcc" "tests/CMakeFiles/bisc_tests.dir/fs_test.cc.o.d"
   "/root/repo/tests/ftl_test.cc" "tests/CMakeFiles/bisc_tests.dir/ftl_test.cc.o" "gcc" "tests/CMakeFiles/bisc_tests.dir/ftl_test.cc.o.d"
   "/root/repo/tests/graph_test.cc" "tests/CMakeFiles/bisc_tests.dir/graph_test.cc.o" "gcc" "tests/CMakeFiles/bisc_tests.dir/graph_test.cc.o.d"

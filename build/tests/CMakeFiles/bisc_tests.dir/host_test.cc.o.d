@@ -295,16 +295,18 @@ tests/CMakeFiles/bisc_tests.dir/host_test.cc.o: \
  /root/miniconda/include/gtest/gtest_pred_impl.h \
  /root/repo/src/host/grep.h /root/repo/src/host/host_system.h \
  /root/repo/src/fs/file_system.h /root/repo/src/ftl/ftl.h \
- /root/repo/src/nand/nand.h /root/repo/src/nand/geometry.h \
- /root/repo/src/util/common.h /root/repo/src/util/log.h \
+ /root/repo/src/nand/nand.h /root/repo/src/nand/fault.h \
+ /root/repo/src/nand/geometry.h /root/repo/src/util/common.h \
+ /root/repo/src/util/log.h /root/repo/src/util/rng.h \
  /root/repo/src/sim/kernel.h /usr/include/c++/12/deque \
  /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
  /root/repo/src/fiber/fiber.h /usr/include/ucontext.h \
  /usr/include/x86_64-linux-gnu/bits/indirect-return.h \
  /root/repo/src/sim/event_queue.h /usr/include/c++/12/queue \
  /usr/include/c++/12/bits/stl_queue.h /root/repo/src/sim/server.h \
- /root/repo/src/ssd/device.h /root/repo/src/hil/hil.h \
- /root/repo/src/pm/pattern_matcher.h /root/repo/src/ssd/config.h \
+ /root/repo/src/util/status.h /root/repo/src/ssd/device.h \
+ /root/repo/src/hil/hil.h /root/repo/src/pm/pattern_matcher.h \
+ /root/repo/src/sim/stats.h /root/repo/src/ssd/config.h \
  /root/repo/src/runtime/runtime.h /usr/include/c++/12/typeindex \
  /root/repo/src/runtime/allocator.h /root/repo/src/runtime/module.h \
  /root/repo/src/runtime/ssdlet_base.h /root/repo/src/runtime/stream.h \

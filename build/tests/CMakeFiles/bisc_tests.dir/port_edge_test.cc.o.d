@@ -305,8 +305,10 @@ tests/CMakeFiles/bisc_tests.dir/port_edge_test.cc.o: \
  /usr/include/c++/12/cstring /root/repo/src/sisc/application.h \
  /root/repo/src/runtime/runtime.h /root/repo/src/fs/file_system.h \
  /root/repo/src/ftl/ftl.h /root/repo/src/nand/nand.h \
- /root/repo/src/nand/geometry.h /root/repo/src/ssd/device.h \
- /root/repo/src/pm/pattern_matcher.h /root/repo/src/ssd/config.h \
+ /root/repo/src/nand/fault.h /root/repo/src/nand/geometry.h \
+ /root/repo/src/util/rng.h /root/repo/src/util/status.h \
+ /root/repo/src/ssd/device.h /root/repo/src/pm/pattern_matcher.h \
+ /root/repo/src/sim/stats.h /root/repo/src/ssd/config.h \
  /root/repo/src/runtime/allocator.h /root/repo/src/runtime/module.h \
  /root/repo/src/runtime/ssdlet_base.h /root/repo/src/runtime/types.h \
  /root/repo/src/sisc/port.h /root/repo/src/sisc/ssd.h \

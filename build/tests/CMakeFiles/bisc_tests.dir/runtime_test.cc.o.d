@@ -306,8 +306,10 @@ tests/CMakeFiles/bisc_tests.dir/runtime_test.cc.o: \
  /usr/include/c++/12/cstring /root/repo/src/runtime/types.h \
  /root/repo/src/sim/server.h /root/repo/src/runtime/runtime.h \
  /root/repo/src/fs/file_system.h /root/repo/src/ftl/ftl.h \
- /root/repo/src/nand/nand.h /root/repo/src/nand/geometry.h \
- /root/repo/src/ssd/device.h /root/repo/src/hil/hil.h \
- /root/repo/src/pm/pattern_matcher.h /root/repo/src/ssd/config.h \
+ /root/repo/src/nand/nand.h /root/repo/src/nand/fault.h \
+ /root/repo/src/nand/geometry.h /root/repo/src/util/rng.h \
+ /root/repo/src/util/status.h /root/repo/src/ssd/device.h \
+ /root/repo/src/hil/hil.h /root/repo/src/pm/pattern_matcher.h \
+ /root/repo/src/sim/stats.h /root/repo/src/ssd/config.h \
  /root/repo/src/sisc/env.h /root/repo/src/slet/ssdlet.h \
  /root/repo/src/slet/port.h /root/repo/src/util/serialize.h

@@ -303,6 +303,8 @@ tests/CMakeFiles/bisc_tests.dir/ssd_device_test.cc.o: \
  /usr/include/c++/12/bits/stl_queue.h /root/repo/src/util/common.h \
  /root/repo/src/util/log.h /root/repo/src/ssd/config.h \
  /root/repo/src/ftl/ftl.h /root/repo/src/nand/nand.h \
- /root/repo/src/nand/geometry.h /root/repo/src/sim/server.h \
- /root/repo/src/hil/hil.h /root/repo/src/ssd/device.h \
- /root/repo/src/pm/pattern_matcher.h
+ /root/repo/src/nand/fault.h /root/repo/src/nand/geometry.h \
+ /root/repo/src/util/rng.h /root/repo/src/sim/server.h \
+ /root/repo/src/util/status.h /root/repo/src/hil/hil.h \
+ /root/repo/src/ssd/device.h /root/repo/src/pm/pattern_matcher.h \
+ /root/repo/src/sim/stats.h

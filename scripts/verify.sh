@@ -1,0 +1,31 @@
+#!/usr/bin/env bash
+# Tier-1 verification: a normal build + ctest pass, then a second pass
+# with AddressSanitizer and UBSan enabled via BISCUIT_SANITIZE.
+#
+# Usage: scripts/verify.sh [--no-sanitize]
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+run_sanitized=1
+if [[ "${1:-}" == "--no-sanitize" ]]; then
+    run_sanitized=0
+fi
+
+echo "=== pass 1: normal build + ctest ==="
+cmake -B build -S . >/dev/null
+cmake --build build -j "$(nproc)"
+ctest --test-dir build --output-on-failure -j "$(nproc)"
+
+if [[ "$run_sanitized" == 1 ]]; then
+    echo
+    echo "=== pass 2: ASan/UBSan build + ctest ==="
+    cmake -B build-san -S . "-DBISCUIT_SANITIZE=address;undefined" \
+        -DCMAKE_BUILD_TYPE=RelWithDebInfo >/dev/null
+    cmake --build build-san -j "$(nproc)"
+    ASAN_OPTIONS=detect_leaks=0 \
+        ctest --test-dir build-san --output-on-failure -j "$(nproc)"
+fi
+
+echo
+echo "verify: all passes clean"

@@ -78,16 +78,19 @@ FileSystem::populateWith(
     node.size = total;
 }
 
-Tick
-FileSystem::read(const std::string &path, Bytes offset, Bytes len,
-                 std::uint8_t *out, Tick earliest)
+ReadResult
+FileSystem::readEx(const std::string &path, Bytes offset, Bytes len,
+                   std::uint8_t *out, Tick earliest)
 {
+    ReadResult r;
     const Inode &node = inodeOf(path);
-    if (offset >= node.size)
-        return std::max(earliest, dev_.kernel().now());
+    if (offset >= node.size) {
+        r.done = std::max(earliest, dev_.kernel().now());
+        return r;
+    }
     len = std::min(len, node.size - offset);
 
-    Tick done = earliest;
+    r.done = earliest;
     Bytes copied = 0;
     while (copied < len) {
         Bytes pos = offset + copied;
@@ -95,12 +98,26 @@ FileSystem::read(const std::string &path, Bytes offset, Bytes len,
         Bytes in_page = pos % page_size_;
         Bytes n = std::min(page_size_ - in_page, len - copied);
         std::uint8_t *dst = out == nullptr ? nullptr : out + copied;
-        Tick t = dev_.internalRead(node.pages[page_idx], in_page, n,
-                                   dst, earliest);
-        done = std::max(done, t);
+        ftl::ReadResult pr = dev_.internalReadEx(
+            node.pages[page_idx], in_page, n, dst, earliest);
+        r.done = std::max(r.done, pr.done);
+        r.retries += pr.retries;
+        if (!pr.status.ok() && r.status.ok())
+            r.status = pr.status;
         copied += n;
     }
-    return done;
+    r.bytes = copied;
+    return r;
+}
+
+Tick
+FileSystem::read(const std::string &path, Bytes offset, Bytes len,
+                 std::uint8_t *out, Tick earliest)
+{
+    ReadResult r = readEx(path, offset, len, out, earliest);
+    BISC_ASSERT(r.status.ok(), "unhandled media error reading '", path,
+                "': ", r.status.toString());
+    return r.done;
 }
 
 Tick

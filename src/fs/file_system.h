@@ -23,8 +23,24 @@
 #include "ftl/ftl.h"
 #include "ssd/device.h"
 #include "util/common.h"
+#include "util/status.h"
 
 namespace bisc::fs {
+
+/** Outcome of a timed file read. */
+struct ReadResult
+{
+    Tick done = 0;
+
+    /** First media error across the covered pages (OK if all clean). */
+    Status status;
+
+    /** Bytes delivered (clamped at EOF). */
+    Bytes bytes = 0;
+
+    /** Total ECC re-sense passes charged across the covered pages. */
+    std::uint32_t retries = 0;
+};
 
 class FileSystem
 {
@@ -68,9 +84,16 @@ class FileSystem
     /**
      * Timed device-internal read of [offset, offset+len). Pages are
      * fetched in parallel (one request fans out across channels);
-     * returns the completion tick of the last page. Reads past EOF are
-     * clamped; @p out may be null for timing-only probes.
+     * returns the completion tick of the last page together with the
+     * recovery status (recovered pages charge retry latency; an
+     * uncorrectable page yields a non-OK status and damaged bytes).
+     * Reads past EOF are clamped; @p out may be null for timing-only
+     * probes.
      */
+    ReadResult readEx(const std::string &path, Bytes offset, Bytes len,
+                      std::uint8_t *out, Tick earliest = 0);
+
+    /** Legacy tick-only read; panics on an unhandled media error. */
     Tick read(const std::string &path, Bytes offset, Bytes len,
               std::uint8_t *out, Tick earliest = 0);
 

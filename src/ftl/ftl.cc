@@ -24,9 +24,9 @@ Ftl::Ftl(sim::Kernel &kernel, nand::NandFlash &nand,
         slots_[pbn % geo.dies()].free.push_back(pbn);
 }
 
-Tick
-Ftl::read(Lpn lpn, Bytes offset, Bytes len, std::uint8_t *out,
-          Tick earliest)
+ReadResult
+Ftl::readEx(Lpn lpn, Bytes offset, Bytes len, std::uint8_t *out,
+            Tick earliest)
 {
     BISC_ASSERT(lpn < logical_pages_, "lpn out of range: ", lpn);
     Tick start = std::max(earliest, kernel_.now());
@@ -35,10 +35,38 @@ Ftl::read(Lpn lpn, Bytes offset, Bytes len, std::uint8_t *out,
     if (it == map_.end()) {
         if (out != nullptr)
             std::fill(out, out + len, 0);
-        return fw_done;
+        return ReadResult{fw_done, Status(), 0};
     }
     // Firmware dispatch, then media + channel (NAND pipelines them).
-    return nand_.readPage(it->second, offset, len, out, fw_done);
+    nand::Ppn ppn = it->second;
+    nand::ReadResult r = nand_.readPageEx(ppn, offset, len, out, fw_done);
+    if (!r.status.ok()) {
+        ++uncorrectable_;
+        return ReadResult{r.done, r.status, r.retries};
+    }
+    if (params_.relocate_retry_threshold != 0 &&
+        r.retries >= params_.relocate_retry_threshold && !in_gc_) {
+        // The page decoded, but only after deep retries: refresh it
+        // into a fresh block before it degrades into data loss, and
+        // retire the block once it keeps producing such reads.
+        relocateLpn(lpn);
+        ++retry_relocations_;
+        nand::Pbn pbn = nand_.geometry().blockOf(ppn);
+        if (!isBad(pbn) &&
+            ++suspect_events_[pbn] >= params_.bad_block_read_events)
+            retireBlock(pbn);
+    }
+    return ReadResult{r.done, Status(), r.retries};
+}
+
+Tick
+Ftl::read(Lpn lpn, Bytes offset, Bytes len, std::uint8_t *out,
+          Tick earliest)
+{
+    ReadResult r = readEx(lpn, offset, len, out, earliest);
+    BISC_ASSERT(r.status.ok(), "unhandled media error on legacy FTL "
+                "read path: ", r.status.toString());
+    return r.done;
 }
 
 Tick
@@ -47,8 +75,7 @@ Ftl::write(Lpn lpn, const std::uint8_t *data, Bytes len)
     BISC_ASSERT(lpn < logical_pages_, "lpn out of range: ", lpn);
     BISC_ASSERT(len <= pageSize(), "write beyond page: ", len);
     invalidate(lpn);
-    nand::Ppn ppn = allocPage(/*timed=*/true);
-    Tick done = nand_.programPage(ppn, data, len);
+    auto [ppn, done] = programWithRemap(data, len);
     bindMapping(lpn, ppn);
     return done + params_.fw_write_overhead;
 }
@@ -97,6 +124,65 @@ Ftl::wearSpread() const
     return max_e - min_e;
 }
 
+bool
+Ftl::auditMapping(std::string *why) const
+{
+    auto fail = [why](std::string msg) {
+        if (why != nullptr)
+            *why = std::move(msg);
+        return false;
+    };
+    const auto &geo = nand_.geometry();
+    if (map_.size() != rev_.size())
+        return fail(detail::format("map/rev size mismatch: ",
+                                   map_.size(), " vs ", rev_.size()));
+    std::unordered_map<nand::Pbn, std::uint32_t> recount;
+    for (const auto &[lpn, ppn] : map_) {
+        auto rit = rev_.find(ppn);
+        if (rit == rev_.end() || rit->second != lpn)
+            return fail(detail::format("rev mapping broken for lpn ",
+                                       lpn, " -> ppn ", ppn));
+        if (!nand_.isProgrammed(ppn))
+            return fail(detail::format("lpn ", lpn,
+                                       " maps to unprogrammed ppn ",
+                                       ppn));
+        nand::Pbn pbn = geo.blockOf(ppn);
+        if (isBad(pbn))
+            return fail(detail::format("lpn ", lpn,
+                                       " lives in retired block ", pbn));
+        ++recount[pbn];
+    }
+    for (const auto &[pbn, n] : valid_count_) {
+        auto it = recount.find(pbn);
+        std::uint32_t actual = it == recount.end() ? 0 : it->second;
+        if (n != actual)
+            return fail(detail::format("valid count of block ", pbn,
+                                       " is ", n, ", expected ",
+                                       actual));
+        recount.erase(pbn);
+    }
+    for (const auto &[pbn, n] : recount) {
+        if (n != 0)
+            return fail(detail::format("block ", pbn, " holds ", n,
+                                       " live pages but has no valid "
+                                       "count"));
+    }
+    for (nand::Pbn pbn : bad_blocks_) {
+        if (sealed_.count(pbn) != 0)
+            return fail(detail::format("retired block ", pbn,
+                                       " still sealed"));
+        const Slot &slot = slots_[pbn % geo.dies()];
+        if (slot.active && *slot.active == pbn)
+            return fail(detail::format("retired block ", pbn,
+                                       " still active"));
+        if (std::find(slot.free.begin(), slot.free.end(), pbn) !=
+            slot.free.end())
+            return fail(detail::format("retired block ", pbn,
+                                       " back in the free pool"));
+    }
+    return true;
+}
+
 nand::Ppn
 Ftl::allocPage(bool timed)
 {
@@ -133,6 +219,83 @@ Ftl::allocPage(bool timed)
     return allocPage(timed);
 }
 
+std::pair<nand::Ppn, Tick>
+Ftl::programWithRemap(const std::uint8_t *data, Bytes len)
+{
+    for (std::uint32_t attempt = 0; attempt < params_.max_program_attempts;
+         ++attempt) {
+        nand::Ppn ppn = allocPage(/*timed=*/true);
+        nand::OpResult r = nand_.programPageEx(ppn, data, len);
+        if (r.status.ok())
+            return {ppn, r.done};
+        // Program verify failed: the block has grown bad. Retire it
+        // (migrating whatever valid pages it already holds) and try a
+        // different block.
+        ++program_remaps_;
+        retireBlock(nand_.geometry().blockOf(ppn));
+    }
+    BISC_PANIC("program failed ", params_.max_program_attempts,
+               " times in distinct blocks; media beyond recovery");
+}
+
+void
+Ftl::retireBlock(nand::Pbn pbn)
+{
+    if (isBad(pbn))
+        return;
+    const auto &geo = nand_.geometry();
+    // Mark bad first so no allocation below can hand out its pages.
+    bad_blocks_.insert(pbn);
+    sealed_.erase(pbn);
+    suspect_events_.erase(pbn);
+    Slot &slot = slots_[pbn % geo.dies()];
+    if (slot.active && *slot.active == pbn)
+        slot.active.reset();
+    slot.free.erase(std::remove(slot.free.begin(), slot.free.end(), pbn),
+                    slot.free.end());
+    ++blocks_retired_;
+
+    // Migrate surviving data. Firmware migration reads run the full
+    // offline recovery ladder; the model treats them as functionally
+    // successful (timing charged, bytes taken from the backing store).
+    std::vector<std::uint8_t> buf(geo.page_size);
+    for (std::uint32_t i = 0; i < geo.pages_per_block; ++i) {
+        nand::Ppn src = geo.pageOfBlock(pbn, i);
+        auto rit = rev_.find(src);
+        if (rit == rev_.end())
+            continue;
+        Lpn lpn = rit->second;
+        nand_.readPageEx(src, 0, geo.page_size, nullptr);
+        snapshotPage(src, buf);
+        rev_.erase(rit);
+        auto vit = valid_count_.find(pbn);
+        if (vit != valid_count_.end() && vit->second > 0)
+            --vit->second;
+        auto [dst, done] = programWithRemap(buf.data(), geo.page_size);
+        (void)done;
+        bindMapping(lpn, dst);
+        ++pages_relocated_;
+    }
+    valid_count_.erase(pbn);
+}
+
+void
+Ftl::relocateLpn(Lpn lpn)
+{
+    auto it = map_.find(lpn);
+    if (it == map_.end())
+        return;
+    const auto &geo = nand_.geometry();
+    std::vector<std::uint8_t> buf(geo.page_size);
+    // The recovered bytes are already in hand from the triggering
+    // read; only the rewrite is charged.
+    snapshotPage(it->second, buf);
+    invalidate(lpn);
+    auto [dst, done] = programWithRemap(buf.data(), geo.page_size);
+    (void)done;
+    bindMapping(lpn, dst);
+}
+
 void
 Ftl::gcOnce()
 {
@@ -163,19 +326,29 @@ Ftl::gcOnce()
         if (rit == rev_.end())
             continue;
         Lpn lpn = rit->second;
-        nand_.readPage(src, 0, geo.page_size, buf.data());
+        // Timing-only media read; GC data moves through the firmware
+        // buffer, taken functionally from the backing store so an
+        // injected error can never propagate corrupt bytes.
+        nand_.readPageEx(src, 0, geo.page_size, nullptr);
+        snapshotPage(src, buf);
         rev_.erase(rit);
         auto vit = valid_count_.find(victim);
         if (vit != valid_count_.end() && vit->second > 0)
             --vit->second;
-        nand::Ppn dst = allocPage(/*timed=*/true);
-        nand_.programPage(dst, buf.data(), geo.page_size);
+        auto [dst, done] = programWithRemap(buf.data(), geo.page_size);
+        (void)done;
         bindMapping(lpn, dst);
         ++pages_relocated_;
     }
     in_gc_ = false;
     valid_count_.erase(victim);
-    nand_.eraseBlock(victim);
+    nand::OpResult er = nand_.eraseBlockEx(victim);
+    if (!er.status.ok()) {
+        // The reclaimed block refused to erase: retire it instead of
+        // returning it to the free pool.
+        retireBlock(victim);
+        return;
+    }
     slots_[victim % geo.dies()].free.push_back(victim);
 }
 
@@ -200,6 +373,15 @@ Ftl::bindMapping(Lpn lpn, nand::Ppn ppn)
     map_[lpn] = ppn;
     rev_[ppn] = lpn;
     ++valid_count_[nand_.geometry().blockOf(ppn)];
+}
+
+void
+Ftl::snapshotPage(nand::Ppn ppn, std::vector<std::uint8_t> &buf) const
+{
+    std::fill(buf.begin(), buf.end(), 0);
+    const auto *page = nand_.peekPage(ppn);
+    if (page != nullptr)
+        std::copy(page->begin(), page->end(), buf.begin());
 }
 
 std::uint64_t

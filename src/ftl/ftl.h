@@ -10,6 +10,13 @@
  * to physical NAND pages, writes go out-of-place with striped channel
  * allocation, and a greedy garbage collector with a free-block reserve
  * reclaims invalidated space.
+ *
+ * Reliability duties (active only when the NAND's FaultModel is
+ * enabled): program/erase failures grow bad blocks, which the FTL
+ * retires — valid pages are migrated out and the block never returns to
+ * the free pool; reads that needed deep ECC retries are remapped to
+ * fresh blocks before they degrade into data loss; uncorrectable reads
+ * surface a typed Status to the layers above instead of corrupt bytes.
  */
 
 #ifndef BISCUIT_FTL_FTL_H_
@@ -24,11 +31,22 @@
 #include "nand/nand.h"
 #include "sim/kernel.h"
 #include "util/common.h"
+#include "util/status.h"
 
 namespace bisc::ftl {
 
 /** Logical page number exposed to the file system. */
 using Lpn = std::uint64_t;
+
+/** Outcome of a timed logical read. */
+struct ReadResult
+{
+    Tick done = 0;
+    Status status;
+
+    /** ECC re-sense passes the media needed (0 = clean decode). */
+    std::uint32_t retries = 0;
+};
 
 struct FtlParams
 {
@@ -47,6 +65,27 @@ struct FtlParams
 
     /** GC kicks in when free blocks drop below this many. */
     std::uint32_t gc_reserve_blocks = 0;  // 0 = dies() (one per die)
+
+    // ----- Reliability policy (only exercised under fault injection) --
+
+    /**
+     * A read recovered with at least this many ECC retries has its
+     * page rewritten into a fresh block (read-disturb/wear refresh).
+     * 0 disables retry-driven relocation.
+     */
+    std::uint32_t relocate_retry_threshold = 2;
+
+    /**
+     * High-retry read events charged to one block before the whole
+     * block is retired (remaining valid pages migrated out).
+     */
+    std::uint32_t bad_block_read_events = 4;
+
+    /**
+     * Attempts to find a healthy destination page for one write before
+     * declaring the device failed; each failed attempt retires a block.
+     */
+    std::uint32_t max_program_attempts = 8;
 };
 
 class Ftl
@@ -62,18 +101,26 @@ class Ftl
 
     /**
      * Timed read of @p len bytes at @p offset inside logical page
-     * @p lpn. Returns the absolute completion tick; @p out may be null
-     * for timing-only probes. Unmapped pages read as zeros with
-     * firmware cost only (no media access). @p earliest lower-bounds
+     * @p lpn. @p out may be null for timing-only probes. Unmapped
+     * pages read as zeros with firmware cost only (no media access).
+     * A recovered read charges retry latency and may transparently
+     * remap the page; an unrecoverable read reports kUncorrectable
+     * with deliberately damaged output bytes. @p earliest lower-bounds
      * the firmware start (e.g., after NVMe command fetch).
      */
+    ReadResult readEx(Lpn lpn, Bytes offset, Bytes len,
+                      std::uint8_t *out, Tick earliest = 0);
+
+    /** Legacy tick-only read; panics on an unhandled media error. */
     Tick read(Lpn lpn, Bytes offset, Bytes len, std::uint8_t *out,
               Tick earliest = 0);
 
     /**
      * Timed full-page write (out-of-place). @p len <= pageSize();
      * the remainder of the page is zero-filled. May trigger foreground
-     * garbage collection. Returns the program completion tick.
+     * garbage collection; transparently retries on program failure
+     * (retiring the grown-bad block). Returns the program completion
+     * tick.
      */
     Tick write(Lpn lpn, const std::uint8_t *data, Bytes len);
 
@@ -97,6 +144,26 @@ class Ftl
     std::uint64_t freeBlocks() const;
     std::uint64_t mappedPages() const { return map_.size(); }
 
+    // Reliability statistics (zero while faults are disabled).
+    std::uint64_t uncorrectableReads() const { return uncorrectable_; }
+    std::uint64_t retryRelocations() const { return retry_relocations_; }
+    std::uint64_t blocksRetired() const { return blocks_retired_; }
+    std::uint64_t programFailRemaps() const { return program_remaps_; }
+
+    /** Blocks the FTL has permanently retired as bad. */
+    const std::set<nand::Pbn> &badBlocks() const { return bad_blocks_; }
+
+    bool isBad(nand::Pbn pbn) const { return bad_blocks_.count(pbn) != 0; }
+
+    /**
+     * Structural self-check: the logical-to-physical map is a bijection
+     * over live pages, no live page sits in a retired block, per-block
+     * valid counts agree with the reverse map, and retired blocks are
+     * out of every allocation pool. Returns false and fills @p why on
+     * the first violation. Test/debug hook; O(pages).
+     */
+    bool auditMapping(std::string *why = nullptr) const;
+
     /** Max minus min per-block erase count (wear spread). */
     std::uint64_t wearSpread() const;
 
@@ -117,6 +184,24 @@ class Ftl
      */
     nand::Ppn allocPage(bool timed);
 
+    /**
+     * Program @p len bytes into a freshly allocated page, retiring
+     * grown-bad blocks and retrying until a program verifies (or
+     * max_program_attempts is exhausted, which panics). Returns the
+     * destination page and completion tick.
+     */
+    std::pair<nand::Ppn, Tick> programWithRemap(const std::uint8_t *data,
+                                                Bytes len);
+
+    /**
+     * Permanently retire @p pbn: migrate its valid pages to healthy
+     * blocks, drop it from every allocation pool, record it bad.
+     */
+    void retireBlock(nand::Pbn pbn);
+
+    /** Rewrite @p lpn into a fresh block (wear/retry refresh). */
+    void relocateLpn(Lpn lpn);
+
     /** Reclaim one victim block (greedy: fewest valid pages). */
     void gcOnce();
 
@@ -125,6 +210,9 @@ class Ftl
 
     /** Record that @p ppn now holds @p lpn. */
     void bindMapping(Lpn lpn, nand::Ppn ppn);
+
+    /** Copy the current bytes of @p ppn into @p buf (zero-padded). */
+    void snapshotPage(nand::Ppn ppn, std::vector<std::uint8_t> &buf) const;
 
     std::uint64_t totalFreeBlocks() const;
 
@@ -141,9 +229,15 @@ class Ftl
     std::unordered_map<nand::Ppn, Lpn> rev_;
     std::unordered_map<nand::Pbn, std::uint32_t> valid_count_;
     std::set<nand::Pbn> sealed_;
+    std::set<nand::Pbn> bad_blocks_;
+    std::unordered_map<nand::Pbn, std::uint32_t> suspect_events_;
 
     std::uint64_t gc_runs_ = 0;
     std::uint64_t pages_relocated_ = 0;
+    std::uint64_t uncorrectable_ = 0;
+    std::uint64_t retry_relocations_ = 0;
+    std::uint64_t blocks_retired_ = 0;
+    std::uint64_t program_remaps_ = 0;
     bool in_gc_ = false;
 };
 

@@ -1,0 +1,156 @@
+/**
+ * @file
+ * Seed-deterministic NAND fault injection.
+ *
+ * The seed simulator idealized the media: reads always returned the
+ * exact bytes programmed and no operation ever failed, which left every
+ * error path above the NAND (FTL remap, file-system status, SSDlet
+ * recovery) untested dead code. FaultModel supplies the "ill-behaving"
+ * substrate conditions the paper's §II-B demands the framework survive:
+ *
+ *  - raw bit errors per page sense, with a bit-error rate that grows
+ *    with the containing block's program/erase count (wear-out),
+ *  - program and erase failures (grown bad blocks),
+ *  - transient die and channel stalls (latency-only events).
+ *
+ * Everything is driven by one xoshiro256** stream seeded from
+ *  FaultConfig::seed, so a whole campaign replays bit-identically from
+ * its seed. With `enabled == false` (the default) the model is inert:
+ * no RNG draws, no extra latency, no behaviour change anywhere.
+ *
+ * The companion EccConfig describes the on-die ECC: a per-page
+ * correctable-bit budget and a read-retry loop (re-sense with shifted
+ * read voltages) that each pass both charges latency and lowers the
+ * effective raw BER.
+ */
+
+#ifndef BISCUIT_NAND_FAULT_H_
+#define BISCUIT_NAND_FAULT_H_
+
+#include <cstdint>
+
+#include "nand/geometry.h"
+#include "util/common.h"
+#include "util/rng.h"
+
+namespace bisc::nand {
+
+struct FaultConfig
+{
+    /** Master switch; false keeps the media ideal (seed behaviour). */
+    bool enabled = false;
+
+    /** Seed of the fault RNG stream; campaigns replay from this. */
+    std::uint64_t seed = 1;
+
+    /** Raw bit-error probability per sensed bit at zero P/E cycles. */
+    double raw_ber = 0.0;
+
+    /**
+     * Wear growth: effective BER = raw_ber * (1 + ber_pe_growth * PE).
+     * Models charge-trap degradation as blocks accumulate erases.
+     */
+    double ber_pe_growth = 0.0;
+
+    /** Probability a page program operation fails (grown bad block). */
+    double program_fail_prob = 0.0;
+
+    /** Probability a block erase operation fails (grown bad block). */
+    double erase_fail_prob = 0.0;
+
+    /** Probability a media op hits a stalled die (latency only). */
+    double die_stall_prob = 0.0;
+
+    /** Extra media latency of one die stall. */
+    Tick die_stall_ticks = 2 * kMsec;
+
+    /** Probability a page transfer hits a stalled channel bus. */
+    double channel_stall_prob = 0.0;
+
+    /** Extra bus latency of one channel stall. */
+    Tick channel_stall_ticks = 500 * kUsec;
+};
+
+struct EccConfig
+{
+    /** Bit errors per page the code corrects in one decode pass. */
+    std::uint32_t correctable_bits = 72;
+
+    /** Max re-sense attempts after a failed decode. */
+    std::uint32_t max_read_retries = 4;
+
+    /** Media latency charged per retry (shifted-Vref re-sense). */
+    Tick read_retry_ticks = 80 * kUsec;
+
+    /**
+     * Effective BER multiplier per successive retry: each deeper
+     * retry level reads with better-tuned thresholds.
+     */
+    double retry_ber_scale = 0.35;
+};
+
+/**
+ * The injector. NandFlash consults it on every timed media operation;
+ * all randomness lives here. Deterministic given (seed, operation
+ * sequence) — the simulator is single-threaded, so a fixed workload
+ * seed replays the exact same fault sequence.
+ */
+class FaultModel
+{
+  public:
+    explicit FaultModel(const FaultConfig &cfg)
+        : cfg_(cfg), rng_(cfg.seed)
+    {}
+
+    bool enabled() const { return cfg_.enabled; }
+
+    const FaultConfig &config() const { return cfg_; }
+
+    /**
+     * Number of raw bit errors in one sense of a full page of
+     * @p page_bytes whose block has endured @p pe_cycles erases.
+     * @p ber_scale < 1 models retry reads at tuned thresholds.
+     */
+    std::uint32_t senseErrors(Bytes page_bytes, std::uint64_t pe_cycles,
+                              double ber_scale);
+
+    /** Draw a program failure for this operation. */
+    bool programFails() { return cfg_.enabled && rng_.chance(cfg_.program_fail_prob); }
+
+    /** Draw an erase failure for this operation. */
+    bool eraseFails() { return cfg_.enabled && rng_.chance(cfg_.erase_fail_prob); }
+
+    /** Extra media ticks if this op hits a stalled die (0 if not). */
+    Tick
+    dieStallTicks()
+    {
+        return cfg_.enabled && rng_.chance(cfg_.die_stall_prob)
+                   ? cfg_.die_stall_ticks
+                   : 0;
+    }
+
+    /** Extra bus ticks if this transfer hits a stalled channel. */
+    Tick
+    channelStallTicks()
+    {
+        return cfg_.enabled && rng_.chance(cfg_.channel_stall_prob)
+                   ? cfg_.channel_stall_ticks
+                   : 0;
+    }
+
+    /**
+     * Deterministically damage @p len bytes of @p buf, used when a read
+     * exhausts ECC: the datapath must hand corrupt bytes (paired with a
+     * non-OK Status) rather than pretend the data survived, so a layer
+     * that drops the status gets caught by checksums, not luck.
+     */
+    void corrupt(std::uint8_t *buf, Bytes len);
+
+  private:
+    FaultConfig cfg_;
+    Rng rng_;
+};
+
+}  // namespace bisc::nand
+
+#endif  // BISCUIT_NAND_FAULT_H_

@@ -1,0 +1,67 @@
+#include "nand/fault.h"
+
+#include <cmath>
+
+namespace bisc::nand {
+
+std::uint32_t
+FaultModel::senseErrors(Bytes page_bytes, std::uint64_t pe_cycles,
+                        double ber_scale)
+{
+    if (!cfg_.enabled || cfg_.raw_ber <= 0.0)
+        return 0;
+    double ber = cfg_.raw_ber *
+                 (1.0 + cfg_.ber_pe_growth *
+                            static_cast<double>(pe_cycles)) *
+                 ber_scale;
+    if (ber <= 0.0)
+        return 0;
+    if (ber > 1.0)
+        ber = 1.0;
+    double bits = static_cast<double>(page_bytes) * 8.0;
+    double lambda = ber * bits;
+
+    // Binomial(bits, ber) with bits ~1e5 and small ber is Poisson to
+    // within noise. Sample with Knuth's product method for small
+    // lambda and a clamped normal approximation for large lambda; both
+    // consume a bounded number of draws from the shared stream.
+    if (lambda < 64.0) {
+        double limit = std::exp(-lambda);
+        std::uint32_t k = 0;
+        double prod = rng_.uniform();
+        while (prod > limit) {
+            ++k;
+            prod *= rng_.uniform();
+        }
+        return k;
+    }
+    // Box-Muller normal draw, mean lambda, stddev sqrt(lambda).
+    double u1 = rng_.uniform();
+    double u2 = rng_.uniform();
+    if (u1 < 1e-300)
+        u1 = 1e-300;
+    double z = std::sqrt(-2.0 * std::log(u1)) *
+               std::cos(2.0 * 3.14159265358979323846 * u2);
+    double v = lambda + std::sqrt(lambda) * z;
+    if (v < 0.0)
+        v = 0.0;
+    if (v > bits)
+        v = bits;
+    return static_cast<std::uint32_t>(v + 0.5);
+}
+
+void
+FaultModel::corrupt(std::uint8_t *buf, Bytes len)
+{
+    if (buf == nullptr || len == 0)
+        return;
+    // Flip a spread of bits across the buffer: enough that any
+    // checksum notices, deterministic from the stream position.
+    Bytes flips = len / 64 + 1;
+    for (Bytes i = 0; i < flips; ++i) {
+        Bytes at = rng_.below(len);
+        buf[at] ^= static_cast<std::uint8_t>(1u << rng_.below(8));
+    }
+}
+
+}  // namespace bisc::nand

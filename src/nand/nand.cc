@@ -5,8 +5,10 @@
 namespace bisc::nand {
 
 NandFlash::NandFlash(sim::Kernel &kernel, const Geometry &geo,
-                     const NandTiming &timing)
-    : kernel_(kernel), geo_(geo), timing_(timing)
+                     const NandTiming &timing, const FaultConfig &faults,
+                     const EccConfig &ecc)
+    : kernel_(kernel), geo_(geo), timing_(timing), ecc_(ecc),
+      fault_(faults)
 {
     dies_.reserve(geo_.dies());
     for (std::uint32_t d = 0; d < geo_.dies(); ++d) {
@@ -20,22 +22,63 @@ NandFlash::NandFlash(sim::Kernel &kernel, const Geometry &geo,
     }
 }
 
-Tick
-NandFlash::readPage(Ppn ppn, Bytes offset, Bytes len, std::uint8_t *out,
-                    Tick earliest)
+ReadResult
+NandFlash::readPageEx(Ppn ppn, Bytes offset, Bytes len, std::uint8_t *out,
+                      Tick earliest)
 {
     BISC_ASSERT(ppn < geo_.totalPages(), "ppn out of range: ", ppn);
     BISC_ASSERT(offset + len <= geo_.page_size,
                 "read beyond page: off=", offset, " len=", len);
-    // Media sense, then pipelined bus transfer of the requested bytes.
-    Tick media_done = dieServer(ppn).reserveAt(earliest,
-                                               timing_.read_page);
+    ReadResult r;
+
+    // Media sense (plus any injected die stall), then the ECC decode /
+    // re-sense loop, then pipelined bus transfer of the requested bytes.
+    Tick media = timing_.read_page;
+    if (Tick stall = fault_.dieStallTicks(); stall != 0) {
+        media += stall;
+        ++die_stalls_;
+    }
+    Tick media_done = dieServer(ppn).reserveAt(earliest, media);
+
+    auto it = pages_.find(ppn);
+    bool uncorrectable = false;
+    if (fault_.enabled() && it != pages_.end()) {
+        // Erased (unwritten) pages carry no data to decode; only
+        // programmed pages go through ECC.
+        std::uint64_t pe = eraseCount(geo_.blockOf(ppn));
+        double scale = 1.0;
+        std::uint32_t errors =
+            fault_.senseErrors(geo_.page_size, pe, scale);
+        while (errors > ecc_.correctable_bits &&
+               r.retries < ecc_.max_read_retries) {
+            ++r.retries;
+            scale *= ecc_.retry_ber_scale;
+            media_done = dieServer(ppn).reserveAt(
+                media_done, ecc_.read_retry_ticks);
+            errors = fault_.senseErrors(geo_.page_size, pe, scale);
+        }
+        read_retries_ += r.retries;
+        if (errors > ecc_.correctable_bits) {
+            uncorrectable = true;
+            ++uncorrectable_;
+            r.status = Status::error(
+                ErrCode::kUncorrectable,
+                detail::format("ppn ", ppn, " after ", r.retries,
+                               " retries"));
+        } else if (errors > 0 || r.retries > 0) {
+            ++ecc_corrected_;
+        }
+    }
+
     Tick xfer = timing_.channel_cmd +
                 transferTicks(len, timing_.channel_bw);
-    Tick done = channelServer(ppn).reserveAt(media_done, xfer);
+    if (Tick stall = fault_.channelStallTicks(); stall != 0) {
+        xfer += stall;
+        ++channel_stalls_;
+    }
+    r.done = channelServer(ppn).reserveAt(media_done, xfer);
 
     if (out != nullptr) {
-        auto it = pages_.find(ppn);
         if (it == pages_.end()) {
             std::memset(out, 0, len);
         } else {
@@ -45,43 +88,105 @@ NandFlash::readPage(Ppn ppn, Bytes offset, Bytes len, std::uint8_t *out,
                 out[i] = src < page.size() ? page[src] : 0;
             }
         }
+        if (uncorrectable)
+            fault_.corrupt(out, len);
     }
     ++page_reads_;
     bytes_read_ += len;
-    return done;
+    return r;
+}
+
+OpResult
+NandFlash::programPageEx(Ppn ppn, const std::uint8_t *data, Bytes len,
+                         Tick earliest)
+{
+    BISC_ASSERT(ppn < geo_.totalPages(), "ppn out of range: ", ppn);
+    BISC_ASSERT(len <= geo_.page_size, "program beyond page: ", len);
+    BISC_ASSERT(!isProgrammed(ppn),
+                "program-once violation on ppn ", ppn);
+    OpResult r;
+    // Bus transfer into the die's page register, then media program.
+    Tick xfer = timing_.channel_cmd +
+                transferTicks(len, timing_.channel_bw);
+    if (Tick stall = fault_.channelStallTicks(); stall != 0) {
+        xfer += stall;
+        ++channel_stalls_;
+    }
+    Tick bus_done = channelServer(ppn).reserveAt(earliest, xfer);
+    Tick media = timing_.program_page;
+    if (Tick stall = fault_.dieStallTicks(); stall != 0) {
+        media += stall;
+        ++die_stalls_;
+    }
+    r.done = dieServer(ppn).reserveAt(bus_done, media);
+    if (fault_.programFails()) {
+        // The attempt consumed bus + media time but the page verified
+        // bad; nothing is installed and the block has grown bad.
+        ++program_fails_;
+        r.status = Status::error(ErrCode::kProgramFail,
+                                 detail::format("ppn ", ppn));
+        return r;
+    }
+    installPage(ppn, data, len);
+    ++page_writes_;
+    return r;
+}
+
+OpResult
+NandFlash::eraseBlockEx(Pbn pbn, Tick earliest)
+{
+    BISC_ASSERT(pbn < geo_.totalBlocks(), "pbn out of range: ", pbn);
+    OpResult r;
+    Ppn first = geo_.pageOfBlock(pbn, 0);
+    Tick media = timing_.erase_block;
+    if (Tick stall = fault_.dieStallTicks(); stall != 0) {
+        media += stall;
+        ++die_stalls_;
+    }
+    r.done = dieServer(first).reserveAt(earliest, media);
+    if (fault_.eraseFails()) {
+        // The block refused to erase: its pages stay as they are (so
+        // a caller can still migrate valid data out) and it must be
+        // retired by the layer above.
+        ++erase_fails_;
+        r.status = Status::error(ErrCode::kEraseFail,
+                                 detail::format("pbn ", pbn));
+        return r;
+    }
+    for (std::uint32_t i = 0; i < geo_.pages_per_block; ++i)
+        pages_.erase(geo_.pageOfBlock(pbn, i));
+    ++erase_counts_[pbn];
+    ++block_erases_;
+    return r;
+}
+
+Tick
+NandFlash::readPage(Ppn ppn, Bytes offset, Bytes len, std::uint8_t *out,
+                    Tick earliest)
+{
+    ReadResult r = readPageEx(ppn, offset, len, out, earliest);
+    BISC_ASSERT(r.status.ok(), "unhandled media error on legacy read "
+                "path: ", r.status.toString());
+    return r.done;
 }
 
 Tick
 NandFlash::programPage(Ppn ppn, const std::uint8_t *data, Bytes len,
                        Tick earliest)
 {
-    BISC_ASSERT(ppn < geo_.totalPages(), "ppn out of range: ", ppn);
-    BISC_ASSERT(len <= geo_.page_size, "program beyond page: ", len);
-    BISC_ASSERT(!isProgrammed(ppn),
-                "program-once violation on ppn ", ppn);
-    // Bus transfer into the die's page register, then media program.
-    Tick xfer = timing_.channel_cmd +
-                transferTicks(len, timing_.channel_bw);
-    Tick bus_done = channelServer(ppn).reserveAt(earliest, xfer);
-    Tick done = dieServer(ppn).reserveAt(bus_done,
-                                         timing_.program_page);
-    installPage(ppn, data, len);
-    ++page_writes_;
-    return done;
+    OpResult r = programPageEx(ppn, data, len, earliest);
+    BISC_ASSERT(r.status.ok(), "unhandled media error on legacy "
+                "program path: ", r.status.toString());
+    return r.done;
 }
 
 Tick
 NandFlash::eraseBlock(Pbn pbn, Tick earliest)
 {
-    BISC_ASSERT(pbn < geo_.totalBlocks(), "pbn out of range: ", pbn);
-    Ppn first = geo_.pageOfBlock(pbn, 0);
-    Tick done = dieServer(first).reserveAt(earliest,
-                                           timing_.erase_block);
-    for (std::uint32_t i = 0; i < geo_.pages_per_block; ++i)
-        pages_.erase(geo_.pageOfBlock(pbn, i));
-    ++erase_counts_[pbn];
-    ++block_erases_;
-    return done;
+    OpResult r = eraseBlockEx(pbn, earliest);
+    BISC_ASSERT(r.status.ok(), "unhandled media error on legacy erase "
+                "path: ", r.status.toString());
+    return r.done;
 }
 
 void

@@ -7,6 +7,16 @@
  * is a serializing media resource (tR / tPROG / tBERS) and each channel
  * a serializing bus; a page read pipelines media then bus, so multi-page
  * requests naturally overlap across channels and ways.
+ *
+ * Reliability plane (off by default): a seed-deterministic FaultModel
+ * injects raw bit errors (growing with block P/E count), program/erase
+ * failures and die/channel stalls. The read datapath runs an ECC model
+ * against the injected errors: a decode within the correctable budget
+ * returns the exact programmed bytes; a failed decode re-senses up to
+ * max_read_retries times (each retry charges media latency); exhausting
+ * retries yields ErrCode::kUncorrectable together with deliberately
+ * damaged output bytes, so callers that ignore the status are caught by
+ * checksums instead of silently reading garbage that happens to match.
  */
 
 #ifndef BISCUIT_NAND_NAND_H_
@@ -17,41 +27,83 @@
 #include <unordered_map>
 #include <vector>
 
+#include "nand/fault.h"
 #include "nand/geometry.h"
 #include "sim/kernel.h"
 #include "sim/server.h"
 #include "util/common.h"
+#include "util/status.h"
 
 namespace bisc::nand {
+
+/** Outcome of a timed page read: completion tick + recovery detail. */
+struct ReadResult
+{
+    Tick done = 0;
+    Status status;
+
+    /** ECC re-sense passes this read needed (0 = clean decode). */
+    std::uint32_t retries = 0;
+};
+
+/** Outcome of a timed program/erase operation. */
+struct OpResult
+{
+    Tick done = 0;
+    Status status;
+};
 
 class NandFlash
 {
   public:
     NandFlash(sim::Kernel &kernel, const Geometry &geo,
-              const NandTiming &timing);
+              const NandTiming &timing,
+              const FaultConfig &faults = FaultConfig{},
+              const EccConfig &ecc = EccConfig{});
 
     const Geometry &geometry() const { return geo_; }
     const NandTiming &timing() const { return timing_; }
+    const EccConfig &ecc() const { return ecc_; }
+    FaultModel &faults() { return fault_; }
 
     /**
      * Read @p len bytes at @p offset within page @p ppn into @p out
-     * (may be null for timing-only probes). Returns the absolute
-     * completion tick; the caller sleeps until then for a synchronous
-     * read. Unwritten pages read as zeros (erased flash). @p earliest
-     * lower-bounds the media start (e.g., after firmware dispatch).
+     * (may be null for timing-only probes). Returns the completion
+     * tick plus the recovery status; the caller sleeps until the tick
+     * for a synchronous read. Unwritten pages read as zeros (erased
+     * flash, no ECC evaluation). @p earliest lower-bounds the media
+     * start (e.g., after firmware dispatch).
      */
-    Tick readPage(Ppn ppn, Bytes offset, Bytes len, std::uint8_t *out,
-                  Tick earliest = 0);
+    ReadResult readPageEx(Ppn ppn, Bytes offset, Bytes len,
+                          std::uint8_t *out, Tick earliest = 0);
 
     /**
      * Program page @p ppn with @p len bytes (rest of the page zero).
      * Programming an already-programmed page is an FTL bug and panics.
-     * Returns the completion tick.
+     * A program failure charges the full attempt latency, installs
+     * nothing and reports ErrCode::kProgramFail.
      */
+    OpResult programPageEx(Ppn ppn, const std::uint8_t *data, Bytes len,
+                           Tick earliest = 0);
+
+    /**
+     * Erase block @p pbn, clearing all of its pages. An erase failure
+     * charges the attempt latency, leaves the block contents intact
+     * (so valid pages can still be migrated) and reports
+     * ErrCode::kEraseFail.
+     */
+    OpResult eraseBlockEx(Pbn pbn, Tick earliest = 0);
+
+    // Legacy tick-only entry points, used by code that runs with the
+    // ideal media (faults disabled); they panic on an injected failure
+    // rather than let it pass silently.
+
+    Tick readPage(Ppn ppn, Bytes offset, Bytes len, std::uint8_t *out,
+                  Tick earliest = 0);
+
     Tick programPage(Ppn ppn, const std::uint8_t *data, Bytes len,
                      Tick earliest = 0);
 
-    /** Erase block @p pbn, clearing all of its pages. */
     Tick eraseBlock(Pbn pbn, Tick earliest = 0);
 
     /** True if @p ppn has been programmed since its last erase. */
@@ -81,6 +133,15 @@ class NandFlash
     std::uint64_t blockErases() const { return block_erases_; }
     Bytes bytesRead() const { return bytes_read_; }
 
+    // Reliability statistics (all zero while faults are disabled).
+    std::uint64_t readRetries() const { return read_retries_; }
+    std::uint64_t eccCorrectedPages() const { return ecc_corrected_; }
+    std::uint64_t uncorrectableReads() const { return uncorrectable_; }
+    std::uint64_t programFails() const { return program_fails_; }
+    std::uint64_t eraseFails() const { return erase_fails_; }
+    std::uint64_t dieStalls() const { return die_stalls_; }
+    std::uint64_t channelStalls() const { return channel_stalls_; }
+
     /** Busy time of channel @p ch's bus (utilization probes). */
     Tick channelBusyTicks(std::uint32_t ch) const
     {
@@ -109,6 +170,8 @@ class NandFlash
     sim::Kernel &kernel_;
     Geometry geo_;
     NandTiming timing_;
+    EccConfig ecc_;
+    FaultModel fault_;
 
     std::vector<std::unique_ptr<sim::Server>> dies_;
     std::vector<std::unique_ptr<sim::Server>> channels_;
@@ -120,6 +183,14 @@ class NandFlash
     std::uint64_t page_writes_ = 0;
     std::uint64_t block_erases_ = 0;
     Bytes bytes_read_ = 0;
+
+    std::uint64_t read_retries_ = 0;
+    std::uint64_t ecc_corrected_ = 0;
+    std::uint64_t uncorrectable_ = 0;
+    std::uint64_t program_fails_ = 0;
+    std::uint64_t erase_fails_ = 0;
+    std::uint64_t die_stalls_ = 0;
+    std::uint64_t channel_stalls_ = 0;
 };
 
 }  // namespace bisc::nand

@@ -39,9 +39,13 @@ Runtime::loadModule(const std::string &slet_path)
     Bytes file_size = fs_.size(slet_path);
     Bytes header_len = std::min<Bytes>(256, file_size);
     std::vector<std::uint8_t> header(header_len);
-    Tick hdr_done =
-        fs_.read(slet_path, 0, header_len, header.data());
-    kernel_.sleepUntil(hdr_done);
+    fs::ReadResult hdr = fs_.readEx(slet_path, 0, header_len,
+                                    header.data());
+    kernel_.sleepUntil(hdr.done);
+    if (!hdr.status.ok()) {
+        BISC_FATAL("unrecoverable media error reading module header ",
+                   slet_path, ": ", hdr.status.toString());
+    }
 
     std::string name =
         ModuleRegistry::parseHeader(header.data(), header.size());
@@ -53,8 +57,12 @@ Runtime::loadModule(const std::string &slet_path)
 
     // Stream the whole image off flash (timed), then charge symbol
     // relocation on the control core.
-    Tick body_done = fs_.read(slet_path, 0, file_size, nullptr);
-    kernel_.sleepUntil(body_done);
+    fs::ReadResult body = fs_.readEx(slet_path, 0, file_size, nullptr);
+    kernel_.sleepUntil(body.done);
+    if (!body.status.ok()) {
+        BISC_FATAL("unrecoverable media error streaming module image ",
+                   slet_path, ": ", body.status.toString());
+    }
     Tick reloc = config().module_load_fixed +
                  transferTicks(image->imageBytes(),
                                config().module_load_bw);

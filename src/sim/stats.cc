@@ -1,6 +1,29 @@
 #include "sim/stats.h"
 
+#include "util/log.h"
+
 namespace bisc::sim {
+
+std::map<std::string, double>
+Stats::snapshotDelta(const std::string &name) const
+{
+    auto it = snaps_.find(name);
+    BISC_ASSERT(it != snaps_.end(), "no such stats snapshot: ", name);
+    const auto &base = it->second;
+
+    std::map<std::string, double> delta;
+    for (const auto &[key, now] : vals_) {
+        auto bit = base.find(key);
+        double was = bit == base.end() ? 0.0 : bit->second;
+        if (now != was)
+            delta[key] = now - was;
+    }
+    for (const auto &[key, was] : base) {
+        if (vals_.count(key) == 0 && was != 0.0)
+            delta[key] = -was;
+    }
+    return delta;
+}
 
 double
 TimeSeries::integral() const

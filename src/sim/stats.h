@@ -40,10 +40,36 @@ class Stats
     /** All counters, sorted by name. */
     const std::map<std::string, double> &all() const { return vals_; }
 
-    void clear() { vals_.clear(); }
+    void clear()
+    {
+        vals_.clear();
+        snaps_.clear();
+    }
+
+    /**
+     * Remember every counter's current value under @p name, replacing
+     * any earlier snapshot with that name.
+     */
+    void snapshot(const std::string &name) { snaps_[name] = vals_; }
+
+    bool hasSnapshot(const std::string &name) const
+    {
+        return snaps_.count(name) != 0;
+    }
+
+    /**
+     * Per-counter change since snapshot @p name: counters absent from
+     * the snapshot count as zero there, and vice versa. Counters whose
+     * delta is exactly zero are omitted, so tests can assert "this
+     * operation charged exactly K of X and nothing else". Panics when
+     * the snapshot does not exist.
+     */
+    std::map<std::string, double>
+    snapshotDelta(const std::string &name) const;
 
   private:
     std::map<std::string, double> vals_;
+    std::map<std::string, std::map<std::string, double>> snaps_;
 };
 
 /** A (tick, value) trace, e.g. the power waveform of Fig. 9. */

@@ -37,6 +37,17 @@ File::read(Bytes offset, void *buf, Bytes len)
 {
     Async a = readAsync(offset, buf, len);
     a.wait();
+    BISC_ASSERT(a.status().ok(), "unhandled media error reading '",
+                path_, "': ", a.status().toString());
+    return a.bytes();
+}
+
+Bytes
+File::read(Bytes offset, void *buf, Bytes len, Status &status)
+{
+    Async a = readAsync(offset, buf, len);
+    a.wait();
+    status = a.status();
     return a.bytes();
 }
 
@@ -57,6 +68,7 @@ File::readAsync(Bytes offset, void *buf, Bytes len)
     // Issue per covered page: a small CPU cost on the application's
     // core, then the flash read pipelined behind it.
     Tick done = kernel.now();
+    Status status;
     Bytes covered = 0;
     while (covered < len) {
         Bytes pos = offset + covered;
@@ -67,11 +79,13 @@ File::readAsync(Bytes offset, void *buf, Bytes len)
             buf == nullptr
                 ? nullptr
                 : static_cast<std::uint8_t *>(buf) + covered;
-        Tick t = fs.read(path_, pos, n, dst, issued);
-        done = std::max(done, t);
+        fs::ReadResult r = fs.readEx(path_, pos, n, dst, issued);
+        done = std::max(done, r.done);
+        if (!r.status.ok() && status.ok())
+            status = r.status;
         covered += n;
     }
-    return Async(c.runtime, done, len);
+    return Async(c.runtime, done, len, std::move(status));
 }
 
 File::Async
@@ -94,6 +108,7 @@ File::scanMatched(
 
     std::vector<std::uint8_t> data(page);
     Tick done = kernel.now();
+    Status status;
     Bytes covered = 0;
     while (covered < len) {
         Bytes pos = offset + covered;
@@ -101,8 +116,16 @@ File::scanMatched(
         Bytes n = std::min(page - in_page, len - covered);
         // IP control on the core precedes the channel stream-through.
         Tick ctrl = c.core->reserve(cfg.pm_control_per_page);
-        Tick t = fs.read(path_, pos, n, nullptr, ctrl);
-        done = std::max(done, t);
+        fs::ReadResult rr = fs.readEx(path_, pos, n, nullptr, ctrl);
+        done = std::max(done, rr.done);
+        if (!rr.status.ok()) {
+            // The stream the matcher saw was garbage: suppress any
+            // match on this page and surface the error on the token.
+            if (status.ok())
+                status = rr.status;
+            covered += n;
+            continue;
+        }
 
         // Functional match: exactly what the channel IP would see.
         auto r = dev.matchPage(fs.lpnAt(path_, pos), in_page, n, keys);
@@ -112,7 +135,7 @@ File::scanMatched(
         }
         covered += n;
     }
-    return Async(c.runtime, done, len);
+    return Async(c.runtime, done, len, std::move(status));
 }
 
 File::Async

@@ -24,6 +24,7 @@
 #include "runtime/ssdlet_base.h"
 #include "util/common.h"
 #include "util/serialize.h"
+#include "util/status.h"
 
 namespace bisc::slet {
 
@@ -35,8 +36,10 @@ class File
     {
       public:
         Async() = default;
-        Async(rt::Runtime *rt, Tick ready, Bytes bytes)
-            : rt_(rt), ready_(ready), bytes_(bytes)
+        Async(rt::Runtime *rt, Tick ready, Bytes bytes,
+              Status status = Status())
+            : rt_(rt), ready_(ready), bytes_(bytes),
+              status_(std::move(status))
         {}
 
         /** Block the fiber until the operation completes. */
@@ -48,10 +51,19 @@ class File
         Tick readyAt() const { return ready_; }
         Bytes bytes() const { return bytes_; }
 
+        /**
+         * Recovery status of the operation: OK for clean or
+         * transparently recovered reads (retry latency already
+         * charged), non-OK when the media gave up — in which case the
+         * buffer holds damaged bytes that must not be used.
+         */
+        const Status &status() const { return status_; }
+
       private:
         rt::Runtime *rt_ = nullptr;
         Tick ready_ = 0;
         Bytes bytes_ = 0;
+        Status status_;
     };
 
     File() = default;
@@ -70,8 +82,18 @@ class File
     /**
      * Synchronous read: blocks the fiber until the bytes are in
      * device memory. Returns bytes actually read (clamped at EOF).
+     * Panics on an uncorrectable media error; use the Status overload
+     * to handle errors in SSDlet code.
      */
     Bytes read(Bytes offset, void *buf, Bytes len);
+
+    /**
+     * Synchronous read reporting media errors instead of panicking:
+     * @p status receives OK (clean or transparently recovered read)
+     * or the typed error, in which case the buffer contents must be
+     * discarded.
+     */
+    Bytes read(Bytes offset, void *buf, Bytes len, Status &status);
 
     /**
      * Asynchronous read: issues the request (charging per-page issue

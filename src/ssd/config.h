@@ -29,6 +29,7 @@
 
 #include "ftl/ftl.h"
 #include "hil/hil.h"
+#include "nand/fault.h"
 #include "nand/geometry.h"
 #include "util/common.h"
 
@@ -41,6 +42,14 @@ struct SsdConfig
     nand::NandTiming nand_timing;
     ftl::FtlParams ftl_params;
     hil::HilParams hil_params;
+
+    // ----- Reliability model (inert by default) -----
+
+    /** Media fault injection; enabled=false keeps the ideal substrate. */
+    nand::FaultConfig fault;
+
+    /** ECC strength and read-retry policy of the NAND datapath. */
+    nand::EccConfig ecc;
 
     /** Two ARM Cortex R7 cores @750 MHz, no cache coherence. */
     std::uint32_t device_cores = 2;

@@ -8,7 +8,8 @@ SsdDevice::SsdDevice(sim::Kernel &kernel, const SsdConfig &config)
     : kernel_(kernel), config_(config)
 {
     nand_ = std::make_unique<nand::NandFlash>(kernel_, config_.geometry,
-                                              config_.nand_timing);
+                                              config_.nand_timing,
+                                              config_.fault, config_.ecc);
     ftl_ = std::make_unique<ftl::Ftl>(kernel_, *nand_,
                                       config_.ftl_params);
     hil_ = std::make_unique<hil::Hil>(kernel_, config_.hil_params);
@@ -38,6 +39,40 @@ SsdDevice::matchPage(ftl::Lpn lpn, Bytes offset, Bytes len,
     Bytes avail = page->size() > offset ? page->size() - offset : 0;
     Bytes n = std::min(len, avail);
     return ip.scan(page->data() + offset, n);
+}
+
+void
+SsdDevice::exportStats(sim::Stats &st) const
+{
+    st.set("nand.page_reads", static_cast<double>(nand_->pageReads()));
+    st.set("nand.page_writes",
+           static_cast<double>(nand_->pageWrites()));
+    st.set("nand.block_erases",
+           static_cast<double>(nand_->blockErases()));
+    st.set("nand.read_retries",
+           static_cast<double>(nand_->readRetries()));
+    st.set("nand.ecc_corrected_pages",
+           static_cast<double>(nand_->eccCorrectedPages()));
+    st.set("nand.uncorrectable_reads",
+           static_cast<double>(nand_->uncorrectableReads()));
+    st.set("nand.program_fails",
+           static_cast<double>(nand_->programFails()));
+    st.set("nand.erase_fails",
+           static_cast<double>(nand_->eraseFails()));
+    st.set("nand.die_stalls", static_cast<double>(nand_->dieStalls()));
+    st.set("nand.channel_stalls",
+           static_cast<double>(nand_->channelStalls()));
+    st.set("ftl.gc_runs", static_cast<double>(ftl_->gcRuns()));
+    st.set("ftl.pages_relocated",
+           static_cast<double>(ftl_->pagesRelocated()));
+    st.set("ftl.uncorrectable_reads",
+           static_cast<double>(ftl_->uncorrectableReads()));
+    st.set("ftl.retry_relocations",
+           static_cast<double>(ftl_->retryRelocations()));
+    st.set("ftl.blocks_retired",
+           static_cast<double>(ftl_->blocksRetired()));
+    st.set("ftl.program_fail_remaps",
+           static_cast<double>(ftl_->programFailRemaps()));
 }
 
 Tick

@@ -22,6 +22,7 @@
 #include "pm/pattern_matcher.h"
 #include "sim/kernel.h"
 #include "sim/server.h"
+#include "sim/stats.h"
 #include "ssd/config.h"
 #include "util/common.h"
 
@@ -52,12 +53,30 @@ class SsdDevice
         return *matchers_.at(ch);
     }
 
+    /**
+     * Publish the device's reliability and media counters into @p st
+     * (absolute values under "nand." / "ftl." prefixes). Pair with
+     * Stats::snapshot()/snapshotDelta() to assert what one operation
+     * charged.
+     */
+    void exportStats(sim::Stats &st) const;
+
     // ----- Internal datapath (SSDlet-visible) -----
 
     /**
      * Device-internal read: firmware + NAND only. Returns completion
-     * tick; does not block.
+     * tick plus recovery status; does not block. Recovered reads have
+     * already charged their retry latency; an uncorrectable read
+     * reports a non-OK status with damaged output bytes.
      */
+    ftl::ReadResult
+    internalReadEx(ftl::Lpn lpn, Bytes offset, Bytes len,
+                   std::uint8_t *out, Tick earliest = 0)
+    {
+        return ftl_->readEx(lpn, offset, len, out, earliest);
+    }
+
+    /** Legacy tick-only internal read; panics on a media error. */
     Tick
     internalRead(ftl::Lpn lpn, Bytes offset, Bytes len,
                  std::uint8_t *out, Tick earliest = 0)

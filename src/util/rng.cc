@@ -1,6 +1,9 @@
 #include "util/rng.h"
 
 #include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cinttypes>
 
 namespace bisc {
 
@@ -8,6 +11,30 @@ double
 Rng::powd(double base, double exp)
 {
     return std::pow(base, exp);
+}
+
+std::uint64_t
+seedFromEnv(std::uint64_t fallback)
+{
+    const char *env = std::getenv("BISCUIT_SEED");
+    std::uint64_t seed = fallback;
+    bool overridden = false;
+    if (env != nullptr && *env != '\0') {
+        char *end = nullptr;
+        std::uint64_t v = std::strtoull(env, &end, 0);
+        if (end != nullptr && *end == '\0') {
+            seed = v;
+            overridden = true;
+        } else {
+            std::fprintf(stderr,
+                         "[biscuit] ignoring unparsable BISCUIT_SEED"
+                         " '%s'\n",
+                         env);
+        }
+    }
+    std::fprintf(stderr, "[biscuit] rng seed = %" PRIu64 "%s\n", seed,
+                 overridden ? " (from BISCUIT_SEED)" : "");
+    return seed;
 }
 
 }  // namespace bisc

@@ -112,6 +112,15 @@ class Rng
     std::uint64_t s_[4];
 };
 
+/**
+ * Seed for randomized tests and benches: the value of the
+ * `BISCUIT_SEED` environment variable when set (decimal, or hex with a
+ * 0x prefix), @p fallback otherwise. The seed in effect is logged to
+ * stderr either way, so any failing randomized run can be replayed
+ * from its CI output with `BISCUIT_SEED=<n>`.
+ */
+std::uint64_t seedFromEnv(std::uint64_t fallback);
+
 }  // namespace bisc
 
 #endif  // BISCUIT_UTIL_RNG_H_

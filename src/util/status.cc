@@ -1,0 +1,23 @@
+#include "util/status.h"
+
+namespace bisc {
+
+const char *
+errName(ErrCode code)
+{
+    switch (code) {
+    case ErrCode::kOk:
+        return "ok";
+    case ErrCode::kUncorrectable:
+        return "uncorrectable";
+    case ErrCode::kProgramFail:
+        return "program-fail";
+    case ErrCode::kEraseFail:
+        return "erase-fail";
+    case ErrCode::kNoSpace:
+        return "no-space";
+    }
+    return "unknown";
+}
+
+}  // namespace bisc

@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Typed operation status for the storage datapath.
+ *
+ * The reliability path (ECC, read-retry, bad-block remap) needs a way
+ * to say "this read could not be recovered" that survives the climb
+ * from NAND through the FTL and file system up to SSDlet code, instead
+ * of silently handing back corrupt bytes. Status is that surface: a
+ * small value type carrying an error code and a human-readable detail
+ * string. The OK status is free (no allocation).
+ */
+
+#ifndef BISCUIT_UTIL_STATUS_H_
+#define BISCUIT_UTIL_STATUS_H_
+
+#include <string>
+#include <utility>
+
+namespace bisc {
+
+enum class ErrCode {
+    kOk = 0,
+
+    /** Raw bit errors exceeded ECC strength after all read retries. */
+    kUncorrectable,
+
+    /** NAND program operation reported failure (grown bad block). */
+    kProgramFail,
+
+    /** NAND erase operation reported failure (grown bad block). */
+    kEraseFail,
+
+    /** No space left to remap/allocate (device out of good blocks). */
+    kNoSpace,
+};
+
+/** Short stable name of an error code ("ok", "uncorrectable", ...). */
+const char *errName(ErrCode code);
+
+class [[nodiscard]] Status
+{
+  public:
+    /** Default-constructed status is OK. */
+    Status() = default;
+
+    static Status
+    error(ErrCode code, std::string detail)
+    {
+        Status s;
+        s.code_ = code;
+        s.detail_ = std::move(detail);
+        return s;
+    }
+
+    bool ok() const { return code_ == ErrCode::kOk; }
+
+    ErrCode code() const { return code_; }
+
+    const std::string &detail() const { return detail_; }
+
+    /** "ok" or "<name>: <detail>" for logs and assertions. */
+    std::string
+    toString() const
+    {
+        if (ok())
+            return "ok";
+        std::string s = errName(code_);
+        if (!detail_.empty()) {
+            s += ": ";
+            s += detail_;
+        }
+        return s;
+    }
+
+  private:
+    ErrCode code_ = ErrCode::kOk;
+    std::string detail_;
+};
+
+}  // namespace bisc
+
+#endif  // BISCUIT_UTIL_STATUS_H_

@@ -7,13 +7,17 @@
 #include <gtest/gtest.h>
 
 #include <cstring>
+#include <map>
 #include <numeric>
+#include <string>
 #include <vector>
 
 #include "ftl/ftl.h"
+#include "nand/fault.h"
 #include "nand/nand.h"
 #include "sim/kernel.h"
 #include "util/common.h"
+#include "util/rng.h"
 
 namespace bisc::ftl {
 namespace {
@@ -192,6 +196,86 @@ TEST_F(FtlTest, ReadLatencyIncludesFirmwareOverhead)
     Tick expect = p.fw_read_overhead + t.read_page + t.channel_cmd +
                   transferTicks(1_KiB, t.channel_bw);
     EXPECT_EQ(done, expect);
+}
+
+/**
+ * Property: under fault-driven bad-block churn (program and erase
+ * failures retiring blocks mid-workload), the L2P map remains a
+ * bijection over live pages, no live page ever sits in a retired
+ * block, GC never migrates into one, and every mapped page still
+ * reads back exactly what was last written.
+ */
+TEST(FtlChurnProperty, MappingStaysBijectiveUnderBadBlockChurn)
+{
+    for (std::uint64_t seed : {1ull, 2ull, 3ull, 4ull, 5ull}) {
+        SCOPED_TRACE("seed " + std::to_string(seed));
+
+        nand::Geometry geo = tinyGeo();
+        geo.blocks_per_die = 16;  // headroom for retired blocks
+        nand::FaultConfig fault;
+        fault.enabled = true;
+        fault.seed = seed;
+        fault.program_fail_prob = 0.004;
+        fault.erase_fail_prob = 0.03;
+        FtlParams params;
+        params.overprovision = 0.25;
+
+        sim::Kernel kernel;
+        nand::NandFlash nand(kernel, geo, nand::NandTiming{}, fault,
+                             nand::EccConfig{});
+        Ftl ftl(kernel, nand, params);
+
+        const Lpn span = ftl.logicalPages() * 3 / 4;
+        std::map<Lpn, std::vector<std::uint8_t>> shadow;
+        Rng rng(seedFromEnv(seed * 101));
+        std::vector<std::uint8_t> page(ftl.pageSize());
+        std::vector<std::uint8_t> out(ftl.pageSize());
+
+        for (int op = 0; op < 2500; ++op) {
+            Lpn lpn = rng.below(span);
+            std::uint64_t kind = rng.below(100);
+            if (kind < 70) {
+                for (auto &b : page)
+                    b = static_cast<std::uint8_t>(rng.next());
+                ftl.write(lpn, page.data(), page.size());
+                shadow[lpn] = page;
+            } else if (kind < 85) {
+                ftl.trim(lpn);
+                shadow.erase(lpn);
+            } else if (shadow.count(lpn)) {
+                ReadResult r =
+                    ftl.readEx(lpn, 0, out.size(), out.data());
+                ASSERT_TRUE(r.status.ok()) << r.status.toString();
+                ASSERT_EQ(out, shadow[lpn]) << "lpn " << lpn;
+            }
+            if (op % 100 == 99) {
+                std::string why;
+                ASSERT_TRUE(ftl.auditMapping(&why)) << why;
+                // No live mapping may point into a retired block.
+                for (const auto &[l, d] : shadow) {
+                    (void)d;
+                    if (ftl.isMapped(l)) {
+                        ASSERT_FALSE(ftl.isBad(
+                            nand.geometry().blockOf(ftl.physicalOf(l))))
+                            << "lpn " << l << " lives in a bad block";
+                    }
+                }
+            }
+        }
+
+        // The campaign must actually have churned blocks bad.
+        EXPECT_GT(ftl.blocksRetired(), 0u);
+        EXPECT_FALSE(ftl.badBlocks().empty());
+
+        // Full closing audit + readback: remapping lost nothing.
+        std::string why;
+        ASSERT_TRUE(ftl.auditMapping(&why)) << why;
+        for (const auto &[lpn, want] : shadow) {
+            ReadResult r = ftl.readEx(lpn, 0, out.size(), out.data());
+            ASSERT_TRUE(r.status.ok()) << r.status.toString();
+            ASSERT_EQ(out, want) << "lpn " << lpn;
+        }
+    }
 }
 
 TEST_F(FtlTest, PopulateBeyondCapacityPanics)

@@ -35,7 +35,7 @@ class AllocatorProperty : public ::testing::TestWithParam<std::uint64_t>
 
 TEST_P(AllocatorProperty, RandomChurnKeepsInvariants)
 {
-    Rng rng(GetParam());
+    Rng rng(seedFromEnv(GetParam()));
     rt::Allocator a("prop", 1_MiB);
     struct Block
     {
@@ -108,7 +108,8 @@ TEST_P(FtlProperty, RandomTrafficPreservesData)
     nand::NandFlash nand(kernel, geo, nand::NandTiming{});
     ftl::Ftl ftl(kernel, nand, ftl::FtlParams{});
 
-    Rng rng(p.channels * 1000 + p.ways * 100 + p.pages_per_block);
+    Rng rng(seedFromEnv(p.channels * 1000 + p.ways * 100 +
+                        p.pages_per_block));
     const ftl::Lpn space =
         std::min<ftl::Lpn>(24, ftl.logicalPages() / 2);
     std::map<ftl::Lpn, std::uint8_t> shadow;
@@ -160,7 +161,7 @@ TEST_P(FsProperty, RandomIoMatchesReferenceFile)
     sim::Kernel kernel;
     ssd::SsdDevice dev(kernel, ssd::testConfig());
     fs::FileSystem fsys(dev);
-    Rng rng(GetParam());
+    Rng rng(seedFromEnv(GetParam()));
 
     fsys.create("/prop");
     std::vector<std::uint8_t> ref;  // reference contents
@@ -209,7 +210,7 @@ class MatcherProperty : public ::testing::TestWithParam<std::uint64_t>
 
 TEST_P(MatcherProperty, AgreesWithBoyerMoore)
 {
-    Rng rng(GetParam());
+    Rng rng(seedFromEnv(GetParam()));
     // Small alphabet so hits actually occur.
     std::vector<std::uint8_t> hay(8192);
     for (auto &b : hay)
@@ -263,7 +264,7 @@ likeRef(const std::string &t, const std::string &p, std::size_t ti = 0,
 
 TEST_P(LikeProperty, AgreesWithReference)
 {
-    Rng rng(GetParam());
+    Rng rng(seedFromEnv(GetParam()));
     for (int round = 0; round < 300; ++round) {
         std::string text, pattern;
         std::size_t tn = rng.below(12);
@@ -296,7 +297,7 @@ TEST_P(KeyDerivationProperty, KeysNeverMissASatisfyingRow)
 {
     // Soundness: if a row satisfies the predicate, its encoded form
     // must contain at least one derived key (conservative filter).
-    Rng rng(GetParam());
+    Rng rng(seedFromEnv(GetParam()));
     db::Schema schema({db::col("day", db::Type::Date),
                        db::col("mode", db::Type::String, 8)});
 
@@ -361,8 +362,9 @@ TEST_P(KernelDeterminism, ReplayProducesIdenticalTrace)
         k.run();
         return events;
     };
-    auto a = trace(GetParam());
-    auto b = trace(GetParam());
+    std::uint64_t seed = seedFromEnv(GetParam());
+    auto a = trace(seed);
+    auto b = trace(seed);
     EXPECT_EQ(a, b);
 }
 

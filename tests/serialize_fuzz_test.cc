@@ -37,7 +37,7 @@ class SerializeFuzz : public ::testing::TestWithParam<std::uint64_t>
 
 TEST_P(SerializeFuzz, NestedStructuresRoundTrip)
 {
-    Rng rng(GetParam());
+    Rng rng(seedFromEnv(GetParam()));
     for (int round = 0; round < 200; ++round) {
         // vector<tuple<u64, string, vector<pair<string, double>>>>
         using Inner = std::vector<std::pair<std::string, double>>;
@@ -64,7 +64,7 @@ TEST_P(SerializeFuzz, NestedStructuresRoundTrip)
 
 TEST_P(SerializeFuzz, ConcatenatedValuesDecodeInOrder)
 {
-    Rng rng(GetParam());
+    Rng rng(seedFromEnv(GetParam()));
     Packet p;
     std::vector<std::string> strings;
     std::vector<std::uint32_t> ints;

@@ -286,6 +286,59 @@ TEST(Stats, CountersAccumulate)
     EXPECT_FALSE(st.has("missing"));
 }
 
+TEST(Stats, SnapshotDeltaReportsOnlyChangedCounters)
+{
+    Stats st;
+    st.set("reads", 10);
+    st.set("writes", 5);
+    st.set("idle", 3);
+    st.snapshot("before");
+
+    st.add("reads", 4);       // changed
+    st.set("writes", 5);      // touched but unchanged
+    st.set("erases", 2);      // new since the snapshot
+    auto delta = st.snapshotDelta("before");
+
+    EXPECT_EQ(delta.size(), 2u);
+    EXPECT_DOUBLE_EQ(delta.at("reads"), 4.0);
+    EXPECT_DOUBLE_EQ(delta.at("erases"), 2.0);
+    EXPECT_EQ(delta.count("writes"), 0u);  // zero deltas omitted
+    EXPECT_EQ(delta.count("idle"), 0u);
+}
+
+TEST(Stats, SnapshotDeltaSeesRemovedCountersAsNegative)
+{
+    Stats st;
+    st.set("gone", 7);
+    st.snapshot("s");
+    st.clear();  // also drops the snapshot
+    EXPECT_FALSE(st.hasSnapshot("s"));
+
+    st.set("gone", 7);
+    st.snapshot("s");
+    st.set("gone", 0);  // counter still present, back to zero
+    auto delta = st.snapshotDelta("s");
+    EXPECT_DOUBLE_EQ(delta.at("gone"), -7.0);
+}
+
+TEST(Stats, SnapshotIsOverwritable)
+{
+    Stats st;
+    st.set("x", 1);
+    st.snapshot("s");
+    st.set("x", 5);
+    st.snapshot("s");  // re-baseline
+    st.set("x", 6);
+    EXPECT_DOUBLE_EQ(st.snapshotDelta("s").at("x"), 1.0);
+}
+
+TEST(StatsDeath, SnapshotDeltaPanicsOnUnknownSnapshot)
+{
+    Stats st;
+    st.set("x", 1);
+    EXPECT_DEATH(st.snapshotDelta("never-taken"), "snapshot");
+}
+
 TEST(TimeSeries, StepIntegral)
 {
     TimeSeries ts;

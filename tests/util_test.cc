@@ -6,6 +6,7 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdlib>
 #include <map>
 #include <string>
 #include <tuple>
@@ -219,16 +220,34 @@ TEST(Rng, DifferentSeedsDiffer)
     EXPECT_LT(same, 4);
 }
 
+TEST(Rng, SeedFromEnvFallsBackAndOverrides)
+{
+    // No override: the fallback is used verbatim.
+    unsetenv("BISCUIT_SEED");
+    EXPECT_EQ(seedFromEnv(1234), 1234u);
+
+    // Decimal and hex overrides both parse.
+    setenv("BISCUIT_SEED", "4321", 1);
+    EXPECT_EQ(seedFromEnv(1234), 4321u);
+    setenv("BISCUIT_SEED", "0xff", 1);
+    EXPECT_EQ(seedFromEnv(1234), 255u);
+
+    // Garbage falls back instead of silently seeding with 0.
+    setenv("BISCUIT_SEED", "not-a-number", 1);
+    EXPECT_EQ(seedFromEnv(1234), 1234u);
+    unsetenv("BISCUIT_SEED");
+}
+
 TEST(Rng, BelowInRange)
 {
-    Rng r(7);
+    Rng r(seedFromEnv(7));
     for (int i = 0; i < 1000; ++i)
         EXPECT_LT(r.below(13), 13u);
 }
 
 TEST(Rng, RangeInclusive)
 {
-    Rng r(7);
+    Rng r(seedFromEnv(7));
     bool saw_lo = false, saw_hi = false;
     for (int i = 0; i < 2000; ++i) {
         auto v = r.range(-3, 3);
@@ -243,7 +262,7 @@ TEST(Rng, RangeInclusive)
 
 TEST(Rng, UniformInUnitInterval)
 {
-    Rng r(9);
+    Rng r(seedFromEnv(9));
     double sum = 0;
     for (int i = 0; i < 10000; ++i) {
         double u = r.uniform();
@@ -256,7 +275,7 @@ TEST(Rng, UniformInUnitInterval)
 
 TEST(Rng, ZipfSkewsLow)
 {
-    Rng r(11);
+    Rng r(seedFromEnv(11));
     std::uint64_t low = 0, total = 20000;
     for (std::uint64_t i = 0; i < total; ++i) {
         auto v = r.zipf(1000, 1.0);
