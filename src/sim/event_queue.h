@@ -7,9 +7,9 @@
 #ifndef BISCUIT_SIM_EVENT_QUEUE_H_
 #define BISCUIT_SIM_EVENT_QUEUE_H_
 
+#include <algorithm>
 #include <cstdint>
 #include <functional>
-#include <queue>
 #include <vector>
 
 #include "util/common.h"
@@ -41,7 +41,8 @@ class EventQueue
     {
         if (when < now_)
             when = now_;
-        heap_.push(Event{when, seq_++, std::move(fn)});
+        heap_.push_back(Event{when, seq_++, std::move(fn)});
+        std::push_heap(heap_.begin(), heap_.end(), Later{});
     }
 
     /** True when no events remain. */
@@ -51,7 +52,7 @@ class EventQueue
     std::size_t size() const { return heap_.size(); }
 
     /** Tick of the earliest pending event; undefined when empty. */
-    Tick nextTime() const { return heap_.top().when; }
+    Tick nextTime() const { return heap_.front().when; }
 
     /**
      * Pop and execute the earliest event, advancing the clock to its
@@ -62,9 +63,12 @@ class EventQueue
     {
         if (heap_.empty())
             return false;
-        // Move out before pop: the callback may schedule new events.
-        Event ev = std::move(const_cast<Event &>(heap_.top()));
-        heap_.pop();
+        // pop_heap moves the earliest event to the back, from where it
+        // can legally be moved out before the callback runs (it may
+        // schedule new events and reallocate the heap).
+        std::pop_heap(heap_.begin(), heap_.end(), Later{});
+        Event ev = std::move(heap_.back());
+        heap_.pop_back();
         now_ = ev.when;
         ev.fn();
         return true;
@@ -91,7 +95,7 @@ class EventQueue
 
     Tick now_ = 0;
     std::uint64_t seq_ = 0;
-    std::priority_queue<Event, std::vector<Event>, Later> heap_;
+    std::vector<Event> heap_;
 };
 
 }  // namespace bisc::sim
