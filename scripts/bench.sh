@@ -1,0 +1,106 @@
+#!/usr/bin/env bash
+# Wall-clock bench harness: runs the paper-figure bench suite, checks
+# every simulated output against its golden transcript (bench/golden/),
+# and emits BENCH_wallclock.json recording the per-bench wall-clock
+# times that the perf trajectory is held against.
+#
+# Usage: scripts/bench.sh [--build-dir DIR] [--out FILE] [--no-build]
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+build_dir=build
+out_file=BENCH_wallclock.json
+do_build=1
+while [[ $# -gt 0 ]]; do
+    case "$1" in
+      --build-dir) build_dir="$2"; shift 2 ;;
+      --out) out_file="$2"; shift 2 ;;
+      --no-build) do_build=0; shift ;;
+      *) echo "unknown argument: $1" >&2; exit 2 ;;
+    esac
+done
+
+if [[ "$do_build" == 1 ]]; then
+    cmake -B "$build_dir" -S . >/dev/null
+    cmake --build "$build_dir" -j "$(nproc)" >/dev/null
+fi
+
+benches=(
+    table2_port_latency
+    table3_read_latency
+    fig7_read_bandwidth
+    fig8_db_filter
+    fig9_power_energy
+    fig10_tpch
+)
+
+out_dir="$build_dir/bench_out"
+mkdir -p "$out_dir"
+
+now_ms() { date +%s%3N; }
+
+json_entries=()
+fig7_ms=0
+fig10_ms=0
+fail=0
+for b in "${benches[@]}"; do
+    bin="$build_dir/bench/$b"
+    if [[ ! -x "$bin" ]]; then
+        echo "bench missing: $bin" >&2
+        exit 1
+    fi
+    start=$(now_ms)
+    "$bin" > "$out_dir/$b.txt"
+    end=$(now_ms)
+    ms=$((end - start))
+
+    golden="bench/golden/$b.txt"
+    match=true
+    if [[ -f "$golden" ]]; then
+        if ! diff -q "$golden" "$out_dir/$b.txt" >/dev/null; then
+            match=false
+            fail=1
+            echo "SIMULATED OUTPUT DRIFT: $b (diff $golden $out_dir/$b.txt)" >&2
+        fi
+    else
+        match=null
+    fi
+
+    secs=$(awk -v ms="$ms" 'BEGIN { printf "%.3f", ms / 1000.0 }')
+    echo "$b: ${secs}s wall, golden match: $match"
+    json_entries+=("    \"$b\": {\"wall_clock_seconds\": $secs, \"golden_match\": $match}")
+
+    [[ "$b" == fig7_read_bandwidth ]] && fig7_ms=$ms
+    [[ "$b" == fig10_tpch ]] && fig10_ms=$ms
+done
+
+combined=$(awk -v a="$fig7_ms" -v b="$fig10_ms" \
+    'BEGIN { printf "%.3f", (a + b) / 1000.0 }')
+
+# Simulated headline figures (from the transcripts, for the record).
+fig10_summary=$(grep "total suite time" "$out_dir/fig10_tpch.txt" \
+    | sed 's/^ *//' || true)
+table3_line=$(sed -n 3p "$out_dir/table3_read_latency.txt" \
+    | sed 's/^ *//' || true)
+
+{
+    echo "{"
+    echo "  \"schema\": \"biscuit-bench-wallclock-v1\","
+    echo "  \"generated_utc\": \"$(date -u +%Y-%m-%dT%H:%M:%SZ)\","
+    echo "  \"host\": \"$(uname -sm)\","
+    echo "  \"benches\": {"
+    (IFS=$',\n'; echo "${json_entries[*]}")
+    echo "  },"
+    echo "  \"combined_fig7_fig10_seconds\": $combined,"
+    echo "  \"sim_figures\": {"
+    echo "    \"table3_read_latency_us\": \"$table3_line\","
+    echo "    \"fig10_suite\": \"$fig10_summary\""
+    echo "  }"
+    echo "}"
+} > "$out_file"
+
+echo
+echo "combined fig7+fig10 wall clock: ${combined}s"
+echo "wrote $out_file"
+exit $fail

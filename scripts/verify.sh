@@ -1,21 +1,35 @@
 #!/usr/bin/env bash
-# Tier-1 verification: a normal build + ctest pass, then a second pass
-# with AddressSanitizer and UBSan enabled via BISCUIT_SANITIZE.
+# Tier-1 verification: a normal build + ctest pass, a perf-smoke pass
+# that replays the paper-figure benches and diffs their simulated
+# outputs against the golden transcripts in bench/golden/, then a
+# second build with AddressSanitizer and UBSan via BISCUIT_SANITIZE.
 #
-# Usage: scripts/verify.sh [--no-sanitize]
+# Usage: scripts/verify.sh [--no-sanitize] [--no-perf-smoke]
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 
 run_sanitized=1
-if [[ "${1:-}" == "--no-sanitize" ]]; then
-    run_sanitized=0
-fi
+run_perf_smoke=1
+for arg in "$@"; do
+    case "$arg" in
+      --no-sanitize) run_sanitized=0 ;;
+      --no-perf-smoke) run_perf_smoke=0 ;;
+    esac
+done
 
 echo "=== pass 1: normal build + ctest ==="
 cmake -B build -S . >/dev/null
 cmake --build build -j "$(nproc)"
 ctest --test-dir build --output-on-failure -j "$(nproc)"
+
+if [[ "$run_perf_smoke" == 1 ]]; then
+    echo
+    echo "=== perf smoke: simulated outputs vs bench/golden ==="
+    # bench.sh exits non-zero when any bench's simulated output
+    # drifts from its golden transcript.
+    scripts/bench.sh --no-build --out BENCH_wallclock.json
+fi
 
 if [[ "$run_sanitized" == 1 ]]; then
     echo
