@@ -202,12 +202,13 @@ ndpScan(MiniDb &db, Table &table, const ExprPtr &pred,
         app.start();
 
         Packet batch;
+        std::vector<std::uint8_t> data;  // reused across pages
         while (port.get(batch)) {
             auto n = batch.get<std::uint32_t>();
             for (std::uint32_t i = 0; i < n; ++i) {
                 auto page_idx = batch.get<std::uint64_t>();
                 auto len = batch.get<std::uint32_t>();
-                std::vector<std::uint8_t> data(len);
+                data.resize(len);
                 batch.getBytes(data.data(), len);
 
                 // Exact predicate evaluation on the returned page.
@@ -306,12 +307,14 @@ bnlJoin(MiniDb &db, const std::vector<Row> &outer, Bytes outer_width,
         divCeil<Bytes>(outer_bytes, db.planner.join_buffer);
     Bytes inner_size = inner.pageCount() * inner.pageSize();
     for (std::uint64_t b = 0; b < blocks; ++b) {
-        host.streamRead(inner.file(), 0, inner_size, 1_MiB,
-                        [&](Bytes, const std::uint8_t *, Bytes len) {
-                            host.consumeCpuPerByte(
-                                len,
-                                host.config().db_scan_ns_per_byte);
-                        });
+        // The pass only contributes time (the rows are already in the
+        // functional hash above), so skip materializing the bytes.
+        host.streamReadTimed(inner.file(), 0, inner_size, 1_MiB,
+                             [&](Bytes, Bytes len) {
+                                 host.consumeCpuPerByte(
+                                     len,
+                                     host.config().db_scan_ns_per_byte);
+                             });
         stats.pages_to_host += inner.pageCount();
         stats.rows_examined += inner.rowCount();
     }

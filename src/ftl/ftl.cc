@@ -1,6 +1,7 @@
 #include "ftl/ftl.h"
 
 #include <algorithm>
+#include <cstring>
 #include <limits>
 
 namespace bisc::ftl {
@@ -44,19 +45,76 @@ Ftl::readEx(Lpn lpn, Bytes offset, Bytes len, std::uint8_t *out,
         ++uncorrectable_;
         return ReadResult{r.done, r.status, r.retries};
     }
+    maybeRelocateAfterRead(lpn, ppn, r.retries);
+    return ReadResult{r.done, Status(), r.retries};
+}
+
+ReadViewResult
+Ftl::readViewEx(Lpn lpn, Bytes offset, Bytes len, Tick earliest)
+{
+    BISC_ASSERT(lpn < logical_pages_, "lpn out of range: ", lpn);
+    Tick start = std::max(earliest, kernel_.now());
+    Tick fw_done = start + params_.fw_read_overhead;
+    auto it = map_.find(lpn);
+    if (it == map_.end())
+        return ReadViewResult{fw_done, Status(), 0,
+                              nand_.zeroView(len)};
+    nand::Ppn ppn = it->second;
+    nand::ReadViewResult r =
+        nand_.readPageViewEx(ppn, offset, len, fw_done);
+    if (!r.status.ok()) {
+        ++uncorrectable_;
+        return ReadViewResult{r.done, std::move(r.status), r.retries,
+                              std::move(r.view)};
+    }
     if (params_.relocate_retry_threshold != 0 &&
         r.retries >= params_.relocate_retry_threshold && !in_gc_) {
-        // The page decoded, but only after deep retries: refresh it
-        // into a fresh block before it degrades into data loss, and
-        // retire the block once it keeps producing such reads.
-        relocateLpn(lpn);
-        ++retry_relocations_;
-        nand::Pbn pbn = nand_.geometry().blockOf(ppn);
-        if (!isBad(pbn) &&
-            ++suspect_events_[pbn] >= params_.bad_block_read_events)
-            retireBlock(pbn);
+        // Relocation may reclaim (erase) the block the borrowed view
+        // points into; pin the bytes before touching the mapping.
+        r.view = r.view.pin(nand_.bufferPool());
     }
-    return ReadResult{r.done, Status(), r.retries};
+    maybeRelocateAfterRead(lpn, ppn, r.retries);
+    return ReadViewResult{r.done, Status(), r.retries,
+                          std::move(r.view)};
+}
+
+BatchReadResult
+Ftl::readPages(const Lpn *lpns, std::size_t n, std::uint8_t *out,
+               Tick earliest, ReadResult *per_page)
+{
+    const Bytes page_size = pageSize();
+    BatchReadResult br;
+    br.done = std::max(earliest, kernel_.now());
+    for (std::size_t i = 0; i < n; ++i) {
+        std::uint8_t *dst =
+            out == nullptr ? nullptr : out + i * page_size;
+        ReadResult r = readEx(lpns[i], 0, page_size, dst, earliest);
+        br.done = std::max(br.done, r.done);
+        br.retries += r.retries;
+        if (!r.status.ok() && br.status.ok())
+            br.status = r.status;
+        if (per_page != nullptr)
+            per_page[i] = std::move(r);
+    }
+    return br;
+}
+
+void
+Ftl::maybeRelocateAfterRead(Lpn lpn, nand::Ppn ppn,
+                            std::uint32_t retries)
+{
+    if (params_.relocate_retry_threshold == 0 ||
+        retries < params_.relocate_retry_threshold || in_gc_)
+        return;
+    // The page decoded, but only after deep retries: refresh it into a
+    // fresh block before it degrades into data loss, and retire the
+    // block once it keeps producing such reads.
+    relocateLpn(lpn);
+    ++retry_relocations_;
+    nand::Pbn pbn = nand_.geometry().blockOf(ppn);
+    if (!isBad(pbn) &&
+        ++suspect_events_[pbn] >= params_.bad_block_read_events)
+        retireBlock(pbn);
 }
 
 Tick
@@ -258,7 +316,7 @@ Ftl::retireBlock(nand::Pbn pbn)
     // Migrate surviving data. Firmware migration reads run the full
     // offline recovery ladder; the model treats them as functionally
     // successful (timing charged, bytes taken from the backing store).
-    std::vector<std::uint8_t> buf(geo.page_size);
+    sim::PageRef buf = nand_.bufferPool().acquire();
     for (std::uint32_t i = 0; i < geo.pages_per_block; ++i) {
         nand::Ppn src = geo.pageOfBlock(pbn, i);
         auto rit = rev_.find(src);
@@ -266,7 +324,7 @@ Ftl::retireBlock(nand::Pbn pbn)
             continue;
         Lpn lpn = rit->second;
         nand_.readPageEx(src, 0, geo.page_size, nullptr);
-        snapshotPage(src, buf);
+        snapshotPage(src, buf.data());
         rev_.erase(rit);
         auto vit = valid_count_.find(pbn);
         if (vit != valid_count_.end() && vit->second > 0)
@@ -286,10 +344,10 @@ Ftl::relocateLpn(Lpn lpn)
     if (it == map_.end())
         return;
     const auto &geo = nand_.geometry();
-    std::vector<std::uint8_t> buf(geo.page_size);
+    sim::PageRef buf = nand_.bufferPool().acquire();
     // The recovered bytes are already in hand from the triggering
     // read; only the rewrite is charged.
-    snapshotPage(it->second, buf);
+    snapshotPage(it->second, buf.data());
     invalidate(lpn);
     auto [dst, done] = programWithRemap(buf.data(), geo.page_size);
     (void)done;
@@ -319,7 +377,7 @@ Ftl::gcOnce()
     ++gc_runs_;
     in_gc_ = true;
 
-    std::vector<std::uint8_t> buf(geo.page_size);
+    sim::PageRef buf = nand_.bufferPool().acquire();
     for (std::uint32_t i = 0; i < geo.pages_per_block; ++i) {
         nand::Ppn src = geo.pageOfBlock(victim, i);
         auto rit = rev_.find(src);
@@ -330,7 +388,7 @@ Ftl::gcOnce()
         // buffer, taken functionally from the backing store so an
         // injected error can never propagate corrupt bytes.
         nand_.readPageEx(src, 0, geo.page_size, nullptr);
-        snapshotPage(src, buf);
+        snapshotPage(src, buf.data());
         rev_.erase(rit);
         auto vit = valid_count_.find(victim);
         if (vit != valid_count_.end() && vit->second > 0)
@@ -376,12 +434,17 @@ Ftl::bindMapping(Lpn lpn, nand::Ppn ppn)
 }
 
 void
-Ftl::snapshotPage(nand::Ppn ppn, std::vector<std::uint8_t> &buf) const
+Ftl::snapshotPage(nand::Ppn ppn, std::uint8_t *buf) const
 {
-    std::fill(buf.begin(), buf.end(), 0);
+    const Bytes page_size = pageSize();
     const auto *page = nand_.peekPage(ppn);
-    if (page != nullptr)
-        std::copy(page->begin(), page->end(), buf.begin());
+    Bytes n = page == nullptr
+                  ? 0
+                  : std::min<Bytes>(page->size(), page_size);
+    if (n > 0)
+        std::memcpy(buf, page->data(), n);
+    if (n < page_size)
+        std::memset(buf + n, 0, page_size - n);
 }
 
 std::uint64_t

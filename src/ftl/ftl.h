@@ -29,6 +29,7 @@
 #include <vector>
 
 #include "nand/nand.h"
+#include "sim/buffer_pool.h"
 #include "sim/kernel.h"
 #include "util/common.h"
 #include "util/status.h"
@@ -45,6 +46,30 @@ struct ReadResult
     Status status;
 
     /** ECC re-sense passes the media needed (0 = clean decode). */
+    std::uint32_t retries = 0;
+};
+
+/** Outcome of a timed zero-copy logical read. */
+struct ReadViewResult
+{
+    Tick done = 0;
+    Status status;
+    std::uint32_t retries = 0;
+
+    /** The page bytes (see nand::ReadViewResult for lifetime rules). */
+    sim::BufferView view;
+};
+
+/** Aggregate outcome of a vectored multi-page read. */
+struct BatchReadResult
+{
+    /** Completion tick of the last page. */
+    Tick done = 0;
+
+    /** First non-OK page status, in command order (OK if all clean). */
+    Status status;
+
+    /** ECC re-sense passes summed across the pages. */
     std::uint32_t retries = 0;
 };
 
@@ -114,6 +139,29 @@ class Ftl
     /** Legacy tick-only read; panics on an unhandled media error. */
     Tick read(Lpn lpn, Bytes offset, Bytes len, std::uint8_t *out,
               Tick earliest = 0);
+
+    /**
+     * Zero-copy variant of readEx: identical timing, Status and
+     * relocation policy, but the bytes come back as a BufferView
+     * instead of being copied out. Clean reads borrow the NAND backing
+     * store; a read that triggers relocation pins its bytes first so
+     * the view survives the source block's reclamation.
+     */
+    ReadViewResult readViewEx(Lpn lpn, Bytes offset, Bytes len,
+                              Tick earliest = 0);
+
+    /**
+     * Vectored full-page read: @p n logical pages in one firmware
+     * round trip, fanning out across NAND channels by physical
+     * placement. Byte-for-byte and status-identical to n readEx calls
+     * in the same order (same timing too — reservations are issued in
+     * command order). @p out receives n * pageSize() bytes (may be
+     * null); @p per_page (optional) receives each page's individual
+     * outcome.
+     */
+    BatchReadResult readPages(const Lpn *lpns, std::size_t n,
+                              std::uint8_t *out, Tick earliest = 0,
+                              ReadResult *per_page = nullptr);
 
     /**
      * Timed full-page write (out-of-place). @p len <= pageSize();
@@ -211,8 +259,16 @@ class Ftl
     /** Record that @p ppn now holds @p lpn. */
     void bindMapping(Lpn lpn, nand::Ppn ppn);
 
-    /** Copy the current bytes of @p ppn into @p buf (zero-padded). */
-    void snapshotPage(nand::Ppn ppn, std::vector<std::uint8_t> &buf) const;
+    /**
+     * Post-read reliability policy: refresh a page that needed deep
+     * ECC retries and retire its block once it keeps producing such
+     * reads. No-op for clean reads or inside GC.
+     */
+    void maybeRelocateAfterRead(Lpn lpn, nand::Ppn ppn,
+                                std::uint32_t retries);
+
+    /** Copy the pageSize() bytes of @p ppn into @p buf (zero-padded). */
+    void snapshotPage(nand::Ppn ppn, std::uint8_t *buf) const;
 
     std::uint64_t totalFreeBlocks() const;
 

@@ -89,6 +89,19 @@ HostSystem::streamRead(
     const std::function<void(Bytes, const std::uint8_t *, Bytes)>
         &on_chunk)
 {
+    std::vector<std::uint8_t> chunk(window);
+    streamReadTimed(path, offset, len, window,
+                    [&](Bytes off, Bytes n) {
+                        fs_.peek(path, off, n, chunk.data());
+                        on_chunk(off, chunk.data(), n);
+                    });
+}
+
+void
+HostSystem::streamReadTimed(
+    const std::string &path, Bytes offset, Bytes len, Bytes window,
+    const std::function<void(Bytes, Bytes)> &on_window)
+{
     Bytes file_size = fs_.size(path);
     if (offset >= file_size)
         return;
@@ -96,16 +109,16 @@ HostSystem::streamRead(
 
     const Bytes page = fs_.pageSize();
     const auto &table = fs_.pagesOf(path);
-    std::vector<std::uint8_t> chunk(window);
+    std::vector<ftl::Lpn> pages;  // reused across windows
 
     // Readahead pipeline (double buffering): the NVMe command for
     // window i+1 is in flight while the caller chews on window i, so
     // the caller blocks only when compute outruns the device.
     auto issue = [&](Bytes start) -> Tick {
         Bytes n = std::min(window, len - start);
-        std::vector<ftl::Lpn> pages;
         Bytes lo = (offset + start) / page;
         Bytes hi = (offset + start + n - 1) / page;
+        pages.clear();
         for (Bytes p = lo; p <= hi; ++p)
             pages.push_back(table[p]);
         consumeCpu(cfg_.io_request_cpu);
@@ -120,8 +133,7 @@ HostSystem::streamRead(
         if (ready > kernel_.now())
             kernel_.sleepUntil(ready);
         Bytes n = std::min(window, len - pos);
-        fs_.peek(path, offset + pos, n, chunk.data());
-        on_chunk(offset + pos, chunk.data(), n);
+        on_window(offset + pos, n);
         ready = next_ready;
     }
 }

@@ -120,6 +120,18 @@ class HostSystem
                     const std::function<void(Bytes, const std::uint8_t *,
                                              Bytes)> &on_chunk);
 
+    /**
+     * Timing-only variant of streamRead: the same readahead pipeline
+     * (identical NVMe commands, CPU charges and blocking), but no data
+     * is materialized — @p on_window receives (offset, len) per
+     * readahead window. For callers that only need a subset of the
+     * bytes (or none), this skips the per-window page-cache copy.
+     */
+    void streamReadTimed(const std::string &path, Bytes offset,
+                         Bytes len, Bytes window,
+                         const std::function<void(Bytes, Bytes)>
+                             &on_window);
+
     // ----- Power accounting -----
 
     /**

@@ -8,7 +8,7 @@ NandFlash::NandFlash(sim::Kernel &kernel, const Geometry &geo,
                      const NandTiming &timing, const FaultConfig &faults,
                      const EccConfig &ecc)
     : kernel_(kernel), geo_(geo), timing_(timing), ecc_(ecc),
-      fault_(faults)
+      fault_(faults), pool_(geo.page_size), zero_page_(geo.page_size, 0)
 {
     dies_.reserve(geo_.dies());
     for (std::uint32_t d = 0; d < geo_.dies(); ++d) {
@@ -22,14 +22,13 @@ NandFlash::NandFlash(sim::Kernel &kernel, const Geometry &geo,
     }
 }
 
-ReadResult
-NandFlash::readPageEx(Ppn ppn, Bytes offset, Bytes len, std::uint8_t *out,
-                      Tick earliest)
+const std::vector<std::uint8_t> *
+NandFlash::timedRead(Ppn ppn, Bytes offset, Bytes len, Tick earliest,
+                     ReadResult &r, bool &uncorrectable)
 {
     BISC_ASSERT(ppn < geo_.totalPages(), "ppn out of range: ", ppn);
     BISC_ASSERT(offset + len <= geo_.page_size,
                 "read beyond page: off=", offset, " len=", len);
-    ReadResult r;
 
     // Media sense (plus any injected die stall), then the ECC decode /
     // re-sense loop, then pipelined bus transfer of the requested bytes.
@@ -41,7 +40,6 @@ NandFlash::readPageEx(Ppn ppn, Bytes offset, Bytes len, std::uint8_t *out,
     Tick media_done = dieServer(ppn).reserveAt(earliest, media);
 
     auto it = pages_.find(ppn);
-    bool uncorrectable = false;
     if (fault_.enabled() && it != pages_.end()) {
         // Erased (unwritten) pages carry no data to decode; only
         // programmed pages go through ECC.
@@ -78,22 +76,73 @@ NandFlash::readPageEx(Ppn ppn, Bytes offset, Bytes len, std::uint8_t *out,
     }
     r.done = channelServer(ppn).reserveAt(media_done, xfer);
 
+    ++page_reads_;
+    bytes_read_ += len;
+    return it == pages_.end() ? nullptr : &it->second;
+}
+
+ReadResult
+NandFlash::readPageEx(Ppn ppn, Bytes offset, Bytes len, std::uint8_t *out,
+                      Tick earliest)
+{
+    ReadResult r;
+    bool uncorrectable = false;
+    const auto *page =
+        timedRead(ppn, offset, len, earliest, r, uncorrectable);
+
     if (out != nullptr) {
-        if (it == pages_.end()) {
+        if (page == nullptr) {
             std::memset(out, 0, len);
         } else {
-            const auto &page = it->second;
-            for (Bytes i = 0; i < len; ++i) {
-                Bytes src = offset + i;
-                out[i] = src < page.size() ? page[src] : 0;
-            }
+            Bytes avail =
+                page->size() > offset ? page->size() - offset : 0;
+            Bytes n = std::min(len, avail);
+            if (n > 0)
+                std::memcpy(out, page->data() + offset, n);
+            if (n < len)
+                std::memset(out + n, 0, len - n);
         }
         if (uncorrectable)
             fault_.corrupt(out, len);
     }
-    ++page_reads_;
-    bytes_read_ += len;
     return r;
+}
+
+ReadViewResult
+NandFlash::readPageViewEx(Ppn ppn, Bytes offset, Bytes len, Tick earliest)
+{
+    ReadViewResult v;
+    ReadResult r;
+    bool uncorrectable = false;
+    const auto *page =
+        timedRead(ppn, offset, len, earliest, r, uncorrectable);
+    v.done = r.done;
+    v.status = std::move(r.status);
+    v.retries = r.retries;
+
+    if (!uncorrectable && page == nullptr) {
+        v.view = zeroView(len);
+    } else if (!uncorrectable && offset + len <= page->size()) {
+        pool_.noteBorrow();
+        v.view = sim::BufferView(page->data() + offset, len);
+    } else {
+        // A damaged or short read needs bytes of its own: corruption
+        // must never touch the backing store, and padding needs a
+        // contiguous buffer. Pin a pool copy.
+        sim::PageRef ref = pool_.acquire();
+        Bytes avail = 0;
+        if (page != nullptr && page->size() > offset)
+            avail = page->size() - offset;
+        Bytes n = std::min(len, avail);
+        if (n > 0)
+            std::memcpy(ref.data(), page->data() + offset, n);
+        if (n < len)
+            std::memset(ref.data() + n, 0, len - n);
+        if (uncorrectable)
+            fault_.corrupt(ref.data(), len);
+        v.view = sim::BufferView(std::move(ref), len);
+    }
+    return v;
 }
 
 OpResult
@@ -203,6 +252,34 @@ NandFlash::peekPage(Ppn ppn) const
 {
     auto it = pages_.find(ppn);
     return it == pages_.end() ? nullptr : &it->second;
+}
+
+sim::BufferView
+NandFlash::peekView(Ppn ppn, Bytes offset, Bytes len)
+{
+    BISC_ASSERT(offset + len <= geo_.page_size,
+                "peek beyond page: off=", offset, " len=", len);
+    const auto *page = peekPage(ppn);
+    if (page == nullptr)
+        return zeroView(len);
+    Bytes avail = page->size() > offset ? page->size() - offset : 0;
+    if (avail >= len) {
+        pool_.noteBorrow();
+        return sim::BufferView(page->data() + offset, len);
+    }
+    sim::PageRef ref = pool_.acquire();
+    if (avail > 0)
+        std::memcpy(ref.data(), page->data() + offset, avail);
+    std::memset(ref.data() + avail, 0, len - avail);
+    return sim::BufferView(std::move(ref), len);
+}
+
+sim::BufferView
+NandFlash::zeroView(Bytes len)
+{
+    BISC_ASSERT(len <= geo_.page_size, "zero view beyond page: ", len);
+    pool_.noteBorrow();
+    return sim::BufferView(zero_page_.data(), len);
 }
 
 }  // namespace bisc::nand

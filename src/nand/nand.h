@@ -29,6 +29,7 @@
 
 #include "nand/fault.h"
 #include "nand/geometry.h"
+#include "sim/buffer_pool.h"
 #include "sim/kernel.h"
 #include "sim/server.h"
 #include "util/common.h"
@@ -51,6 +52,24 @@ struct OpResult
 {
     Tick done = 0;
     Status status;
+};
+
+/** Outcome of a timed zero-copy page read. */
+struct ReadViewResult
+{
+    Tick done = 0;
+    Status status;
+
+    /** ECC re-sense passes this read needed (0 = clean decode). */
+    std::uint32_t retries = 0;
+
+    /**
+     * The page bytes: a borrow of the backing store on the clean path
+     * (valid until the page is reprogrammed or its block erased), a
+     * pinned pool copy when the fault model damaged the data or the
+     * stored page is shorter than the request.
+     */
+    sim::BufferView view;
 };
 
 class NandFlash
@@ -76,6 +95,17 @@ class NandFlash
      */
     ReadResult readPageEx(Ppn ppn, Bytes offset, Bytes len,
                           std::uint8_t *out, Tick earliest = 0);
+
+    /**
+     * Zero-copy variant of readPageEx: identical timing, ECC behavior
+     * and Status, but instead of copying into a caller buffer the
+     * result carries a BufferView of the bytes. Clean reads of fully
+     * covered pages borrow the backing store directly; unwritten pages
+     * view a shared zero page; only a fault or a short stored page
+     * pins a pool buffer.
+     */
+    ReadViewResult readPageViewEx(Ppn ppn, Bytes offset, Bytes len,
+                                  Tick earliest = 0);
 
     /**
      * Program page @p ppn with @p len bytes (rest of the page zero).
@@ -127,6 +157,20 @@ class NandFlash
     /** Direct read-only view of a page's bytes; nullptr if unwritten. */
     const std::vector<std::uint8_t> *peekPage(Ppn ppn) const;
 
+    /**
+     * Zero-time functional view of @p len bytes at @p offset of page
+     * @p ppn (no timing, no ECC): borrows the backing store when it
+     * covers the request, else a zero-padded pool copy. Unwritten
+     * pages view the shared zero page.
+     */
+    sim::BufferView peekView(Ppn ppn, Bytes offset, Bytes len);
+
+    /** A view of @p len zero bytes (erased-flash semantics). */
+    sim::BufferView zeroView(Bytes len);
+
+    /** The page-sized buffer pool backing the zero-copy data path. */
+    sim::BufferPool &bufferPool() { return pool_; }
+
     // Aggregate statistics.
     std::uint64_t pageReads() const { return page_reads_; }
     std::uint64_t pageWrites() const { return page_writes_; }
@@ -159,6 +203,17 @@ class NandFlash
     }
 
   private:
+    /**
+     * The shared timing/ECC core of every page read: reserves media,
+     * runs the re-sense loop, reserves the bus, fills @p r and flags
+     * @p uncorrectable. Returns the stored page (nullptr if unwritten)
+     * so the caller can copy or view it.
+     */
+    const std::vector<std::uint8_t> *timedRead(Ppn ppn, Bytes offset,
+                                               Bytes len, Tick earliest,
+                                               ReadResult &r,
+                                               bool &uncorrectable);
+
     sim::Server &dieServer(Ppn ppn) { return *dies_[geo_.slotOf(ppn)]; }
 
     sim::Server &
@@ -178,6 +233,9 @@ class NandFlash
 
     std::unordered_map<Ppn, std::vector<std::uint8_t>> pages_;
     std::unordered_map<Pbn, std::uint64_t> erase_counts_;
+
+    sim::BufferPool pool_;
+    std::vector<std::uint8_t> zero_page_;
 
     std::uint64_t page_reads_ = 0;
     std::uint64_t page_writes_ = 0;

@@ -74,8 +74,18 @@ struct MatchResult
 class PatternMatcher
 {
   public:
-    /** Load a key set into the IP registers. */
-    void configure(const KeySet &keys) { keys_ = keys; }
+    /**
+     * Load a key set into the IP registers. Reloading the keys already
+     * resident is free: per-page scan loops configure every page, and
+     * the compare avoids re-copying the key strings each time.
+     */
+    void
+    configure(const KeySet &keys)
+    {
+        if (keys_.keys() == keys.keys())
+            return;
+        keys_ = keys;
+    }
 
     const KeySet &keySet() const { return keys_; }
 

@@ -1,0 +1,317 @@
+/**
+ * @file
+ * Pooled page buffers and zero-copy views for the data path.
+ *
+ * Every byte an SSDlet consumes streams out of the NAND model's backing
+ * store; the pre-pool data path copied each page at least twice on its
+ * way up (NAND -> staging -> caller). BufferPool makes the common case
+ * allocation- and copy-free:
+ *
+ *  - PageRef: a refcounted handle to one pooled, page-sized buffer.
+ *    Releasing the last reference returns the buffer to a freelist, so
+ *    steady-state traffic recycles a small working set instead of
+ *    heap-allocating per page.
+ *  - BufferView: a read-only window over page bytes. It either borrows
+ *    storage owned elsewhere (the NAND page store, whose map nodes are
+ *    address-stable until the page's block is erased) or pins a PageRef
+ *    when a mutable/owning copy is unavoidable (ECC corruption must not
+ *    damage the backing store; relocation may erase the source block).
+ *
+ * The pool keeps counters for both regimes: borrows (zero-copy views
+ * handed out), hits (freelist reuse) and misses (true heap
+ * allocations). Tests assert misses stay flat on the steady-state read
+ * path.
+ *
+ * Single-threaded by design, like the rest of the simulation kernel.
+ */
+
+#ifndef BISCUIT_SIM_BUFFER_POOL_H_
+#define BISCUIT_SIM_BUFFER_POOL_H_
+
+#include <cstdint>
+#include <cstring>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "util/common.h"
+#include "util/log.h"
+
+namespace bisc::sim {
+
+class BufferPool;
+
+/**
+ * Refcounted handle to one pooled buffer. Copying shares the buffer;
+ * destroying the last handle returns the buffer to its pool's
+ * freelist. A default-constructed PageRef is empty.
+ */
+class PageRef
+{
+  public:
+    PageRef() = default;
+
+    PageRef(const PageRef &o);
+    PageRef(PageRef &&o) noexcept : pool_(o.pool_), idx_(o.idx_)
+    {
+        o.pool_ = nullptr;
+    }
+
+    PageRef &
+    operator=(const PageRef &o)
+    {
+        PageRef tmp(o);
+        swap(tmp);
+        return *this;
+    }
+
+    PageRef &
+    operator=(PageRef &&o) noexcept
+    {
+        if (this != &o) {
+            reset();
+            pool_ = o.pool_;
+            idx_ = o.idx_;
+            o.pool_ = nullptr;
+        }
+        return *this;
+    }
+
+    ~PageRef() { reset(); }
+
+    /** Drop this reference (empty afterwards). */
+    void reset();
+
+    explicit operator bool() const { return pool_ != nullptr; }
+
+    std::uint8_t *data();
+    const std::uint8_t *data() const;
+
+    /** Buffer capacity (the pool's buffer size). */
+    Bytes size() const;
+
+    void
+    swap(PageRef &o) noexcept
+    {
+        std::swap(pool_, o.pool_);
+        std::swap(idx_, o.idx_);
+    }
+
+  private:
+    friend class BufferPool;
+
+    PageRef(BufferPool *pool, std::uint32_t idx)
+        : pool_(pool), idx_(idx)
+    {}
+
+    BufferPool *pool_ = nullptr;
+    std::uint32_t idx_ = 0;
+};
+
+/**
+ * A fixed-size buffer pool. acquire() prefers the freelist and only
+ * heap-allocates when every buffer is referenced, so the pool grows to
+ * the data path's peak concurrency and then stops allocating.
+ */
+class BufferPool
+{
+  public:
+    explicit BufferPool(Bytes buffer_size) : buffer_size_(buffer_size)
+    {
+        BISC_ASSERT(buffer_size > 0, "zero-sized buffer pool");
+    }
+
+    BufferPool(const BufferPool &) = delete;
+    BufferPool &operator=(const BufferPool &) = delete;
+
+    /** Hand out a buffer with one reference (contents unspecified). */
+    PageRef
+    acquire()
+    {
+        ++acquires_;
+        std::uint32_t idx;
+        if (free_head_ != kNil) {
+            ++hits_;
+            idx = free_head_;
+            free_head_ = slots_[idx].next_free;
+        } else {
+            ++misses_;
+            idx = static_cast<std::uint32_t>(slots_.size());
+            slots_.emplace_back();
+            slots_[idx].data =
+                std::make_unique<std::uint8_t[]>(buffer_size_);
+        }
+        Slot &s = slots_[idx];
+        s.refs = 1;
+        s.next_free = kNil;
+        ++in_use_;
+        return PageRef(this, idx);
+    }
+
+    /** Acquire a buffer pre-filled with a copy of @p data. */
+    PageRef
+    copyIn(const std::uint8_t *data, Bytes len)
+    {
+        BISC_ASSERT(len <= buffer_size_,
+                    "copyIn beyond buffer size: ", len);
+        PageRef ref = acquire();
+        if (len > 0)
+            std::memcpy(ref.data(), data, len);
+        return ref;
+    }
+
+    Bytes bufferSize() const { return buffer_size_; }
+
+    /** Record that a zero-copy view was handed out (no buffer used). */
+    void noteBorrow() { ++borrows_; }
+
+    // ----- Stats: the zero-alloc acceptance counters -----
+
+    /** Buffers handed out (hits + misses). */
+    std::uint64_t acquires() const { return acquires_; }
+
+    /** Acquires served from the freelist (recycled buffers). */
+    std::uint64_t hits() const { return hits_; }
+
+    /** Acquires that had to heap-allocate a new buffer. */
+    std::uint64_t misses() const { return misses_; }
+
+    /** Zero-copy views handed out instead of buffers. */
+    std::uint64_t borrows() const { return borrows_; }
+
+    /** Buffers ever allocated (live + freelist). */
+    std::size_t capacity() const { return slots_.size(); }
+
+    /** Buffers currently referenced. */
+    std::size_t inUse() const { return in_use_; }
+
+  private:
+    friend class PageRef;
+
+    static constexpr std::uint32_t kNil = 0xffffffffu;
+
+    struct Slot
+    {
+        std::unique_ptr<std::uint8_t[]> data;
+        std::uint32_t refs = 0;
+        std::uint32_t next_free = kNil;
+    };
+
+    void addRef(std::uint32_t idx) { ++slots_[idx].refs; }
+
+    void
+    release(std::uint32_t idx)
+    {
+        Slot &s = slots_[idx];
+        BISC_ASSERT(s.refs > 0, "PageRef over-release");
+        if (--s.refs == 0) {
+            s.next_free = free_head_;
+            free_head_ = idx;
+            --in_use_;
+        }
+    }
+
+    Bytes buffer_size_;
+    std::vector<Slot> slots_;
+    std::uint32_t free_head_ = kNil;
+    std::size_t in_use_ = 0;
+
+    std::uint64_t acquires_ = 0;
+    std::uint64_t hits_ = 0;
+    std::uint64_t misses_ = 0;
+    std::uint64_t borrows_ = 0;
+};
+
+inline PageRef::PageRef(const PageRef &o) : pool_(o.pool_), idx_(o.idx_)
+{
+    if (pool_ != nullptr)
+        pool_->addRef(idx_);
+}
+
+inline void
+PageRef::reset()
+{
+    if (pool_ != nullptr) {
+        pool_->release(idx_);
+        pool_ = nullptr;
+    }
+}
+
+inline std::uint8_t *
+PageRef::data()
+{
+    BISC_ASSERT(pool_ != nullptr, "data() on an empty PageRef");
+    return pool_->slots_[idx_].data.get();
+}
+
+inline const std::uint8_t *
+PageRef::data() const
+{
+    BISC_ASSERT(pool_ != nullptr, "data() on an empty PageRef");
+    return pool_->slots_[idx_].data.get();
+}
+
+inline Bytes
+PageRef::size() const
+{
+    BISC_ASSERT(pool_ != nullptr, "size() on an empty PageRef");
+    return pool_->bufferSize();
+}
+
+/**
+ * A read-only window over page bytes: either a borrow of storage owned
+ * elsewhere, or a view of a pinned pool buffer it keeps alive.
+ *
+ * Borrowed views are valid until the owning page is next programmed or
+ * its block erased; producers pin before any operation that could do
+ * either (see nand/ftl). Consumers that need the bytes beyond their
+ * callback must pin().
+ */
+class BufferView
+{
+  public:
+    BufferView() = default;
+
+    /** Borrow @p len bytes owned elsewhere. */
+    BufferView(const std::uint8_t *data, Bytes len)
+        : data_(data), len_(len)
+    {}
+
+    /** View the first @p len bytes of a pinned pool buffer. */
+    BufferView(PageRef pin, Bytes len) : pin_(std::move(pin)), len_(len)
+    {
+        data_ = pin_.data();
+    }
+
+    const std::uint8_t *data() const { return data_; }
+    Bytes size() const { return len_; }
+
+    /** True when this view keeps a pool buffer alive. */
+    bool pinned() const { return static_cast<bool>(pin_); }
+
+    explicit operator bool() const { return data_ != nullptr; }
+
+    /** The pinned buffer (empty for borrowed views). */
+    const PageRef &pinRef() const { return pin_; }
+
+    /**
+     * An owning version of this view: already-pinned views share their
+     * buffer; borrowed views are copied into a pool buffer.
+     */
+    BufferView
+    pin(BufferPool &pool) const
+    {
+        if (pinned() || data_ == nullptr)
+            return *this;
+        return BufferView(pool.copyIn(data_, len_), len_);
+    }
+
+  private:
+    PageRef pin_;
+    const std::uint8_t *data_ = nullptr;
+    Bytes len_ = 0;
+};
+
+}  // namespace bisc::sim
+
+#endif  // BISCUIT_SIM_BUFFER_POOL_H_

@@ -2,14 +2,30 @@
  * @file
  * The discrete-event queue driving all simulated time in Biscuit's
  * host-side emulation.
+ *
+ * Two allocation-conscious pieces replace the former
+ * std::function-based priority queue:
+ *
+ *  - SmallCallback: a move-only callable with 48 bytes of in-node
+ *    storage. Every callback the simulator schedules (small lambda
+ *    captures of a pointer or two) fits inline, so scheduling an event
+ *    performs no heap allocation in steady state. Oversized or
+ *    throwing-move callables transparently fall back to one heap cell.
+ *
+ *  - A binary heap of indices into a pooled node array. Fired nodes
+ *    return to a freelist, so a workload that keeps N events in flight
+ *    allocates exactly N nodes over its whole run, regardless of how
+ *    many events it schedules.
  */
 
 #ifndef BISCUIT_SIM_EVENT_QUEUE_H_
 #define BISCUIT_SIM_EVENT_QUEUE_H_
 
-#include <algorithm>
+#include <cstddef>
 #include <cstdint>
-#include <functional>
+#include <new>
+#include <type_traits>
+#include <utility>
 #include <vector>
 
 #include "util/common.h"
@@ -17,13 +33,162 @@
 namespace bisc::sim {
 
 /**
+ * Move-only type-erased callable sized for simulator event callbacks.
+ * Captures of up to kInlineSize bytes (and nothrow-movable) are stored
+ * inline; anything larger lives in a single heap cell owned by the
+ * wrapper.
+ */
+class SmallCallback
+{
+  public:
+    /** Inline capture budget; fits several pointers per callback. */
+    static constexpr std::size_t kInlineSize = 48;
+
+    SmallCallback() = default;
+
+    template <typename F,
+              typename = std::enable_if_t<
+                  !std::is_same_v<std::decay_t<F>, SmallCallback> &&
+                  std::is_invocable_v<std::decay_t<F> &>>>
+    SmallCallback(F &&f)  // NOLINT: implicit by design (lambda -> Callback)
+    {
+        using Fn = std::decay_t<F>;
+        if constexpr (sizeof(Fn) <= kInlineSize &&
+                      alignof(Fn) <= alignof(std::max_align_t) &&
+                      std::is_nothrow_move_constructible_v<Fn>) {
+            ::new (static_cast<void *>(storage_))
+                Fn(std::forward<F>(f));
+            ops_ = &kInlineOps<Fn>;
+        } else {
+            *reinterpret_cast<Fn **>(static_cast<void *>(storage_)) =
+                new Fn(std::forward<F>(f));
+            ops_ = &kHeapOps<Fn>;
+        }
+    }
+
+    SmallCallback(SmallCallback &&other) noexcept : ops_(other.ops_)
+    {
+        if (ops_ != nullptr) {
+            ops_->relocate(other.storage_, storage_);
+            other.ops_ = nullptr;
+        }
+    }
+
+    SmallCallback &
+    operator=(SmallCallback &&other) noexcept
+    {
+        if (this != &other) {
+            reset();
+            ops_ = other.ops_;
+            if (ops_ != nullptr) {
+                ops_->relocate(other.storage_, storage_);
+                other.ops_ = nullptr;
+            }
+        }
+        return *this;
+    }
+
+    SmallCallback(const SmallCallback &) = delete;
+    SmallCallback &operator=(const SmallCallback &) = delete;
+
+    ~SmallCallback() { reset(); }
+
+    explicit operator bool() const { return ops_ != nullptr; }
+
+    void
+    operator()()
+    {
+        ops_->invoke(storage_);
+    }
+
+    /** Destroy the held callable (if any); leaves *this empty. */
+    void
+    reset()
+    {
+        if (ops_ != nullptr) {
+            ops_->destroy(storage_);
+            ops_ = nullptr;
+        }
+    }
+
+  private:
+    struct Ops
+    {
+        void (*invoke)(void *);
+        /** Move src's callable into raw dst storage; src destroyed. */
+        void (*relocate)(void *src, void *dst);
+        void (*destroy)(void *);
+    };
+
+    template <typename Fn>
+    struct InlineImpl
+    {
+        static Fn *
+        self(void *p)
+        {
+            return std::launder(reinterpret_cast<Fn *>(p));
+        }
+
+        static void invoke(void *p) { (*self(p))(); }
+
+        static void
+        relocate(void *src, void *dst)
+        {
+            Fn *s = self(src);
+            ::new (dst) Fn(std::move(*s));
+            s->~Fn();
+        }
+
+        static void destroy(void *p) { self(p)->~Fn(); }
+    };
+
+    template <typename Fn>
+    struct HeapImpl
+    {
+        static Fn *
+        cell(void *p)
+        {
+            return *std::launder(reinterpret_cast<Fn **>(p));
+        }
+
+        static void invoke(void *p) { (*cell(p))(); }
+
+        static void
+        relocate(void *src, void *dst)
+        {
+            ::new (dst) (Fn *)(cell(src));
+        }
+
+        static void destroy(void *p) { delete cell(p); }
+    };
+
+    template <typename Fn>
+    static constexpr Ops kInlineOps{&InlineImpl<Fn>::invoke,
+                                    &InlineImpl<Fn>::relocate,
+                                    &InlineImpl<Fn>::destroy};
+
+    template <typename Fn>
+    static constexpr Ops kHeapOps{&HeapImpl<Fn>::invoke,
+                                  &HeapImpl<Fn>::relocate,
+                                  &HeapImpl<Fn>::destroy};
+
+    const Ops *ops_ = nullptr;
+    alignas(std::max_align_t) unsigned char storage_[kInlineSize];
+};
+
+/**
  * A time-ordered queue of callbacks. Events scheduled for the same tick
  * fire in insertion order (a strict tie-break keeps runs deterministic).
+ *
+ * Internally a binary min-heap of indices over a pooled node array:
+ * fired nodes are recycled through a freelist, so steady-state
+ * scheduling performs no allocation at all (neither for the node nor —
+ * for inline-sized callbacks — for the callable).
  */
 class EventQueue
 {
   public:
-    using Callback = std::function<void()>;
+    using Callback = SmallCallback;
 
     /** Current simulated time. */
     Tick now() const { return now_; }
@@ -41,8 +206,13 @@ class EventQueue
     {
         if (when < now_)
             when = now_;
-        heap_.push_back(Event{when, seq_++, std::move(fn)});
-        std::push_heap(heap_.begin(), heap_.end(), Later{});
+        std::uint32_t idx = allocNode();
+        Node &node = nodes_[idx];
+        node.when = when;
+        node.seq = seq_++;
+        node.fn = std::move(fn);
+        heap_.push_back(idx);
+        siftUp(heap_.size() - 1);
     }
 
     /** True when no events remain. */
@@ -52,7 +222,7 @@ class EventQueue
     std::size_t size() const { return heap_.size(); }
 
     /** Tick of the earliest pending event; undefined when empty. */
-    Tick nextTime() const { return heap_.front().when; }
+    Tick nextTime() const { return nodes_[heap_.front()].when; }
 
     /**
      * Pop and execute the earliest event, advancing the clock to its
@@ -63,39 +233,104 @@ class EventQueue
     {
         if (heap_.empty())
             return false;
-        // pop_heap moves the earliest event to the back, from where it
-        // can legally be moved out before the callback runs (it may
-        // schedule new events and reallocate the heap).
-        std::pop_heap(heap_.begin(), heap_.end(), Later{});
-        Event ev = std::move(heap_.back());
+        std::uint32_t idx = heap_.front();
+        heap_.front() = heap_.back();
         heap_.pop_back();
-        now_ = ev.when;
-        ev.fn();
+        if (!heap_.empty())
+            siftDown(0);
+        now_ = nodes_[idx].when;
+        // Move the callback out and recycle the node *before* running
+        // it: the callback may schedule new events, which may reuse
+        // this very node or grow the pool.
+        Callback fn = std::move(nodes_[idx].fn);
+        freeNode(idx);
+        fn();
         return true;
     }
 
+    /**
+     * Pool high-water mark: nodes ever allocated, i.e. the maximum
+     * number of events that were simultaneously pending.
+     */
+    std::size_t nodeCapacity() const { return nodes_.size(); }
+
   private:
-    struct Event
+    static constexpr std::uint32_t kNil = 0xffffffffu;
+
+    struct Node
     {
-        Tick when;
-        std::uint64_t seq;
+        Tick when = 0;
+        std::uint64_t seq = 0;
         Callback fn;
+        std::uint32_t next_free = kNil;
     };
 
-    struct Later
+    /** Heap order: does node @p a fire after node @p b? */
+    bool
+    later(std::uint32_t a, std::uint32_t b) const
     {
-        bool
-        operator()(const Event &a, const Event &b) const
-        {
-            if (a.when != b.when)
-                return a.when > b.when;
-            return a.seq > b.seq;
+        const Node &na = nodes_[a];
+        const Node &nb = nodes_[b];
+        if (na.when != nb.when)
+            return na.when > nb.when;
+        return na.seq > nb.seq;
+    }
+
+    std::uint32_t
+    allocNode()
+    {
+        if (free_head_ != kNil) {
+            std::uint32_t idx = free_head_;
+            free_head_ = nodes_[idx].next_free;
+            return idx;
         }
-    };
+        nodes_.emplace_back();
+        return static_cast<std::uint32_t>(nodes_.size() - 1);
+    }
+
+    void
+    freeNode(std::uint32_t idx)
+    {
+        nodes_[idx].next_free = free_head_;
+        free_head_ = idx;
+    }
+
+    void
+    siftUp(std::size_t pos)
+    {
+        while (pos > 0) {
+            std::size_t parent = (pos - 1) / 2;
+            if (!later(heap_[parent], heap_[pos]))
+                break;
+            std::swap(heap_[parent], heap_[pos]);
+            pos = parent;
+        }
+    }
+
+    void
+    siftDown(std::size_t pos)
+    {
+        const std::size_t n = heap_.size();
+        for (;;) {
+            std::size_t left = 2 * pos + 1;
+            if (left >= n)
+                break;
+            std::size_t best = left;
+            std::size_t right = left + 1;
+            if (right < n && later(heap_[left], heap_[right]))
+                best = right;
+            if (!later(heap_[pos], heap_[best]))
+                break;
+            std::swap(heap_[pos], heap_[best]);
+            pos = best;
+        }
+    }
 
     Tick now_ = 0;
     std::uint64_t seq_ = 0;
-    std::vector<Event> heap_;
+    std::uint32_t free_head_ = kNil;
+    std::vector<Node> nodes_;
+    std::vector<std::uint32_t> heap_;
 };
 
 }  // namespace bisc::sim

@@ -56,6 +56,7 @@ File::readAsync(Bytes offset, void *buf, Bytes len)
 {
     const auto &c = ctx();
     auto &fs = c.runtime->fs();
+    auto &dev = c.runtime->device();
     auto &kernel = c.runtime->kernel();
     const auto &cfg = c.runtime->config();
     const Bytes page = fs.pageSize();
@@ -65,8 +66,10 @@ File::readAsync(Bytes offset, void *buf, Bytes len)
         return Async(c.runtime, kernel.now(), 0);
     len = std::min(len, file_size - offset);
 
-    // Issue per covered page: a small CPU cost on the application's
-    // core, then the flash read pipelined behind it.
+    // Resolve the extent once, then issue per covered page: a small
+    // CPU cost on the application's core, then the flash read
+    // pipelined behind it.
+    const auto &pages = fs.pagesOf(path_);
     Tick done = kernel.now();
     Status status;
     Bytes covered = 0;
@@ -79,7 +82,8 @@ File::readAsync(Bytes offset, void *buf, Bytes len)
             buf == nullptr
                 ? nullptr
                 : static_cast<std::uint8_t *>(buf) + covered;
-        fs::ReadResult r = fs.readEx(path_, pos, n, dst, issued);
+        ftl::ReadResult r = dev.internalReadEx(pages[pos / page],
+                                               in_page, n, dst, issued);
         done = std::max(done, r.done);
         if (!r.status.ok() && status.ok())
             status = r.status;
@@ -106,7 +110,7 @@ File::scanMatched(
         return Async(c.runtime, kernel.now(), 0);
     len = std::min(len, file_size - offset);
 
-    std::vector<std::uint8_t> data(page);
+    const auto &pages = fs.pagesOf(path_);
     Tick done = kernel.now();
     Status status;
     Bytes covered = 0;
@@ -114,25 +118,27 @@ File::scanMatched(
         Bytes pos = offset + covered;
         Bytes in_page = pos % page;
         Bytes n = std::min(page - in_page, len - covered);
-        // IP control on the core precedes the channel stream-through.
+        ftl::Lpn lpn = pages[pos / page];
+        // IP control on the core precedes the channel stream-through;
+        // the page streams by as a zero-copy view.
         Tick ctrl = c.core->reserve(cfg.pm_control_per_page);
-        fs::ReadResult rr = fs.readEx(path_, pos, n, nullptr, ctrl);
-        done = std::max(done, rr.done);
-        if (!rr.status.ok()) {
+        ftl::ReadViewResult rv =
+            dev.internalReadViewEx(lpn, in_page, n, ctrl);
+        done = std::max(done, rv.done);
+        if (!rv.status.ok()) {
             // The stream the matcher saw was garbage: suppress any
             // match on this page and surface the error on the token.
             if (status.ok())
-                status = rr.status;
+                status = rv.status;
             covered += n;
             continue;
         }
 
-        // Functional match: exactly what the channel IP would see.
-        auto r = dev.matchPage(fs.lpnAt(path_, pos), in_page, n, keys);
-        if (r.any) {
-            Bytes got = fs.peek(path_, pos, n, data.data());
-            on_match(pos, data.data(), got);
-        }
+        // Functional match: exactly what the channel IP saw stream by.
+        auto r = dev.matchView(lpn, keys, rv.view.data(),
+                               rv.view.size());
+        if (r.any)
+            on_match(pos, rv.view.data(), rv.view.size());
         covered += n;
     }
     return Async(c.runtime, done, len, std::move(status));

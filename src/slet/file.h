@@ -106,10 +106,12 @@ class File
      * Hardware-matched streaming scan of [offset, offset+len):
      * configures the channel matchers with @p keys and streams pages;
      * @p on_match is invoked for each page containing any key, with
-     * the page's file offset, its bytes and their length. Returns the
-     * completion token of the whole scan. The per-page IP control cost
-     * on the device core is what caps PM bandwidth below raw internal
-     * bandwidth (Fig. 7).
+     * the page's file offset, its bytes and their length. The bytes
+     * are a zero-copy view of the streamed page — valid only for the
+     * duration of the callback; copy out anything kept longer. Returns
+     * the completion token of the whole scan. The per-page IP control
+     * cost on the device core is what caps PM bandwidth below raw
+     * internal bandwidth (Fig. 7).
      */
     Async scanMatched(
         Bytes offset, Bytes len, const pm::KeySet &keys,

@@ -1,0 +1,52 @@
+/**
+ * @file
+ * PageChunk: a zero-copy unit of page data flowing between SSDlets.
+ *
+ * A pipeline stage that reads flash (or receives pages) and forwards
+ * them to a downstream SSDlet on the same device shouldn't memcpy the
+ * payload per hop. PageChunk carries a refcounted PageRef from the
+ * device buffer pool plus the window (offset, len) within it;
+ * moving a PageChunk through an inter-SSDlet TypedStream moves the
+ * reference, never the bytes.
+ *
+ * PageChunk is deliberately NOT serializable (no Wire<> specialization):
+ * binding one to a host-crossing or inter-application port is a design
+ * error — the pool pointer is meaningless outside the device — and the
+ * port layer panics loudly ("non-serializable type on a packet port")
+ * instead of silently deep-copying. Stage the bytes into a Packet at
+ * the device boundary instead.
+ */
+
+#ifndef BISCUIT_SLET_PAGE_CHUNK_H_
+#define BISCUIT_SLET_PAGE_CHUNK_H_
+
+#include "sim/buffer_pool.h"
+#include "util/common.h"
+
+namespace bisc::slet {
+
+struct PageChunk
+{
+    /** File/stream offset this chunk's first byte corresponds to. */
+    Bytes offset = 0;
+
+    /** Valid bytes starting at page.data(). */
+    Bytes len = 0;
+
+    /** Shared ownership of the pooled backing buffer. */
+    sim::PageRef page;
+
+    PageChunk() = default;
+
+    PageChunk(Bytes offset_, Bytes len_, sim::PageRef page_)
+        : offset(offset_), len(len_), page(std::move(page_))
+    {}
+
+    const std::uint8_t *data() const { return page.data(); }
+
+    explicit operator bool() const { return static_cast<bool>(page); }
+};
+
+}  // namespace bisc::slet
+
+#endif  // BISCUIT_SLET_PAGE_CHUNK_H_

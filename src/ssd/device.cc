@@ -19,7 +19,6 @@ SsdDevice::SsdDevice(sim::Kernel &kernel, const SsdConfig &config)
     }
     for (std::uint32_t c = 0; c < config_.geometry.channels; ++c)
         matchers_.push_back(std::make_unique<pm::PatternMatcher>());
-    scratch_.resize(config_.geometry.page_size);
 }
 
 pm::MatchResult
@@ -39,6 +38,28 @@ SsdDevice::matchPage(ftl::Lpn lpn, Bytes offset, Bytes len,
     Bytes avail = page->size() > offset ? page->size() - offset : 0;
     Bytes n = std::min(len, avail);
     return ip.scan(page->data() + offset, n);
+}
+
+pm::MatchResult
+SsdDevice::matchView(ftl::Lpn lpn, const pm::KeySet &keys,
+                     const std::uint8_t *data, Bytes len)
+{
+    if (!ftl_->isMapped(lpn))
+        return pm::MatchResult{};
+    nand::Ppn ppn = ftl_->physicalOf(lpn);
+    auto &ip = matcher(config_.geometry.channelOf(ppn));
+    ip.configure(keys);
+    return ip.scan(data, len);
+}
+
+sim::BufferView
+SsdDevice::pageView(ftl::Lpn lpn, Bytes offset, Bytes len)
+{
+    BISC_ASSERT(offset + len <= config_.geometry.page_size,
+                "view window beyond page");
+    if (!ftl_->isMapped(lpn))
+        return nand_->zeroView(len);
+    return nand_->peekView(ftl_->physicalOf(lpn), offset, len);
 }
 
 void
@@ -103,13 +124,19 @@ SsdDevice::hostReadPages(const std::vector<ftl::Lpn> &pages,
 {
     const Bytes page_size = config_.geometry.page_size;
     Tick sub_done = kernel_.now() + hil_->submissionLatency();
+
+    // One vectored FTL command for the whole extent; the pages fan out
+    // across NAND channels and each is DMA'd as its media completes.
+    batch_results_.resize(pages.size());
+    ftl_->readPages(pages.data(), pages.size(), out, sub_done,
+                    batch_results_.data());
+
     Tick last_dma = sub_done;
     for (std::size_t i = 0; i < pages.size(); ++i) {
-        std::uint8_t *dst =
-            out == nullptr ? nullptr : out + i * page_size;
-        Tick media_done =
-            ftl_->read(pages[i], 0, page_size, dst, sub_done);
-        Tick dma_done = hil_->dmaToHost(page_size, media_done);
+        const ftl::ReadResult &r = batch_results_[i];
+        BISC_ASSERT(r.status.ok(), "unhandled media error on host "
+                    "read path: ", r.status.toString());
+        Tick dma_done = hil_->dmaToHost(page_size, r.done);
         last_dma = std::max(last_dma, dma_done);
     }
     return last_dma + hil_->completionLatency();

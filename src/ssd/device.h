@@ -76,6 +76,18 @@ class SsdDevice
         return ftl_->readEx(lpn, offset, len, out, earliest);
     }
 
+    /**
+     * Zero-copy internal read: same timing and Status as
+     * internalReadEx, but the bytes come back as a BufferView (valid
+     * until the page is next programmed or its block erased).
+     */
+    ftl::ReadViewResult
+    internalReadViewEx(ftl::Lpn lpn, Bytes offset, Bytes len,
+                       Tick earliest = 0)
+    {
+        return ftl_->readViewEx(lpn, offset, len, earliest);
+    }
+
     /** Legacy tick-only internal read; panics on a media error. */
     Tick
     internalRead(ftl::Lpn lpn, Bytes offset, Bytes len,
@@ -99,6 +111,22 @@ class SsdDevice
      */
     pm::MatchResult matchPage(ftl::Lpn lpn, Bytes offset, Bytes len,
                               const pm::KeySet &keys);
+
+    /**
+     * Pattern-match bytes already streamed off @p lpn's channel (e.g.
+     * the view of an internalReadViewEx) without re-resolving the
+     * page: loads @p keys into that channel's matcher and scans.
+     * Unmapped pages never match.
+     */
+    pm::MatchResult matchView(ftl::Lpn lpn, const pm::KeySet &keys,
+                              const std::uint8_t *data, Bytes len);
+
+    /**
+     * Zero-time functional view of a logical page region (the bytes
+     * matchPage would inspect): borrows the NAND backing store when
+     * possible, pool-pinned zero-padded copy otherwise.
+     */
+    sim::BufferView pageView(ftl::Lpn lpn, Bytes offset, Bytes len);
 
     // ----- Conventional (host) datapath -----
 
@@ -130,7 +158,9 @@ class SsdDevice
     std::unique_ptr<hil::Hil> hil_;
     std::vector<std::unique_ptr<sim::Server>> cores_;
     std::vector<std::unique_ptr<pm::PatternMatcher>> matchers_;
-    std::vector<std::uint8_t> scratch_;
+
+    /** Per-page outcomes of the last vectored host command (scratch). */
+    std::vector<ftl::ReadResult> batch_results_;
 };
 
 }  // namespace bisc::ssd
