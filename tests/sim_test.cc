@@ -6,6 +6,10 @@
 
 #include <gtest/gtest.h>
 
+#include <array>
+#include <cstdint>
+#include <functional>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -64,6 +68,82 @@ TEST(EventQueue, PastEventClampsToNow)
     while (q.runOne()) {
     }
     EXPECT_EQ(q.now(), 10u);
+}
+
+TEST(EventQueue, MoveOnlyCaptureWorks)
+{
+    EventQueue q;
+    auto payload = std::make_unique<int>(41);
+    int got = 0;
+    q.schedule(1, [p = std::move(payload), &got] { got = *p + 1; });
+    while (q.runOne()) {
+    }
+    EXPECT_EQ(got, 42);
+}
+
+TEST(EventQueue, OversizedCaptureFallsBackToHeap)
+{
+    // A capture larger than SmallCallback's inline storage must still
+    // work (one owned heap cell) and destroy exactly once.
+    struct Big
+    {
+        std::array<std::uint64_t, 16> blob;  // 128 B > kInlineSize
+        std::shared_ptr<int> alive;
+    };
+    static_assert(sizeof(Big) > SmallCallback::kInlineSize);
+
+    EventQueue q;
+    auto alive = std::make_shared<int>(7);
+    std::uint64_t sum = 0;
+    {
+        Big big;
+        big.blob.fill(3);
+        big.alive = alive;
+        q.schedule(1, [big, &sum] { sum += big.blob[0] + *big.alive; });
+    }
+    EXPECT_EQ(alive.use_count(), 2);  // queue holds the copy
+    while (q.runOne()) {
+    }
+    EXPECT_EQ(sum, 10u);
+    EXPECT_EQ(alive.use_count(), 1);  // callback destroyed after firing
+}
+
+TEST(EventQueue, NodePoolRecyclesInSteadyState)
+{
+    // A workload holding at most 2 events in flight must not grow the
+    // node pool past its high-water mark, however many events fire.
+    EventQueue q;
+    int fired = 0;
+    std::function<void()> ping = [&] {
+        if (++fired < 1000) {
+            q.schedule(1, [&] { ping(); });
+            q.schedule(1, [] {});
+        }
+    };
+    q.schedule(1, [&] { ping(); });
+    while (q.runOne()) {
+    }
+    EXPECT_EQ(fired, 1000);
+    EXPECT_LE(q.nodeCapacity(), 4u);
+}
+
+TEST(EventQueue, InterleavedScheduleAndRunStaysOrdered)
+{
+    // Pop/push interleavings exercise the heap's sift paths; ordering
+    // (time, then insertion) must hold throughout.
+    EventQueue q;
+    std::vector<int> order;
+    q.schedule(5, [&] { order.push_back(50); });
+    q.schedule(1, [&] {
+        order.push_back(10);
+        q.schedule(1, [&] { order.push_back(20); });
+        q.scheduleAt(5, [&] { order.push_back(51); });
+        q.schedule(0, [&] { order.push_back(11); });
+    });
+    q.schedule(9, [&] { order.push_back(90); });
+    while (q.runOne()) {
+    }
+    EXPECT_EQ(order, (std::vector<int>{10, 11, 20, 50, 51, 90}));
 }
 
 TEST(Fiber, RunsToCompletion)
