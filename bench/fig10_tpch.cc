@@ -9,6 +9,10 @@
  * sampling), 8 offloaded with geomean 6.1x, top five averaging 15.4x
  * (Q14 reaching 166.8x with a 315.4x I/O reduction), and a 3.6x total
  * suite-time reduction.
+ *
+ * BISCUIT_LANES=N (N > 1) runs the 44 (query, mode) simulations as
+ * parallel lanes forked from a frozen device image; the transcript is
+ * bit-identical to the serial run (see src/tpch/suite.h).
  */
 
 #include <algorithm>
@@ -18,10 +22,52 @@
 
 #include "db/minidb.h"
 #include "host/host_system.h"
+#include "host/lane_runner.h"
 #include "sisc/env.h"
 #include "tpch/dbgen.h"
 #include "tpch/queries.h"
+#include "tpch/suite.h"
 #include "util/common.h"
+
+namespace {
+
+/** Suite-level aggregates, computed once from the merged runs. */
+struct SuiteTotals
+{
+    double total_conv = 0;
+    double total_bisc = 0;
+    double geomean = 1.0;
+    double top5_avg = 0.0;
+    int ndp_count = 0;
+};
+
+SuiteTotals
+aggregate(const std::vector<bisc::tpch::QueryRun> &runs)
+{
+    SuiteTotals t;
+    double ndp_log_sum = 0;
+    std::vector<double> ndp_speedups;
+    for (const auto &r : runs) {
+        t.total_conv += bisc::toSeconds(r.conv.elapsed);
+        t.total_bisc += bisc::toSeconds(r.biscuit.elapsed);
+        if (r.biscuit.ndp_used) {
+            ndp_log_sum += std::log(r.speedup());
+            ++t.ndp_count;
+            ndp_speedups.push_back(r.speedup());
+        }
+    }
+    if (t.ndp_count > 0)
+        t.geomean = std::exp(ndp_log_sum / t.ndp_count);
+    std::sort(ndp_speedups.rbegin(), ndp_speedups.rend());
+    int top_n = std::min<std::size_t>(5, ndp_speedups.size());
+    double top5 = 0;
+    for (int i = 0; i < top_n; ++i)
+        top5 += ndp_speedups[i];
+    t.top5_avg = top_n ? top5 / top_n : 0.0;
+    return t;
+}
+
+}  // namespace
 
 int
 main()
@@ -40,11 +86,10 @@ main()
                 cfg.scale_factor);
     tpch::buildTpch(mdb, cfg);
 
-    std::vector<tpch::QueryRun> runs;
-    env.run([&] {
-        for (int q : tpch::allQueries())
-            runs.push_back(tpch::runQueryBoth(q, mdb));
-    });
+    std::vector<tpch::QueryRun> runs =
+        tpch::runSuiteParallel(env, mdb, host::lanesFromEnv());
+
+    const SuiteTotals totals = aggregate(runs);
 
     std::printf("Fig. 10: TPC-H relative performance "
                 "(sorted by speed-up)\n\n");
@@ -56,41 +101,23 @@ main()
               [](const tpch::QueryRun &a, const tpch::QueryRun &b) {
                   return a.speedup() > b.speedup();
               });
-
-    double total_conv = 0, total_bisc = 0;
-    double ndp_log_sum = 0;
-    int ndp_count = 0;
-    std::vector<double> ndp_speedups;
     for (const auto &r : sorted) {
         std::printf("Q%-4d %8.2fx %7.1fx %6s  %s\n", r.number,
                     r.speedup(), r.ioReduction(),
                     r.resultsMatch() ? "yes" : "NO",
                     r.biscuit.planner_note.c_str());
     }
-    for (const auto &r : runs) {
-        total_conv += toSeconds(r.conv.elapsed);
-        total_bisc += toSeconds(r.biscuit.elapsed);
-        if (r.biscuit.ndp_used) {
-            ndp_log_sum += std::log(r.speedup());
-            ++ndp_count;
-            ndp_speedups.push_back(r.speedup());
-        }
-    }
-    std::sort(ndp_speedups.rbegin(), ndp_speedups.rend());
 
     std::printf("\nsummary:\n");
     std::printf("  queries leveraging NDP : %d (paper: 8)\n",
-                ndp_count);
+                totals.ndp_count);
     std::printf("  geomean NDP speed-up   : %.1fx (paper: 6.1x)\n",
-                ndp_count ? std::exp(ndp_log_sum / ndp_count) : 1.0);
-    double top5 = 0;
-    int top_n = std::min<std::size_t>(5, ndp_speedups.size());
-    for (int i = 0; i < top_n; ++i)
-        top5 += ndp_speedups[i];
+                totals.geomean);
     std::printf("  top-5 average speed-up : %.1fx (paper: 15.4x)\n",
-                top_n ? top5 / top_n : 0.0);
+                totals.top5_avg);
     std::printf("  total suite time       : Conv %.2f s vs Biscuit "
                 "%.2f s -> %.1fx (paper: 3.6x)\n",
-                total_conv, total_bisc, total_conv / total_bisc);
+                totals.total_conv, totals.total_bisc,
+                totals.total_conv / totals.total_bisc);
     return 0;
 }

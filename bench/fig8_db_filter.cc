@@ -11,6 +11,10 @@
  * The paper reports ~11x and ~10x speed-ups with very consistent
  * Biscuit execution times. We run each query several times and
  * report mean and spread for both engines.
+ *
+ * BISCUIT_LANES=N (N > 1) runs the 20 (query, repeat, mode)
+ * simulations as parallel lanes forked from a frozen device image;
+ * the transcript stays bit-identical to the serial run.
  */
 
 #include <algorithm>
@@ -19,8 +23,10 @@
 
 #include "db/executor.h"
 #include "db/expr.h"
+#include "db/lane_suite.h"
 #include "db/minidb.h"
 #include "host/host_system.h"
+#include "host/lane_runner.h"
 #include "sisc/env.h"
 #include "tpch/dbgen.h"
 #include "util/common.h"
@@ -47,6 +53,8 @@ main()
                 static_cast<unsigned long long>(L.rowCount()),
                 static_cast<double>(L.sizeBytes()) / (1 << 20));
 
+    // Predicates are immutable (shared_ptr<const Expr>, column
+    // indexes resolved here) and safely shared by all lanes.
     auto q1 = db::cmp(ls, "l_shipdate", CmpOp::Eq,
                       std::string("1995-01-17"));
     auto q2 = db::exprAnd(
@@ -60,56 +68,88 @@ main()
                              std::int64_t{2})})});
 
     constexpr int kRepeats = 5;
-    env.run([&] {
-        std::printf("Fig. 8: SQL filter queries on lineitem "
-                    "(%d repetitions)\n\n",
-                    kRepeats);
-        int num = 1;
-        for (const auto &pred : {q1, q2}) {
-            std::vector<double> conv_ms, ndp_ms;
-            std::size_t rows_conv = 0, rows_ndp = 0;
-            std::string note;
-            for (int r = 0; r < kRepeats; ++r) {
-                db::DbStats s1, s2;
-                Tick t0 = env.kernel.now();
-                auto conv = db::scanTable(mdb, L, pred,
-                                          db::EngineMode::Conv, s1);
-                conv_ms.push_back(
-                    toMicros(env.kernel.now() - t0) / 1000.0);
-                rows_conv = conv.rows.size();
+    const std::vector<db::ExprPtr> preds{q1, q2};
 
-                t0 = env.kernel.now();
-                auto ndp = db::scanTable(mdb, L, pred,
-                                         db::EngineMode::Biscuit,
-                                         s2);
-                ndp_ms.push_back(
-                    toMicros(env.kernel.now() - t0) / 1000.0);
-                rows_ndp = ndp.rows.size();
-                note = ndp.note;
-            }
-            auto stats = [](std::vector<double> &v) {
-                double lo = *std::min_element(v.begin(), v.end());
-                double hi = *std::max_element(v.begin(), v.end());
-                double sum = 0;
-                for (double x : v)
-                    sum += x;
-                return std::tuple<double, double, double>(
-                    sum / static_cast<double>(v.size()), lo, hi);
-            };
-            auto [cm, cl, ch] = stats(conv_ms);
-            auto [nm, nl, nh] = stats(ndp_ms);
-            std::printf("Query %d  (%s)\n", num++, note.c_str());
-            std::printf("  rows: conv %zu / biscuit %zu %s\n",
-                        rows_conv, rows_ndp,
-                        rows_conv == rows_ndp ? "(match)"
-                                              : "(MISMATCH)");
-            std::printf("  Conv    : %8.2f ms  [%.2f, %.2f]\n", cm,
-                        cl, ch);
-            std::printf("  Biscuit : %8.2f ms  [%.2f, %.2f]\n", nm,
-                        nl, nh);
-            std::printf("  speedup : %8.1fx   (paper: ~11x / ~10x)\n\n",
-                        cm / nm);
+    struct QuerySlots
+    {
+        std::vector<double> conv_ms;
+        std::vector<double> ndp_ms;
+        std::size_t rows_conv = 0;
+        std::size_t rows_ndp = 0;
+        std::string note;
+    };
+    std::vector<QuerySlots> slots(preds.size());
+    for (auto &s : slots) {
+        s.conv_ms.resize(kRepeats);
+        s.ndp_ms.resize(kRepeats);
+    }
+
+    // Canonical job order = the serial loop: per query, per repeat,
+    // Conv then Biscuit.
+    std::vector<db::LaneSuiteJob> jobs;
+    for (std::size_t qi = 0; qi < preds.size(); ++qi) {
+        for (int r = 0; r < kRepeats; ++r) {
+            const db::ExprPtr &pred = preds[qi];
+            QuerySlots *slot = &slots[qi];
+            jobs.push_back({[pred, slot, r](db::MiniDb &ldb) {
+                                db::DbStats s;
+                                Tick t0 = ldb.env().kernel.now();
+                                auto conv = db::scanTable(
+                                    ldb, ldb.table("lineitem"), pred,
+                                    db::EngineMode::Conv, s);
+                                slot->conv_ms[r] =
+                                    toMicros(ldb.env().kernel.now() -
+                                             t0) /
+                                    1000.0;
+                                slot->rows_conv = conv.rows.size();
+                            },
+                            false});
+            jobs.push_back({[pred, slot, r](db::MiniDb &ldb) {
+                                db::DbStats s;
+                                Tick t0 = ldb.env().kernel.now();
+                                auto ndp = db::scanTable(
+                                    ldb, ldb.table("lineitem"), pred,
+                                    db::EngineMode::Biscuit, s);
+                                slot->ndp_ms[r] =
+                                    toMicros(ldb.env().kernel.now() -
+                                             t0) /
+                                    1000.0;
+                                slot->rows_ndp = ndp.rows.size();
+                                slot->note = ndp.note;
+                            },
+                            true});
         }
-    });
+    }
+
+    std::printf("Fig. 8: SQL filter queries on lineitem "
+                "(%d repetitions)\n\n",
+                kRepeats);
+    db::runLaneSuite(env, mdb, jobs, host::lanesFromEnv());
+
+    auto stats = [](std::vector<double> &v) {
+        double lo = *std::min_element(v.begin(), v.end());
+        double hi = *std::max_element(v.begin(), v.end());
+        double sum = 0;
+        for (double x : v)
+            sum += x;
+        return std::tuple<double, double, double>(
+            sum / static_cast<double>(v.size()), lo, hi);
+    };
+    int num = 1;
+    for (auto &s : slots) {
+        auto [cm, cl, ch] = stats(s.conv_ms);
+        auto [nm, nl, nh] = stats(s.ndp_ms);
+        std::printf("Query %d  (%s)\n", num++, s.note.c_str());
+        std::printf("  rows: conv %zu / biscuit %zu %s\n",
+                    s.rows_conv, s.rows_ndp,
+                    s.rows_conv == s.rows_ndp ? "(match)"
+                                              : "(MISMATCH)");
+        std::printf("  Conv    : %8.2f ms  [%.2f, %.2f]\n", cm, cl,
+                    ch);
+        std::printf("  Biscuit : %8.2f ms  [%.2f, %.2f]\n", nm, nl,
+                    nh);
+        std::printf("  speedup : %8.1fx   (paper: ~11x / ~10x)\n\n",
+                    cm / nm);
+    }
     return 0;
 }

@@ -20,6 +20,8 @@
 #include "runtime/allocator.h"
 #include "sim/event_queue.h"
 #include "sim/kernel.h"
+#include "sisc/device_image.h"
+#include "sisc/env.h"
 #include "util/bounded_queue.h"
 #include "util/packet.h"
 #include "util/rng.h"
@@ -165,6 +167,73 @@ BM_AllocatorChurn(benchmark::State &state)
     state.SetItemsProcessed(state.iterations());
 }
 BENCHMARK(BM_AllocatorChurn);
+
+constexpr Bytes kImageFileBytes = 2_MiB;
+
+/** A small populated system for the snapshot/fork benchmarks. */
+sisc::Env *
+populatedEnv()
+{
+    auto *env = new sisc::Env();
+    std::vector<std::uint8_t> data(kImageFileBytes);
+    for (Bytes i = 0; i < data.size(); ++i)
+        data[i] = static_cast<std::uint8_t>(i * 131);
+    env->fs.populate("/bench/data", data.data(), data.size());
+    return env;
+}
+
+void
+BM_DeviceImageFreeze(benchmark::State &state)
+{
+    for (auto _ : state) {
+        state.PauseTiming();
+        sisc::Env *env = populatedEnv();
+        state.ResumeTiming();
+        auto image = sisc::freezeDeviceImage(*env);
+        benchmark::DoNotOptimize(image.nand->pages.size());
+        state.PauseTiming();
+        delete env;
+        state.ResumeTiming();
+    }
+    state.SetItemsProcessed(state.iterations());
+    state.SetBytesProcessed(state.iterations() * kImageFileBytes);
+}
+BENCHMARK(BM_DeviceImageFreeze);
+
+void
+BM_DeviceImageFork(benchmark::State &state)
+{
+    sisc::Env *frozen = populatedEnv();
+    const sim::DeviceImage image = sisc::freezeDeviceImage(*frozen);
+
+    std::size_t shared = 0;
+    std::size_t copied = 0;
+    for (auto _ : state) {
+        // Fork a lane and run a read-only query over the whole file:
+        // every page must be served from the shared image, none
+        // copied into the lane's overlay.
+        sisc::Env lane(image);
+        std::vector<std::uint8_t> buf(lane.fs.pageSize());
+        lane.run([&] {
+            for (Bytes off = 0; off < kImageFileBytes;
+                 off += buf.size())
+                lane.fs.read("/bench/data", off, buf.size(),
+                             buf.data());
+        });
+        shared = lane.device.nand().basePages();
+        copied = lane.device.nand().overlayPages();
+        BISC_ASSERT(copied == 0,
+                    "read-only fork copied ", copied, " pages");
+        benchmark::DoNotOptimize(buf.data());
+    }
+    state.counters["pages_shared"] =
+        static_cast<double>(shared);
+    state.counters["pages_copied"] =
+        static_cast<double>(copied);
+    state.SetItemsProcessed(state.iterations());
+    delete frozen;
+}
+BENCHMARK(BM_DeviceImageFork);
 
 }  // namespace
 

@@ -38,6 +38,27 @@ benches=(
 out_dir="$build_dir/bench_out"
 mkdir -p "$out_dir"
 
+# The committed BENCH_wallclock.json is the wall-clock baseline this
+# run is compared against (read before we overwrite it).
+baseline_json=""
+if [[ -f BENCH_wallclock.json ]]; then
+    baseline_json=$(cat BENCH_wallclock.json)
+fi
+
+baseline_secs() {  # baseline_secs <bench-key> -> seconds or ""
+    printf '%s' "$baseline_json" \
+        | grep -o "\"$1\": {\"wall_clock_seconds\": [0-9.]*" \
+        | head -1 | grep -o '[0-9.]*$' || true
+}
+
+speedup_note() {  # speedup_note <baseline-secs> <secs>
+    local base="$1" secs="$2"
+    if [[ -n "$base" ]]; then
+        awk -v b="$base" -v s="$secs" \
+            'BEGIN { if (s > 0) printf ", %.2fx vs %.3fs baseline", b / s, b }'
+    fi
+}
+
 now_ms() { date +%s%3N; }
 
 json_entries=()
@@ -68,12 +89,35 @@ for b in "${benches[@]}"; do
     fi
 
     secs=$(awk -v ms="$ms" 'BEGIN { printf "%.3f", ms / 1000.0 }')
-    echo "$b: ${secs}s wall, golden match: $match"
+    echo "$b: ${secs}s wall, golden match: $match$(speedup_note "$(baseline_secs "$b")" "$secs")"
     json_entries+=("    \"$b\": {\"wall_clock_seconds\": $secs, \"golden_match\": $match}")
 
     [[ "$b" == fig7_read_bandwidth ]] && fig7_ms=$ms
     [[ "$b" == fig10_tpch ]] && fig10_ms=$ms
 done
+
+# Parallel-lane rerun of the suite bench: same transcript (diffed
+# against the same golden), wall clock recorded separately because it
+# scales with the host's core count, not with the simulator.
+lanes=$(nproc)
+start=$(now_ms)
+BISCUIT_LANES="$lanes" "$build_dir/bench/fig10_tpch" \
+    > "$out_dir/fig10_tpch_parallel.txt"
+end=$(now_ms)
+par_ms=$((end - start))
+par_match=true
+if ! diff -q bench/golden/fig10_tpch.txt \
+        "$out_dir/fig10_tpch_parallel.txt" >/dev/null; then
+    par_match=false
+    fail=1
+    echo "SIMULATED OUTPUT DRIFT: fig10_tpch (BISCUIT_LANES=$lanes)" >&2
+fi
+par_secs=$(awk -v ms="$par_ms" 'BEGIN { printf "%.3f", ms / 1000.0 }')
+serial_secs=$(awk -v ms="$fig10_ms" 'BEGIN { printf "%.3f", ms / 1000.0 }')
+par_speedup=$(awk -v s="$fig10_ms" -v p="$par_ms" \
+    'BEGIN { if (p > 0) printf "%.2f", s / p; else printf "0.00" }')
+echo "fig10_tpch (BISCUIT_LANES=$lanes): ${par_secs}s wall, golden match: $par_match, ${par_speedup}x vs ${serial_secs}s serial$(speedup_note "$(baseline_secs fig10_tpch_parallel)" "$par_secs")"
+json_entries+=("    \"fig10_tpch_parallel\": {\"wall_clock_seconds\": $par_secs, \"golden_match\": $par_match, \"lanes\": $lanes}")
 
 combined=$(awk -v a="$fig7_ms" -v b="$fig10_ms" \
     'BEGIN { printf "%.3f", (a + b) / 1000.0 }')
@@ -90,7 +134,15 @@ table3_line=$(sed -n 3p "$out_dir/table3_read_latency.txt" \
     echo "  \"generated_utc\": \"$(date -u +%Y-%m-%dT%H:%M:%SZ)\","
     echo "  \"host\": \"$(uname -sm)\","
     echo "  \"benches\": {"
-    (IFS=$',\n'; echo "${json_entries[*]}")
+    # Multi-char IFS would join on its first char only; emit the
+    # comma-newline separators by hand.
+    for i in "${!json_entries[@]}"; do
+        if (( i + 1 < ${#json_entries[@]} )); then
+            printf '%s,\n' "${json_entries[$i]}"
+        else
+            printf '%s\n' "${json_entries[$i]}"
+        fi
+    done
     echo "  },"
     echo "  \"combined_fig7_fig10_seconds\": $combined,"
     echo "  \"sim_figures\": {"

@@ -39,6 +39,20 @@ if [[ "$run_sanitized" == 1 ]]; then
     cmake --build build-san -j "$(nproc)"
     ASAN_OPTIONS=detect_leaks=0 \
         ctest --test-dir build-san --output-on-failure -j "$(nproc)"
+
+    echo
+    echo "=== pass 3: TSan build + parallel-lane tests ==="
+    # The lane runner is the only code that creates OS threads; TSan
+    # covers it via the snapshot/fork and lane-runner tests plus a
+    # 2-lane fig10 run (fibers + threads together).
+    cmake -B build-tsan -S . "-DBISCUIT_SANITIZE=thread" \
+        -DCMAKE_BUILD_TYPE=RelWithDebInfo >/dev/null
+    cmake --build build-tsan -j "$(nproc)"
+    ctest --test-dir build-tsan --output-on-failure -j "$(nproc)" \
+        -R "SnapshotFork|LaneRunner"
+    BISCUIT_LANES=2 build-tsan/bench/fig10_tpch \
+        > build-tsan/fig10_lanes.txt
+    diff -q bench/golden/fig10_tpch.txt build-tsan/fig10_lanes.txt
 fi
 
 echo

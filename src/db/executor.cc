@@ -1,8 +1,13 @@
 #include "db/executor.h"
 
 #include <algorithm>
+#include <charconv>
+#include <cstdio>
+#include <cstring>
 #include <map>
+#include <string_view>
 #include <unordered_map>
+#include <unordered_set>
 
 #include "db/planner.h"
 #include "runtime/module.h"
@@ -18,6 +23,62 @@ namespace bisc::db {
 namespace {
 
 constexpr std::uint32_t kPagesPerBatch = 8;
+
+/**
+ * valueToString() of one column taken straight from a packed row
+ * slot, without materializing the Row (join hash keys).
+ */
+std::string
+slotKeyString(const std::uint8_t *slot, const Schema &s, int column)
+{
+    const Column &c = s.at(static_cast<std::size_t>(column));
+    const std::uint8_t *src =
+        slot + s.offsetOf(static_cast<std::size_t>(column));
+    switch (c.type) {
+      case Type::Int64: {
+        std::int64_t v;
+        std::memcpy(&v, src, 8);
+        return std::to_string(v);
+      }
+      case Type::Double: {
+        double v;
+        std::memcpy(&v, src, 8);
+        char buf[32];
+        std::snprintf(buf, sizeof(buf), "%.2f", v);
+        return buf;
+      }
+      case Type::String:
+      case Type::Date:
+        break;
+    }
+    Bytes n = 0;
+    while (n < c.width && src[n] != 0)
+        ++n;
+    return std::string(reinterpret_cast<const char *>(src), n);
+}
+
+/**
+ * Append valueToString(@p v) to @p key without a temporary string
+ * (group-by key building). Formatting must stay byte-identical to
+ * valueToString() — group identity and output order depend on it.
+ */
+void
+appendValueKey(std::string &key, const Value &v)
+{
+    if (const auto *i = std::get_if<std::int64_t>(&v)) {
+        char buf[24];
+        auto res = std::to_chars(buf, buf + sizeof(buf), *i);
+        key.append(buf, res.ptr);
+        return;
+    }
+    if (const auto *d = std::get_if<double>(&v)) {
+        char buf[32];
+        int n = std::snprintf(buf, sizeof(buf), "%.2f", *d);
+        key.append(buf, static_cast<std::size_t>(n));
+        return;
+    }
+    key += std::get<std::string>(v);
+}
 
 /**
  * The generic scan/filter SSDlet of the "minidb" module: streams its
@@ -156,6 +217,8 @@ convScan(MiniDb &db, Table &table, const ExprPtr &pred,
     const Bytes page_size = table.pageSize();
     Bytes size = table.pageCount() * page_size;
 
+    const Schema &schema = table.schema();
+    const Bytes row_width = schema.rowWidth();
     host.streamRead(
         table.file(), 0, size, 1_MiB,
         [&](Bytes off, const std::uint8_t *data, Bytes len) {
@@ -164,11 +227,17 @@ convScan(MiniDb &db, Table &table, const ExprPtr &pred,
             for (Bytes p = 0; p < len; p += page_size) {
                 std::uint64_t page_idx = (off + p) / page_size;
                 Bytes n = std::min(page_size, len - p);
-                auto rows = table.decodePage(data + p, n, page_idx);
-                for (auto &row : rows) {
+                // Filter on the packed slots; materialize a Row only
+                // for matches.
+                std::uint64_t in_page = table.rowsInPage(page_idx);
+                for (std::uint64_t i = 0; i < in_page; ++i) {
+                    Bytes slot_off = i * row_width;
+                    if (slot_off + row_width > n)
+                        break;
+                    const std::uint8_t *slot = data + p + slot_off;
                     ++stats.rows_examined;
-                    if (!pred || evalPred(*pred, row))
-                        out.rows.push_back(std::move(row));
+                    if (!pred || evalPredRaw(*pred, slot, schema))
+                        out.rows.push_back(schema.decodeRow(slot));
                 }
             }
         });
@@ -211,15 +280,22 @@ ndpScan(MiniDb &db, Table &table, const ExprPtr &pred,
                 data.resize(len);
                 batch.getBytes(data.data(), len);
 
-                // Exact predicate evaluation on the returned page.
+                // Exact predicate evaluation on the returned page,
+                // straight off the packed slots.
                 host.consumeCpuPerByte(
                     len, host.config().db_scan_ns_per_byte);
-                auto rows =
-                    table.decodePage(data.data(), len, page_idx);
-                for (auto &row : rows) {
+                const Schema &schema = table.schema();
+                const Bytes row_width = schema.rowWidth();
+                std::uint64_t in_page = table.rowsInPage(page_idx);
+                for (std::uint64_t i = 0; i < in_page; ++i) {
+                    Bytes slot_off = i * row_width;
+                    if (slot_off + row_width > len)
+                        break;
+                    const std::uint8_t *slot =
+                        data.data() + slot_off;
                     ++stats.rows_examined;
-                    if (!pred || evalPred(*pred, row))
-                        out.rows.push_back(std::move(row));
+                    if (!pred || evalPredRaw(*pred, slot, schema))
+                        out.rows.push_back(schema.decodeRow(slot));
                 }
                 ++stats.pages_to_host;
             }
@@ -232,6 +308,13 @@ ndpScan(MiniDb &db, Table &table, const ExprPtr &pred,
 }
 
 }  // namespace
+
+void
+warmMinidbModule(MiniDb &db)
+{
+    sisc::SSD ssd(db.env().runtime);
+    loadMinidbModule(db, ssd);
+}
 
 std::uint64_t
 ndpSamplePages(MiniDb &db, Table &table, const pm::KeySet &keys,
@@ -280,6 +363,63 @@ scanTable(MiniDb &db, Table &table, const ExprPtr &pred,
     return convScan(db, table, pred, stats);
 }
 
+namespace {
+
+/**
+ * Functional side of bnlJoin(), templated over the join-key type: the
+ * probe only ever looks up keys present in the outer side, so inner
+ * rows with other keys are dropped from the packed slot without being
+ * materialized; keeping every row of a key's subsequence in scan
+ * order preserves the exact per-key group order (and thus output row
+ * order) of a full hash. Int64 key columns skip string formatting
+ * entirely — the int→string mapping is injective, so key identity,
+ * insertion sequence, and per-key group order are unchanged.
+ */
+template <class Key, class OuterKeyFn, class SlotKeyFn>
+std::vector<Row>
+hashJoinRows(const std::vector<Row> &outer, int outer_col,
+             Table &inner, int inner_col, const ExprPtr &inner_pred,
+             const OuterKeyFn &outerKey, const SlotKeyFn &slotKey)
+{
+    std::vector<Key> okeys;
+    okeys.reserve(outer.size());
+    for (const auto &orow : outer)
+        okeys.push_back(outerKey(orow[static_cast<std::size_t>(outer_col)]));
+    std::unordered_set<Key> outer_keys(okeys.begin(), okeys.end());
+
+    std::vector<Row> matched;
+    std::unordered_multimap<Key, std::uint32_t> hash;
+    const Schema &inner_schema = inner.schema();
+    inner.forEachSlot([&](const std::uint8_t *slot) {
+        if (inner_pred && !evalPredRaw(*inner_pred, slot, inner_schema))
+            return;
+        Key key = slotKey(slot, inner_schema, inner_col);
+        if (outer_keys.find(key) == outer_keys.end())
+            return;
+        hash.emplace(std::move(key),
+                     static_cast<std::uint32_t>(matched.size()));
+        matched.push_back(inner_schema.decodeRow(slot));
+    });
+
+    // Probe, reusing the keys computed for the membership set.
+    std::vector<Row> out;
+    for (std::size_t i = 0; i < outer.size(); ++i) {
+        auto range = hash.equal_range(okeys[i]);
+        for (auto it = range.first; it != range.second; ++it) {
+            const Row &irow = matched[it->second];
+            Row joined;
+            joined.reserve(outer[i].size() + irow.size());
+            joined.insert(joined.end(), outer[i].begin(),
+                          outer[i].end());
+            joined.insert(joined.end(), irow.begin(), irow.end());
+            out.push_back(std::move(joined));
+        }
+    }
+    return out;
+}
+
+}  // namespace
+
 std::vector<Row>
 bnlJoin(MiniDb &db, const std::vector<Row> &outer, Bytes outer_width,
         int outer_col, Table &inner, int inner_col,
@@ -290,13 +430,28 @@ bnlJoin(MiniDb &db, const std::vector<Row> &outer, Bytes outer_width,
         return out;
     auto &host = db.host();
 
-    // Functional side: hash the (filtered) inner table once.
-    std::unordered_multimap<std::string, Row> hash;
-    inner.forEachRow([&](const Row &row) {
-        if (inner_pred && !evalPred(*inner_pred, row))
-            return;
-        hash.emplace(valueToString(row.at(inner_col)), row);
-    });
+    const Type key_type =
+        inner.schema().at(static_cast<std::size_t>(inner_col)).type;
+    if (key_type == Type::Int64) {
+        const Bytes key_off = inner.schema().offsetOf(
+            static_cast<std::size_t>(inner_col));
+        out = hashJoinRows<std::int64_t>(
+            outer, outer_col, inner, inner_col, inner_pred,
+            [](const Value &v) { return std::get<std::int64_t>(v); },
+            [key_off](const std::uint8_t *slot, const Schema &,
+                      int) {
+                std::int64_t v;
+                std::memcpy(&v, slot + key_off, 8);
+                return v;
+            });
+    } else {
+        out = hashJoinRows<std::string>(
+            outer, outer_col, inner, inner_col, inner_pred,
+            [](const Value &v) { return valueToString(v); },
+            [](const std::uint8_t *slot, const Schema &s, int col) {
+                return slotKeyString(slot, s, col);
+            });
+    }
 
     // Timing side: block-nested-loop — the inner table is re-read in
     // full once per join-buffer block of outer rows. This is the
@@ -319,16 +474,6 @@ bnlJoin(MiniDb &db, const std::vector<Row> &outer, Bytes outer_width,
         stats.rows_examined += inner.rowCount();
     }
 
-    // Probe.
-    for (const auto &orow : outer) {
-        auto range = hash.equal_range(valueToString(orow.at(outer_col)));
-        for (auto it = range.first; it != range.second; ++it) {
-            Row joined = orow;
-            joined.insert(joined.end(), it->second.begin(),
-                          it->second.end());
-            out.push_back(std::move(joined));
-        }
-    }
     host.consumeCpu(db.planner.row_cpu * (outer.size() + out.size()));
     return out;
 }
@@ -353,17 +498,18 @@ groupBy(MiniDb &db, const std::vector<Row> &rows,
                    : std::get<double>(v);
     };
 
-    std::map<std::string, Acc> groups;
+    std::unordered_map<std::string, Acc> groups;
+    std::string key;
     for (const auto &row : rows) {
-        std::string key;
+        key.clear();
         for (int c : key_cols) {
-            key += valueToString(row.at(c));
+            appendValueKey(key, row[static_cast<std::size_t>(c)]);
             key += '\x01';
         }
         Acc &acc = groups[key];
         if (acc.count == 0) {
             for (int c : key_cols)
-                acc.keys.push_back(row.at(c));
+                acc.keys.push_back(row[static_cast<std::size_t>(c)]);
             acc.sums.assign(aggs.size(), 0.0);
             acc.mins.assign(aggs.size(), 0.0);
             acc.maxs.assign(aggs.size(), 0.0);
@@ -371,7 +517,8 @@ groupBy(MiniDb &db, const std::vector<Row> &rows,
         for (std::size_t a = 0; a < aggs.size(); ++a) {
             if (aggs[a].column < 0)
                 continue;
-            double v = numeric(row.at(aggs[a].column));
+            double v = numeric(
+                row[static_cast<std::size_t>(aggs[a].column)]);
             acc.sums[a] += v;
             if (acc.count == 0 || v < acc.mins[a])
                 acc.mins[a] = v;
@@ -382,9 +529,21 @@ groupBy(MiniDb &db, const std::vector<Row> &rows,
     }
     db.host().consumeCpu(db.planner.row_cpu * rows.size());
 
+    // Emit groups sorted by key string, matching the iteration order
+    // of the ordered map this accumulator used before going unordered.
+    std::vector<std::pair<const std::string *, Acc *>> ordered;
+    ordered.reserve(groups.size());
+    for (auto &[k, acc] : groups)
+        ordered.emplace_back(&k, &acc);
+    std::sort(ordered.begin(), ordered.end(),
+              [](const auto &a, const auto &b) {
+                  return *a.first < *b.first;
+              });
+
     std::vector<Row> out;
     out.reserve(groups.size());
-    for (auto &[key, acc] : groups) {
+    for (auto &[kptr, accptr] : ordered) {
+        Acc &acc = *accptr;
         Row row = acc.keys;
         for (std::size_t a = 0; a < aggs.size(); ++a) {
             switch (aggs[a].op) {
@@ -420,7 +579,9 @@ sortRows(std::vector<Row> &rows,
     std::sort(rows.begin(), rows.end(),
               [&](const Row &a, const Row &b) {
                   for (auto [col, desc] : keys) {
-                      int c = compareValues(a.at(col), b.at(col));
+                      int c = compareValues(
+                          a[static_cast<std::size_t>(col)],
+                          b[static_cast<std::size_t>(col)]);
                       if (c != 0)
                           return desc ? c > 0 : c < 0;
                   }

@@ -43,6 +43,15 @@ ScanOutcome scanTable(MiniDb &db, Table &table, const ExprPtr &pred,
                       EngineMode mode, DbStats &stats);
 
 /**
+ * Load the "minidb" SSDlet module now (timed, from the host fiber) if
+ * it is not already resident. The executor loads it lazily on the
+ * first offload; a parallel lane that replays a mid-suite query warms
+ * it explicitly so the lane charges (or skips) the one-time load cost
+ * exactly where the serial run did.
+ */
+void warmMinidbModule(MiniDb &db);
+
+/**
  * Device-side sampling probe: stream @p pages through the channel
  * matchers configured with @p keys, returning how many matched.
  * Timed (this is the planner's "quick check").

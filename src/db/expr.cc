@@ -2,6 +2,9 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <cstring>
+
+#include "util/log.h"
 
 namespace bisc::db {
 
@@ -107,7 +110,7 @@ exprNot(ExprPtr kid)
 }
 
 bool
-likeMatch(const std::string &text, const std::string &pattern)
+likeMatch(std::string_view text, const std::string &pattern)
 {
     // Greedy two-pointer wildcard match with backtracking to the
     // last '%' (the classic linear-space algorithm).
@@ -188,6 +191,137 @@ evalPred(const Expr &e, const Row &row)
                            });
       case Expr::Kind::Not:
         return !evalPred(*e.kids.at(0), row);
+    }
+    return false;
+}
+
+namespace {
+
+/** Text column bytes up to NUL/width, without materializing. */
+std::string_view
+rawText(const std::uint8_t *slot, const Schema &s, int column)
+{
+    const Column &c = s.at(static_cast<std::size_t>(column));
+    const char *p = reinterpret_cast<const char *>(
+        slot + s.offsetOf(static_cast<std::size_t>(column)));
+    Bytes n = 0;
+    while (n < c.width && p[n] != '\0')
+        ++n;
+    return {p, n};
+}
+
+double
+rawNumber(const std::uint8_t *slot, const Schema &s, int column)
+{
+    const Column &c = s.at(static_cast<std::size_t>(column));
+    const std::uint8_t *src =
+        slot + s.offsetOf(static_cast<std::size_t>(column));
+    if (c.type == Type::Int64) {
+        std::int64_t v;
+        std::memcpy(&v, src, 8);
+        return static_cast<double>(v);
+    }
+    double v;
+    std::memcpy(&v, src, 8);
+    return v;
+}
+
+bool
+rawIsText(const Schema &s, int column)
+{
+    Type t = s.at(static_cast<std::size_t>(column)).type;
+    return t == Type::String || t == Type::Date;
+}
+
+/** compareValues() semantics against an in-slot column. */
+int
+compareRawWithValue(const std::uint8_t *slot, const Schema &s,
+                    int column, const Value &v)
+{
+    if (rawIsText(s, column)) {
+        BISC_ASSERT(std::holds_alternative<std::string>(v),
+                    "comparing string with numeric");
+        std::string_view x = rawText(slot, s, column);
+        std::string_view y = std::get<std::string>(v);
+        return x < y ? -1 : (x == y ? 0 : 1);
+    }
+    BISC_ASSERT(!std::holds_alternative<std::string>(v),
+                "comparing numeric with string");
+    double x = rawNumber(slot, s, column);
+    double y = std::holds_alternative<std::int64_t>(v)
+                   ? static_cast<double>(std::get<std::int64_t>(v))
+                   : std::get<double>(v);
+    return x < y ? -1 : (x == y ? 0 : 1);
+}
+
+int
+compareRawCols(const std::uint8_t *slot, const Schema &s, int c1,
+               int c2)
+{
+    if (rawIsText(s, c1)) {
+        BISC_ASSERT(rawIsText(s, c2), "comparing string with numeric");
+        std::string_view x = rawText(slot, s, c1);
+        std::string_view y = rawText(slot, s, c2);
+        return x < y ? -1 : (x == y ? 0 : 1);
+    }
+    BISC_ASSERT(!rawIsText(s, c2), "comparing numeric with string");
+    double x = rawNumber(slot, s, c1);
+    double y = rawNumber(slot, s, c2);
+    return x < y ? -1 : (x == y ? 0 : 1);
+}
+
+bool
+cmpHolds(CmpOp op, int c)
+{
+    switch (op) {
+      case CmpOp::Eq: return c == 0;
+      case CmpOp::Ne: return c != 0;
+      case CmpOp::Lt: return c < 0;
+      case CmpOp::Le: return c <= 0;
+      case CmpOp::Gt: return c > 0;
+      case CmpOp::Ge: return c >= 0;
+    }
+    return false;
+}
+
+}  // namespace
+
+bool
+evalPredRaw(const Expr &e, const std::uint8_t *slot, const Schema &s)
+{
+    switch (e.kind) {
+      case Expr::Kind::Cmp:
+        return cmpHolds(e.op,
+                        compareRawWithValue(slot, s, e.column,
+                                            e.value));
+      case Expr::Kind::CmpCol:
+        return cmpHolds(e.op,
+                        compareRawCols(slot, s, e.column, e.column2));
+      case Expr::Kind::Between:
+        return compareRawWithValue(slot, s, e.column, e.lo) >= 0 &&
+               compareRawWithValue(slot, s, e.column, e.hi) <= 0;
+      case Expr::Kind::In:
+        return std::any_of(e.set.begin(), e.set.end(),
+                           [&](const Value &v) {
+                               return compareRawWithValue(
+                                          slot, s, e.column, v) == 0;
+                           });
+      case Expr::Kind::Like:
+        return likeMatch(rawText(slot, s, e.column), e.pattern);
+      case Expr::Kind::NotLike:
+        return !likeMatch(rawText(slot, s, e.column), e.pattern);
+      case Expr::Kind::And:
+        return std::all_of(e.kids.begin(), e.kids.end(),
+                           [&](const ExprPtr &k) {
+                               return evalPredRaw(*k, slot, s);
+                           });
+      case Expr::Kind::Or:
+        return std::any_of(e.kids.begin(), e.kids.end(),
+                           [&](const ExprPtr &k) {
+                               return evalPredRaw(*k, slot, s);
+                           });
+      case Expr::Kind::Not:
+        return !evalPredRaw(*e.kids.at(0), slot, s);
     }
     return false;
 }

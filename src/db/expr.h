@@ -16,6 +16,7 @@
 
 #include <memory>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "db/types.h"
@@ -74,8 +75,18 @@ ExprPtr exprNot(ExprPtr kid);
 /** Evaluate a predicate against a row. */
 bool evalPred(const Expr &e, const Row &row);
 
+/**
+ * Evaluate a predicate directly against a packed row slot (the
+ * layout produced by Schema::encodeRow), decoding only the columns
+ * the predicate touches and allocating nothing. Equivalent to
+ * `evalPred(e, schema.decodeRow(slot))`; the scan paths use it so
+ * rows that fail the filter are never materialized.
+ */
+bool evalPredRaw(const Expr &e, const std::uint8_t *slot,
+                 const Schema &schema);
+
 /** SQL LIKE with '%' wildcards (no '_' support). */
-bool likeMatch(const std::string &text, const std::string &pattern);
+bool likeMatch(std::string_view text, const std::string &pattern);
 
 /** Outcome of trying to express a predicate as matcher keys. */
 struct KeyDerivation

@@ -19,6 +19,7 @@
 #include <map>
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "db/table.h"
 #include "host/host_system.h"
@@ -103,6 +104,35 @@ class MiniDb
     bool hasTable(const std::string &name) const
     {
         return tables_.count(name) != 0;
+    }
+
+    /** All table names, sorted (catalog capture for lane forks). */
+    std::vector<std::string>
+    tableNames() const
+    {
+        std::vector<std::string> names;
+        names.reserve(tables_.size());
+        for (const auto &[name, t] : tables_)
+            names.push_back(name);
+        return names;
+    }
+
+    /**
+     * Register a table whose pages already live in this instance's
+     * file system (a forked device image): bookkeeping only, no data
+     * movement. See the Table attach constructor.
+     */
+    Table &
+    attachTable(const std::string &name, Schema schema,
+                std::uint64_t row_count)
+    {
+        BISC_ASSERT(tables_.count(name) == 0, "duplicate table ",
+                    name);
+        auto t = std::make_unique<Table>(env_.fs, name,
+                                         std::move(schema), row_count);
+        Table &ref = *t;
+        tables_.emplace(name, std::move(t));
+        return ref;
     }
 
     PlannerConfig planner;

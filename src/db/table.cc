@@ -15,6 +15,15 @@ Table::Table(fs::FileSystem &fs, std::string name, Schema schema)
                 name_);
 }
 
+Table::Table(fs::FileSystem &fs, std::string name, Schema schema,
+             std::uint64_t row_count)
+    : Table(fs, std::move(name), std::move(schema))
+{
+    BISC_ASSERT(fs_.exists(file_), "attach to missing file ", file_);
+    row_count_ = row_count;
+    page_count_ = divCeil<std::uint64_t>(row_count_, rows_per_page_);
+}
+
 void
 Table::load(const std::function<bool(Row &)> &next)
 {

@@ -26,6 +26,15 @@ class Table
   public:
     Table(fs::FileSystem &fs, std::string name, Schema schema);
 
+    /**
+     * Attach to a table whose pages already exist in @p fs (e.g. in a
+     * forked device image): no data is written, only the row/page
+     * bookkeeping is reconstructed from @p row_count. The layout must
+     * have been produced by load() on an identical schema.
+     */
+    Table(fs::FileSystem &fs, std::string name, Schema schema,
+          std::uint64_t row_count);
+
     const std::string &name() const { return name_; }
     const Schema &schema() const { return schema_; }
     const std::string &file() const { return file_; }
@@ -62,6 +71,24 @@ class Table
 
     /** Functional whole-table iteration (verification only). */
     void forEachRow(const std::function<void(const Row &)> &fn) const;
+
+    /**
+     * Functional whole-table iteration over packed row slots
+     * (rowWidth() bytes each), valid for the callback's duration.
+     * Lets callers filter with evalPredRaw() and decode survivors
+     * only. Templated so hot loops pay no per-slot indirect call.
+     */
+    template <class Fn>
+    void forEachSlot(Fn &&fn) const
+    {
+        std::vector<std::uint8_t> page(page_size_);
+        for (std::uint64_t p = 0; p < page_count_; ++p) {
+            fs_.peek(file_, p * page_size_, page_size_, page.data());
+            std::uint64_t n = rowsInPage(p);
+            for (std::uint64_t i = 0; i < n; ++i)
+                fn(page.data() + i * schema_.rowWidth());
+        }
+    }
 
     fs::FileSystem &fs() { return fs_; }
 

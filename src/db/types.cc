@@ -184,8 +184,8 @@ Schema::decodeRow(const std::uint8_t *slot) const
             Bytes n = 0;
             while (n < c.width && src[n] != 0)
                 ++n;
-            row.emplace_back(std::string(
-                reinterpret_cast<const char *>(src), n));
+            row.emplace_back(std::in_place_type<std::string>,
+                             reinterpret_cast<const char *>(src), n);
             break;
           }
         }

@@ -4,6 +4,15 @@
 
 #include "util/log.h"
 
+#ifdef BISCUIT_TSAN
+extern "C" {
+void *__tsan_get_current_fiber(void);
+void *__tsan_create_fiber(unsigned flags);
+void __tsan_destroy_fiber(void *fiber);
+void __tsan_switch_to_fiber(void *fiber, unsigned flags);
+}
+#endif
+
 namespace bisc::fiber {
 
 namespace {
@@ -29,6 +38,9 @@ Fiber::Fiber(std::string name, Entry entry, std::size_t stack_size)
     ctx_.uc_link = &ret_;
     makecontext(&ctx_, reinterpret_cast<void (*)()>(&Fiber::trampoline),
                 0);
+#ifdef BISCUIT_TSAN
+    tsan_fiber_ = __tsan_create_fiber(0);
+#endif
 }
 
 Fiber::~Fiber()
@@ -37,6 +49,10 @@ Fiber::~Fiber()
     // indicates a scheduler bug except during forced teardown.
     if (started_ && !finished_)
         BISC_WARN("destroying unfinished fiber '", name_, "'");
+#ifdef BISCUIT_TSAN
+    if (tsan_fiber_ != nullptr)
+        __tsan_destroy_fiber(tsan_fiber_);
+#endif
 }
 
 void
@@ -50,6 +66,10 @@ Fiber::resume()
         started_ = true;
         g_starting = this;
     }
+#ifdef BISCUIT_TSAN
+    tsan_return_ = __tsan_get_current_fiber();
+    __tsan_switch_to_fiber(tsan_fiber_, 0);
+#endif
     if (swapcontext(&ret_, &ctx_) != 0)
         BISC_PANIC("swapcontext into fiber '", name_, "' failed");
     g_current = nullptr;
@@ -66,6 +86,9 @@ Fiber::suspendCurrent()
 {
     Fiber *self = g_current;
     BISC_ASSERT(self != nullptr, "suspendCurrent() outside any fiber");
+#ifdef BISCUIT_TSAN
+    __tsan_switch_to_fiber(self->tsan_return_, 0);
+#endif
     if (swapcontext(&self->ctx_, &self->ret_) != 0)
         BISC_PANIC("swapcontext out of fiber '", self->name_, "' failed");
 }
@@ -86,7 +109,17 @@ Fiber::trampoline()
                    "'");
     }
     self->finished_ = true;
-    // Returning lets uc_link (ret_) take over, landing back in resume().
+#ifdef BISCUIT_TSAN
+    __tsan_switch_to_fiber(self->tsan_return_, 0);
+#endif
+    // Swap back explicitly rather than returning through uc_link:
+    // under TSan the trampoline's instrumented function-exit would
+    // otherwise run after the fiber annotation already switched
+    // shadow stacks, popping a spurious frame from the scheduler's
+    // shadow call stack on every finished fiber. The abandoned
+    // trampoline frame dies with the fiber context.
+    swapcontext(&self->ctx_, &self->ret_);
+    BISC_PANIC("finished fiber '", self->name_, "' resumed");
 }
 
 }  // namespace bisc::fiber

@@ -22,6 +22,17 @@
 #include <string>
 #include <vector>
 
+// ThreadSanitizer must be told about ucontext switches (it tracks one
+// stack per OS thread otherwise). The annotations are compiled in only
+// under TSan builds and cost nothing elsewhere.
+#if defined(__SANITIZE_THREAD__)
+#define BISCUIT_TSAN 1
+#elif defined(__has_feature)
+#if __has_feature(thread_sanitizer)
+#define BISCUIT_TSAN 1
+#endif
+#endif
+
 namespace bisc::fiber {
 
 /**
@@ -79,6 +90,13 @@ class Fiber
     ucontext_t ret_;
     bool started_ = false;
     bool finished_ = false;
+#ifdef BISCUIT_TSAN
+    /** TSan's shadow context for this fiber's stack. */
+    void *tsan_fiber_ = nullptr;
+
+    /** TSan context to restore when this fiber suspends/finishes. */
+    void *tsan_return_ = nullptr;
+#endif
 };
 
 }  // namespace bisc::fiber

@@ -267,4 +267,34 @@ FileSystem::allocLpn()
     return next_lpn_++;
 }
 
+FsImage
+FileSystem::exportImage() const
+{
+    FsImage image;
+    for (const auto &[path, node] : inodes_) {
+        FsImage::Inode n;
+        n.pages = node.pages;
+        n.size = node.size;
+        image.inodes.emplace(path, std::move(n));
+    }
+    image.free_lpns = free_lpns_;
+    image.next_lpn = next_lpn_;
+    return image;
+}
+
+void
+FileSystem::importImage(const FsImage &image)
+{
+    BISC_ASSERT(inodes_.empty() && next_lpn_ == 0,
+                "importImage requires an empty file system");
+    for (const auto &[path, node] : image.inodes) {
+        Inode n;
+        n.pages = node.pages;
+        n.size = node.size;
+        inodes_.emplace(path, std::move(n));
+    }
+    free_lpns_ = image.free_lpns;
+    next_lpn_ = image.next_lpn;
+}
+
 }  // namespace bisc::fs

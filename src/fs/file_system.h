@@ -42,6 +42,25 @@ struct ReadResult
     std::uint32_t retries = 0;
 };
 
+/**
+ * Value snapshot of the file system's namespace: every inode's extent
+ * list and logical size, plus the logical-page allocator position.
+ * Captured by FileSystem::exportImage() and replayed into the fresh
+ * file system of a forked device by importImage().
+ */
+struct FsImage
+{
+    struct Inode
+    {
+        std::vector<ftl::Lpn> pages;
+        Bytes size = 0;
+    };
+
+    std::map<std::string, Inode> inodes;
+    std::vector<ftl::Lpn> free_lpns;
+    ftl::Lpn next_lpn = 0;
+};
+
 class FileSystem
 {
   public:
@@ -127,6 +146,16 @@ class FileSystem
     const std::vector<ftl::Lpn> &pagesOf(const std::string &path) const;
 
     ssd::SsdDevice &device() { return dev_; }
+
+    /** Capture the namespace and allocator state as a value image. */
+    FsImage exportImage() const;
+
+    /**
+     * Replace this file system's state with @p image. Only valid on an
+     * empty file system over a device whose FTL holds the image's
+     * mappings (i.e., one built from the matching device image).
+     */
+    void importImage(const FsImage &image);
 
   private:
     struct Inode

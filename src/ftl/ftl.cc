@@ -456,4 +456,59 @@ Ftl::totalFreeBlocks() const
     return n;
 }
 
+FtlImage
+Ftl::exportImage() const
+{
+    FtlImage image;
+    image.slots.reserve(slots_.size());
+    for (const auto &slot : slots_) {
+        FtlImage::Slot s;
+        s.free = slot.free;
+        s.active = slot.active;
+        s.next_idx = slot.next_idx;
+        image.slots.push_back(std::move(s));
+    }
+    image.slot_cursor = slot_cursor_;
+    image.map = map_;
+    image.rev = rev_;
+    image.valid_count = valid_count_;
+    image.sealed = sealed_;
+    image.bad_blocks = bad_blocks_;
+    image.suspect_events = suspect_events_;
+    image.gc_runs = gc_runs_;
+    image.pages_relocated = pages_relocated_;
+    image.uncorrectable = uncorrectable_;
+    image.retry_relocations = retry_relocations_;
+    image.blocks_retired = blocks_retired_;
+    image.program_remaps = program_remaps_;
+    return image;
+}
+
+void
+Ftl::importImage(const FtlImage &image)
+{
+    BISC_ASSERT(map_.empty() && gc_runs_ == 0 && !in_gc_,
+                "importImage requires a fresh FTL");
+    BISC_ASSERT(image.slots.size() == slots_.size(),
+                "importImage geometry mismatch");
+    for (std::size_t i = 0; i < slots_.size(); ++i) {
+        slots_[i].free = image.slots[i].free;
+        slots_[i].active = image.slots[i].active;
+        slots_[i].next_idx = image.slots[i].next_idx;
+    }
+    slot_cursor_ = image.slot_cursor;
+    map_ = image.map;
+    rev_ = image.rev;
+    valid_count_ = image.valid_count;
+    sealed_ = image.sealed;
+    bad_blocks_ = image.bad_blocks;
+    suspect_events_ = image.suspect_events;
+    gc_runs_ = image.gc_runs;
+    pages_relocated_ = image.pages_relocated;
+    uncorrectable_ = image.uncorrectable;
+    retry_relocations_ = image.retry_relocations;
+    blocks_retired_ = image.blocks_retired;
+    program_remaps_ = image.program_remaps;
+}
+
 }  // namespace bisc::ftl

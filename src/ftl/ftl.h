@@ -113,6 +113,40 @@ struct FtlParams
     std::uint32_t max_program_attempts = 8;
 };
 
+/**
+ * Value snapshot of the FTL's mapping and block metadata, captured by
+ * Ftl::exportImage() and replayed into a fresh Ftl of identical
+ * parameters by importImage(). Holds no NAND page bytes — those live in
+ * the companion nand::NandImage — so copying one per forked lane is
+ * O(mapped pages) of integers, not of data.
+ */
+struct FtlImage
+{
+    struct Slot
+    {
+        std::vector<nand::Pbn> free;
+        std::optional<nand::Pbn> active;
+        std::uint32_t next_idx = 0;
+    };
+
+    std::vector<Slot> slots;
+    std::uint32_t slot_cursor = 0;
+
+    std::unordered_map<Lpn, nand::Ppn> map;
+    std::unordered_map<nand::Ppn, Lpn> rev;
+    std::unordered_map<nand::Pbn, std::uint32_t> valid_count;
+    std::set<nand::Pbn> sealed;
+    std::set<nand::Pbn> bad_blocks;
+    std::unordered_map<nand::Pbn, std::uint32_t> suspect_events;
+
+    std::uint64_t gc_runs = 0;
+    std::uint64_t pages_relocated = 0;
+    std::uint64_t uncorrectable = 0;
+    std::uint64_t retry_relocations = 0;
+    std::uint64_t blocks_retired = 0;
+    std::uint64_t program_remaps = 0;
+};
+
 class Ftl
 {
   public:
@@ -217,6 +251,20 @@ class Ftl
 
     nand::NandFlash &nand() { return nand_; }
     const FtlParams &params() const { return params_; }
+
+    /**
+     * Capture the mapping, allocation pools, block metadata and
+     * counters as a value image. The FTL itself is unchanged.
+     */
+    FtlImage exportImage() const;
+
+    /**
+     * Replace this FTL's state with @p image. Only valid on a freshly
+     * constructed FTL of identical geometry and parameters that has
+     * served no traffic; pairs with NandFlash::adoptImage so the
+     * mapping agrees with the adopted page store.
+     */
+    void importImage(const FtlImage &image);
 
   private:
     struct Slot

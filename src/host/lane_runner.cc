@@ -1,0 +1,77 @@
+#include "host/lane_runner.h"
+
+#include <atomic>
+#include <cstdlib>
+#include <exception>
+#include <mutex>
+#include <thread>
+
+namespace bisc::host {
+
+unsigned
+lanesFromEnv()
+{
+    const char *env = std::getenv("BISCUIT_LANES");
+    if (env == nullptr || *env == '\0')
+        return 1;
+    char *end = nullptr;
+    long v = std::strtol(env, &end, 10);
+    if (end == env || *end != '\0' || v < 1)
+        return 1;
+    return static_cast<unsigned>(v);
+}
+
+void
+LaneRunner::run(std::size_t n,
+                const std::function<void(std::size_t)> &job) const
+{
+    if (n == 0)
+        return;
+    if (lanes_ == 1 || n == 1) {
+        for (std::size_t i = 0; i < n; ++i)
+            job(i);
+        return;
+    }
+
+    std::atomic<std::size_t> next{0};
+    std::mutex err_mu;
+    std::exception_ptr first_error;
+
+    auto worker = [&] {
+        for (;;) {
+            std::size_t i = next.fetch_add(1);
+            if (i >= n)
+                return;
+            try {
+                job(i);
+            } catch (...) {
+                std::lock_guard<std::mutex> lock(err_mu);
+                if (!first_error)
+                    first_error = std::current_exception();
+            }
+        }
+    };
+
+    std::size_t workers = lanes_ < n ? lanes_ : n;
+    std::vector<std::thread> pool;
+    pool.reserve(workers);
+    for (std::size_t w = 0; w < workers; ++w)
+        pool.emplace_back(worker);
+    for (auto &t : pool)
+        t.join();
+
+    if (first_error)
+        std::rethrow_exception(first_error);
+}
+
+std::vector<std::string>
+LaneRunner::runTranscripts(
+    std::size_t n,
+    const std::function<std::string(std::size_t)> &job) const
+{
+    std::vector<std::string> out(n);
+    run(n, [&](std::size_t i) { out[i] = job(i); });
+    return out;
+}
+
+}  // namespace bisc::host

@@ -1,0 +1,68 @@
+/**
+ * @file
+ * LaneRunner: a worker pool executing independent simulation lanes.
+ *
+ * Each lane is one self-contained simulation (its own sisc::Env forked
+ * from a frozen sim::DeviceImage, its own kernel clock and buffer
+ * pool), so lanes share no mutable state and may run on OS threads
+ * concurrently. The runner only distributes job indices and joins the
+ * workers; results land in caller-owned, per-job slots, which is what
+ * keeps output deterministic: the caller emits the slots in canonical
+ * job order, no matter which lane finished first.
+ *
+ * With one lane the runner degrades to running the jobs inline on the
+ * calling thread in index order — the exact serial path, with no
+ * threads created at all.
+ */
+
+#ifndef BISCUIT_HOST_LANE_RUNNER_H_
+#define BISCUIT_HOST_LANE_RUNNER_H_
+
+#include <cstddef>
+#include <functional>
+#include <string>
+#include <vector>
+
+namespace bisc::host {
+
+/**
+ * Lane count requested via the BISCUIT_LANES environment variable:
+ * its value when set to a positive integer, 1 (serial) otherwise.
+ */
+unsigned lanesFromEnv();
+
+class LaneRunner
+{
+  public:
+    /** @p lanes worker threads; 0 or 1 means inline serial execution. */
+    explicit LaneRunner(unsigned lanes) : lanes_(lanes < 1 ? 1 : lanes)
+    {}
+
+    unsigned lanes() const { return lanes_; }
+
+    /**
+     * Execute @p job for every index in [0, n), distributing indices
+     * across the worker pool, and return when all jobs finished. Jobs
+     * must be independent (no shared mutable state). An exception
+     * thrown by any job is rethrown here after all workers join.
+     */
+    void run(std::size_t n,
+             const std::function<void(std::size_t)> &job) const;
+
+    /**
+     * Convenience for transcript-producing jobs: runs them like run()
+     * and returns each job's string in job-index order — the canonical
+     * merge, independent of lane completion order.
+     */
+    std::vector<std::string>
+    runTranscripts(std::size_t n,
+                   const std::function<std::string(std::size_t)> &job)
+        const;
+
+  private:
+    unsigned lanes_;
+};
+
+}  // namespace bisc::host
+
+#endif  // BISCUIT_HOST_LANE_RUNNER_H_

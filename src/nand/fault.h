@@ -107,6 +107,19 @@ class FaultModel
     const FaultConfig &config() const { return cfg_; }
 
     /**
+     * Snapshot/restore of the injector's RNG stream position, so a
+     * forked device image continues the exact fault sequence of the
+     * frozen device instead of replaying it from the seed.
+     */
+    std::array<std::uint64_t, 4> rngState() const { return rng_.state(); }
+
+    void
+    setRngState(const std::array<std::uint64_t, 4> &s)
+    {
+        rng_.setState(s);
+    }
+
+    /**
      * Number of raw bit errors in one sense of a full page of
      * @p page_bytes whose block has endured @p pe_cycles erases.
      * @p ber_scale < 1 models retry reads at tuned thresholds.

@@ -39,8 +39,8 @@ NandFlash::timedRead(Ppn ppn, Bytes offset, Bytes len, Tick earliest,
     }
     Tick media_done = dieServer(ppn).reserveAt(earliest, media);
 
-    auto it = pages_.find(ppn);
-    if (fault_.enabled() && it != pages_.end()) {
+    const std::vector<std::uint8_t> *stored = lookupPage(ppn);
+    if (fault_.enabled() && stored != nullptr) {
         // Erased (unwritten) pages carry no data to decode; only
         // programmed pages go through ECC.
         std::uint64_t pe = eraseCount(geo_.blockOf(ppn));
@@ -78,7 +78,19 @@ NandFlash::timedRead(Ppn ppn, Bytes offset, Bytes len, Tick earliest,
 
     ++page_reads_;
     bytes_read_ += len;
-    return it == pages_.end() ? nullptr : &it->second;
+    return stored;
+}
+
+const std::vector<std::uint8_t> *
+NandFlash::lookupPage(Ppn ppn) const
+{
+    auto it = pages_.find(ppn);
+    if (it != pages_.end())
+        return &it->second;
+    if (base_ == nullptr || dead_.count(ppn) != 0)
+        return nullptr;
+    auto bit = base_->pages.find(ppn);
+    return bit == base_->pages.end() ? nullptr : &bit->second;
 }
 
 ReadResult
@@ -202,8 +214,12 @@ NandFlash::eraseBlockEx(Pbn pbn, Tick earliest)
                                  detail::format("pbn ", pbn));
         return r;
     }
-    for (std::uint32_t i = 0; i < geo_.pages_per_block; ++i)
-        pages_.erase(geo_.pageOfBlock(pbn, i));
+    for (std::uint32_t i = 0; i < geo_.pages_per_block; ++i) {
+        Ppn ppn = geo_.pageOfBlock(pbn, i);
+        pages_.erase(ppn);
+        if (base_ != nullptr && base_->pages.count(ppn) != 0)
+            dead_.insert(ppn);
+    }
     ++erase_counts_[pbn];
     ++block_erases_;
     return r;
@@ -245,13 +261,72 @@ NandFlash::installPage(Ppn ppn, const std::uint8_t *data, Bytes len)
     BISC_ASSERT(len <= geo_.page_size, "install beyond page: ", len);
     auto &page = pages_[ppn];
     page.assign(data, data + len);
+    if (base_ != nullptr)
+        dead_.erase(ppn);
 }
 
 const std::vector<std::uint8_t> *
 NandFlash::peekPage(Ppn ppn) const
 {
-    auto it = pages_.find(ppn);
-    return it == pages_.end() ? nullptr : &it->second;
+    return lookupPage(ppn);
+}
+
+std::shared_ptr<const NandImage>
+NandFlash::freeze()
+{
+    auto image = std::make_shared<NandImage>();
+    if (base_ != nullptr) {
+        // Freezing an already-forked device: merge its private overlay
+        // into a copy of the base (pages living only in the base are
+        // copied; this path is for re-snapshotting a mutated fork).
+        image->pages = base_->pages;
+        for (Ppn dead : dead_)
+            image->pages.erase(dead);
+        for (auto &[ppn, bytes] : pages_)
+            image->pages[ppn] = std::move(bytes);
+    } else {
+        image->pages = std::move(pages_);
+    }
+    pages_.clear();
+    dead_.clear();
+    image->erase_counts = erase_counts_;
+    image->fault_rng = fault_.rngState();
+    image->page_reads = page_reads_;
+    image->page_writes = page_writes_;
+    image->block_erases = block_erases_;
+    image->bytes_read = bytes_read_;
+    image->read_retries = read_retries_;
+    image->ecc_corrected = ecc_corrected_;
+    image->uncorrectable = uncorrectable_;
+    image->program_fails = program_fails_;
+    image->erase_fails = erase_fails_;
+    image->die_stalls = die_stalls_;
+    image->channel_stalls = channel_stalls_;
+    base_ = image;
+    return image;
+}
+
+void
+NandFlash::adoptImage(std::shared_ptr<const NandImage> image)
+{
+    BISC_ASSERT(image != nullptr, "adopting a null NAND image");
+    BISC_ASSERT(pages_.empty() && base_ == nullptr &&
+                    page_writes_ == 0 && block_erases_ == 0,
+                "adoptImage on a device that has already been used");
+    base_ = std::move(image);
+    erase_counts_ = base_->erase_counts;
+    fault_.setRngState(base_->fault_rng);
+    page_reads_ = base_->page_reads;
+    page_writes_ = base_->page_writes;
+    block_erases_ = base_->block_erases;
+    bytes_read_ = base_->bytes_read;
+    read_retries_ = base_->read_retries;
+    ecc_corrected_ = base_->ecc_corrected;
+    uncorrectable_ = base_->uncorrectable;
+    program_fails_ = base_->program_fails;
+    erase_fails_ = base_->erase_fails;
+    die_stalls_ = base_->die_stalls;
+    channel_stalls_ = base_->channel_stalls;
 }
 
 sim::BufferView

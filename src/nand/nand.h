@@ -22,9 +22,11 @@
 #ifndef BISCUIT_NAND_NAND_H_
 #define BISCUIT_NAND_NAND_H_
 
+#include <array>
 #include <cstdint>
 #include <memory>
 #include <unordered_map>
+#include <unordered_set>
 #include <vector>
 
 #include "nand/fault.h"
@@ -70,6 +72,37 @@ struct ReadViewResult
      * stored page is shorter than the request.
      */
     sim::BufferView view;
+};
+
+/**
+ * An immutable snapshot of the NAND array's functional state. Frozen
+ * once, then shared read-only between the source device and any number
+ * of forked devices: the page bytes are never mutated after freeze(),
+ * so concurrent forks may read them from different threads without
+ * synchronization, and borrowed BufferViews into them stay valid for
+ * the image's lifetime (map nodes are address-stable).
+ */
+struct NandImage
+{
+    std::unordered_map<Ppn, std::vector<std::uint8_t>> pages;
+    std::unordered_map<Pbn, std::uint64_t> erase_counts;
+
+    /** Fault-injector RNG position at freeze time. */
+    std::array<std::uint64_t, 4> fault_rng{};
+
+    // Aggregate + reliability counters at freeze time, restored into
+    // forks so stat deltas match an uninterrupted serial run.
+    std::uint64_t page_reads = 0;
+    std::uint64_t page_writes = 0;
+    std::uint64_t block_erases = 0;
+    Bytes bytes_read = 0;
+    std::uint64_t read_retries = 0;
+    std::uint64_t ecc_corrected = 0;
+    std::uint64_t uncorrectable = 0;
+    std::uint64_t program_fails = 0;
+    std::uint64_t erase_fails = 0;
+    std::uint64_t die_stalls = 0;
+    std::uint64_t channel_stalls = 0;
 };
 
 class NandFlash
@@ -137,7 +170,42 @@ class NandFlash
     Tick eraseBlock(Pbn pbn, Tick earliest = 0);
 
     /** True if @p ppn has been programmed since its last erase. */
-    bool isProgrammed(Ppn ppn) const { return pages_.count(ppn) != 0; }
+    bool isProgrammed(Ppn ppn) const { return lookupPage(ppn) != nullptr; }
+
+    // ----- Snapshot / fork -----
+
+    /**
+     * Freeze the array's functional state into an immutable, shareable
+     * image. The device keeps working afterwards: its page store
+     * becomes the frozen image plus a private copy-on-write overlay
+     * (writes land in the overlay; erases of frozen pages are recorded
+     * as tombstones), so no page bytes are copied either here or in
+     * any fork. Counters and the fault RNG position are captured so a
+     * fork behaves exactly like the frozen device.
+     */
+    std::shared_ptr<const NandImage> freeze();
+
+    /**
+     * Adopt @p image as this array's backing state. Only valid on a
+     * freshly constructed device of identical geometry that has never
+     * been written. Restores counters and the fault RNG position from
+     * the image; subsequent writes go to this device's private
+     * overlay, leaving the image untouched.
+     */
+    void adoptImage(std::shared_ptr<const NandImage> image);
+
+    /** Pages served by the shared frozen image (0 when not forked). */
+    std::size_t
+    basePages() const
+    {
+        return base_ == nullptr ? 0 : base_->pages.size();
+    }
+
+    /**
+     * Pages this device holds privately: the COW overlay of a forked
+     * device (the whole store when not forked).
+     */
+    std::size_t overlayPages() const { return pages_.size(); }
 
     /** Erase cycles endured by block @p pbn. */
     std::uint64_t
@@ -214,6 +282,12 @@ class NandFlash
                                                ReadResult &r,
                                                bool &uncorrectable);
 
+    /**
+     * The stored bytes of @p ppn across overlay, tombstones and the
+     * frozen base image; nullptr when the page reads as erased.
+     */
+    const std::vector<std::uint8_t> *lookupPage(Ppn ppn) const;
+
     sim::Server &dieServer(Ppn ppn) { return *dies_[geo_.slotOf(ppn)]; }
 
     sim::Server &
@@ -231,8 +305,18 @@ class NandFlash
     std::vector<std::unique_ptr<sim::Server>> dies_;
     std::vector<std::unique_ptr<sim::Server>> channels_;
 
+    /**
+     * Private page store. Without a base image it is the whole array;
+     * with one it is the copy-on-write overlay and wins over the base.
+     */
     std::unordered_map<Ppn, std::vector<std::uint8_t>> pages_;
     std::unordered_map<Pbn, std::uint64_t> erase_counts_;
+
+    /** Shared frozen page store (null until freeze/adopt). */
+    std::shared_ptr<const NandImage> base_;
+
+    /** Base pages erased since the fork (read as unwritten). */
+    std::unordered_set<Ppn> dead_;
 
     sim::BufferPool pool_;
     std::vector<std::uint8_t> zero_page_;

@@ -29,6 +29,7 @@
 #include <vector>
 
 #include "util/common.h"
+#include "util/log.h"
 
 namespace bisc::sim {
 
@@ -253,6 +254,19 @@ class EventQueue
      * number of events that were simultaneously pending.
      */
     std::size_t nodeCapacity() const { return nodes_.size(); }
+
+    /**
+     * Jump the clock forward to @p when without firing anything. Only
+     * legal while no events are pending; used to align a forked lane's
+     * fresh clock with the tick its device image was frozen at.
+     */
+    void
+    warpTo(Tick when)
+    {
+        BISC_ASSERT(heap_.empty(), "warpTo with pending events");
+        if (when > now_)
+            now_ = when;
+    }
 
   private:
     static constexpr std::uint32_t kNil = 0xffffffffu;

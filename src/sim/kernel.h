@@ -93,6 +93,14 @@ class Kernel
     }
 
     /**
+     * Jump the clock forward to @p when while the system is idle (no
+     * pending events). A forked lane warps its fresh kernel to the tick
+     * its device image was frozen at, so elapsed-time deltas measured
+     * inside the lane match the serial run exactly.
+     */
+    void warpTo(Tick when) { events_.warpTo(when); }
+
+    /**
      * Create a fiber that becomes runnable immediately. The kernel owns
      * the fiber and reaps it when its entry function returns.
      */

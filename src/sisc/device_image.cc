@@ -1,0 +1,18 @@
+#include "sisc/device_image.h"
+
+#include "sisc/env.h"
+
+namespace bisc::sisc {
+
+sim::DeviceImage
+freezeDeviceImage(Env &env)
+{
+    sim::DeviceImage image;
+    image.config = env.device.config();
+    image.nand = env.device.freezeState(image.ftl);
+    image.fs = env.fs.exportImage();
+    image.frozen_now = env.kernel.now();
+    return image;
+}
+
+}  // namespace bisc::sisc

@@ -1,0 +1,72 @@
+/**
+ * @file
+ * DeviceImage: a frozen, immutable snapshot of one fully populated
+ * Biscuit system, forkable into any number of independent simulation
+ * lanes.
+ *
+ * Freezing captures everything a lane needs to behave exactly like the
+ * source system: the NAND page store (shared read-only — see
+ * nand::NandImage for the ownership rules), the fault-injector RNG
+ * position, the FTL mapping + block metadata, the file-system
+ * namespace, the device stats counters and the simulated clock. A
+ * forked Env gets its own kernel, event queue and buffer pool, shares
+ * the frozen pages through a copy-on-write overlay, and warps its clock
+ * to the freeze tick — so any simulation run inside the fork produces
+ * bit-identical results (rows, elapsed ticks, stat deltas) to the same
+ * simulation run serially on the frozen system.
+ *
+ * The image lives in namespace bisc::sim because it is a property of
+ * the simulation as a whole, but it is defined at the sisc layer: the
+ * sim library sits below nand/ftl/fs and cannot name their state types.
+ */
+
+#ifndef BISCUIT_SISC_DEVICE_IMAGE_H_
+#define BISCUIT_SISC_DEVICE_IMAGE_H_
+
+#include <memory>
+
+#include "fs/file_system.h"
+#include "ftl/ftl.h"
+#include "nand/nand.h"
+#include "ssd/config.h"
+#include "util/common.h"
+
+namespace bisc::sisc {
+class Env;
+}  // namespace bisc::sisc
+
+namespace bisc::sim {
+
+/** Frozen device state; immutable once built, shareable across lanes. */
+struct DeviceImage
+{
+    /** Configuration the frozen device was built with. */
+    ssd::SsdConfig config;
+
+    /** Shared read-only NAND page store + RNG/stat state. */
+    std::shared_ptr<const nand::NandImage> nand;
+
+    /** FTL mapping, allocation pools, block metadata, counters. */
+    ftl::FtlImage ftl;
+
+    /** File-system namespace and logical-page allocator. */
+    fs::FsImage fs;
+
+    /** Simulated time at freeze; forks warp their clocks here. */
+    Tick frozen_now = 0;
+};
+
+}  // namespace bisc::sim
+
+namespace bisc::sisc {
+
+/**
+ * Freeze @p env's device state into an immutable image. @p env keeps
+ * working afterwards (its NAND becomes image + COW overlay) and stays
+ * bit-identical in behaviour to an unfrozen run.
+ */
+sim::DeviceImage freezeDeviceImage(Env &env);
+
+}  // namespace bisc::sisc
+
+#endif  // BISCUIT_SISC_DEVICE_IMAGE_H_

@@ -16,6 +16,7 @@
 #include "runtime/module.h"
 #include "runtime/runtime.h"
 #include "sim/kernel.h"
+#include "sisc/device_image.h"
 #include "ssd/config.h"
 #include "ssd/device.h"
 
@@ -27,6 +28,22 @@ class Env
     explicit Env(const ssd::SsdConfig &cfg = ssd::defaultConfig())
         : device(kernel, cfg), fs(device), runtime(kernel, device, fs)
     {}
+
+    /**
+     * Fork a new, independent system from a frozen device image: own
+     * kernel (event queue, clock warped to the freeze tick), own
+     * buffer pool, NAND pages shared read-only with the image through
+     * a private copy-on-write overlay. Simulations run in the fork are
+     * bit-identical to the same simulations run on the frozen system.
+     */
+    explicit Env(const sim::DeviceImage &image)
+        : device(kernel, image.config), fs(device),
+          runtime(kernel, device, fs)
+    {
+        kernel.warpTo(image.frozen_now);
+        device.adoptState(image.nand, image.ftl);
+        fs.importImage(image.fs);
+    }
 
     /**
      * Synthesize the .slet file for a registered @p module at @p path

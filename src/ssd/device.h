@@ -150,6 +150,35 @@ class SsdDevice
     Tick hostReadPages(const std::vector<ftl::Lpn> &pages,
                        std::uint8_t *out);
 
+    // ----- Snapshot / fork -----
+
+    /**
+     * Freeze the device's functional state: the NAND page store becomes
+     * an immutable shared image (the device keeps running over a COW
+     * overlay) and the FTL metadata is copied into @p ftl_image. The
+     * file-system layer above snapshots itself separately.
+     */
+    std::shared_ptr<const nand::NandImage>
+    freezeState(ftl::FtlImage &ftl_image)
+    {
+        ftl_image = ftl_->exportImage();
+        return nand_->freeze();
+    }
+
+    /**
+     * Adopt a frozen state into this freshly constructed device: NAND
+     * pages are shared read-only with the image (writes go to a private
+     * overlay), FTL metadata is copied in. Config must match the frozen
+     * device's.
+     */
+    void
+    adoptState(std::shared_ptr<const nand::NandImage> nand_image,
+               const ftl::FtlImage &ftl_image)
+    {
+        nand_->adoptImage(std::move(nand_image));
+        ftl_->importImage(ftl_image);
+    }
+
   private:
     sim::Kernel &kernel_;
     SsdConfig config_;

@@ -1,0 +1,44 @@
+/**
+ * @file
+ * The Fig. 10 suite driver: all 22 TPC-H queries, Conv and Biscuit,
+ * runnable either serially in one Env (the legacy path) or as
+ * independent parallel simulation lanes forked from a frozen device
+ * image — with bit-identical results either way.
+ *
+ * The 44 (query, mode) simulations become one canonical-order job
+ * list for db::runLaneSuite (db/lane_suite.h), which owns the
+ * serial-equivalence protocol: lanes fork from the frozen image, a
+ * first wave records which selectivity statistics each run sampled,
+ * and the few history-coupled runs (first module loader, key-set
+ * sharers) are re-run with the serial run's exact shared-state view.
+ */
+
+#ifndef BISCUIT_TPCH_SUITE_H_
+#define BISCUIT_TPCH_SUITE_H_
+
+#include <vector>
+
+#include "db/minidb.h"
+#include "sisc/env.h"
+#include "tpch/queries.h"
+
+namespace bisc::tpch {
+
+/**
+ * Legacy serial suite: run every query Conv-then-Biscuit, in order,
+ * as one host program in @p db's own environment.
+ */
+std::vector<QueryRun> runSuite(sisc::Env &env, db::MiniDb &db);
+
+/**
+ * Parallel suite: freeze @p env's device image and execute the 44
+ * (query, mode) simulations as independent lanes on @p lanes worker
+ * threads. Results — rows, elapsed ticks, stats, planner notes — are
+ * bit-identical to runSuite(); @p lanes <= 1 falls back to it.
+ */
+std::vector<QueryRun> runSuiteParallel(sisc::Env &env, db::MiniDb &db,
+                                       unsigned lanes);
+
+}  // namespace bisc::tpch
+
+#endif  // BISCUIT_TPCH_SUITE_H_

@@ -10,6 +10,7 @@
 #ifndef BISCUIT_UTIL_RNG_H_
 #define BISCUIT_UTIL_RNG_H_
 
+#include <array>
 #include <cstdint>
 
 namespace bisc {
@@ -73,6 +74,25 @@ class Rng
 
     /** Bernoulli draw with probability @p p. */
     bool chance(double p) { return uniform() < p; }
+
+    /**
+     * The full generator state. Capturing and later restoring it
+     * replays the stream from the capture point, which is how device
+     * snapshots keep forked simulations on the exact fault sequence
+     * the serial run would have seen.
+     */
+    std::array<std::uint64_t, 4>
+    state() const
+    {
+        return {s_[0], s_[1], s_[2], s_[3]};
+    }
+
+    void
+    setState(const std::array<std::uint64_t, 4> &s)
+    {
+        for (int i = 0; i < 4; ++i)
+            s_[i] = s[i];
+    }
 
     /**
      * Approximate Zipf-like draw over [0, n): rank skew matching the

@@ -1,0 +1,147 @@
+/**
+ * @file
+ * LaneRunner: worker-pool execution of independent simulation lanes
+ * with results merged in canonical (index) order regardless of
+ * completion order, exact serial fallback at one lane, environment
+ * parsing of BISCUIT_LANES, and exception propagation.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdlib>
+#include <mutex>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "host/lane_runner.h"
+
+namespace bisc::host {
+namespace {
+
+/** Restores BISCUIT_LANES on scope exit. */
+class ScopedLanesEnv
+{
+  public:
+    explicit ScopedLanesEnv(const char *value)
+    {
+        const char *old = std::getenv("BISCUIT_LANES");
+        had_old_ = old != nullptr;
+        if (had_old_)
+            old_ = old;
+        if (value)
+            setenv("BISCUIT_LANES", value, 1);
+        else
+            unsetenv("BISCUIT_LANES");
+    }
+
+    ~ScopedLanesEnv()
+    {
+        if (had_old_)
+            setenv("BISCUIT_LANES", old_.c_str(), 1);
+        else
+            unsetenv("BISCUIT_LANES");
+    }
+
+  private:
+    bool had_old_ = false;
+    std::string old_;
+};
+
+TEST(LaneRunnerEnv, ParsesLaneCounts)
+{
+    {
+        ScopedLanesEnv e(nullptr);
+        EXPECT_EQ(lanesFromEnv(), 1u);
+    }
+    {
+        ScopedLanesEnv e("4");
+        EXPECT_EQ(lanesFromEnv(), 4u);
+    }
+    {
+        ScopedLanesEnv e("1");
+        EXPECT_EQ(lanesFromEnv(), 1u);
+    }
+    {
+        ScopedLanesEnv e("0");
+        EXPECT_EQ(lanesFromEnv(), 1u);
+    }
+    {
+        ScopedLanesEnv e("-3");
+        EXPECT_EQ(lanesFromEnv(), 1u);
+    }
+    {
+        ScopedLanesEnv e("garbage");
+        EXPECT_EQ(lanesFromEnv(), 1u);
+    }
+}
+
+TEST(LaneRunner, ShuffledCompletionStillCanonicalOrder)
+{
+    // Early jobs sleep longest, so completion order is roughly the
+    // reverse of submission order — the transcript slots must come
+    // back in index order anyway.
+    constexpr std::size_t kJobs = 12;
+    LaneRunner runner(4);
+    std::vector<std::size_t> completion;
+    std::mutex mu;
+    auto out = runner.runTranscripts(kJobs, [&](std::size_t i) {
+        std::this_thread::sleep_for(
+            std::chrono::milliseconds((kJobs - i) * 3));
+        {
+            std::lock_guard<std::mutex> lock(mu);
+            completion.push_back(i);
+        }
+        return "job " + std::to_string(i);
+    });
+    ASSERT_EQ(out.size(), kJobs);
+    for (std::size_t i = 0; i < kJobs; ++i)
+        EXPECT_EQ(out[i], "job " + std::to_string(i));
+    bool shuffled = false;
+    for (std::size_t i = 0; i + 1 < completion.size(); ++i)
+        if (completion[i] > completion[i + 1])
+            shuffled = true;
+    // With one hardware thread the pool may still drain in order;
+    // only insist on a full permutation, not on disorder.
+    EXPECT_EQ(completion.size(), kJobs);
+    (void)shuffled;
+}
+
+TEST(LaneRunner, SingleLaneRunsInlineInOrder)
+{
+    LaneRunner runner(1);
+    std::vector<std::size_t> order;
+    std::thread::id main_id = std::this_thread::get_id();
+    runner.run(6, [&](std::size_t i) {
+        EXPECT_EQ(std::this_thread::get_id(), main_id);
+        order.push_back(i);
+    });
+    EXPECT_EQ(order, (std::vector<std::size_t>{0, 1, 2, 3, 4, 5}));
+}
+
+TEST(LaneRunner, AllJobsRunExactlyOnce)
+{
+    LaneRunner runner(3);
+    constexpr std::size_t kJobs = 50;
+    std::vector<std::atomic<int>> hits(kJobs);
+    runner.run(kJobs, [&](std::size_t i) { hits[i]++; });
+    for (std::size_t i = 0; i < kJobs; ++i)
+        EXPECT_EQ(hits[i].load(), 1);
+}
+
+TEST(LaneRunner, PropagatesWorkerException)
+{
+    LaneRunner runner(2);
+    EXPECT_THROW(runner.run(8,
+                            [&](std::size_t i) {
+                                if (i == 5)
+                                    throw std::runtime_error("lane 5");
+                            }),
+                 std::runtime_error);
+}
+
+}  // namespace
+}  // namespace bisc::host
