@@ -13,11 +13,18 @@
  * BISCUIT_LANES=N (N > 1) runs the 44 (query, mode) simulations as
  * parallel lanes forked from a frozen device image; the transcript is
  * bit-identical to the serial run (see src/tpch/suite.h).
+ *
+ * BISCUIT_OP_BREAKDOWN=1 additionally prints a per-operator sim-time
+ * table to stderr (stdout stays byte-identical to the golden).
  */
 
 #include <algorithm>
 #include <cmath>
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <map>
+#include <string>
 #include <vector>
 
 #include "db/minidb.h"
@@ -65,6 +72,56 @@ aggregate(const std::vector<bisc::tpch::QueryRun> &runs)
         top5 += ndp_speedups[i];
     t.top5_avg = top_n ? top5 / top_n : 0.0;
     return t;
+}
+
+/**
+ * Per-operator sim-time breakdown (DbStats::op_ticks), one row per
+ * (query, mode) plus mode totals. Written to stderr so the golden
+ * stdout transcript is untouched. Operators that overlap (an NDP
+ * scan's device work under the host drain) are charged wall-to-wall,
+ * so a row can exceed the query's elapsed time in aggregate.
+ */
+void
+printOpBreakdown(const std::vector<bisc::tpch::QueryRun> &runs)
+{
+    using bisc::Tick;
+    static const char *const ops[] = {"conv_scan", "ndp_scan",
+                                      "sample",    "bnl_join",
+                                      "group_by",  "filter"};
+    std::fprintf(stderr,
+                 "\nper-operator sim time (ms; wall-to-wall, "
+                 "overlapping ops double-charge)\n");
+    std::fprintf(stderr, "%-5s %-8s", "query", "mode");
+    for (const char *op : ops)
+        std::fprintf(stderr, " %10s", op);
+    std::fprintf(stderr, "\n");
+
+    std::map<std::string, Tick> totals[2];
+    for (const auto &r : runs) {
+        const bisc::db::DbStats *stats[2] = {&r.conv.stats,
+                                             &r.biscuit.stats};
+        static const char *const mode[2] = {"conv", "biscuit"};
+        for (int m = 0; m < 2; ++m) {
+            std::fprintf(stderr, "Q%-4d %-8s", r.number, mode[m]);
+            for (const char *op : ops) {
+                auto it = stats[m]->op_ticks.find(op);
+                Tick t = it == stats[m]->op_ticks.end() ? 0
+                                                        : it->second;
+                totals[m][op] += t;
+                std::fprintf(stderr, " %10.2f",
+                             static_cast<double>(t) / 1e6);
+            }
+            std::fprintf(stderr, "\n");
+        }
+    }
+    for (int m = 0; m < 2; ++m) {
+        std::fprintf(stderr, "%-5s %-8s", "total",
+                     m == 0 ? "conv" : "biscuit");
+        for (const char *op : ops)
+            std::fprintf(stderr, " %10.2f",
+                         static_cast<double>(totals[m][op]) / 1e6);
+        std::fprintf(stderr, "\n");
+    }
 }
 
 }  // namespace
@@ -119,5 +176,9 @@ main()
                 "%.2f s -> %.1fx (paper: 3.6x)\n",
                 totals.total_conv, totals.total_bisc,
                 totals.total_conv / totals.total_bisc);
+
+    const char *bd = std::getenv("BISCUIT_OP_BREAKDOWN");
+    if (bd != nullptr && bd[0] != '\0' && std::strcmp(bd, "0") != 0)
+        printOpBreakdown(runs);
     return 0;
 }

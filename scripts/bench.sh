@@ -5,6 +5,11 @@
 # times that the perf trajectory is held against.
 #
 # Usage: scripts/bench.sh [--build-dir DIR] [--out FILE] [--no-build]
+#                         [--trace]
+#
+# --trace additionally re-runs fig10_tpch with BISCUIT_TRACE pointed
+# at <build>/bench_out/fig10_trace.json, checks the transcript against
+# the golden, and validates the emitted Chrome trace JSON.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -12,11 +17,13 @@ cd "$(dirname "$0")/.."
 build_dir=build
 out_file=BENCH_wallclock.json
 do_build=1
+do_trace=0
 while [[ $# -gt 0 ]]; do
     case "$1" in
       --build-dir) build_dir="$2"; shift 2 ;;
       --out) out_file="$2"; shift 2 ;;
       --no-build) do_build=0; shift ;;
+      --trace) do_trace=1; shift ;;
       *) echo "unknown argument: $1" >&2; exit 2 ;;
     esac
 done
@@ -59,6 +66,18 @@ speedup_note() {  # speedup_note <baseline-secs> <secs>
     fi
 }
 
+# JSON value for the speedup field: a number, or null when the
+# baseline has no entry for this bench (first run, renamed bench).
+speedup_json() {  # speedup_json <baseline-secs> <secs>
+    local base="$1" secs="$2"
+    if [[ -n "$base" ]]; then
+        awk -v b="$base" -v s="$secs" \
+            'BEGIN { if (s > 0) printf "%.3f", b / s; else printf "null" }'
+    else
+        printf 'null'
+    fi
+}
+
 now_ms() { date +%s%3N; }
 
 json_entries=()
@@ -89,8 +108,9 @@ for b in "${benches[@]}"; do
     fi
 
     secs=$(awk -v ms="$ms" 'BEGIN { printf "%.3f", ms / 1000.0 }')
-    echo "$b: ${secs}s wall, golden match: $match$(speedup_note "$(baseline_secs "$b")" "$secs")"
-    json_entries+=("    \"$b\": {\"wall_clock_seconds\": $secs, \"golden_match\": $match}")
+    base=$(baseline_secs "$b")
+    echo "$b: ${secs}s wall, golden match: $match$(speedup_note "$base" "$secs")"
+    json_entries+=("    \"$b\": {\"wall_clock_seconds\": $secs, \"golden_match\": $match, \"speedup_vs_baseline\": $(speedup_json "$base" "$secs")}")
 
     [[ "$b" == fig7_read_bandwidth ]] && fig7_ms=$ms
     [[ "$b" == fig10_tpch ]] && fig10_ms=$ms
@@ -116,8 +136,36 @@ par_secs=$(awk -v ms="$par_ms" 'BEGIN { printf "%.3f", ms / 1000.0 }')
 serial_secs=$(awk -v ms="$fig10_ms" 'BEGIN { printf "%.3f", ms / 1000.0 }')
 par_speedup=$(awk -v s="$fig10_ms" -v p="$par_ms" \
     'BEGIN { if (p > 0) printf "%.2f", s / p; else printf "0.00" }')
-echo "fig10_tpch (BISCUIT_LANES=$lanes): ${par_secs}s wall, golden match: $par_match, ${par_speedup}x vs ${serial_secs}s serial$(speedup_note "$(baseline_secs fig10_tpch_parallel)" "$par_secs")"
-json_entries+=("    \"fig10_tpch_parallel\": {\"wall_clock_seconds\": $par_secs, \"golden_match\": $par_match, \"lanes\": $lanes}")
+par_base=$(baseline_secs fig10_tpch_parallel)
+echo "fig10_tpch (BISCUIT_LANES=$lanes): ${par_secs}s wall, golden match: $par_match, ${par_speedup}x vs ${serial_secs}s serial$(speedup_note "$par_base" "$par_secs")"
+json_entries+=("    \"fig10_tpch_parallel\": {\"wall_clock_seconds\": $par_secs, \"golden_match\": $par_match, \"lanes\": $lanes, \"speedup_vs_baseline\": $(speedup_json "$par_base" "$par_secs")}")
+
+# Optional trace pass: fig10 with tracing on must still match the
+# golden byte-for-byte (observability is read-only w.r.t. the sim) and
+# must emit loadable Chrome trace_event JSON.
+if [[ "$do_trace" == 1 ]]; then
+    trace_json="$out_dir/fig10_trace.json"
+    start=$(now_ms)
+    BISCUIT_TRACE="$trace_json" BISCUIT_OP_BREAKDOWN=1 \
+        "$build_dir/bench/fig10_tpch" \
+        > "$out_dir/fig10_tpch_traced.txt" \
+        2> "$out_dir/fig10_op_breakdown.txt"
+    end=$(now_ms)
+    traced_ms=$((end - start))
+    traced_match=true
+    if ! diff -q bench/golden/fig10_tpch.txt \
+            "$out_dir/fig10_tpch_traced.txt" >/dev/null; then
+        traced_match=false
+        fail=1
+        echo "SIMULATED OUTPUT DRIFT: fig10_tpch (BISCUIT_TRACE)" >&2
+    fi
+    events=$(python3 -c "import json,sys; \
+print(len(json.load(open(sys.argv[1]))['traceEvents']))" \
+        "$trace_json") || { echo "trace JSON invalid: $trace_json" >&2; exit 1; }
+    traced_secs=$(awk -v ms="$traced_ms" 'BEGIN { printf "%.3f", ms / 1000.0 }')
+    echo "fig10_tpch (BISCUIT_TRACE): ${traced_secs}s wall, golden match: $traced_match, $events trace events -> $trace_json"
+    json_entries+=("    \"fig10_tpch_traced\": {\"wall_clock_seconds\": $traced_secs, \"golden_match\": $traced_match, \"trace_events\": $events, \"speedup_vs_baseline\": null}")
+fi
 
 combined=$(awk -v a="$fig7_ms" -v b="$fig10_ms" \
     'BEGIN { printf "%.3f", (a + b) / 1000.0 }')

@@ -1,8 +1,11 @@
 #!/usr/bin/env bash
 # Tier-1 verification: a normal build + ctest pass, a perf-smoke pass
 # that replays the paper-figure benches and diffs their simulated
-# outputs against the golden transcripts in bench/golden/, then a
-# second build with AddressSanitizer and UBSan via BISCUIT_SANITIZE.
+# outputs against the golden transcripts in bench/golden/, a trace
+# pass (fig10 with BISCUIT_TRACE: golden must still match, the JSON
+# must load, two runs must be byte-identical), then sanitizer builds
+# via BISCUIT_SANITIZE (ASan/UBSan ctest; TSan lane tests + a traced
+# 2-lane fig10 so the trace buffers see real thread concurrency).
 #
 # Usage: scripts/verify.sh [--no-sanitize] [--no-perf-smoke]
 set -euo pipefail
@@ -29,6 +32,20 @@ if [[ "$run_perf_smoke" == 1 ]]; then
     # bench.sh exits non-zero when any bench's simulated output
     # drifts from its golden transcript.
     scripts/bench.sh --no-build --out BENCH_wallclock.json
+
+    echo
+    echo "=== trace pass: fig10 with BISCUIT_TRACE ==="
+    mkdir -p build/bench_out
+    BISCUIT_TRACE=build/bench_out/verify_trace_a.json \
+        build/bench/fig10_tpch > build/bench_out/fig10_traced.txt
+    diff -q bench/golden/fig10_tpch.txt build/bench_out/fig10_traced.txt
+    BISCUIT_TRACE=build/bench_out/verify_trace_b.json \
+        build/bench/fig10_tpch > /dev/null
+    # The trace must be loadable JSON and deterministic run to run.
+    python3 -c "import json; json.load(open('build/bench_out/verify_trace_a.json'))"
+    cmp build/bench_out/verify_trace_a.json \
+        build/bench_out/verify_trace_b.json
+    echo "trace: golden match, JSON valid, two runs byte-identical"
 fi
 
 if [[ "$run_sanitized" == 1 ]]; then
@@ -44,15 +61,20 @@ if [[ "$run_sanitized" == 1 ]]; then
     echo "=== pass 3: TSan build + parallel-lane tests ==="
     # The lane runner is the only code that creates OS threads; TSan
     # covers it via the snapshot/fork and lane-runner tests plus a
-    # 2-lane fig10 run (fibers + threads together).
+    # 2-lane fig10 run (fibers + threads together). BISCUIT_TRACE is
+    # on for that run so the per-lane trace buffers — registration
+    # under the session mutex, single-writer pushes, exit-time export
+    # — are exercised under real thread concurrency.
     cmake -B build-tsan -S . "-DBISCUIT_SANITIZE=thread" \
         -DCMAKE_BUILD_TYPE=RelWithDebInfo >/dev/null
     cmake --build build-tsan -j "$(nproc)"
     ctest --test-dir build-tsan --output-on-failure -j "$(nproc)" \
         -R "SnapshotFork|LaneRunner"
-    BISCUIT_LANES=2 build-tsan/bench/fig10_tpch \
+    BISCUIT_LANES=2 BISCUIT_TRACE=build-tsan/fig10_trace.json \
+        build-tsan/bench/fig10_tpch \
         > build-tsan/fig10_lanes.txt
     diff -q bench/golden/fig10_tpch.txt build-tsan/fig10_lanes.txt
+    python3 -c "import json; json.load(open('build-tsan/fig10_trace.json'))"
 fi
 
 echo

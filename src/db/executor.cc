@@ -25,6 +25,36 @@ namespace {
 constexpr std::uint32_t kPagesPerBatch = 8;
 
 /**
+ * Wall-to-wall sim-time accounting of one relational operator:
+ * accumulates into DbStats::op_ticks[name] and, when tracing, emits a
+ * "db"-category span covering the operator.
+ */
+class OpTimer
+{
+  public:
+    OpTimer(MiniDb &db, DbStats &stats, const char *name)
+        : kernel_(db.env().kernel), stats_(stats), name_(name),
+          begin_(kernel_.now())
+    {}
+
+    OpTimer(const OpTimer &) = delete;
+    OpTimer &operator=(const OpTimer &) = delete;
+
+    ~OpTimer()
+    {
+        Tick dur = kernel_.now() - begin_;
+        stats_.op_ticks[name_] += dur;
+        OBS_COMPLETE(kernel_.obs(), "db", name_, begin_, dur);
+    }
+
+  private:
+    sim::Kernel &kernel_;
+    DbStats &stats_;
+    const char *name_;
+    Tick begin_;
+};
+
+/**
  * valueToString() of one column taken straight from a packed row
  * slot, without materializing the Row (join hash keys).
  */
@@ -212,6 +242,7 @@ ScanOutcome
 convScan(MiniDb &db, Table &table, const ExprPtr &pred,
          DbStats &stats)
 {
+    OpTimer timer(db, stats, "conv_scan");
     ScanOutcome out;
     auto &host = db.host();
     const Bytes page_size = table.pageSize();
@@ -252,6 +283,7 @@ ScanOutcome
 ndpScan(MiniDb &db, Table &table, const ExprPtr &pred,
         const pm::KeySet &keys, DbStats &stats)
 {
+    OpTimer timer(db, stats, "ndp_scan");
     ScanOutcome out;
     out.used_ndp = true;
     auto &host = db.host();
@@ -320,6 +352,7 @@ std::uint64_t
 ndpSamplePages(MiniDb &db, Table &table, const pm::KeySet &keys,
                const std::vector<std::uint64_t> &pages, DbStats &stats)
 {
+    OpTimer timer(db, stats, "sample");
     sisc::SSD ssd(db.env().runtime);
     auto mid = loadMinidbModule(db, ssd);
     std::uint64_t matched = 0;
@@ -425,6 +458,7 @@ bnlJoin(MiniDb &db, const std::vector<Row> &outer, Bytes outer_width,
         int outer_col, Table &inner, int inner_col,
         const ExprPtr &inner_pred, DbStats &stats)
 {
+    OpTimer timer(db, stats, "bnl_join");
     std::vector<Row> out;
     if (outer.empty())
         return out;
@@ -491,6 +525,8 @@ groupBy(MiniDb &db, const std::vector<Row> &rows,
         std::vector<double> maxs;
         std::uint64_t count = 0;
     };
+
+    OpTimer timer(db, stats, "group_by");
 
     auto numeric = [](const Value &v) {
         return std::holds_alternative<std::int64_t>(v)
@@ -568,7 +604,6 @@ groupBy(MiniDb &db, const std::vector<Row> &rows,
         }
         out.push_back(std::move(row));
     }
-    (void)stats;
     return out;
 }
 
@@ -593,6 +628,7 @@ std::vector<Row>
 filterRows(MiniDb &db, const std::vector<Row> &rows,
            const ExprPtr &pred, DbStats &stats)
 {
+    OpTimer timer(db, stats, "filter");
     std::vector<Row> out;
     for (const auto &row : rows) {
         if (!pred || evalPred(*pred, row))

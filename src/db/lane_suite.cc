@@ -8,6 +8,7 @@
 #include "db/executor.h"
 #include "host/host_system.h"
 #include "host/lane_runner.h"
+#include "obs/obs.h"
 #include "sisc/device_image.h"
 
 namespace bisc::db {
@@ -63,8 +64,13 @@ struct LaneSetup
  */
 std::map<std::string, double>
 runLane(const sim::DeviceImage &image, const Catalog &cat,
-        const LaneSuiteJob &job, const LaneSetup &setup)
+        const LaneSuiteJob &job, const LaneSetup &setup,
+        const std::string &lane_label)
 {
+    // The lane's trace stream is keyed by job identity, not by which
+    // worker thread happened to pick it up — that keeps multi-lane
+    // trace exports deterministic run to run.
+    obs::LaneLabelGuard label_guard(lane_label);
     sisc::Env env(image);
     host::HostSystem host(env.kernel, env.device, env.fs, cat.host);
     MiniDb ldb(env, host);
@@ -113,7 +119,8 @@ runLaneSuite(sisc::Env &env, MiniDb &db,
     std::vector<std::map<std::string, double>> inserted(njobs);
     host::LaneRunner runner(lanes);
     runner.run(njobs, [&](std::size_t j) {
-        inserted[j] = runLane(image, cat, jobs[j], LaneSetup{});
+        inserted[j] = runLane(image, cat, jobs[j], LaneSetup{},
+                              "job" + std::to_string(j));
     });
 
     // Audit against the serial prefix. `seen` accumulates the
@@ -153,7 +160,8 @@ runLaneSuite(sisc::Env &env, MiniDb &db,
     // serial run's exact view of the shared state.
     runner.run(reruns.size(), [&](std::size_t r) {
         const auto &[j, setup] = reruns[r];
-        runLane(image, cat, jobs[j], setup);
+        runLane(image, cat, jobs[j], setup,
+                "job" + std::to_string(j) + ".rerun");
     });
 }
 

@@ -64,6 +64,15 @@ struct DbStats
     std::uint64_t conv_scans = 0;
     Tick elapsed = 0;
 
+    /**
+     * Sim-time attributed to each relational operator ("conv_scan",
+     * "ndp_scan", "bnl_join", "group_by", "filter", "sample"), in ns.
+     * Operators that overlap (an NDP scan's device work under the
+     * host-side drain) are charged wall-to-wall, so per-operator
+     * ticks can exceed elapsed in aggregate.
+     */
+    std::map<std::string, Tick> op_ticks;
+
     void
     clear()
     {

@@ -77,6 +77,9 @@ decideOffload(MiniDb &db, Table &table, const ExprPtr &pred,
                   d.sampled_selectivity);
     d.note = buf;
     d.offload = true;
+    OBS_INSTANT(db.env().kernel.obs(), "db", "offload",
+                static_cast<std::int64_t>(
+                    d.sampled_selectivity * 100.0));
     return d;
 }
 

@@ -9,7 +9,11 @@ namespace bisc::fs {
 
 FileSystem::FileSystem(ssd::SsdDevice &dev)
     : dev_(dev), page_size_(dev.config().geometry.page_size)
-{}
+{
+    auto &reg = dev_.kernel().obs().metrics();
+    reads_ = &reg.counter("fs.reads", "reads");
+    bytes_read_ = &reg.counter("fs.bytes_read", "B");
+}
 
 void
 FileSystem::create(const std::string &path)
@@ -84,11 +88,13 @@ FileSystem::readEx(const std::string &path, Bytes offset, Bytes len,
 {
     ReadResult r;
     const Inode &node = inodeOf(path);
+    OBS_COUNT(*reads_);
     if (offset >= node.size) {
         r.done = std::max(earliest, dev_.kernel().now());
         return r;
     }
     len = std::min(len, node.size - offset);
+    OBS_COUNT(*bytes_read_, len);
 
     r.done = earliest;
     auto &ftl = dev_.ftl();

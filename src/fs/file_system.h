@@ -177,6 +177,9 @@ class FileSystem
     std::map<std::string, Inode> inodes_;
     std::vector<ftl::Lpn> free_lpns_;
     ftl::Lpn next_lpn_ = 0;
+
+    obs::Counter *reads_ = nullptr;
+    obs::Counter *bytes_read_ = nullptr;
 };
 
 }  // namespace bisc::fs

@@ -23,6 +23,10 @@ Ftl::Ftl(sim::Kernel &kernel, nand::NandFlash &nand,
     slots_.resize(geo.dies());
     for (nand::Pbn pbn = geo.totalBlocks(); pbn-- > 0;)
         slots_[pbn % geo.dies()].free.push_back(pbn);
+
+    auto &reg = kernel_.obs().metrics();
+    map_lookups_ = &reg.counter("ftl.map_lookups", "lookups");
+    read_latency_hist_ = &reg.histogram("ftl.read_latency");
 }
 
 ReadResult
@@ -32,6 +36,7 @@ Ftl::readEx(Lpn lpn, Bytes offset, Bytes len, std::uint8_t *out,
     BISC_ASSERT(lpn < logical_pages_, "lpn out of range: ", lpn);
     Tick start = std::max(earliest, kernel_.now());
     Tick fw_done = start + params_.fw_read_overhead;
+    OBS_COUNT(*map_lookups_);
     auto it = map_.find(lpn);
     if (it == map_.end()) {
         if (out != nullptr)
@@ -41,6 +46,7 @@ Ftl::readEx(Lpn lpn, Bytes offset, Bytes len, std::uint8_t *out,
     // Firmware dispatch, then media + channel (NAND pipelines them).
     nand::Ppn ppn = it->second;
     nand::ReadResult r = nand_.readPageEx(ppn, offset, len, out, fw_done);
+    OBS_HIST(*read_latency_hist_, r.done - start);
     if (!r.status.ok()) {
         ++uncorrectable_;
         return ReadResult{r.done, r.status, r.retries};
@@ -55,6 +61,7 @@ Ftl::readViewEx(Lpn lpn, Bytes offset, Bytes len, Tick earliest)
     BISC_ASSERT(lpn < logical_pages_, "lpn out of range: ", lpn);
     Tick start = std::max(earliest, kernel_.now());
     Tick fw_done = start + params_.fw_read_overhead;
+    OBS_COUNT(*map_lookups_);
     auto it = map_.find(lpn);
     if (it == map_.end())
         return ReadViewResult{fw_done, Status(), 0,
@@ -62,6 +69,7 @@ Ftl::readViewEx(Lpn lpn, Bytes offset, Bytes len, Tick earliest)
     nand::Ppn ppn = it->second;
     nand::ReadViewResult r =
         nand_.readPageViewEx(ppn, offset, len, fw_done);
+    OBS_HIST(*read_latency_hist_, r.done - start);
     if (!r.status.ok()) {
         ++uncorrectable_;
         return ReadViewResult{r.done, std::move(r.status), r.retries,
@@ -376,6 +384,8 @@ Ftl::gcOnce()
     sealed_.erase(victim);
     ++gc_runs_;
     in_gc_ = true;
+    OBS_INSTANT(kernel_.obs(), "ftl", "gc",
+                static_cast<std::int64_t>(victim));
 
     sim::PageRef buf = nand_.bufferPool().acquire();
     for (std::uint32_t i = 0; i < geo.pages_per_block; ++i) {

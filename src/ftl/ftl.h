@@ -29,6 +29,7 @@
 #include <vector>
 
 #include "nand/nand.h"
+#include "obs/metrics.h"
 #include "sim/buffer_pool.h"
 #include "sim/kernel.h"
 #include "util/common.h"
@@ -343,6 +344,12 @@ class Ftl
     std::uint64_t blocks_retired_ = 0;
     std::uint64_t program_remaps_ = 0;
     bool in_gc_ = false;
+
+    /** Logical-to-physical map probes (every readEx/readViewEx). */
+    obs::Counter *map_lookups_ = nullptr;
+
+    /** Firmware-in to media-done latency of timed reads (sim ns). */
+    obs::Histogram *read_latency_hist_ = nullptr;
 };
 
 }  // namespace bisc::ftl

@@ -71,7 +71,13 @@ class Hil
     Hil(sim::Kernel &kernel, const HilParams &params)
         : kernel_(kernel), params_(params),
           to_host_(kernel, "pcie-d2h"), to_device_(kernel, "pcie-h2d")
-    {}
+    {
+        auto &reg = kernel_.obs().metrics();
+        dma_to_host_bytes_ = &reg.counter("hil.dma_to_host_bytes", "B");
+        dma_to_device_bytes_ =
+            &reg.counter("hil.dma_to_device_bytes", "B");
+        messages_ = &reg.counter("hil.messages", "msgs");
+    }
 
     const HilParams &params() const { return params_; }
 
@@ -84,6 +90,7 @@ class Hil
     {
         Tick work = params_.dma_setup +
                     transferTicks(bytes, params_.pcie_bw);
+        OBS_COUNT(*dma_to_host_bytes_, bytes);
         return to_host_.reserveAt(earliest, work);
     }
 
@@ -93,6 +100,7 @@ class Hil
     {
         Tick work = params_.dma_setup +
                     transferTicks(bytes, params_.pcie_bw);
+        OBS_COUNT(*dma_to_device_bytes_, bytes);
         return to_device_.reserveAt(earliest, work);
     }
 
@@ -105,6 +113,7 @@ class Hil
     {
         Tick work = params_.message_latency +
                     transferTicks(payload, params_.pcie_bw);
+        OBS_COUNT(*messages_);
         return to_host_.reserveAt(earliest, work);
     }
 
@@ -113,6 +122,7 @@ class Hil
     {
         Tick work = params_.message_latency +
                     transferTicks(payload, params_.pcie_bw);
+        OBS_COUNT(*messages_);
         return to_device_.reserveAt(earliest, work);
     }
 
@@ -128,6 +138,10 @@ class Hil
     HilParams params_;
     sim::Server to_host_;
     sim::Server to_device_;
+
+    obs::Counter *dma_to_host_bytes_ = nullptr;
+    obs::Counter *dma_to_device_bytes_ = nullptr;
+    obs::Counter *messages_ = nullptr;
 };
 
 }  // namespace bisc::hil

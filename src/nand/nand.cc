@@ -1,5 +1,6 @@
 #include "nand/nand.h"
 
+#include <algorithm>
 #include <cstring>
 
 namespace bisc::nand {
@@ -20,6 +21,8 @@ NandFlash::NandFlash(sim::Kernel &kernel, const Geometry &geo,
         channels_.push_back(std::make_unique<sim::Server>(
             kernel_, "ch" + std::to_string(c)));
     }
+    read_latency_hist_ =
+        &kernel_.obs().metrics().histogram("nand.read_latency");
 }
 
 const std::vector<std::uint8_t> *
@@ -78,6 +81,10 @@ NandFlash::timedRead(Ppn ppn, Bytes offset, Bytes len, Tick earliest,
 
     ++page_reads_;
     bytes_read_ += len;
+    [[maybe_unused]] Tick start = std::max(earliest, kernel_.now());
+    OBS_HIST(*read_latency_hist_, r.done - start);
+    OBS_COMPLETE(kernel_.obs(), "nand", "read", start, r.done - start,
+                 static_cast<std::int64_t>(ppn));
     return stored;
 }
 
@@ -190,6 +197,11 @@ NandFlash::programPageEx(Ppn ppn, const std::uint8_t *data, Bytes len,
     }
     installPage(ppn, data, len);
     ++page_writes_;
+    {
+        [[maybe_unused]] Tick start = std::max(earliest, kernel_.now());
+        OBS_COMPLETE(kernel_.obs(), "nand", "program", start,
+                     r.done - start, static_cast<std::int64_t>(ppn));
+    }
     return r;
 }
 
@@ -222,6 +234,11 @@ NandFlash::eraseBlockEx(Pbn pbn, Tick earliest)
     }
     ++erase_counts_[pbn];
     ++block_erases_;
+    {
+        [[maybe_unused]] Tick start = std::max(earliest, kernel_.now());
+        OBS_COMPLETE(kernel_.obs(), "nand", "erase", start,
+                     r.done - start, static_cast<std::int64_t>(pbn));
+    }
     return r;
 }
 

@@ -333,6 +333,9 @@ class NandFlash
     std::uint64_t erase_fails_ = 0;
     std::uint64_t die_stalls_ = 0;
     std::uint64_t channel_stalls_ = 0;
+
+    /** Request-to-done latency of every timed page read (sim ns). */
+    obs::Histogram *read_latency_hist_ = nullptr;
 };
 
 }  // namespace bisc::nand

@@ -1,0 +1,127 @@
+#include "obs/metrics.h"
+
+#include <atomic>
+#include <cstdlib>
+#include <cstring>
+
+namespace bisc::obs {
+
+namespace {
+
+// -1 = not yet read from the environment.
+std::atomic<int> g_enabled{-1};
+
+int
+readEnvEnabled()
+{
+    const char *env = std::getenv("BISCUIT_OBS");
+    if (env == nullptr)
+        return 1;
+    if (std::strcmp(env, "0") == 0 || std::strcmp(env, "off") == 0 ||
+        std::strcmp(env, "OFF") == 0 || std::strcmp(env, "false") == 0)
+        return 0;
+    return 1;
+}
+
+}  // namespace
+
+bool
+enabled()
+{
+    int v = g_enabled.load(std::memory_order_relaxed);
+    if (v < 0) {
+        v = readEnvEnabled();
+        g_enabled.store(v, std::memory_order_relaxed);
+    }
+    return v != 0;
+}
+
+void
+setEnabled(bool on)
+{
+    g_enabled.store(on ? 1 : 0, std::memory_order_relaxed);
+}
+
+void
+resetEnabledFromEnv()
+{
+    g_enabled.store(-1, std::memory_order_relaxed);
+}
+
+const std::vector<std::uint64_t> &
+Histogram::latencyBounds()
+{
+    static const std::vector<std::uint64_t> bounds = [] {
+        std::vector<std::uint64_t> b;
+        for (int k = 8; k <= 33; ++k)  // 256 ns .. ~8.6 s
+            b.push_back(std::uint64_t{1} << k);
+        return b;
+    }();
+    return bounds;
+}
+
+const std::vector<std::uint64_t> &
+Histogram::depthBounds()
+{
+    static const std::vector<std::uint64_t> bounds = [] {
+        std::vector<std::uint64_t> b;
+        for (int k = 0; k <= 10; ++k)  // 1 .. 1024
+            b.push_back(std::uint64_t{1} << k);
+        return b;
+    }();
+    return bounds;
+}
+
+Counter &
+MetricsRegistry::counter(const std::string &name, std::string unit)
+{
+    auto it = counters_.find(name);
+    if (it != counters_.end())
+        return *it->second;
+    auto c = std::unique_ptr<Counter>(
+        new Counter(name, std::move(unit)));
+    Counter &ref = *c;
+    counters_.emplace(name, std::move(c));
+    return ref;
+}
+
+Histogram &
+MetricsRegistry::histogram(const std::string &name, std::string unit,
+                           std::vector<std::uint64_t> bounds)
+{
+    auto it = histograms_.find(name);
+    if (it != histograms_.end())
+        return *it->second;
+    if (bounds.empty())
+        bounds = Histogram::latencyBounds();
+    auto h = std::unique_ptr<Histogram>(
+        new Histogram(name, std::move(unit), std::move(bounds)));
+    Histogram &ref = *h;
+    histograms_.emplace(name, std::move(h));
+    return ref;
+}
+
+void
+MetricsRegistry::visit(
+    const std::function<void(const std::string &, double)> &fn) const
+{
+    for (const auto &[name, c] : counters_)
+        fn(name, static_cast<double>(c->value()));
+    for (const auto &[name, h] : histograms_) {
+        fn(name + ".count", static_cast<double>(h->count()));
+        fn(name + ".sum", static_cast<double>(h->sum()));
+        const auto &bounds = h->bounds();
+        const auto &buckets = h->buckets();
+        for (std::size_t i = 0; i < buckets.size(); ++i) {
+            if (buckets[i] == 0)
+                continue;
+            std::string key =
+                i < bounds.size()
+                    ? name + ".le_" + std::to_string(bounds[i])
+                    : name + ".overflow";
+            fn(key, static_cast<double>(buckets[i]));
+        }
+    }
+}
+
+}  // namespace bisc::obs

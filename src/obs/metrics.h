@@ -1,0 +1,198 @@
+/**
+ * @file
+ * The metrics half of the observability subsystem (OBSERVABILITY.md):
+ * named monotonic counters and fixed-bucket latency histograms.
+ *
+ * A MetricsRegistry lives inside each sim::Kernel, so every simulation
+ * lane (one kernel per lane) owns an independent registry and lanes
+ * never contend. Handles returned by counter()/histogram() are stable
+ * for the registry's lifetime; instrumented components look their
+ * handles up once at construction and bump them on the hot path.
+ *
+ * Metrics never feed back into simulated timing, so recording (or
+ * disabling recording via BISCUIT_OBS=OFF) cannot perturb simulated
+ * output — golden transcripts are identical either way.
+ */
+
+#ifndef BISCUIT_OBS_METRICS_H_
+#define BISCUIT_OBS_METRICS_H_
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "util/common.h"
+
+namespace bisc::obs {
+
+/**
+ * Master runtime switch, cached from the BISCUIT_OBS environment
+ * variable on first use: "0", "off", "OFF" or "false" disable every
+ * counter add, histogram record and trace emission; anything else
+ * (including unset) enables them. The compile-time switch is the
+ * BISCUIT_OBS CMake option (see obs.h).
+ */
+bool enabled();
+
+/** Test hook: force the runtime switch (overrides the environment). */
+void setEnabled(bool on);
+
+/** Test hook: forget the cached switch and re-read the environment. */
+void resetEnabledFromEnv();
+
+/** A named monotonic counter. */
+class Counter
+{
+  public:
+    void
+    add(std::uint64_t delta = 1)
+    {
+        if (enabled())
+            v_ += delta;
+    }
+
+    /** Overwrite the value (export-time mirroring of model counters). */
+    void set(std::uint64_t v) { v_ = v; }
+
+    std::uint64_t value() const { return v_; }
+    const std::string &name() const { return name_; }
+    const std::string &unit() const { return unit_; }
+
+  private:
+    friend class MetricsRegistry;
+    Counter(std::string name, std::string unit)
+        : name_(std::move(name)), unit_(std::move(unit))
+    {}
+
+    std::string name_;
+    std::string unit_;
+    std::uint64_t v_ = 0;
+};
+
+/**
+ * A fixed-bucket histogram. Bucket i counts samples v with
+ * bounds[i-1] < v <= bounds[i] (bucket 0 counts v <= bounds[0]); one
+ * extra overflow bucket counts samples above the last bound. Bucket
+ * layouts are fixed at registration, so two runs of the same workload
+ * produce structurally identical histograms.
+ */
+class Histogram
+{
+  public:
+    /**
+     * The default latency layout: powers of two from 256 ns to 2^33 ns
+     * (~8.6 s), 26 buckets plus overflow. Documented in
+     * OBSERVABILITY.md; change there too if you change this.
+     */
+    static const std::vector<std::uint64_t> &latencyBounds();
+
+    /** Small power-of-two layout for depths/fan-outs: 1..1024. */
+    static const std::vector<std::uint64_t> &depthBounds();
+
+    void
+    record(std::uint64_t v)
+    {
+        if (!enabled())
+            return;
+        ++counts_[bucketOf(v)];
+        ++count_;
+        sum_ += v;
+    }
+
+    /** Index of the bucket @p v falls into (counts_.size()-1 = overflow). */
+    std::size_t
+    bucketOf(std::uint64_t v) const
+    {
+        std::size_t lo = 0;
+        std::size_t hi = bounds_.size();
+        while (lo < hi) {  // first bound >= v
+            std::size_t mid = (lo + hi) / 2;
+            if (bounds_[mid] < v)
+                lo = mid + 1;
+            else
+                hi = mid;
+        }
+        return lo;  // == bounds_.size() for overflow
+    }
+
+    std::uint64_t count() const { return count_; }
+    std::uint64_t sum() const { return sum_; }
+    const std::vector<std::uint64_t> &bounds() const { return bounds_; }
+    const std::vector<std::uint64_t> &buckets() const { return counts_; }
+    const std::string &name() const { return name_; }
+    const std::string &unit() const { return unit_; }
+
+  private:
+    friend class MetricsRegistry;
+    Histogram(std::string name, std::string unit,
+              std::vector<std::uint64_t> bounds)
+        : name_(std::move(name)), unit_(std::move(unit)),
+          bounds_(std::move(bounds)), counts_(bounds_.size() + 1, 0)
+    {}
+
+    std::string name_;
+    std::string unit_;
+    std::vector<std::uint64_t> bounds_;
+    std::vector<std::uint64_t> counts_;  ///< bounds_.size()+1 (overflow)
+    std::uint64_t count_ = 0;
+    std::uint64_t sum_ = 0;
+};
+
+/**
+ * One lane's named metrics. Registration is idempotent (same name
+ * returns the same handle) and handles are pointer-stable. Not thread
+ * safe — each registry belongs to exactly one lane thread, which is
+ * what keeps the hot path lock-free.
+ */
+class MetricsRegistry
+{
+  public:
+    MetricsRegistry() = default;
+    MetricsRegistry(const MetricsRegistry &) = delete;
+    MetricsRegistry &operator=(const MetricsRegistry &) = delete;
+
+    /** Find or create the counter @p name. */
+    Counter &counter(const std::string &name, std::string unit = "");
+
+    /**
+     * Find or create the histogram @p name. @p bounds defaults to
+     * latencyBounds(); it is fixed on first registration.
+     */
+    Histogram &histogram(const std::string &name,
+                         std::string unit = "ns",
+                         std::vector<std::uint64_t> bounds = {});
+
+    /**
+     * Flatten every metric into (name, value) pairs, sorted by name:
+     * a counter becomes one pair; a histogram becomes
+     * "<name>.count", "<name>.sum" and one "<name>.le_<bound>"
+     * ("<name>.overflow" for the last bucket) per *non-empty* bucket,
+     * so sparse histograms stay compact. This is the bridge behind
+     * ssd::SsdDevice::exportStats() / sim::Stats::snapshotDelta().
+     */
+    void visit(const std::function<void(const std::string &,
+                                        double)> &fn) const;
+
+    const std::map<std::string, std::unique_ptr<Counter>> &
+    counters() const
+    {
+        return counters_;
+    }
+
+    const std::map<std::string, std::unique_ptr<Histogram>> &
+    histograms() const
+    {
+        return histograms_;
+    }
+
+  private:
+    std::map<std::string, std::unique_ptr<Counter>> counters_;
+    std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+};
+
+}  // namespace bisc::obs
+
+#endif  // BISCUIT_OBS_METRICS_H_

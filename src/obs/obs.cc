@@ -1,0 +1,39 @@
+#include "obs/obs.h"
+
+namespace bisc::obs {
+
+namespace {
+
+std::string &
+laneLabelStorage()
+{
+    thread_local std::string label = "main";
+    return label;
+}
+
+}  // namespace
+
+const std::string &
+laneLabel()
+{
+    return laneLabelStorage();
+}
+
+void
+setLaneLabel(std::string label)
+{
+    laneLabelStorage() = std::move(label);
+}
+
+LaneLabelGuard::LaneLabelGuard(std::string label)
+    : prev_(laneLabelStorage())
+{
+    laneLabelStorage() = std::move(label);
+}
+
+LaneLabelGuard::~LaneLabelGuard()
+{
+    laneLabelStorage() = std::move(prev_);
+}
+
+}  // namespace bisc::obs

@@ -1,0 +1,208 @@
+/**
+ * @file
+ * Observability front door: the per-lane LaneObs bundle (metrics
+ * registry + optional trace buffer + sim-clock source) owned by every
+ * sim::Kernel, the RAII span guard, and the OBS_* instrumentation
+ * macros.
+ *
+ * Two switches control everything (OBSERVABILITY.md):
+ *
+ *  - compile time: the BISCUIT_OBS CMake option (default ON) defines
+ *    BISCUIT_OBS_ENABLED; with OFF, every OBS_* macro compiles to a
+ *    no-op and instrumentation costs literally nothing.
+ *  - runtime: the BISCUIT_OBS environment variable ("0"/"off"/"false"
+ *    disables) gates counters and histograms; BISCUIT_TRACE=<path>
+ *    additionally turns on trace collection and names the JSON output.
+ *
+ * Neither switch can change simulated timing or output: observability
+ * is strictly read-only with respect to the simulation.
+ */
+
+#ifndef BISCUIT_OBS_OBS_H_
+#define BISCUIT_OBS_OBS_H_
+
+#include <memory>
+#include <string>
+#include <utility>
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "util/common.h"
+
+#ifndef BISCUIT_OBS_ENABLED
+#define BISCUIT_OBS_ENABLED 1
+#endif
+
+namespace bisc::obs {
+
+/** Sim-clock accessor: a plain function pointer + context, so LaneObs
+ *  can read the owning kernel's clock without depending on sim. */
+using TickFn = Tick (*)(const void *);
+
+/**
+ * One lane's observability bundle. Owned by sim::Kernel; everything
+ * here is single-threaded (one lane = one thread), which keeps the
+ * hot paths lock-free.
+ */
+class LaneObs
+{
+  public:
+    LaneObs() = default;
+    LaneObs(const LaneObs &) = delete;
+    LaneObs &operator=(const LaneObs &) = delete;
+
+    void
+    setClock(TickFn fn, const void *ctx)
+    {
+        clock_fn_ = fn;
+        clock_ctx_ = ctx;
+    }
+
+    Tick now() const { return clock_fn_ ? clock_fn_(clock_ctx_) : 0; }
+
+    MetricsRegistry &metrics() { return metrics_; }
+    const MetricsRegistry &metrics() const { return metrics_; }
+
+    void attachTrace(std::shared_ptr<TraceBuffer> b)
+    {
+        trace_ = std::move(b);
+    }
+
+    /** True when this lane is collecting trace events. */
+    bool tracing() const { return trace_ != nullptr && enabled(); }
+
+    TraceBuffer *trace() { return trace_.get(); }
+
+    /** Record a complete ('X') span with explicit start and duration —
+     *  the shape device-side code uses, where completion ticks are
+     *  computed rather than slept through. */
+    void
+    complete(const char *cat, const char *name, Tick ts, Tick dur,
+             std::int64_t arg = kNoArg)
+    {
+        if (!tracing())
+            return;
+        trace_->push(TraceEvent{ts, dur, cat, name, arg, 'X'});
+    }
+
+    /** Record an instant ('i') event at the current sim clock. */
+    void
+    instant(const char *cat, const char *name,
+            std::int64_t arg = kNoArg)
+    {
+        if (!tracing())
+            return;
+        trace_->push(TraceEvent{now(), 0, cat, name, arg, 'i'});
+    }
+
+    /** Intern a dynamic name (no-op pass-through when not tracing). */
+    const char *
+    intern(std::string_view s)
+    {
+        return tracing() ? trace_->intern(s) : "";
+    }
+
+  private:
+    MetricsRegistry metrics_;
+    std::shared_ptr<TraceBuffer> trace_;
+    TickFn clock_fn_ = nullptr;
+    const void *clock_ctx_ = nullptr;
+};
+
+/**
+ * RAII span: records a complete event covering the sim-time between
+ * construction and destruction. Use from fiber code whose enclosed
+ * work advances the virtual clock (db operators, host streams).
+ */
+class SpanGuard
+{
+  public:
+    SpanGuard(LaneObs &o, const char *cat, const char *name,
+              std::int64_t arg = kNoArg)
+        : o_(o.tracing() ? &o : nullptr), cat_(cat), name_(name),
+          arg_(arg)
+    {
+        if (o_ != nullptr)
+            begin_ = o_->now();
+    }
+
+    SpanGuard(const SpanGuard &) = delete;
+    SpanGuard &operator=(const SpanGuard &) = delete;
+
+    ~SpanGuard()
+    {
+        if (o_ != nullptr)
+            o_->complete(cat_, name_, begin_, o_->now() - begin_,
+                         arg_);
+    }
+
+  private:
+    LaneObs *o_;
+    const char *cat_;
+    const char *name_;
+    std::int64_t arg_;
+    Tick begin_ = 0;
+};
+
+/**
+ * The label under which the *next* kernels created on this thread
+ * register their trace streams (default "main"). Parallel suites set a
+ * unique label per (job, wave) before forking a lane Env, which is
+ * what makes multi-lane traces deterministic: streams are keyed by
+ * job, never by OS thread identity.
+ */
+const std::string &laneLabel();
+void setLaneLabel(std::string label);
+
+/** Scoped laneLabel() override. */
+class LaneLabelGuard
+{
+  public:
+    explicit LaneLabelGuard(std::string label);
+    ~LaneLabelGuard();
+
+    LaneLabelGuard(const LaneLabelGuard &) = delete;
+    LaneLabelGuard &operator=(const LaneLabelGuard &) = delete;
+
+  private:
+    std::string prev_;
+};
+
+}  // namespace bisc::obs
+
+// ----- Instrumentation macros ---------------------------------------
+//
+// OBS_SPAN(lane, cat, name[, arg])      RAII sim-time span
+// OBS_COMPLETE(lane, cat, name, ts, dur[, arg])  explicit span
+// OBS_INSTANT(lane, cat, name[, arg])   instant event
+// OBS_COUNT(counter[, delta])           counter add
+// OBS_HIST(hist, value)                 histogram sample
+//
+// `lane` is an obs::LaneObs& (kernel.obs()); `counter`/`hist` are
+// handles from a MetricsRegistry. With -DBISCUIT_OBS=OFF all five
+// compile to nothing.
+
+#if BISCUIT_OBS_ENABLED
+
+#define BISC_OBS_CONCAT_(a, b) a##b
+#define BISC_OBS_CONCAT(a, b) BISC_OBS_CONCAT_(a, b)
+
+#define OBS_SPAN(lane, ...) \
+    ::bisc::obs::SpanGuard BISC_OBS_CONCAT(obs_span_, \
+                                           __LINE__)((lane), __VA_ARGS__)
+#define OBS_COMPLETE(lane, ...) (lane).complete(__VA_ARGS__)
+#define OBS_INSTANT(lane, ...) (lane).instant(__VA_ARGS__)
+#define OBS_COUNT(counter, ...) (counter).add(__VA_ARGS__)
+#define OBS_HIST(hist, value) (hist).record(value)
+
+#else  // !BISCUIT_OBS_ENABLED
+
+#define OBS_SPAN(...) ((void)0)
+#define OBS_COMPLETE(...) ((void)0)
+#define OBS_INSTANT(...) ((void)0)
+#define OBS_COUNT(...) ((void)0)
+#define OBS_HIST(...) ((void)0)
+
+#endif  // BISCUIT_OBS_ENABLED
+
+#endif  // BISCUIT_OBS_OBS_H_

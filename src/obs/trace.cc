@@ -1,0 +1,233 @@
+#include "obs/trace.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+
+#include "obs/metrics.h"
+#include "util/log.h"
+
+namespace bisc::obs {
+
+namespace {
+
+std::size_t
+roundUpPow2(std::size_t v)
+{
+    std::size_t p = 1024;
+    while (p < v)
+        p <<= 1;
+    return p;
+}
+
+/** Minimal JSON string escaping (quotes, backslash, control chars). */
+void
+writeEscaped(std::FILE *f, const char *s)
+{
+    for (; *s; ++s) {
+        unsigned char c = static_cast<unsigned char>(*s);
+        if (c == '"' || c == '\\')
+            std::fprintf(f, "\\%c", c);
+        else if (c < 0x20)
+            std::fprintf(f, "\\u%04x", c);
+        else
+            std::fputc(c, f);
+    }
+}
+
+/** Ticks (ns) as a microsecond value with exactly 3 decimals. */
+void
+writeMicros(std::FILE *f, Tick ns)
+{
+    std::fprintf(f, "%llu.%03llu",
+                 static_cast<unsigned long long>(ns / 1000),
+                 static_cast<unsigned long long>(ns % 1000));
+}
+
+bool g_atexit_registered = false;
+
+void
+registerAtexitFlush()
+{
+    if (g_atexit_registered)
+        return;
+    g_atexit_registered = true;
+    std::atexit([] { TraceSession::global().flush(); });
+}
+
+}  // namespace
+
+TraceBuffer::TraceBuffer(std::string label, std::size_t capacity)
+    : label_(std::move(label)), slots_(roundUpPow2(capacity)),
+      mask_(slots_.size() - 1)
+{}
+
+const char *
+TraceBuffer::intern(std::string_view s)
+{
+    auto it = intern_index_.find(s);
+    if (it != intern_index_.end())
+        return it->second;
+    interned_.emplace_back(s);
+    const char *p = interned_.back().c_str();
+    intern_index_.emplace(interned_.back(), p);
+    return p;
+}
+
+std::vector<TraceEvent>
+TraceBuffer::snapshot() const
+{
+    std::uint64_t n = pushed();
+    std::uint64_t start = n > slots_.size() ? n - slots_.size() : 0;
+    std::vector<TraceEvent> out;
+    out.reserve(static_cast<std::size_t>(n - start));
+    for (std::uint64_t i = start; i < n; ++i)
+        out.push_back(slots_[i & mask_]);
+    return out;
+}
+
+TraceSession &
+TraceSession::global()
+{
+    // Intentionally leaked: the constructor registers an atexit flush,
+    // and atexit callbacks registered *during* a function-local
+    // static's construction run after that static's destructor — a
+    // destroyed session would leave flush() reading freed buffers.
+    // Leaking sidesteps every static-destruction-order hazard.
+    static TraceSession *session = new TraceSession();
+    return *session;
+}
+
+TraceSession::TraceSession()
+{
+    const char *env = std::getenv("BISCUIT_TRACE");
+    const char *cap = std::getenv("BISCUIT_TRACE_CAP");
+    capacity_ = std::size_t{1} << 18;
+    if (cap != nullptr) {
+        unsigned long long v = std::strtoull(cap, nullptr, 10);
+        if (v > 0)
+            capacity_ = static_cast<std::size_t>(v);
+    }
+    if (env != nullptr && env[0] != '\0' && enabled()) {
+        active_ = true;
+        path_ = env;
+        registerAtexitFlush();
+    }
+}
+
+std::shared_ptr<TraceBuffer>
+TraceSession::makeBuffer(const std::string &label)
+{
+    auto buf = std::make_shared<TraceBuffer>(label, capacity_);
+    std::lock_guard<std::mutex> lock(mu_);
+    buf->seq_ = next_seq_++;
+    buffers_.push_back(buf);
+    return buf;
+}
+
+void
+TraceSession::activate(const std::string &path)
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    active_ = true;
+    path_ = path;
+}
+
+void
+TraceSession::deactivate()
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    active_ = false;
+    path_.clear();
+    buffers_.clear();
+    next_seq_ = 0;
+}
+
+void
+TraceSession::flush()
+{
+    if (!active_ || path_.empty())
+        return;
+    writeJson(path_);
+}
+
+void
+TraceSession::writeJson(const std::string &path)
+{
+    // Snapshot the registration list; buffers themselves are only
+    // read after their writer threads quiesced (joined lanes or the
+    // main thread at exit).
+    std::vector<std::shared_ptr<TraceBuffer>> bufs;
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        bufs = buffers_;
+    }
+    std::stable_sort(bufs.begin(), bufs.end(),
+                     [](const auto &a, const auto &b) {
+                         if (a->label_ != b->label_)
+                             return a->label_ < b->label_;
+                         return a->seq_ < b->seq_;
+                     });
+
+    std::FILE *f = std::fopen(path.c_str(), "w");
+    if (f == nullptr) {
+        BISC_WARN("obs: cannot open trace output ", path);
+        return;
+    }
+    std::fprintf(f, "{\"displayTimeUnit\":\"ms\",\n");
+    std::fprintf(f, "\"otherData\":{\"clock\":\"simulated-ns\","
+                    "\"source\":\"biscuit\"},\n");
+    std::fprintf(f, "\"traceEvents\":[\n");
+
+    bool first = true;
+    auto comma = [&] {
+        if (!first)
+            std::fprintf(f, ",\n");
+        first = false;
+    };
+
+    std::fprintf(f,
+                 "{\"ph\":\"M\",\"pid\":1,\"tid\":0,\"name\":"
+                 "\"process_name\",\"args\":{\"name\":\"biscuit\"}}");
+    first = false;
+
+    for (std::size_t tid = 0; tid < bufs.size(); ++tid) {
+        const TraceBuffer &b = *bufs[tid];
+        comma();
+        std::fprintf(f,
+                     "{\"ph\":\"M\",\"pid\":1,\"tid\":%zu,\"name\":"
+                     "\"thread_name\",\"args\":{\"name\":\"",
+                     tid + 1);
+        writeEscaped(f, b.label().c_str());
+        std::fprintf(f, "\",\"dropped_events\":%llu}}",
+                     static_cast<unsigned long long>(b.dropped()));
+        for (const TraceEvent &e : b.snapshot()) {
+            comma();
+            std::fprintf(f, "{\"ph\":\"%c\",\"pid\":1,\"tid\":%zu,"
+                            "\"ts\":",
+                         e.phase, tid + 1);
+            writeMicros(f, e.ts);
+            if (e.phase == 'X') {
+                std::fprintf(f, ",\"dur\":");
+                writeMicros(f, e.dur);
+            } else {
+                // Perfetto wants a scope on instant events.
+                std::fprintf(f, ",\"s\":\"t\"");
+            }
+            std::fprintf(f, ",\"cat\":\"");
+            writeEscaped(f, e.cat);
+            std::fprintf(f, "\",\"name\":\"");
+            writeEscaped(f, e.name);
+            std::fprintf(f, "\"");
+            if (e.arg != kNoArg) {
+                std::fprintf(f, ",\"args\":{\"v\":%lld}",
+                             static_cast<long long>(e.arg));
+            }
+            std::fprintf(f, "}");
+        }
+    }
+    std::fprintf(f, "\n]}\n");
+    std::fclose(f);
+}
+
+}  // namespace bisc::obs

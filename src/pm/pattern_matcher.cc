@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cstring>
 
+#include "obs/metrics.h"
+
 namespace bisc::pm {
 
 bool
@@ -45,6 +47,12 @@ PatternMatcher::scan(const std::uint8_t *data, std::size_t len) const
             r.hit[i] = true;
             r.first_offset[i] = off;
         }
+    }
+    if (obs::enabled()) {
+        ++scans_;
+        bytes_scanned_ += len;
+        if (r.any)
+            ++matched_scans_;
     }
     return r;
 }

@@ -92,6 +92,17 @@ class PatternMatcher
     /** Scan a window; OR-semantics across keys (any key may hit). */
     MatchResult scan(const std::uint8_t *data, std::size_t len) const;
 
+    // ----- Observability (aggregated per-device by exportStats) -----
+
+    /** Windows scanned through this IP. */
+    std::uint64_t scans() const { return scans_; }
+
+    /** Bytes streamed past this IP's comparators. */
+    std::uint64_t bytesScanned() const { return bytes_scanned_; }
+
+    /** Scans where at least one key hit. */
+    std::uint64_t matchedScans() const { return matched_scans_; }
+
     /** Convenience: true when any configured key occurs in the window. */
     bool
     matches(const std::uint8_t *data, std::size_t len) const
@@ -108,6 +119,12 @@ class PatternMatcher
 
   private:
     KeySet keys_;
+
+    // Mutable so const scan paths can account for themselves; purely
+    // observational (never feeds back into match results or timing).
+    mutable std::uint64_t scans_ = 0;
+    mutable std::uint64_t bytes_scanned_ = 0;
+    mutable std::uint64_t matched_scans_ = 0;
 };
 
 }  // namespace bisc::pm

@@ -75,6 +75,10 @@ Runtime::loadModule(const std::string &slet_path)
     ModuleId mid = next_module_++;
     modules_.emplace(mid, LoadedModule{mid, image, *mem, 0});
     BISC_INFORM("loaded module '", name, "' as id ", mid);
+    OBS_COUNT(kernel_.obs().metrics().counter("rt.modules_loaded",
+                                              "modules"));
+    OBS_INSTANT(kernel_.obs(), "rt", "loadModule",
+                static_cast<std::int64_t>(mid));
     return mid;
 }
 
@@ -181,6 +185,8 @@ Runtime::startApp(AppId app_id)
     BISC_ASSERT(!a.started, "startApp called twice");
     a.started = true;
     a.running = static_cast<int>(a.instances.size());
+    OBS_INSTANT(kernel_.obs(), "rt", "startApp",
+                static_cast<std::int64_t>(a.running));
     if (a.running == 0) {
         a.done->notifyAll();
         return;

@@ -24,7 +24,20 @@ CurrentKernelGuard::~CurrentKernelGuard()
     g_current_kernel = prev_;
 }
 
-Kernel::Kernel() = default;
+Kernel::Kernel()
+{
+    obs_.setClock(
+        [](const void *ctx) {
+            return static_cast<const EventQueue *>(ctx)->now();
+        },
+        &events_);
+    fiber_spawns_ = &obs_.metrics().counter("fiber.spawns", "fibers");
+    ready_depth_ = &obs_.metrics().histogram(
+        "fiber.ready_depth", "fibers", obs::Histogram::depthBounds());
+    if (obs::TraceSession::global().active())
+        obs_.attachTrace(obs::TraceSession::global().makeBuffer(
+            obs::laneLabel()));
+}
 
 Kernel::~Kernel()
 {
@@ -50,6 +63,8 @@ Kernel::spawn(std::string name, std::function<void()> fn)
     task->ready = true;
     ready_.push_back(id);
     tasks_.emplace(id, std::move(task));
+    OBS_COUNT(*fiber_spawns_);
+    OBS_HIST(*ready_depth_, ready_.size());
     return id;
 }
 
@@ -150,6 +165,7 @@ Kernel::makeReady(FiberId id)
         return;  // already queued
     t->ready = true;
     ready_.push_back(id);
+    OBS_HIST(*ready_depth_, ready_.size());
 }
 
 FiberId

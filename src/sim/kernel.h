@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "fiber/fiber.h"
+#include "obs/obs.h"
 #include "sim/event_queue.h"
 #include "util/common.h"
 #include "util/log.h"
@@ -141,6 +142,14 @@ class Kernel
     /** Number of live (unreaped) fibers. */
     std::size_t liveFibers() const { return tasks_.size(); }
 
+    /**
+     * This kernel's observability bundle (metrics registry + optional
+     * trace stream). The kernel wires the bundle's clock to its event
+     * queue at construction, so obs::SpanGuard durations are sim-time.
+     */
+    obs::LaneObs &obs() { return obs_; }
+    const obs::LaneObs &obs() const { return obs_; }
+
   private:
     friend class Waiter;
 
@@ -167,6 +176,10 @@ class Kernel
     std::deque<FiberId> ready_;
     FiberId next_id_ = 1;
     Task *running_ = nullptr;
+
+    obs::LaneObs obs_;
+    obs::Counter *fiber_spawns_ = nullptr;
+    obs::Histogram *ready_depth_ = nullptr;
 };
 
 /**

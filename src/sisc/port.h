@@ -43,13 +43,18 @@ class InputPort
     get(T &v)
     {
         BISC_ASSERT(conn_ != nullptr, "get() on unconnected host port");
+        sim::Kernel &k = ssd_->runtime().kernel();
+        if (recv_wait_ == nullptr)
+            recv_wait_ =
+                &k.obs().metrics().histogram("sisc.port_recv_wait");
+        [[maybe_unused]] Tick t0 = k.now();
         Packet p;
         if (!conn_->packets->awaitPacket(p))
             return false;
         const auto &cfg = ssd_->config();
-        ssd_->runtime().kernel().sleep(cfg.host_cm_recv +
-                                       cfg.sched_latency);
+        k.sleep(cfg.host_cm_recv + cfg.sched_latency);
         v = deserialize<T>(p);
+        OBS_HIST(*recv_wait_, k.now() - t0);
         return true;
     }
 
@@ -70,6 +75,9 @@ class InputPort
   private:
     SSD *ssd_ = nullptr;
     std::shared_ptr<rt::Connection> conn_;
+
+    /** Sim-time from get() entry to value delivery (lazy handle). */
+    obs::Histogram *recv_wait_ = nullptr;
 };
 
 template <typename T>
@@ -109,15 +117,20 @@ class OutputPort
     {
         BISC_ASSERT(conn_ != nullptr && !closed_,
                     "put() on a closed or unconnected host port");
+        auto &k = ssd_->runtime().kernel();
+        if (send_wait_ == nullptr)
+            send_wait_ =
+                &k.obs().metrics().histogram("sisc.port_send_wait");
+        [[maybe_unused]] Tick t0 = k.now();
         conn_->packets->acquireSlot();
         const auto &cfg = ssd_->config();
-        auto &k = ssd_->runtime().kernel();
         k.sleep(cfg.host_cm_send);
         Packet p = serialize(v);
         Bytes bytes = p.size();
         Tick arrive = ssd_->runtime().device().hil().messageToDevice(
             bytes, k.now());
         conn_->packets->deliverAt(arrive, std::move(p));
+        OBS_HIST(*send_wait_, k.now() - t0);
     }
 
     /**
@@ -140,11 +153,15 @@ class OutputPort
         std::swap(ssd_, other.ssd_);
         std::swap(conn_, other.conn_);
         std::swap(closed_, other.closed_);
+        std::swap(send_wait_, other.send_wait_);
     }
 
     SSD *ssd_ = nullptr;
     std::shared_ptr<rt::Connection> conn_;
     bool closed_ = false;
+
+    /** Sim-time from put() entry to link hand-off (lazy handle). */
+    obs::Histogram *send_wait_ = nullptr;
 };
 
 }  // namespace bisc::sisc

@@ -82,6 +82,21 @@ class InputPort
     {
         BISC_ASSERT(conn_ != nullptr, "get() on an unconnected port");
         auto &ctx = owner_->context();
+        sim::Kernel &k = ctx.runtime->kernel();
+        if (recv_wait_ == nullptr)
+            recv_wait_ =
+                &k.obs().metrics().histogram("slet.port_recv_wait");
+        [[maybe_unused]] Tick t0 = k.now();
+        bool ok = getImpl(v, ctx);
+        if (ok)
+            OBS_HIST(*recv_wait_, k.now() - t0);
+        return ok;
+    }
+
+  private:
+    bool
+    getImpl(T &v, rt::DeviceContext &ctx)
+    {
         const auto &cfg = ctx.runtime->config();
         switch (conn_->flavor) {
           case rt::Flavor::kInterSsdlet: {
@@ -119,6 +134,7 @@ class InputPort
         return false;
     }
 
+  public:
     /** Non-blocking receive (no data: empty optional, no charge). */
     std::optional<T>
     tryGet()
@@ -166,6 +182,9 @@ class InputPort
   private:
     rt::SsdletBase *owner_ = nullptr;
     std::shared_ptr<rt::Connection> conn_;
+
+    /** Sim-time from get() entry to value delivery (lazy handle). */
+    obs::Histogram *recv_wait_ = nullptr;
 };
 
 template <typename T>
@@ -182,6 +201,19 @@ class OutputPort
     {
         BISC_ASSERT(conn_ != nullptr, "put() on an unconnected port");
         auto &ctx = owner_->context();
+        sim::Kernel &k = ctx.runtime->kernel();
+        if (send_wait_ == nullptr)
+            send_wait_ =
+                &k.obs().metrics().histogram("slet.port_send_wait");
+        [[maybe_unused]] Tick t0 = k.now();
+        putImpl(std::move(v), ctx);
+        OBS_HIST(*send_wait_, k.now() - t0);
+    }
+
+  private:
+    void
+    putImpl(T v, rt::DeviceContext &ctx)
+    {
         const auto &cfg = ctx.runtime->config();
         switch (conn_->flavor) {
           case rt::Flavor::kInterSsdlet: {
@@ -222,6 +254,7 @@ class OutputPort
         }
     }
 
+  public:
     // ----- runtime-facing plumbing -----
 
     rt::PortInfo info() const { return detail::makeInfo<T>(); }
@@ -235,6 +268,9 @@ class OutputPort
   private:
     rt::SsdletBase *owner_ = nullptr;
     std::shared_ptr<rt::Connection> conn_;
+
+    /** Sim-time from put() entry to hand-off (lazy handle). */
+    obs::Histogram *send_wait_ = nullptr;
 };
 
 }  // namespace bisc::slet

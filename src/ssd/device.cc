@@ -19,6 +19,8 @@ SsdDevice::SsdDevice(sim::Kernel &kernel, const SsdConfig &config)
     }
     for (std::uint32_t c = 0; c < config_.geometry.channels; ++c)
         matchers_.push_back(std::make_unique<pm::PatternMatcher>());
+    batch_fanout_ = &kernel_.obs().metrics().histogram(
+        "hil.batch_fanout", "pages", obs::Histogram::depthBounds());
 }
 
 pm::MatchResult
@@ -94,28 +96,56 @@ SsdDevice::exportStats(sim::Stats &st) const
            static_cast<double>(ftl_->blocksRetired()));
     st.set("ftl.program_fail_remaps",
            static_cast<double>(ftl_->programFailRemaps()));
+
+    // Channel-bus utilization and matcher-IP aggregates.
+    Tick busy = 0;
+    for (std::uint32_t c = 0; c < config_.geometry.channels; ++c)
+        busy += nand_->channelBusyTicks(c);
+    st.set("nand.channel_busy_ticks", static_cast<double>(busy));
+    std::uint64_t pm_scans = 0, pm_bytes = 0, pm_hits = 0;
+    for (const auto &m : matchers_) {
+        pm_scans += m->scans();
+        pm_bytes += m->bytesScanned();
+        pm_hits += m->matchedScans();
+    }
+    st.set("pm.scans", static_cast<double>(pm_scans));
+    st.set("pm.bytes_scanned", static_cast<double>(pm_bytes));
+    st.set("pm.matched_scans", static_cast<double>(pm_hits));
+
+    // Everything the instrumented layers recorded into this kernel's
+    // metrics registry (counters + flattened histogram buckets).
+    kernel_.obs().metrics().visit(
+        [&st](const std::string &name, double v) { st.set(name, v); });
 }
 
 Tick
 SsdDevice::hostRead(ftl::Lpn lpn, Bytes offset, Bytes len,
                     std::uint8_t *out)
 {
+    [[maybe_unused]] Tick start = kernel_.now();
     Tick sub_done = kernel_.now() + hil_->submissionLatency();
     Tick media_done = ftl_->read(lpn, offset, len, out, sub_done);
     Tick dma_done = hil_->dmaToHost(len, media_done);
-    return dma_done + hil_->completionLatency();
+    Tick done = dma_done + hil_->completionLatency();
+    OBS_COMPLETE(kernel_.obs(), "ssd", "hostRead", start, done - start,
+                 static_cast<std::int64_t>(lpn));
+    return done;
 }
 
 Tick
 SsdDevice::hostWrite(ftl::Lpn lpn, const std::uint8_t *data, Bytes len)
 {
+    [[maybe_unused]] Tick start = kernel_.now();
     Tick sub_done = kernel_.now() + hil_->submissionLatency();
     Tick dma_done = hil_->dmaToDevice(len, sub_done);
     // The FTL program path overlaps command handling; completion posts
     // once both payload DMA and program have finished.
     Tick prog_done = ftl_->write(lpn, data, len);
-    Tick done = std::max(dma_done, prog_done);
-    return done + hil_->completionLatency();
+    Tick done = std::max(dma_done, prog_done) +
+                hil_->completionLatency();
+    OBS_COMPLETE(kernel_.obs(), "ssd", "hostWrite", start, done - start,
+                 static_cast<std::int64_t>(lpn));
+    return done;
 }
 
 Tick
@@ -123,6 +153,8 @@ SsdDevice::hostReadPages(const std::vector<ftl::Lpn> &pages,
                          std::uint8_t *out)
 {
     const Bytes page_size = config_.geometry.page_size;
+    [[maybe_unused]] Tick start = kernel_.now();
+    OBS_HIST(*batch_fanout_, pages.size());
     Tick sub_done = kernel_.now() + hil_->submissionLatency();
 
     // One vectored FTL command for the whole extent; the pages fan out
@@ -139,7 +171,11 @@ SsdDevice::hostReadPages(const std::vector<ftl::Lpn> &pages,
         Tick dma_done = hil_->dmaToHost(page_size, r.done);
         last_dma = std::max(last_dma, dma_done);
     }
-    return last_dma + hil_->completionLatency();
+    Tick done = last_dma + hil_->completionLatency();
+    OBS_COMPLETE(kernel_.obs(), "ssd", "hostReadPages", start,
+                 done - start,
+                 static_cast<std::int64_t>(pages.size()));
+    return done;
 }
 
 }  // namespace bisc::ssd

@@ -190,6 +190,9 @@ class SsdDevice
 
     /** Per-page outcomes of the last vectored host command (scratch). */
     std::vector<ftl::ReadResult> batch_results_;
+
+    /** Pages per vectored host read (the HIL fan-out, Fig. 6 knob). */
+    obs::Histogram *batch_fanout_ = nullptr;
 };
 
 }  // namespace bisc::ssd

@@ -5,6 +5,7 @@
 #include <set>
 
 #include "db/planner.h"
+#include "obs/obs.h"
 #include "tpch/dbgen.h"
 #include "util/log.h"
 
@@ -983,6 +984,12 @@ runQuery(int q, db::MiniDb &db, db::EngineMode mode)
     Tick t0 = kernel.now();
     out.rows = it->second.fn(ctx);
     out.elapsed = kernel.now() - t0;
+    OBS_COMPLETE(kernel.obs(), "tpch",
+                 kernel.obs().intern(
+                     "Q" + std::to_string(q) +
+                     (mode == EngineMode::Biscuit ? ".biscuit"
+                                                  : ".conv")),
+                 t0, out.elapsed);
     out.stats.elapsed = out.elapsed;
     return out;
 }

@@ -1,0 +1,345 @@
+/**
+ * @file
+ * Observability subsystem tests: ring-buffer wraparound, histogram
+ * bucket edges, trace JSON well-formedness, run-to-run determinism of
+ * the export, and zero-recording when the runtime switch is off.
+ */
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "obs/metrics.h"
+#include "obs/obs.h"
+#include "obs/trace.h"
+#include "sim/kernel.h"
+
+namespace bisc::obs {
+namespace {
+
+/** RAII: force the runtime switch, restore the environment after. */
+class ScopedEnabled
+{
+  public:
+    explicit ScopedEnabled(bool on) { setEnabled(on); }
+    ~ScopedEnabled() { resetEnabledFromEnv(); }
+};
+
+std::string
+slurp(const std::string &path)
+{
+    std::ifstream in(path);
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    return ss.str();
+}
+
+/**
+ * Minimal structural JSON checker: verifies balanced braces/brackets
+ * outside strings, string escaping, and that the document is a single
+ * object with no trailing garbage. Not a full parser — enough to
+ * catch the classic exporter bugs (unescaped quote, missing comma
+ * handling producing `}{`, unbalanced nesting, truncated file).
+ */
+bool
+wellFormedJson(const std::string &text, std::string *err)
+{
+    std::vector<char> stack;
+    bool in_string = false;
+    bool escaped = false;
+    bool saw_root = false;
+    for (std::size_t i = 0; i < text.size(); ++i) {
+        char c = text[i];
+        if (in_string) {
+            if (escaped)
+                escaped = false;
+            else if (c == '\\')
+                escaped = true;
+            else if (c == '"')
+                in_string = false;
+            else if (static_cast<unsigned char>(c) < 0x20) {
+                *err = "raw control char in string at byte " +
+                       std::to_string(i);
+                return false;
+            }
+            continue;
+        }
+        switch (c) {
+        case '"':
+            in_string = true;
+            break;
+        case '{':
+        case '[':
+            if (stack.empty() && saw_root) {
+                *err = "second root value at byte " + std::to_string(i);
+                return false;
+            }
+            saw_root = true;
+            stack.push_back(c);
+            break;
+        case '}':
+        case ']': {
+            char open = c == '}' ? '{' : '[';
+            if (stack.empty() || stack.back() != open) {
+                *err = "unbalanced '" + std::string(1, c) +
+                       "' at byte " + std::to_string(i);
+                return false;
+            }
+            stack.pop_back();
+            break;
+        }
+        default:
+            break;
+        }
+    }
+    if (in_string) {
+        *err = "unterminated string";
+        return false;
+    }
+    if (!stack.empty()) {
+        *err = "unclosed '" + std::string(1, stack.back()) + "'";
+        return false;
+    }
+    if (!saw_root) {
+        *err = "no JSON value";
+        return false;
+    }
+    return true;
+}
+
+TEST(ObsMetrics, CounterAddsAndNames)
+{
+    ScopedEnabled on(true);
+    MetricsRegistry reg;
+    Counter &c = reg.counter("x.count", "ops");
+    EXPECT_EQ(c.value(), 0u);
+    c.add();
+    c.add(41);
+    EXPECT_EQ(c.value(), 42u);
+    EXPECT_EQ(c.name(), "x.count");
+    EXPECT_EQ(c.unit(), "ops");
+    // Registration is idempotent: same name, same handle.
+    EXPECT_EQ(&reg.counter("x.count"), &c);
+}
+
+TEST(ObsMetrics, HistogramBucketEdges)
+{
+    ScopedEnabled on(true);
+    MetricsRegistry reg;
+    Histogram &h =
+        reg.histogram("h", "ns", std::vector<std::uint64_t>{10, 100});
+    // Bucket 0: v <= 10; bucket 1: 10 < v <= 100; bucket 2: overflow.
+    EXPECT_EQ(h.bucketOf(0), 0u);
+    EXPECT_EQ(h.bucketOf(10), 0u);    // inclusive upper edge
+    EXPECT_EQ(h.bucketOf(11), 1u);
+    EXPECT_EQ(h.bucketOf(100), 1u);
+    EXPECT_EQ(h.bucketOf(101), 2u);   // overflow bucket
+
+    h.record(10);
+    h.record(11);
+    h.record(100);
+    h.record(1000);
+    EXPECT_EQ(h.count(), 4u);
+    EXPECT_EQ(h.sum(), 10u + 11 + 100 + 1000);
+    ASSERT_EQ(h.buckets().size(), 3u);
+    EXPECT_EQ(h.buckets()[0], 1u);
+    EXPECT_EQ(h.buckets()[1], 2u);
+    EXPECT_EQ(h.buckets()[2], 1u);
+}
+
+TEST(ObsMetrics, DefaultLatencyLayoutCoversFullRange)
+{
+    const auto &b = Histogram::latencyBounds();
+    ASSERT_FALSE(b.empty());
+    EXPECT_EQ(b.front(), 1ull << 8);
+    EXPECT_EQ(b.back(), 1ull << 33);
+    for (std::size_t i = 1; i < b.size(); ++i)
+        EXPECT_EQ(b[i], b[i - 1] * 2);
+}
+
+TEST(ObsMetrics, VisitFlattensSparseHistograms)
+{
+    ScopedEnabled on(true);
+    MetricsRegistry reg;
+    reg.counter("a").add(7);
+    Histogram &h = reg.histogram(
+        "lat", "ns", std::vector<std::uint64_t>{100, 200, 400});
+    h.record(150);
+    h.record(150);
+
+    std::map<std::string, double> flat;
+    reg.visit([&](const std::string &k, double v) { flat[k] = v; });
+    EXPECT_EQ(flat.at("a"), 7.0);
+    EXPECT_EQ(flat.at("lat.count"), 2.0);
+    EXPECT_EQ(flat.at("lat.sum"), 300.0);
+    EXPECT_EQ(flat.at("lat.le_200"), 2.0);
+    // Empty buckets are omitted to keep stat snapshots compact.
+    EXPECT_EQ(flat.count("lat.le_100"), 0u);
+    EXPECT_EQ(flat.count("lat.le_400"), 0u);
+    EXPECT_EQ(flat.count("lat.overflow"), 0u);
+}
+
+TEST(ObsMetrics, DisabledRecordsNothing)
+{
+    ScopedEnabled off(false);
+    MetricsRegistry reg;
+    Counter &c = reg.counter("c");
+    Histogram &h = reg.histogram("h");
+    c.add(100);
+    h.record(100);
+    EXPECT_EQ(c.value(), 0u);
+    EXPECT_EQ(h.count(), 0u);
+    EXPECT_EQ(h.sum(), 0u);
+}
+
+TEST(ObsTrace, RingBufferWrapsAndCountsDrops)
+{
+    TraceBuffer buf("wrap", 1);  // rounds up to the 1024 minimum
+    ASSERT_EQ(buf.capacity(), 1024u);
+    const std::uint64_t total = 2500;
+    for (std::uint64_t i = 0; i < total; ++i)
+        buf.push(TraceEvent{i, 1, "t", "e",
+                            static_cast<std::int64_t>(i), 'X'});
+    EXPECT_EQ(buf.pushed(), total);
+    EXPECT_EQ(buf.dropped(), total - 1024);
+
+    // The snapshot holds exactly the newest `capacity` events, oldest
+    // first.
+    std::vector<TraceEvent> snap = buf.snapshot();
+    ASSERT_EQ(snap.size(), 1024u);
+    EXPECT_EQ(snap.front().ts, total - 1024);
+    EXPECT_EQ(snap.back().ts, total - 1);
+    for (std::size_t i = 1; i < snap.size(); ++i)
+        EXPECT_EQ(snap[i].ts, snap[i - 1].ts + 1);
+}
+
+TEST(ObsTrace, InternReturnsStableSharedPointers)
+{
+    TraceBuffer buf("intern", 16);
+    const char *a = buf.intern("query.Q1");
+    const char *b = buf.intern("query.Q1");
+    const char *c = buf.intern("query.Q2");
+    EXPECT_EQ(a, b);
+    EXPECT_NE(a, c);
+    EXPECT_STREQ(a, "query.Q1");
+    EXPECT_STREQ(c, "query.Q2");
+}
+
+TEST(ObsTrace, ExportIsWellFormedAndEscaped)
+{
+    ScopedEnabled on(true);
+    TraceSession &s = TraceSession::global();
+    s.deactivate();
+    s.activate("unused");
+
+    auto buf = s.makeBuffer("lane\"quote\\slash");
+    buf->push(TraceEvent{1000, 250, "cat", "span", 7, 'X'});
+    buf->push(TraceEvent{2000, 0, "cat",
+                         buf->intern("odd \"name\"\n"), kNoArg, 'i'});
+
+    std::string path = testing::TempDir() + "/obs_export.json";
+    s.writeJson(path);
+    s.deactivate();
+
+    std::string text = slurp(path);
+    ASSERT_FALSE(text.empty());
+    std::string err;
+    EXPECT_TRUE(wellFormedJson(text, &err)) << err;
+    // Timestamps are sim-ns rendered as µs with 3 decimals.
+    EXPECT_NE(text.find("\"ts\":1.000"), std::string::npos);
+    EXPECT_NE(text.find("\"dur\":0.250"), std::string::npos);
+    EXPECT_NE(text.find("\\\"name\\\""), std::string::npos);
+    EXPECT_NE(text.find("\\u000a"), std::string::npos);
+    // Instants carry a scope; the no-arg sentinel emits no args dict.
+    EXPECT_NE(text.find("\"s\":\"t\""), std::string::npos);
+    std::remove(path.c_str());
+}
+
+TEST(ObsTrace, TwoIdenticalRunsExportIdenticalJson)
+{
+    ScopedEnabled on(true);
+    std::string texts[2];
+    for (int run = 0; run < 2; ++run) {
+        TraceSession &s = TraceSession::global();
+        s.deactivate();
+        s.activate("unused");
+        // Two kernels created in the same order with the same labels:
+        // the export must not depend on anything but (label, order).
+        {
+            LaneLabelGuard guard("laneA");
+            sim::Kernel k;
+            k.spawn("a", [&] {
+                OBS_SPAN(k.obs(), "test", "outer");
+                k.sleep(500);
+                OBS_INSTANT(k.obs(), "test", "tick", 3);
+                k.sleep(500);
+            });
+            k.run();
+        }
+        {
+            LaneLabelGuard guard("laneB");
+            sim::Kernel k;
+            k.spawn("b", [&] { k.sleep(123); });
+            k.run();
+        }
+        std::string path = testing::TempDir() + "/obs_det" +
+                           std::to_string(run) + ".json";
+        s.writeJson(path);
+        s.deactivate();
+        texts[run] = slurp(path);
+        std::remove(path.c_str());
+    }
+    ASSERT_FALSE(texts[0].empty());
+    EXPECT_EQ(texts[0], texts[1]);
+    EXPECT_NE(texts[0].find("laneA"), std::string::npos);
+    EXPECT_NE(texts[0].find("laneB"), std::string::npos);
+}
+
+TEST(ObsTrace, KernelRegistersBufferOnlyWhenSessionActive)
+{
+    ScopedEnabled on(true);
+    TraceSession &s = TraceSession::global();
+    s.deactivate();
+    {
+        sim::Kernel k;
+        EXPECT_FALSE(k.obs().tracing());
+    }
+    s.activate("unused");
+    {
+        LaneLabelGuard guard("active-lane");
+        sim::Kernel k;
+        EXPECT_TRUE(k.obs().tracing());
+        ASSERT_NE(k.obs().trace(), nullptr);
+        EXPECT_EQ(k.obs().trace()->label(), "active-lane");
+    }
+    s.deactivate();
+}
+
+TEST(ObsTrace, DisabledLaneEmitsNoEvents)
+{
+    ScopedEnabled on(true);
+    TraceSession &s = TraceSession::global();
+    s.deactivate();
+    s.activate("unused");
+    LaneLabelGuard guard("switched-off");
+    sim::Kernel k;
+    ASSERT_TRUE(k.obs().tracing());
+
+    setEnabled(false);
+    EXPECT_FALSE(k.obs().tracing());
+    k.spawn("quiet", [&] {
+        OBS_SPAN(k.obs(), "test", "invisible");
+        k.sleep(100);
+        OBS_INSTANT(k.obs(), "test", "invisible");
+    });
+    k.run();
+    EXPECT_EQ(k.obs().trace()->pushed(), 0u);
+    s.deactivate();
+}
+
+}  // namespace
+}  // namespace bisc::obs
