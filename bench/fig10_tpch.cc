@@ -132,7 +132,7 @@ main()
     using namespace bisc;
 
     sisc::Env env;
-    host::HostSystem host(env.kernel, env.device, env.fs);
+    host::HostSystem host(env.array);
     db::MiniDb mdb(env, host);
     mdb.planner.min_table_bytes = 512_KiB;
 

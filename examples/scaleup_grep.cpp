@@ -8,54 +8,33 @@
  */
 
 #include <cstdio>
-#include <memory>
 #include <vector>
 
-#include "fs/file_system.h"
 #include "host/grep.h"
 #include "host/load_gen.h"
-#include "runtime/runtime.h"
 #include "sim/kernel.h"
+#include "sisc/drive_array.h"
 #include "ssd/config.h"
-#include "ssd/device.h"
 #include "util/common.h"
-
-namespace {
-
-using namespace bisc;
-
-/** One SSD: device + file system + Biscuit runtime. */
-struct Drive
-{
-    explicit Drive(sim::Kernel &kernel)
-        : device(kernel, ssd::defaultConfig()), fs(device),
-          runtime(kernel, device, fs)
-    {}
-
-    ssd::SsdDevice device;
-    fs::FileSystem fs;
-    rt::Runtime runtime;
-};
-
-}  // namespace
 
 int
 main()
 {
+    using namespace bisc;
+
     sim::Kernel kernel;
-    const int kDrives = 4;
+    const std::uint32_t kDrives = 4;
     const Bytes kShard = 32_MiB;
     const std::string needle = "scaleup_sig";
 
-    std::vector<std::unique_ptr<Drive>> drives;
+    sisc::DriveArray array(kernel, kDrives, ssd::defaultConfig());
     std::uint64_t planted = 0;
-    for (int i = 0; i < kDrives; ++i) {
-        drives.push_back(std::make_unique<Drive>(kernel));
-        planted += host::generateWebLog(drives.back()->fs, "/shard",
+    for (std::uint32_t i = 0; i < kDrives; ++i) {
+        planted += host::generateWebLog(array.drive(i).fs, "/shard",
                                         kShard, needle, 4000,
                                         100 + i);
     }
-    std::printf("corpus: %d drives x %llu MiB, %llu planted "
+    std::printf("corpus: %u drives x %llu MiB, %llu planted "
                 "needles\n\n",
                 kDrives,
                 static_cast<unsigned long long>(kShard >> 20),
@@ -66,8 +45,8 @@ main()
 
         // Single-drive baseline.
         Tick t0 = k.now();
-        auto single = host::grepBiscuit(drives[0]->runtime, "/shard",
-                                        needle);
+        auto single = host::grepBiscuit(array.drive(0).runtime,
+                                        "/shard", needle);
         Tick one = k.now() - t0;
         std::printf("1 drive : %7.2f ms for one shard\n",
                     toMicros(one) / 1000.0);
@@ -75,12 +54,12 @@ main()
         // All drives in parallel, one host worker fiber per drive.
         t0 = k.now();
         std::vector<sim::FiberId> workers;
-        std::vector<std::uint64_t> counts(drives.size(), 0);
-        for (std::size_t i = 0; i < drives.size(); ++i) {
+        std::vector<std::uint64_t> counts(array.driveCount(), 0);
+        for (std::uint32_t i = 0; i < array.driveCount(); ++i) {
             workers.push_back(k.spawn(
                 "drive" + std::to_string(i), [&, i] {
-                    auto r = host::grepBiscuit(drives[i]->runtime,
-                                               "/shard", needle);
+                    auto r = host::grepBiscuit(
+                        array.drive(i).runtime, "/shard", needle);
                     counts[i] = r.matches;
                 }));
         }
@@ -91,7 +70,7 @@ main()
         std::uint64_t total = 0;
         for (auto c : counts)
             total += c;
-        std::printf("%d drives: %7.2f ms for the whole corpus "
+        std::printf("%u drives: %7.2f ms for the whole corpus "
                     "(%llu matches merged)\n\n",
                     kDrives, toMicros(all) / 1000.0,
                     static_cast<unsigned long long>(total));
@@ -103,7 +82,7 @@ main()
         BISC_ASSERT(single.matches == counts[0],
                     "repeat scan of shard 0 diverged");
         std::printf("\nruntime state of drive 0 after the run:\n%s",
-                    drives[0]->runtime.describe().c_str());
+                    array.drive(0).runtime.describe().c_str());
     });
     kernel.run();
     return 0;

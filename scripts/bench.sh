@@ -40,6 +40,7 @@ benches=(
     fig8_db_filter
     fig9_power_energy
     fig10_tpch
+    fig_scaleout
 )
 
 out_dir="$build_dir/bench_out"
@@ -175,6 +176,13 @@ fig10_summary=$(grep "total suite time" "$out_dir/fig10_tpch.txt" \
     | sed 's/^ *//' || true)
 table3_line=$(sed -n 3p "$out_dir/table3_read_latency.txt" \
     | sed 's/^ *//' || true)
+# Per-drive-count scan time and speedup from the scale-out transcript
+# (columns: drives scan_ms agg_MB/s speedup ...).
+scaleout_json=$(awk '/^[0-9]+ +[0-9.]+/ {
+        gsub(/x$/, "", $4);
+        printf "%s\"drives_%s\": {\"scan_ms\": %s, \"sim_speedup\": %s}",
+               sep, $1, $2, $4; sep=", "
+    }' "$out_dir/fig_scaleout.txt")
 
 {
     echo "{"
@@ -195,7 +203,8 @@ table3_line=$(sed -n 3p "$out_dir/table3_read_latency.txt" \
     echo "  \"combined_fig7_fig10_seconds\": $combined,"
     echo "  \"sim_figures\": {"
     echo "    \"table3_read_latency_us\": \"$table3_line\","
-    echo "    \"fig10_suite\": \"$fig10_summary\""
+    echo "    \"fig10_suite\": \"$fig10_summary\","
+    echo "    \"fig_scaleout\": {$scaleout_json}"
     echo "  }"
     echo "}"
 } > "$out_file"

@@ -3,9 +3,12 @@
 # that replays the paper-figure benches and diffs their simulated
 # outputs against the golden transcripts in bench/golden/, a trace
 # pass (fig10 with BISCUIT_TRACE: golden must still match, the JSON
-# must load, two runs must be byte-identical), then sanitizer builds
-# via BISCUIT_SANITIZE (ASan/UBSan ctest; TSan lane tests + a traced
-# 2-lane fig10 so the trace buffers see real thread concurrency).
+# must load, two runs must be byte-identical), a multi-drive pass
+# (fig10 at BISCUIT_DRIVES=4 against its own golden — same rows and
+# planner decisions, scale-out timing), then sanitizer builds via
+# BISCUIT_SANITIZE (ASan/UBSan ctest; TSan lane tests + traced 2-lane
+# fig10 runs at 1 and 4 drives so the trace buffers and the drive
+# array see real thread concurrency).
 #
 # Usage: scripts/verify.sh [--no-sanitize] [--no-perf-smoke]
 set -euo pipefail
@@ -46,6 +49,22 @@ if [[ "$run_perf_smoke" == 1 ]]; then
     cmp build/bench_out/verify_trace_a.json \
         build/bench_out/verify_trace_b.json
     echo "trace: golden match, JSON valid, two runs byte-identical"
+
+    echo
+    echo "=== multi-drive pass: fig10 with BISCUIT_DRIVES=4 ==="
+    # The sharded suite must keep its own golden: identical rows and
+    # planner decisions to the single-drive run, drive-count-specific
+    # timing. Serial and parallel-lane runs must agree byte-for-byte
+    # (the array freeze/fork path).
+    BISCUIT_DRIVES=4 build/bench/fig10_tpch \
+        > build/bench_out/fig10_drives4.txt
+    diff -q bench/golden/fig10_tpch_drives4.txt \
+        build/bench_out/fig10_drives4.txt
+    BISCUIT_DRIVES=4 BISCUIT_LANES=2 build/bench/fig10_tpch \
+        > build/bench_out/fig10_drives4_lanes.txt
+    diff -q bench/golden/fig10_tpch_drives4.txt \
+        build/bench_out/fig10_drives4_lanes.txt
+    echo "multi-drive: 4-drive golden match, serial == 2-lane"
 fi
 
 if [[ "$run_sanitized" == 1 ]]; then
@@ -75,6 +94,13 @@ if [[ "$run_sanitized" == 1 ]]; then
         > build-tsan/fig10_lanes.txt
     diff -q bench/golden/fig10_tpch.txt build-tsan/fig10_lanes.txt
     python3 -c "import json; json.load(open('build-tsan/fig10_trace.json'))"
+    # Same under a 4-drive array: each lane forks all four per-drive
+    # stacks, so cross-thread hand-off of the whole DriveArray image
+    # runs under TSan too.
+    BISCUIT_DRIVES=4 BISCUIT_LANES=2 build-tsan/bench/fig10_tpch \
+        > build-tsan/fig10_drives4_lanes.txt
+    diff -q bench/golden/fig10_tpch_drives4.txt \
+        build-tsan/fig10_drives4_lanes.txt
 fi
 
 echo

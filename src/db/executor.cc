@@ -211,24 +211,115 @@ RegisterSSDLet("minidb", "idScanFilter", ScanFilterLet);
 RegisterSSDLet("minidb", "idSample", SampleLet);
 
 /**
- * Lazily install and load the minidb module, keeping it resident in
- * the MiniDb instance (dynamic loading once, many instantiations —
- * exactly the lifecycle the Biscuit runtime is built for).
+ * Lazily install and load the minidb module on every drive of the
+ * array, keeping the per-drive module ids resident in the MiniDb
+ * instance (dynamic loading once, many instantiations — exactly the
+ * lifecycle the Biscuit runtime is built for). Any shard of a table
+ * can then instantiate the scan/sample SSDlets on its own drive.
  */
-rt::ModuleId
-loadMinidbModule(MiniDb &db, sisc::SSD &ssd)
+void
+loadMinidbModules(MiniDb &db)
 {
     if (db.minidb_module_loaded)
-        return db.minidb_module;
-    auto &fs = ssd.runtime().fs();
-    if (!fs.exists("/var/isc/slets/minidb.slet")) {
-        rt::ModuleRegistry::global().installModuleFile(
-            fs, "/var/isc/slets/minidb.slet", "minidb");
+        return;
+    std::uint32_t drives = db.host().driveCount();
+    db.minidb_drive_modules.clear();
+    db.minidb_drive_modules.reserve(drives);
+    for (std::uint32_t d = 0; d < drives; ++d) {
+        sisc::SSD ssd(db.env().array.drive(d).runtime);
+        auto &fs = ssd.runtime().fs();
+        if (!fs.exists("/var/isc/slets/minidb.slet")) {
+            rt::ModuleRegistry::global().installModuleFile(
+                fs, "/var/isc/slets/minidb.slet", "minidb");
+        }
+        db.minidb_drive_modules.push_back(ssd.loadModule(
+            sisc::File(ssd, "/var/isc/slets/minidb.slet")));
     }
-    db.minidb_module = ssd.loadModule(
-        sisc::File(ssd, "/var/isc/slets/minidb.slet"));
+    db.minidb_module = db.minidb_drive_modules[0];
     db.minidb_module_loaded = true;
-    return db.minidb_module;
+}
+
+/**
+ * Matching rows of one page, tagged with the page's global index so a
+ * multi-shard fan-out can restore global row order with a single sort
+ * — making query results invariant in the drive count.
+ */
+struct PageRows
+{
+    std::uint64_t page = 0;
+    std::vector<Row> rows;
+};
+
+/** Decode @p pred-matching rows of one raw page into @p out. */
+void
+collectMatches(Table &table, const ExprPtr &pred,
+               const std::uint8_t *data, Bytes len,
+               std::uint64_t page_idx, std::vector<Row> &out,
+               DbStats &stats)
+{
+    const Schema &schema = table.schema();
+    const Bytes row_width = schema.rowWidth();
+    std::uint64_t in_page = table.rowsInPage(page_idx);
+    for (std::uint64_t i = 0; i < in_page; ++i) {
+        Bytes slot_off = i * row_width;
+        if (slot_off + row_width > len)
+            break;
+        const std::uint8_t *slot = data + slot_off;
+        ++stats.rows_examined;
+        if (!pred || evalPredRaw(*pred, slot, schema))
+            out.push_back(schema.decodeRow(slot));
+    }
+}
+
+/**
+ * Merge per-shard (page, rows) fragments into global page order and
+ * append the rows to @p out. Page indices are unique, so the sort is
+ * a total order.
+ */
+void
+mergePageRows(std::vector<std::vector<PageRows>> per_shard,
+              std::vector<Row> &out)
+{
+    std::vector<PageRows> all;
+    for (auto &shard : per_shard)
+        for (auto &pr : shard)
+            all.push_back(std::move(pr));
+    std::sort(all.begin(), all.end(),
+              [](const PageRows &a, const PageRows &b) {
+                  return a.page < b.page;
+              });
+    for (auto &pr : all)
+        for (auto &row : pr.rows)
+            out.push_back(std::move(row));
+}
+
+/**
+ * Run @p work(s) for every shard of @p table: inline when there is
+ * one shard (the historical code path, tick-for-tick), on one fiber
+ * per shard when the table spans drives so the per-drive work
+ * overlaps in simulated time.
+ */
+template <class Fn>
+void
+forEachShard(MiniDb &db, Table &table, const char *what,
+             const Fn &work)
+{
+    const std::uint32_t nshards = table.shardCount();
+    if (nshards == 1) {
+        work(0);
+        return;
+    }
+    sim::Kernel &kernel = db.env().kernel;
+    std::vector<sim::FiberId> fibers;
+    fibers.reserve(nshards);
+    for (std::uint32_t s = 0; s < nshards; ++s) {
+        fibers.push_back(kernel.spawn(
+            std::string(what) + "." + table.name() + ".drive" +
+                std::to_string(s),
+            [&work, s] { work(s); }));
+    }
+    for (sim::FiberId f : fibers)
+        kernel.join(f);
 }
 
 std::vector<std::string>
@@ -246,32 +337,35 @@ convScan(MiniDb &db, Table &table, const ExprPtr &pred,
     ScanOutcome out;
     auto &host = db.host();
     const Bytes page_size = table.pageSize();
-    Bytes size = table.pageCount() * page_size;
+    const std::uint32_t nshards = table.shardCount();
 
-    const Schema &schema = table.schema();
-    const Bytes row_width = schema.rowWidth();
-    host.streamRead(
-        table.file(), 0, size, 1_MiB,
-        [&](Bytes off, const std::uint8_t *data, Bytes len) {
-            host.consumeCpuPerByte(
-                len, host.config().db_scan_ns_per_byte);
-            for (Bytes p = 0; p < len; p += page_size) {
-                std::uint64_t page_idx = (off + p) / page_size;
-                Bytes n = std::min(page_size, len - p);
-                // Filter on the packed slots; materialize a Row only
-                // for matches.
-                std::uint64_t in_page = table.rowsInPage(page_idx);
-                for (std::uint64_t i = 0; i < in_page; ++i) {
-                    Bytes slot_off = i * row_width;
-                    if (slot_off + row_width > n)
-                        break;
-                    const std::uint8_t *slot = data + p + slot_off;
-                    ++stats.rows_examined;
-                    if (!pred || evalPredRaw(*pred, slot, schema))
-                        out.rows.push_back(schema.decodeRow(slot));
+    // One streaming pass per shard (drives stream concurrently); the
+    // fan-out collects (global page, rows) fragments that the merge
+    // below restores to global page order.
+    std::vector<std::vector<PageRows>> per_shard(nshards);
+    forEachShard(db, table, "db.convscan", [&](std::uint32_t s) {
+        Bytes size = table.shardPageCount(s) * page_size;
+        host.streamReadOn(
+            s, table.file(), 0, size, 1_MiB,
+            [&, s](Bytes off, const std::uint8_t *data, Bytes len) {
+                host.consumeCpuPerByte(
+                    len, host.config().db_scan_ns_per_byte);
+                for (Bytes p = 0; p < len; p += page_size) {
+                    std::uint64_t page_idx =
+                        table.globalPage(s, (off + p) / page_size);
+                    Bytes n = std::min(page_size, len - p);
+                    // Filter on the packed slots; materialize a Row
+                    // only for matches.
+                    PageRows pr;
+                    pr.page = page_idx;
+                    collectMatches(table, pred, data + p, n, page_idx,
+                                   pr.rows, stats);
+                    if (!pr.rows.empty())
+                        per_shard[s].push_back(std::move(pr));
                 }
-            }
-        });
+            });
+    });
+    mergePageRows(std::move(per_shard), out.rows);
     stats.pages_to_host += table.pageCount();
     ++stats.conv_scans;
     out.note = out.note.empty() ? "conventional scan" : out.note;
@@ -289,16 +383,22 @@ ndpScan(MiniDb &db, Table &table, const ExprPtr &pred,
     auto &host = db.host();
     const Bytes page_size = table.pageSize();
 
-    sisc::SSD ssd(db.env().runtime);
-    auto mid = loadMinidbModule(db, ssd);
-    {
+    loadMinidbModules(db);
+
+    // One scan/filter SSDlet per shard, each on its own drive: the
+    // SSDlet streams the shard's file (local page space) through that
+    // drive's channel matchers while the host drains each drive on a
+    // dedicated fiber. The merge restores global page order.
+    std::vector<std::vector<PageRows>> per_shard(table.shardCount());
+    forEachShard(db, table, "db.ndpscan", [&](std::uint32_t s) {
+        sisc::SSD ssd(db.env().array.drive(s).runtime);
         sisc::Application app(ssd);
         sisc::SSDLet scan(
-            app, mid, "idScanFilter",
+            app, db.minidb_drive_modules[s], "idScanFilter",
             std::make_tuple(slet::File(table.file()),
                             keyStrings(keys),
                             static_cast<std::uint64_t>(page_size),
-                            table.pageCount()));
+                            table.shardPageCount(s)));
         auto port = app.connectTo<Packet>(scan.out(0));
         app.start();
 
@@ -307,33 +407,29 @@ ndpScan(MiniDb &db, Table &table, const ExprPtr &pred,
         while (port.get(batch)) {
             auto n = batch.get<std::uint32_t>();
             for (std::uint32_t i = 0; i < n; ++i) {
-                auto page_idx = batch.get<std::uint64_t>();
+                auto local_page = batch.get<std::uint64_t>();
                 auto len = batch.get<std::uint32_t>();
                 data.resize(len);
                 batch.getBytes(data.data(), len);
+                std::uint64_t page_idx =
+                    table.globalPage(s, local_page);
 
                 // Exact predicate evaluation on the returned page,
                 // straight off the packed slots.
                 host.consumeCpuPerByte(
                     len, host.config().db_scan_ns_per_byte);
-                const Schema &schema = table.schema();
-                const Bytes row_width = schema.rowWidth();
-                std::uint64_t in_page = table.rowsInPage(page_idx);
-                for (std::uint64_t i = 0; i < in_page; ++i) {
-                    Bytes slot_off = i * row_width;
-                    if (slot_off + row_width > len)
-                        break;
-                    const std::uint8_t *slot =
-                        data.data() + slot_off;
-                    ++stats.rows_examined;
-                    if (!pred || evalPredRaw(*pred, slot, schema))
-                        out.rows.push_back(schema.decodeRow(slot));
-                }
+                PageRows pr;
+                pr.page = page_idx;
+                collectMatches(table, pred, data.data(), len,
+                               page_idx, pr.rows, stats);
+                if (!pr.rows.empty())
+                    per_shard[s].push_back(std::move(pr));
                 ++stats.pages_to_host;
             }
         }
         app.wait();
-    }
+    });
+    mergePageRows(std::move(per_shard), out.rows);
     stats.pages_scanned_device += table.pageCount();
     ++stats.ndp_scans;
     return out;
@@ -344,8 +440,7 @@ ndpScan(MiniDb &db, Table &table, const ExprPtr &pred,
 void
 warmMinidbModule(MiniDb &db)
 {
-    sisc::SSD ssd(db.env().runtime);
-    loadMinidbModule(db, ssd);
+    loadMinidbModules(db);
 }
 
 std::uint64_t
@@ -353,25 +448,34 @@ ndpSamplePages(MiniDb &db, Table &table, const pm::KeySet &keys,
                const std::vector<std::uint64_t> &pages, DbStats &stats)
 {
     OpTimer timer(db, stats, "sample");
-    sisc::SSD ssd(db.env().runtime);
-    auto mid = loadMinidbModule(db, ssd);
+    loadMinidbModules(db);
+
+    // Route each sampled global page to the shard that owns it; each
+    // drive probes its own slice in parallel with the others.
+    std::vector<std::vector<std::uint64_t>> local(table.shardCount());
+    for (std::uint64_t g : pages)
+        local[table.shardOf(g)].push_back(table.localPage(g));
+
     std::uint64_t matched = 0;
-    {
+    forEachShard(db, table, "db.sample", [&](std::uint32_t s) {
+        if (local[s].empty())
+            return;
+        sisc::SSD ssd(db.env().array.drive(s).runtime);
         sisc::Application app(ssd);
         sisc::SSDLet sampler(
-            app, mid, "idSample",
+            app, db.minidb_drive_modules[s], "idSample",
             std::make_tuple(slet::File(table.file()),
                             keyStrings(keys),
                             static_cast<std::uint64_t>(
                                 table.pageSize()),
-                            pages));
+                            local[s]));
         auto port = app.connectTo<std::uint64_t>(sampler.out(0));
         app.start();
         std::uint64_t v = 0;
         while (port.get(v))
             matched += v;
         app.wait();
-    }
+    });
     stats.sample_pages += pages.size();
     return matched;
 }
@@ -494,16 +598,20 @@ bnlJoin(MiniDb &db, const std::vector<Row> &outer, Bytes outer_width,
     Bytes outer_bytes = outer.size() * outer_width;
     std::uint64_t blocks =
         divCeil<Bytes>(outer_bytes, db.planner.join_buffer);
-    Bytes inner_size = inner.pageCount() * inner.pageSize();
     for (std::uint64_t b = 0; b < blocks; ++b) {
         // The pass only contributes time (the rows are already in the
-        // functional hash above), so skip materializing the bytes.
-        host.streamReadTimed(inner.file(), 0, inner_size, 1_MiB,
-                             [&](Bytes, Bytes len) {
-                                 host.consumeCpuPerByte(
-                                     len,
-                                     host.config().db_scan_ns_per_byte);
-                             });
+        // functional hash above), so skip materializing the bytes. A
+        // sharded inner reads its per-drive slices concurrently
+        // within each pass.
+        forEachShard(db, inner, "db.bnl", [&](std::uint32_t s) {
+            host.streamReadTimedOn(
+                s, inner.file(), 0,
+                inner.shardPageCount(s) * inner.pageSize(), 1_MiB,
+                [&](Bytes, Bytes len) {
+                    host.consumeCpuPerByte(
+                        len, host.config().db_scan_ns_per_byte);
+                });
+        });
         stats.pages_to_host += inner.pageCount();
         stats.rows_examined += inner.rowCount();
     }

@@ -30,6 +30,7 @@ struct Catalog
         std::string name;
         Schema schema;
         std::uint64_t rows = 0;
+        std::uint32_t shards = 1;
     };
 
     std::vector<TableMeta> tables;
@@ -43,7 +44,8 @@ captureCatalog(MiniDb &db)
     cat.host = db.host().config();
     for (const auto &name : db.tableNames()) {
         Table &t = db.table(name);
-        cat.tables.push_back({name, t.schema(), t.rowCount()});
+        cat.tables.push_back(
+            {name, t.schema(), t.rowCount(), t.shardCount()});
     }
     return cat;
 }
@@ -72,11 +74,11 @@ runLane(const sim::DeviceImage &image, const Catalog &cat,
     // trace exports deterministic run to run.
     obs::LaneLabelGuard label_guard(lane_label);
     sisc::Env env(image);
-    host::HostSystem host(env.kernel, env.device, env.fs, cat.host);
+    host::HostSystem host(env.array, cat.host);
     MiniDb ldb(env, host);
     ldb.planner = cat.planner;
     for (const auto &t : cat.tables)
-        ldb.attachTable(t.name, t.schema, t.rows);
+        ldb.attachShardedTable(t.name, t.schema, t.rows, t.shards);
     ldb.selectivity_stats = setup.preseed_stats;
 
     env.run([&] {

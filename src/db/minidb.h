@@ -102,6 +102,23 @@ class MiniDb
         return ref;
     }
 
+    /**
+     * Create a table sharded round-robin across every drive the host
+     * can reach (one drive: identical to createTable). The big TPC-H
+     * tables use this so a multi-drive array splits the scan work.
+     */
+    Table &
+    createShardedTable(const std::string &name, Schema schema)
+    {
+        BISC_ASSERT(tables_.count(name) == 0, "duplicate table ",
+                    name);
+        auto t = std::make_unique<Table>(shardSet(host_.driveCount()),
+                                         name, std::move(schema));
+        Table &ref = *t;
+        tables_.emplace(name, std::move(t));
+        return ref;
+    }
+
     Table &
     table(const std::string &name)
     {
@@ -144,6 +161,23 @@ class MiniDb
         return ref;
     }
 
+    /** Sharded attach (lane forks of multi-drive catalogs). */
+    Table &
+    attachShardedTable(const std::string &name, Schema schema,
+                       std::uint64_t row_count, std::uint32_t shards)
+    {
+        BISC_ASSERT(tables_.count(name) == 0, "duplicate table ",
+                    name);
+        BISC_ASSERT(shards >= 1 && shards <= host_.driveCount(),
+                    "attach of ", shards, "-shard table ", name,
+                    " to a ", host_.driveCount(), "-drive host");
+        auto t = std::make_unique<Table>(shardSet(shards), name,
+                                         std::move(schema), row_count);
+        Table &ref = *t;
+        tables_.emplace(name, std::move(t));
+        return ref;
+    }
+
     PlannerConfig planner;
 
     /**
@@ -156,6 +190,14 @@ class MiniDb
     bool minidb_module_loaded = false;
 
     /**
+     * Per-drive module ids of the loaded minidb module (index =
+     * drive). Populated together with minidb_module (which aliases
+     * entry 0); every drive carries the module so any shard can run
+     * the scan/sample SSDlets.
+     */
+    std::vector<std::uint64_t> minidb_drive_modules;
+
+    /**
      * Sampled page-selectivity statistics, keyed by table + key set.
      * Like a real engine's persistent statistics, the quick check
      * runs once per (table, predicate-keys) pair.
@@ -163,6 +205,17 @@ class MiniDb
     std::map<std::string, double> selectivity_stats;
 
   private:
+    /** File systems of the first @p shards drives, in drive order. */
+    std::vector<fs::FileSystem *>
+    shardSet(std::uint32_t shards)
+    {
+        std::vector<fs::FileSystem *> set;
+        set.reserve(shards);
+        for (std::uint32_t k = 0; k < shards; ++k)
+            set.push_back(&host_.fsOf(k));
+        return set;
+    }
+
     sisc::Env &env_;
     host::HostSystem &host_;
     std::map<std::string, std::unique_ptr<Table>> tables_;

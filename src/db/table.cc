@@ -5,31 +5,55 @@
 
 namespace bisc::db {
 
-Table::Table(fs::FileSystem &fs, std::string name, Schema schema)
-    : fs_(fs), name_(std::move(name)),
+Table::Table(std::vector<fs::FileSystem *> shards, std::string name,
+             Schema schema)
+    : shard_fs_(std::move(shards)), name_(std::move(name)),
       file_("/db/" + name_ + ".tbl"), schema_(std::move(schema)),
-      page_size_(fs.pageSize()),
+      page_size_(shard_fs_.at(0)->pageSize()),
       rows_per_page_(page_size_ / schema_.rowWidth())
 {
     BISC_ASSERT(rows_per_page_ > 0, "row wider than a page in table ",
                 name_);
+    for (const fs::FileSystem *s : shard_fs_) {
+        BISC_ASSERT(s->pageSize() == page_size_,
+                    "shard page sizes differ in table ", name_);
+    }
 }
+
+Table::Table(std::vector<fs::FileSystem *> shards, std::string name,
+             Schema schema, std::uint64_t row_count)
+    : Table(std::move(shards), std::move(name), std::move(schema))
+{
+    row_count_ = row_count;
+    page_count_ = divCeil<std::uint64_t>(row_count_, rows_per_page_);
+    for (std::uint32_t s = 0; s < shardCount(); ++s) {
+        if (shardPageCount(s) > 0) {
+            BISC_ASSERT(shard_fs_[s]->exists(file_),
+                        "attach to missing file ", file_,
+                        " on shard ", s);
+        }
+    }
+}
+
+Table::Table(fs::FileSystem &fs, std::string name, Schema schema)
+    : Table(std::vector<fs::FileSystem *>{&fs}, std::move(name),
+            std::move(schema))
+{}
 
 Table::Table(fs::FileSystem &fs, std::string name, Schema schema,
              std::uint64_t row_count)
-    : Table(fs, std::move(name), std::move(schema))
-{
-    BISC_ASSERT(fs_.exists(file_), "attach to missing file ", file_);
-    row_count_ = row_count;
-    page_count_ = divCeil<std::uint64_t>(row_count_, rows_per_page_);
-}
+    : Table(std::vector<fs::FileSystem *>{&fs}, std::move(name),
+            std::move(schema), row_count)
+{}
 
 void
 Table::load(const std::function<bool(Row &)> &next)
 {
-    if (fs_.exists(file_))
-        fs_.remove(file_);
-    fs_.create(file_);
+    for (fs::FileSystem *s : shard_fs_) {
+        if (s->exists(file_))
+            s->remove(file_);
+        s->create(file_);
+    }
 
     std::vector<std::uint8_t> page(page_size_, 0);
     Bytes used = 0;
@@ -37,11 +61,15 @@ Table::load(const std::function<bool(Row &)> &next)
     row_count_ = 0;
 
     // Stream rows into page-sized buffers, installing each packed
-    // page directly (zero time, offline population).
+    // page directly (zero time, offline population). Global page g
+    // lands on shard g % N at local offset g / N: row packing — and
+    // thus the logical page sequence — is shard-count invariant.
     auto flushPage = [&] {
-        fs_.ensureSize(file_, (page_idx + 1) * page_size_);
-        ftl::Lpn lpn = fs_.lpnAt(file_, page_idx * page_size_);
-        fs_.device().ftl().install(lpn, page.data(), page_size_);
+        fs::FileSystem &sfs = *shard_fs_[page_idx % shard_fs_.size()];
+        std::uint64_t local = page_idx / shard_fs_.size();
+        sfs.ensureSize(file_, (local + 1) * page_size_);
+        ftl::Lpn lpn = sfs.lpnAt(file_, local * page_size_);
+        sfs.device().ftl().install(lpn, page.data(), page_size_);
         ++page_idx;
         std::fill(page.begin(), page.end(), 0);
         used = 0;
@@ -79,8 +107,11 @@ Table::rowAt(std::uint64_t index) const
     std::uint64_t page = index / rows_per_page_;
     std::uint64_t slot = index % rows_per_page_;
     std::vector<std::uint8_t> buf(schema_.rowWidth());
-    fs_.peek(file_, page * page_size_ + slot * schema_.rowWidth(),
-             buf.size(), buf.data());
+    shard_fs_[page % shard_fs_.size()]->peek(
+        file_,
+        (page / shard_fs_.size()) * page_size_ +
+            slot * schema_.rowWidth(),
+        buf.size(), buf.data());
     return schema_.decodeRow(buf.data());
 }
 
@@ -117,7 +148,9 @@ Table::forEachRow(const std::function<void(const Row &)> &fn) const
 {
     std::vector<std::uint8_t> page(page_size_);
     for (std::uint64_t p = 0; p < page_count_; ++p) {
-        fs_.peek(file_, p * page_size_, page_size_, page.data());
+        shard_fs_[p % shard_fs_.size()]->peek(
+            file_, (p / shard_fs_.size()) * page_size_, page_size_,
+            page.data());
         std::uint64_t n = rowsInPage(p);
         for (std::uint64_t i = 0; i < n; ++i)
             fn(schema_.decodeRow(page.data() +

@@ -6,6 +6,12 @@
  * page-granular verdicts map exactly onto row sets, and the paper's
  * page-level selectivity metric ("fraction of pages that satisfy the
  * filter") is directly computable.
+ *
+ * A table may be sharded across the drives of an array: pages are
+ * placed round-robin (global page g lives on shard g % N at local
+ * page g / N), so the logical page sequence — and therefore row order
+ * — is independent of the drive count. A single-shard table is the
+ * historical layout bit-for-bit.
  */
 
 #ifndef BISCUIT_DB_TABLE_H_
@@ -35,6 +41,17 @@ class Table
     Table(fs::FileSystem &fs, std::string name, Schema schema,
           std::uint64_t row_count);
 
+    /**
+     * Sharded table: one backing file per drive, pages placed
+     * round-robin across @p shards in global page order.
+     */
+    Table(std::vector<fs::FileSystem *> shards, std::string name,
+          Schema schema);
+
+    /** Sharded attach: bookkeeping over existing per-shard files. */
+    Table(std::vector<fs::FileSystem *> shards, std::string name,
+          Schema schema, std::uint64_t row_count);
+
     const std::string &name() const { return name_; }
     const Schema &schema() const { return schema_; }
     const std::string &file() const { return file_; }
@@ -45,6 +62,48 @@ class Table
     std::uint64_t pageCount() const { return page_count_; }
     Bytes sizeBytes() const { return page_count_ * page_size_; }
     Bytes pageSize() const { return page_size_; }
+
+    // ----- shard topology -----
+
+    std::uint32_t
+    shardCount() const
+    {
+        return static_cast<std::uint32_t>(shard_fs_.size());
+    }
+
+    fs::FileSystem &shardFs(std::uint32_t s) const
+    {
+        return *shard_fs_.at(s);
+    }
+
+    /** Shard owning global page @p g. */
+    std::uint32_t
+    shardOf(std::uint64_t g) const
+    {
+        return static_cast<std::uint32_t>(g % shard_fs_.size());
+    }
+
+    /** Local page index of global page @p g within its shard. */
+    std::uint64_t
+    localPage(std::uint64_t g) const
+    {
+        return g / shard_fs_.size();
+    }
+
+    /** Global page index of local page @p local on shard @p s. */
+    std::uint64_t
+    globalPage(std::uint32_t s, std::uint64_t local) const
+    {
+        return local * shard_fs_.size() + s;
+    }
+
+    /** Pages resident on shard @p s (the round-robin slice). */
+    std::uint64_t
+    shardPageCount(std::uint32_t s) const
+    {
+        std::uint64_t n = shard_fs_.size();
+        return page_count_ > s ? (page_count_ - 1 - s) / n + 1 : 0;
+    }
 
     /**
      * Bulk load (zero time, like the paper's offline TPC-H
@@ -77,23 +136,27 @@ class Table
      * (rowWidth() bytes each), valid for the callback's duration.
      * Lets callers filter with evalPredRaw() and decode survivors
      * only. Templated so hot loops pay no per-slot indirect call.
+     * Pages visit in global order regardless of sharding.
      */
     template <class Fn>
     void forEachSlot(Fn &&fn) const
     {
         std::vector<std::uint8_t> page(page_size_);
         for (std::uint64_t p = 0; p < page_count_; ++p) {
-            fs_.peek(file_, p * page_size_, page_size_, page.data());
+            shard_fs_[p % shard_fs_.size()]->peek(
+                file_, (p / shard_fs_.size()) * page_size_,
+                page_size_, page.data());
             std::uint64_t n = rowsInPage(p);
             for (std::uint64_t i = 0; i < n; ++i)
                 fn(page.data() + i * schema_.rowWidth());
         }
     }
 
-    fs::FileSystem &fs() { return fs_; }
+    /** Drive-0 (or only) shard's file system. */
+    fs::FileSystem &fs() { return *shard_fs_[0]; }
 
   private:
-    fs::FileSystem &fs_;
+    std::vector<fs::FileSystem *> shard_fs_;
     std::string name_;
     std::string file_;
     Schema schema_;

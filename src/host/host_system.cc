@@ -11,6 +11,12 @@ HostSystem::HostSystem(sim::Kernel &kernel, ssd::SsdDevice &dev,
       cpu_(kernel, "hostcpu")
 {}
 
+HostSystem::HostSystem(sisc::DriveArray &array, const HostConfig &cfg)
+    : kernel_(array.kernel()), dev_(array.drive(0).device),
+      fs_(array.drive(0).fs), array_(&array), cfg_(cfg),
+      cpu_(array.kernel(), "hostcpu")
+{}
+
 void
 HostSystem::setLoadThreads(std::uint32_t n)
 {
@@ -45,13 +51,29 @@ Bytes
 HostSystem::pread(const std::string &path, Bytes offset, void *buf,
                   Bytes len)
 {
-    Bytes file_size = fs_.size(path);
+    return preadImpl(dev_, fs_, path, offset, buf, len);
+}
+
+Bytes
+HostSystem::preadOn(std::uint32_t drive, const std::string &path,
+                    Bytes offset, void *buf, Bytes len)
+{
+    return preadImpl(deviceOf(drive), fsOf(drive), path, offset, buf,
+                     len);
+}
+
+Bytes
+HostSystem::preadImpl(ssd::SsdDevice &dev, fs::FileSystem &fs,
+                      const std::string &path, Bytes offset, void *buf,
+                      Bytes len)
+{
+    Bytes file_size = fs.size(path);
     if (offset >= file_size)
         return 0;
     len = std::min(len, file_size - offset);
 
-    const Bytes page = fs_.pageSize();
-    const auto &table = fs_.pagesOf(path);
+    const Bytes page = fs.pageSize();
+    const auto &table = fs.pagesOf(path);
 
     // The conventional path's driver/completion CPU is already part
     // of the modeled NVMe latency; under memory load that CPU slice
@@ -67,19 +89,19 @@ HostSystem::pread(const std::string &path, Bytes offset, void *buf,
     if (offset / page == (offset + len - 1) / page) {
         // Single-page request: transfer only the requested bytes
         // (this is the 4 KiB read of paper Table III).
-        done = dev_.hostRead(table[offset / page], offset % page, len,
-                             nullptr);
+        done = dev.hostRead(table[offset / page], offset % page, len,
+                            nullptr);
     } else {
         std::vector<ftl::Lpn> pages;
         for (Bytes p = offset / page; p <= (offset + len - 1) / page;
              ++p)
             pages.push_back(table[p]);
-        done = dev_.hostReadPages(pages, nullptr);
+        done = dev.hostReadPages(pages, nullptr);
     }
     kernel_.sleepUntil(done);
 
     if (buf != nullptr)
-        fs_.peek(path, offset, len, static_cast<std::uint8_t *>(buf));
+        fs.peek(path, offset, len, static_cast<std::uint8_t *>(buf));
     return len;
 }
 
@@ -98,17 +120,53 @@ HostSystem::streamRead(
 }
 
 void
+HostSystem::streamReadOn(
+    std::uint32_t drive, const std::string &path, Bytes offset,
+    Bytes len, Bytes window,
+    const std::function<void(Bytes, const std::uint8_t *, Bytes)>
+        &on_chunk)
+{
+    fs::FileSystem &fs = fsOf(drive);
+    std::vector<std::uint8_t> chunk(window);
+    streamReadTimedOn(drive, path, offset, len, window,
+                      [&](Bytes off, Bytes n) {
+                          fs.peek(path, off, n, chunk.data());
+                          on_chunk(off, chunk.data(), n);
+                      });
+}
+
+void
 HostSystem::streamReadTimed(
     const std::string &path, Bytes offset, Bytes len, Bytes window,
     const std::function<void(Bytes, Bytes)> &on_window)
 {
-    Bytes file_size = fs_.size(path);
+    streamReadTimedImpl(dev_, fs_, path, offset, len, window,
+                        on_window);
+}
+
+void
+HostSystem::streamReadTimedOn(
+    std::uint32_t drive, const std::string &path, Bytes offset,
+    Bytes len, Bytes window,
+    const std::function<void(Bytes, Bytes)> &on_window)
+{
+    streamReadTimedImpl(deviceOf(drive), fsOf(drive), path, offset,
+                        len, window, on_window);
+}
+
+void
+HostSystem::streamReadTimedImpl(
+    ssd::SsdDevice &dev, fs::FileSystem &fs, const std::string &path,
+    Bytes offset, Bytes len, Bytes window,
+    const std::function<void(Bytes, Bytes)> &on_window)
+{
+    Bytes file_size = fs.size(path);
     if (offset >= file_size)
         return;
     len = std::min(len, file_size - offset);
 
-    const Bytes page = fs_.pageSize();
-    const auto &table = fs_.pagesOf(path);
+    const Bytes page = fs.pageSize();
+    const auto &table = fs.pagesOf(path);
     std::vector<ftl::Lpn> pages;  // reused across windows
 
     // Readahead pipeline (double buffering): the NVMe command for
@@ -122,7 +180,7 @@ HostSystem::streamReadTimed(
         for (Bytes p = lo; p <= hi; ++p)
             pages.push_back(table[p]);
         consumeCpu(cfg_.io_request_cpu);
-        return dev_.hostReadPages(pages, nullptr);
+        return dev.hostReadPages(pages, nullptr);
     };
 
     Tick ready = issue(0);

@@ -22,6 +22,7 @@
 #include "fs/file_system.h"
 #include "sim/kernel.h"
 #include "sim/server.h"
+#include "sisc/drive_array.h"
 #include "ssd/device.h"
 #include "util/common.h"
 
@@ -71,13 +72,45 @@ struct HostConfig
 class HostSystem
 {
   public:
+    /** Single-drive host: attached to one explicit device + fs. */
     HostSystem(sim::Kernel &kernel, ssd::SsdDevice &dev,
                fs::FileSystem &fs, const HostConfig &cfg = HostConfig{});
+
+    /**
+     * Array-attached host: the shard router. Plain pread/streamRead
+     * address drive 0 (the historical single-drive API); the *On
+     * variants address any drive of the array.
+     */
+    explicit HostSystem(sisc::DriveArray &array,
+                        const HostConfig &cfg = HostConfig{});
 
     const HostConfig &config() const { return cfg_; }
     sim::Kernel &kernel() { return kernel_; }
     ssd::SsdDevice &device() { return dev_; }
     fs::FileSystem &fs() { return fs_; }
+
+    /** The attached array; null for a single-drive host. */
+    sisc::DriveArray *array() { return array_; }
+
+    /** Drives reachable from this host (1 without an array). */
+    std::uint32_t
+    driveCount() const
+    {
+        return array_ == nullptr ? 1 : array_->driveCount();
+    }
+
+    ssd::SsdDevice &
+    deviceOf(std::uint32_t drive)
+    {
+        return array_ == nullptr ? dev_
+                                 : array_->drive(drive).device;
+    }
+
+    fs::FileSystem &
+    fsOf(std::uint32_t drive)
+    {
+        return array_ == nullptr ? fs_ : array_->drive(drive).fs;
+    }
 
     /** The CPU resource the measured application thread runs on. */
     sim::Server &cpu() { return cpu_; }
@@ -108,6 +141,10 @@ class HostSystem
     Bytes pread(const std::string &path, Bytes offset, void *buf,
                 Bytes len);
 
+    /** pread() against drive @p drive of the attached array. */
+    Bytes preadOn(std::uint32_t drive, const std::string &path,
+                  Bytes offset, void *buf, Bytes len);
+
     /**
      * Streaming sequential read of a whole region with OS readahead:
      * I/O is overlapped with the caller's compute, so the caller only
@@ -120,6 +157,13 @@ class HostSystem
                     const std::function<void(Bytes, const std::uint8_t *,
                                              Bytes)> &on_chunk);
 
+    /** streamRead() against drive @p drive of the attached array. */
+    void streamReadOn(std::uint32_t drive, const std::string &path,
+                      Bytes offset, Bytes len, Bytes window,
+                      const std::function<void(Bytes,
+                                               const std::uint8_t *,
+                                               Bytes)> &on_chunk);
+
     /**
      * Timing-only variant of streamRead: the same readahead pipeline
      * (identical NVMe commands, CPU charges and blocking), but no data
@@ -131,6 +175,13 @@ class HostSystem
                          Bytes len, Bytes window,
                          const std::function<void(Bytes, Bytes)>
                              &on_window);
+
+    /** streamReadTimed() against drive @p drive of the array. */
+    void streamReadTimedOn(std::uint32_t drive,
+                           const std::string &path, Bytes offset,
+                           Bytes len, Bytes window,
+                           const std::function<void(Bytes, Bytes)>
+                               &on_window);
 
     // ----- Power accounting -----
 
@@ -145,9 +196,22 @@ class HostSystem
     }
 
   private:
+    /** pread() body against an explicit per-drive (device, fs). */
+    Bytes preadImpl(ssd::SsdDevice &dev, fs::FileSystem &fs,
+                    const std::string &path, Bytes offset, void *buf,
+                    Bytes len);
+
+    /** streamReadTimed() body against an explicit (device, fs). */
+    void streamReadTimedImpl(ssd::SsdDevice &dev, fs::FileSystem &fs,
+                             const std::string &path, Bytes offset,
+                             Bytes len, Bytes window,
+                             const std::function<void(Bytes, Bytes)>
+                                 &on_window);
+
     sim::Kernel &kernel_;
     ssd::SsdDevice &dev_;
     fs::FileSystem &fs_;
+    sisc::DriveArray *array_ = nullptr;
     HostConfig cfg_;
     sim::Server cpu_;
     std::uint32_t load_threads_ = 0;

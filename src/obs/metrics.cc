@@ -75,13 +75,14 @@ Histogram::depthBounds()
 Counter &
 MetricsRegistry::counter(const std::string &name, std::string unit)
 {
-    auto it = counters_.find(name);
+    const std::string full = scope_.empty() ? name : scope_ + name;
+    auto it = counters_.find(full);
     if (it != counters_.end())
         return *it->second;
     auto c = std::unique_ptr<Counter>(
-        new Counter(name, std::move(unit)));
+        new Counter(full, std::move(unit)));
     Counter &ref = *c;
-    counters_.emplace(name, std::move(c));
+    counters_.emplace(full, std::move(c));
     return ref;
 }
 
@@ -89,15 +90,16 @@ Histogram &
 MetricsRegistry::histogram(const std::string &name, std::string unit,
                            std::vector<std::uint64_t> bounds)
 {
-    auto it = histograms_.find(name);
+    const std::string full = scope_.empty() ? name : scope_ + name;
+    auto it = histograms_.find(full);
     if (it != histograms_.end())
         return *it->second;
     if (bounds.empty())
         bounds = Histogram::latencyBounds();
     auto h = std::unique_ptr<Histogram>(
-        new Histogram(name, std::move(unit), std::move(bounds)));
+        new Histogram(full, std::move(unit), std::move(bounds)));
     Histogram &ref = *h;
-    histograms_.emplace(name, std::move(h));
+    histograms_.emplace(full, std::move(h));
     return ref;
 }
 

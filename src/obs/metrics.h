@@ -154,6 +154,18 @@ class MetricsRegistry
     MetricsRegistry(const MetricsRegistry &) = delete;
     MetricsRegistry &operator=(const MetricsRegistry &) = delete;
 
+    /**
+     * Prefix prepended to every name at find-or-create time. Set (via
+     * MetricsScope) around the construction of one drive of a
+     * sisc::DriveArray so its whole stack registers qualified names
+     * ("drive2.nand.read_latency") without any registration site
+     * knowing about drives. Empty — the default — leaves names
+     * untouched, so a single-drive system registers exactly the names
+     * it always did.
+     */
+    void setScope(std::string scope) { scope_ = std::move(scope); }
+    const std::string &scope() const { return scope_; }
+
     /** Find or create the counter @p name. */
     Counter &counter(const std::string &name, std::string unit = "");
 
@@ -189,8 +201,35 @@ class MetricsRegistry
     }
 
   private:
+    std::string scope_;
     std::map<std::string, std::unique_ptr<Counter>> counters_;
     std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+};
+
+/**
+ * RAII scope qualifier: appends @p scope to the registry's current
+ * prefix for the guard's lifetime and restores the previous prefix on
+ * destruction. Guards nest (an inner guard sees the outer prefix), but
+ * the intended use is flat: one guard around the construction of one
+ * drive's device/fs/runtime stack.
+ */
+class MetricsScope
+{
+  public:
+    MetricsScope(MetricsRegistry &reg, const std::string &scope)
+        : reg_(reg), saved_(reg.scope())
+    {
+        reg_.setScope(saved_ + scope);
+    }
+
+    ~MetricsScope() { reg_.setScope(std::move(saved_)); }
+
+    MetricsScope(const MetricsScope &) = delete;
+    MetricsScope &operator=(const MetricsScope &) = delete;
+
+  private:
+    MetricsRegistry &reg_;
+    std::string saved_;
 };
 
 }  // namespace bisc::obs

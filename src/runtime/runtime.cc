@@ -10,6 +10,7 @@ namespace bisc::rt {
 Runtime::Runtime(sim::Kernel &kernel, ssd::SsdDevice &device,
                  fs::FileSystem &fs)
     : kernel_(kernel), device_(device), fs_(fs),
+      metric_scope_(kernel.obs().metrics().scope()),
       system_alloc_("system", device.config().system_mem_bytes),
       user_alloc_("user", device.config().user_mem_bytes)
 {}
@@ -75,8 +76,8 @@ Runtime::loadModule(const std::string &slet_path)
     ModuleId mid = next_module_++;
     modules_.emplace(mid, LoadedModule{mid, image, *mem, 0});
     BISC_INFORM("loaded module '", name, "' as id ", mid);
-    OBS_COUNT(kernel_.obs().metrics().counter("rt.modules_loaded",
-                                              "modules"));
+    OBS_COUNT(kernel_.obs().metrics().counter(
+        metric_scope_ + "rt.modules_loaded", "modules"));
     OBS_INSTANT(kernel_.obs(), "rt", "loadModule",
                 static_cast<std::int64_t>(mid));
     return mid;

@@ -47,6 +47,15 @@ class Runtime
     fs::FileSystem &fs() { return fs_; }
     const ssd::SsdConfig &config() const { return device_.config(); }
 
+    /**
+     * The drive qualifier ("drive<k>." inside a multi-drive
+     * sisc::DriveArray, empty otherwise) captured from the metrics
+     * registry at construction. Lazily registered metrics — the port
+     * wait histograms, the module-load counter — prepend it so drives
+     * of an array never share a metric.
+     */
+    const std::string &metricScope() const { return metric_scope_; }
+
     Allocator &systemAllocator() { return system_alloc_; }
     Allocator &userAllocator() { return user_alloc_; }
 
@@ -173,6 +182,7 @@ class Runtime
     sim::Kernel &kernel_;
     ssd::SsdDevice &device_;
     fs::FileSystem &fs_;
+    std::string metric_scope_;
     Allocator system_alloc_;
     Allocator user_alloc_;
 

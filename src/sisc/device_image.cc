@@ -12,6 +12,14 @@ freezeDeviceImage(Env &env)
     image.nand = env.device.freezeState(image.ftl);
     image.fs = env.fs.exportImage();
     image.frozen_now = env.kernel.now();
+    for (std::uint32_t k = 1; k < env.array.driveCount(); ++k) {
+        Drive &d = env.array.drive(k);
+        sim::DeviceImage::ExtraDrive e;
+        e.config = d.device.config();
+        e.nand = d.device.freezeState(e.ftl);
+        e.fs = d.fs.exportImage();
+        image.extra_drives.push_back(std::move(e));
+    }
     return image;
 }
 

@@ -23,7 +23,9 @@
 #ifndef BISCUIT_SISC_DEVICE_IMAGE_H_
 #define BISCUIT_SISC_DEVICE_IMAGE_H_
 
+#include <cstdint>
 #include <memory>
+#include <vector>
 
 #include "fs/file_system.h"
 #include "ftl/ftl.h"
@@ -54,6 +56,25 @@ struct DeviceImage
 
     /** Simulated time at freeze; forks warp their clocks here. */
     Tick frozen_now = 0;
+
+    /**
+     * Drives 1..N-1 of a frozen sisc::DriveArray. Drive 0 is the
+     * flat top-level fields above — kept flat so every single-drive
+     * consumer of the image keeps compiling (and behaving) unchanged.
+     */
+    struct ExtraDrive
+    {
+        ssd::SsdConfig config;
+        std::shared_ptr<const nand::NandImage> nand;
+        ftl::FtlImage ftl;
+        fs::FsImage fs;
+    };
+    std::vector<ExtraDrive> extra_drives;
+
+    std::uint32_t driveCount() const
+    {
+        return 1 + static_cast<std::uint32_t>(extra_drives.size());
+    }
 };
 
 }  // namespace bisc::sim

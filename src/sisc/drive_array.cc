@@ -1,0 +1,75 @@
+#include "sisc/drive_array.h"
+
+#include <cstdlib>
+
+#include "obs/metrics.h"
+
+namespace bisc::sisc {
+
+std::uint32_t
+drivesFromEnv()
+{
+    const char *env = std::getenv("BISCUIT_DRIVES");
+    if (env == nullptr || env[0] == '\0')
+        return 1;
+    char *end = nullptr;
+    long v = std::strtol(env, &end, 10);
+    if (end == env || *end != '\0' || v < 1)
+        return 1;
+    return static_cast<std::uint32_t>(v);
+}
+
+void
+DriveArray::addDrive(std::uint32_t k, const ssd::SsdConfig &cfg,
+                     bool scoped)
+{
+    if (scoped) {
+        // Scope every metric the drive's stack registers during
+        // construction; lazy registrations (port wait histograms, the
+        // module-load counter) pick the scope up from the drive's
+        // Runtime, which captures it here.
+        obs::MetricsScope scope(kernel_.obs().metrics(),
+                                "drive" + std::to_string(k) + ".");
+        drives_.push_back(std::make_unique<Drive>(kernel_, k, cfg));
+    } else {
+        drives_.push_back(std::make_unique<Drive>(kernel_, k, cfg));
+    }
+}
+
+DriveArray::DriveArray(sim::Kernel &kernel, std::uint32_t count,
+                       const ssd::SsdConfig &cfg)
+    : kernel_(kernel)
+{
+    BISC_ASSERT(count >= 1, "DriveArray needs at least one drive");
+    const bool scoped = count > 1;
+    for (std::uint32_t k = 0; k < count; ++k) {
+        ssd::SsdConfig drive_cfg = cfg;
+        drive_cfg.fault.seed = faultSeedFor(cfg, k);
+        addDrive(k, drive_cfg, scoped);
+    }
+}
+
+DriveArray::DriveArray(sim::Kernel &kernel,
+                       const sim::DeviceImage &image)
+    : kernel_(kernel)
+{
+    const std::uint32_t count = image.driveCount();
+    const bool scoped = count > 1;
+    addDrive(0, image.config, scoped);
+    for (std::uint32_t k = 1; k < count; ++k)
+        addDrive(k, image.extra_drives[k - 1].config, scoped);
+
+    // Same order as the single-drive fork path always used: build the
+    // fresh stacks at tick 0, warp to the freeze tick, then adopt the
+    // frozen state into each drive.
+    kernel_.warpTo(image.frozen_now);
+    drives_[0]->device.adoptState(image.nand, image.ftl);
+    drives_[0]->fs.importImage(image.fs);
+    for (std::uint32_t k = 1; k < count; ++k) {
+        const auto &e = image.extra_drives[k - 1];
+        drives_[k]->device.adoptState(e.nand, e.ftl);
+        drives_[k]->fs.importImage(e.fs);
+    }
+}
+
+}  // namespace bisc::sisc

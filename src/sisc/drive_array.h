@@ -1,0 +1,121 @@
+/**
+ * @file
+ * DriveArray: the Scale-up organization (paper Fig. 1(b)) as a
+ * first-class subsystem — one host, N independent Biscuit SSDs behind
+ * a single sim::Kernel.
+ *
+ * Each drive is a complete per-drive stack (SsdDevice + FileSystem +
+ * Runtime) with its own NAND array, FTL, fault-injector RNG stream and
+ * namespace; drives share only the array's virtual clock. With more
+ * than one drive, every per-drive metric registers under a
+ * "drive<k>." scope (see obs::MetricsScope) so a multi-drive export
+ * never sums or collides counters across drives; a single-drive array
+ * registers the exact unscoped names the historical one-device stack
+ * did, keeping all golden transcripts bit-identical.
+ *
+ * Fault seeds: drive 0 keeps the configured seed (so a one-drive
+ * array replays the historical fault sequence exactly); drive k > 0
+ * derives an independent stream by mixing k into the seed. One
+ * drive's fault campaign therefore never perturbs another drive's RNG
+ * stream (tests/drive_array_test.cc asserts this).
+ */
+
+#ifndef BISCUIT_SISC_DRIVE_ARRAY_H_
+#define BISCUIT_SISC_DRIVE_ARRAY_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "fs/file_system.h"
+#include "runtime/runtime.h"
+#include "sim/kernel.h"
+#include "sisc/device_image.h"
+#include "ssd/config.h"
+#include "ssd/device.h"
+
+namespace bisc::sisc {
+
+/**
+ * Drive count requested via the BISCUIT_DRIVES environment variable:
+ * its value when set to a positive integer, 1 (single drive)
+ * otherwise.
+ */
+std::uint32_t drivesFromEnv();
+
+/** One drive of the array: a complete, isolated per-drive stack. */
+struct Drive
+{
+    Drive(sim::Kernel &kernel, std::uint32_t index,
+          const ssd::SsdConfig &cfg)
+        : index(index), label("drive" + std::to_string(index)),
+          device(kernel, cfg), fs(device), runtime(kernel, device, fs)
+    {}
+
+    Drive(const Drive &) = delete;
+    Drive &operator=(const Drive &) = delete;
+
+    std::uint32_t index;
+    std::string label;  ///< "drive<k>" — metrics / diagnostics
+    ssd::SsdDevice device;
+    fs::FileSystem fs;
+    rt::Runtime runtime;
+};
+
+class DriveArray
+{
+  public:
+    /**
+     * Fresh array of @p count drives built from @p cfg. Drive 0 uses
+     * @p cfg verbatim; drives k > 0 differ only in their derived
+     * fault seed.
+     */
+    DriveArray(sim::Kernel &kernel, std::uint32_t count,
+               const ssd::SsdConfig &cfg);
+
+    /**
+     * Fork: reconstruct the entire array a DeviceImage froze — one
+     * stack per frozen drive, clock warped to the freeze tick, NAND
+     * pages shared read-only through per-drive COW overlays.
+     */
+    DriveArray(sim::Kernel &kernel, const sim::DeviceImage &image);
+
+    DriveArray(const DriveArray &) = delete;
+    DriveArray &operator=(const DriveArray &) = delete;
+
+    std::uint32_t driveCount() const
+    {
+        return static_cast<std::uint32_t>(drives_.size());
+    }
+
+    Drive &drive(std::uint32_t k) { return *drives_.at(k); }
+    const Drive &drive(std::uint32_t k) const { return *drives_.at(k); }
+
+    sim::Kernel &kernel() { return kernel_; }
+
+    /**
+     * The fault seed drive @p k of an array configured with @p cfg
+     * runs with: the configured seed for drive 0, an independently
+     * mixed stream for each later drive.
+     */
+    static std::uint64_t faultSeedFor(const ssd::SsdConfig &cfg,
+                                      std::uint32_t k)
+    {
+        if (k == 0)
+            return cfg.fault.seed;
+        return cfg.fault.seed + k * 0x9E3779B97F4A7C15ull;
+    }
+
+  private:
+    /** Construct drive @p k from @p cfg under its metrics scope. */
+    void addDrive(std::uint32_t k, const ssd::SsdConfig &cfg,
+                  bool scoped);
+
+    sim::Kernel &kernel_;
+    std::vector<std::unique_ptr<Drive>> drives_;
+};
+
+}  // namespace bisc::sisc
+
+#endif  // BISCUIT_SISC_DRIVE_ARRAY_H_

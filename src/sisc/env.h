@@ -1,9 +1,14 @@
 /**
  * @file
  * Env: one-stop construction of a complete Biscuit system — kernel,
- * SSD device, file system, device runtime — plus a helper that runs a
- * host program as a fiber under the virtual clock. Used by examples,
- * tests and every benchmark.
+ * drive array (one or more SSD device + file system + runtime
+ * stacks), plus a helper that runs a host program as a fiber under
+ * the virtual clock. Used by examples, tests and every benchmark.
+ *
+ * The single-drive API survives intact: `device`, `fs` and `runtime`
+ * are drive 0 of the array, so every historical call site compiles
+ * and behaves unchanged. Multi-drive consumers reach the other drives
+ * through `array`.
  */
 
 #ifndef BISCUIT_SISC_ENV_H_
@@ -17,6 +22,7 @@
 #include "runtime/runtime.h"
 #include "sim/kernel.h"
 #include "sisc/device_image.h"
+#include "sisc/drive_array.h"
 #include "ssd/config.h"
 #include "ssd/device.h"
 
@@ -25,25 +31,24 @@ namespace bisc::sisc {
 class Env
 {
   public:
-    explicit Env(const ssd::SsdConfig &cfg = ssd::defaultConfig())
-        : device(kernel, cfg), fs(device), runtime(kernel, device, fs)
+    explicit Env(const ssd::SsdConfig &cfg = ssd::defaultConfig(),
+                 std::uint32_t drives = drivesFromEnv())
+        : array(kernel, drives, cfg), device(array.drive(0).device),
+          fs(array.drive(0).fs), runtime(array.drive(0).runtime)
     {}
 
     /**
      * Fork a new, independent system from a frozen device image: own
      * kernel (event queue, clock warped to the freeze tick), own
      * buffer pool, NAND pages shared read-only with the image through
-     * a private copy-on-write overlay. Simulations run in the fork are
-     * bit-identical to the same simulations run on the frozen system.
+     * a private copy-on-write overlay. A multi-drive image forks the
+     * whole array. Simulations run in the fork are bit-identical to
+     * the same simulations run on the frozen system.
      */
     explicit Env(const sim::DeviceImage &image)
-        : device(kernel, image.config), fs(device),
-          runtime(kernel, device, fs)
-    {
-        kernel.warpTo(image.frozen_now);
-        device.adoptState(image.nand, image.ftl);
-        fs.importImage(image.fs);
-    }
+        : array(kernel, image), device(array.drive(0).device),
+          fs(array.drive(0).fs), runtime(array.drive(0).runtime)
+    {}
 
     /**
      * Synthesize the .slet file for a registered @p module at @p path
@@ -69,9 +74,12 @@ class Env
     }
 
     sim::Kernel kernel;
-    ssd::SsdDevice device;
-    fs::FileSystem fs;
-    rt::Runtime runtime;
+    DriveArray array;
+
+    // Drive 0 of the array: the historical single-drive API.
+    ssd::SsdDevice &device;
+    fs::FileSystem &fs;
+    rt::Runtime &runtime;
 };
 
 }  // namespace bisc::sisc

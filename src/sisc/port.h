@@ -45,8 +45,9 @@ class InputPort
         BISC_ASSERT(conn_ != nullptr, "get() on unconnected host port");
         sim::Kernel &k = ssd_->runtime().kernel();
         if (recv_wait_ == nullptr)
-            recv_wait_ =
-                &k.obs().metrics().histogram("sisc.port_recv_wait");
+            recv_wait_ = &k.obs().metrics().histogram(
+                ssd_->runtime().metricScope() +
+                "sisc.port_recv_wait");
         [[maybe_unused]] Tick t0 = k.now();
         Packet p;
         if (!conn_->packets->awaitPacket(p))
@@ -119,8 +120,9 @@ class OutputPort
                     "put() on a closed or unconnected host port");
         auto &k = ssd_->runtime().kernel();
         if (send_wait_ == nullptr)
-            send_wait_ =
-                &k.obs().metrics().histogram("sisc.port_send_wait");
+            send_wait_ = &k.obs().metrics().histogram(
+                ssd_->runtime().metricScope() +
+                "sisc.port_send_wait");
         [[maybe_unused]] Tick t0 = k.now();
         conn_->packets->acquireSlot();
         const auto &cfg = ssd_->config();

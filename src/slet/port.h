@@ -84,8 +84,8 @@ class InputPort
         auto &ctx = owner_->context();
         sim::Kernel &k = ctx.runtime->kernel();
         if (recv_wait_ == nullptr)
-            recv_wait_ =
-                &k.obs().metrics().histogram("slet.port_recv_wait");
+            recv_wait_ = &k.obs().metrics().histogram(
+                ctx.runtime->metricScope() + "slet.port_recv_wait");
         [[maybe_unused]] Tick t0 = k.now();
         bool ok = getImpl(v, ctx);
         if (ok)
@@ -203,8 +203,8 @@ class OutputPort
         auto &ctx = owner_->context();
         sim::Kernel &k = ctx.runtime->kernel();
         if (send_wait_ == nullptr)
-            send_wait_ =
-                &k.obs().metrics().histogram("slet.port_send_wait");
+            send_wait_ = &k.obs().metrics().histogram(
+                ctx.runtime->metricScope() + "slet.port_send_wait");
         [[maybe_unused]] Tick t0 = k.now();
         putImpl(std::move(v), ctx);
         OBS_HIST(*send_wait_, k.now() - t0);

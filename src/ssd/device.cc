@@ -5,7 +5,8 @@
 namespace bisc::ssd {
 
 SsdDevice::SsdDevice(sim::Kernel &kernel, const SsdConfig &config)
-    : kernel_(kernel), config_(config)
+    : kernel_(kernel), config_(config),
+      stats_scope_(kernel.obs().metrics().scope())
 {
     nand_ = std::make_unique<nand::NandFlash>(kernel_, config_.geometry,
                                               config_.nand_timing,
@@ -67,50 +68,56 @@ SsdDevice::pageView(ftl::Lpn lpn, Bytes offset, Bytes len)
 void
 SsdDevice::exportStats(sim::Stats &st) const
 {
-    st.set("nand.page_reads", static_cast<double>(nand_->pageReads()));
-    st.set("nand.page_writes",
-           static_cast<double>(nand_->pageWrites()));
-    st.set("nand.block_erases",
-           static_cast<double>(nand_->blockErases()));
-    st.set("nand.read_retries",
-           static_cast<double>(nand_->readRetries()));
-    st.set("nand.ecc_corrected_pages",
-           static_cast<double>(nand_->eccCorrectedPages()));
-    st.set("nand.uncorrectable_reads",
-           static_cast<double>(nand_->uncorrectableReads()));
-    st.set("nand.program_fails",
-           static_cast<double>(nand_->programFails()));
-    st.set("nand.erase_fails",
-           static_cast<double>(nand_->eraseFails()));
-    st.set("nand.die_stalls", static_cast<double>(nand_->dieStalls()));
-    st.set("nand.channel_stalls",
-           static_cast<double>(nand_->channelStalls()));
-    st.set("ftl.gc_runs", static_cast<double>(ftl_->gcRuns()));
-    st.set("ftl.pages_relocated",
-           static_cast<double>(ftl_->pagesRelocated()));
-    st.set("ftl.uncorrectable_reads",
-           static_cast<double>(ftl_->uncorrectableReads()));
-    st.set("ftl.retry_relocations",
-           static_cast<double>(ftl_->retryRelocations()));
-    st.set("ftl.blocks_retired",
-           static_cast<double>(ftl_->blocksRetired()));
-    st.set("ftl.program_fail_remaps",
-           static_cast<double>(ftl_->programFailRemaps()));
+    // Every name carries the drive qualifier captured at construction
+    // ("drive<k>." inside a multi-drive array, empty otherwise), so a
+    // multi-drive export keeps each drive's counters distinct.
+    auto set = [&](const char *name, double v) {
+        st.set(stats_scope_.empty() ? std::string(name)
+                                    : stats_scope_ + name,
+               v);
+    };
+    set("nand.page_reads", static_cast<double>(nand_->pageReads()));
+    set("nand.page_writes", static_cast<double>(nand_->pageWrites()));
+    set("nand.block_erases",
+        static_cast<double>(nand_->blockErases()));
+    set("nand.read_retries",
+        static_cast<double>(nand_->readRetries()));
+    set("nand.ecc_corrected_pages",
+        static_cast<double>(nand_->eccCorrectedPages()));
+    set("nand.uncorrectable_reads",
+        static_cast<double>(nand_->uncorrectableReads()));
+    set("nand.program_fails",
+        static_cast<double>(nand_->programFails()));
+    set("nand.erase_fails", static_cast<double>(nand_->eraseFails()));
+    set("nand.die_stalls", static_cast<double>(nand_->dieStalls()));
+    set("nand.channel_stalls",
+        static_cast<double>(nand_->channelStalls()));
+    set("ftl.gc_runs", static_cast<double>(ftl_->gcRuns()));
+    set("ftl.pages_relocated",
+        static_cast<double>(ftl_->pagesRelocated()));
+    set("ftl.uncorrectable_reads",
+        static_cast<double>(ftl_->uncorrectableReads()));
+    set("ftl.retry_relocations",
+        static_cast<double>(ftl_->retryRelocations()));
+    set("ftl.blocks_retired",
+        static_cast<double>(ftl_->blocksRetired()));
+    set("ftl.program_fail_remaps",
+        static_cast<double>(ftl_->programFailRemaps()));
 
     // Channel-bus utilization and matcher-IP aggregates.
     Tick busy = 0;
     for (std::uint32_t c = 0; c < config_.geometry.channels; ++c)
         busy += nand_->channelBusyTicks(c);
-    st.set("nand.channel_busy_ticks", static_cast<double>(busy));
+    set("nand.channel_busy_ticks", static_cast<double>(busy));
     std::uint64_t pm_scans = 0, pm_bytes = 0, pm_hits = 0;
     for (const auto &m : matchers_) {
         pm_scans += m->scans();
         pm_bytes += m->bytesScanned();
         pm_hits += m->matchedScans();
     }
-    st.set("pm.scans", static_cast<double>(pm_scans));
-    st.set("pm.bytes_scanned", static_cast<double>(pm_bytes));
-    st.set("pm.matched_scans", static_cast<double>(pm_hits));
+    set("pm.scans", static_cast<double>(pm_scans));
+    set("pm.bytes_scanned", static_cast<double>(pm_bytes));
+    set("pm.matched_scans", static_cast<double>(pm_hits));
 
     // Everything the instrumented layers recorded into this kernel's
     // metrics registry (counters + flattened histogram buckets).

@@ -14,6 +14,7 @@
 #define BISCUIT_SSD_DEVICE_H_
 
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "ftl/ftl.h"
@@ -55,11 +56,21 @@ class SsdDevice
 
     /**
      * Publish the device's reliability and media counters into @p st
-     * (absolute values under "nand." / "ftl." prefixes). Pair with
-     * Stats::snapshot()/snapshotDelta() to assert what one operation
-     * charged.
+     * (absolute values under "nand." / "ftl." prefixes, qualified by
+     * statsScope() — "drive2.nand.page_reads" on drive 2 of an array
+     * — so a multi-drive export never sums or collides counters).
+     * Pair with Stats::snapshot()/snapshotDelta() to assert what one
+     * operation charged.
      */
     void exportStats(sim::Stats &st) const;
+
+    /**
+     * The drive qualifier of this device's exported stats and
+     * registered metrics: the metrics-registry scope in force when
+     * the device was constructed ("drive<k>." inside a multi-drive
+     * sisc::DriveArray, empty for a single-drive system).
+     */
+    const std::string &statsScope() const { return stats_scope_; }
 
     // ----- Internal datapath (SSDlet-visible) -----
 
@@ -182,6 +193,7 @@ class SsdDevice
   private:
     sim::Kernel &kernel_;
     SsdConfig config_;
+    std::string stats_scope_;
     std::unique_ptr<nand::NandFlash> nand_;
     std::unique_ptr<ftl::Ftl> ftl_;
     std::unique_ptr<hil::Hil> hil_;

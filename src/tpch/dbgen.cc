@@ -279,7 +279,11 @@ buildTpch(db::MiniDb &db, const TpchConfig &cfg)
     }
 
     // ----- orders (o_orderdate monotone: warehouse load order) -----
-    auto &orders = db.createTable(
+    // The two big tables shard round-robin across the drive array
+    // (one drive: same layout as ever). Generation order and the RNG
+    // stream are shard-count invariant, so row content is identical
+    // for any drive count — only page placement differs.
+    auto &orders = db.createShardedTable(
         "orders", Schema({col("o_orderkey", Type::Int64),
                           col("o_custkey", Type::Int64),
                           col("o_orderstatus", Type::String, 2),
@@ -324,7 +328,7 @@ buildTpch(db::MiniDb &db, const TpchConfig &cfg)
     }
 
     // ----- lineitem -----
-    auto &lineitem = db.createTable(
+    auto &lineitem = db.createShardedTable(
         "lineitem",
         Schema({col("l_orderkey", Type::Int64),
                 col("l_partkey", Type::Int64),

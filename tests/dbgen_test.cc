@@ -27,8 +27,7 @@ class DbgenTest : public ::testing::Test
     SetUpTestSuite()
     {
         env_ = new sisc::Env(ssd::defaultConfig());
-        host_ = new host::HostSystem(env_->kernel, env_->device,
-                                     env_->fs);
+        host_ = new host::HostSystem(env_->array);
         db_ = new db::MiniDb(*env_, *host_);
         TpchConfig cfg;
         cfg.scale_factor = 0.01;

@@ -27,8 +27,7 @@ class QueryShapeTest : public ::testing::Test
     SetUpTestSuite()
     {
         env_ = new sisc::Env(ssd::defaultConfig());
-        host_ = new host::HostSystem(env_->kernel, env_->device,
-                                     env_->fs);
+        host_ = new host::HostSystem(env_->array);
         db_ = new db::MiniDb(*env_, *host_);
         db_->planner.min_table_bytes = 128_KiB;
         TpchConfig cfg;

@@ -1,62 +1,45 @@
 /**
  * @file
  * Scale-up organization test (paper Fig. 1(b)): one host with
- * multiple Biscuit SSDs. Each device runs its own runtime; the host
- * program shards a grep across them and merges counts. Aggregate
- * compute and internal bandwidth scale with the number of devices —
- * the paper's argument for Scale-up over Simple.
+ * multiple Biscuit SSDs behind a sisc::DriveArray. Each drive runs
+ * its own runtime; the host program shards a grep across them and
+ * merges counts. Aggregate compute and internal bandwidth scale with
+ * the number of devices — the paper's argument for Scale-up over
+ * Simple.
  */
 
 #include <gtest/gtest.h>
 
-#include <memory>
 #include <string>
 #include <vector>
 
-#include "fs/file_system.h"
 #include "host/grep.h"
 #include "host/load_gen.h"
-#include "runtime/runtime.h"
 #include "sim/kernel.h"
+#include "sisc/drive_array.h"
 #include "ssd/config.h"
-#include "ssd/device.h"
 
 namespace bisc {
 namespace {
-
-/** One SSD (device + file system + runtime) on a shared kernel. */
-struct Drive
-{
-    explicit Drive(sim::Kernel &kernel)
-        : device(kernel, ssd::testConfig()), fs(device),
-          runtime(kernel, device, fs)
-    {}
-
-    ssd::SsdDevice device;
-    fs::FileSystem fs;
-    rt::Runtime runtime;
-};
 
 class ScaleUpTest : public ::testing::Test
 {
   protected:
     static constexpr Bytes kShard = 2_MiB;
 
-    ScaleUpTest()
+    ScaleUpTest() : array_(kernel_, 2, ssd::testConfig())
     {
-        for (int i = 0; i < 2; ++i)
-            drives_.push_back(std::make_unique<Drive>(kernel_));
         // Shard the corpus: half the log on each SSD.
         planted_ = 0;
-        for (auto &d : drives_) {
+        for (std::uint32_t i = 0; i < array_.driveCount(); ++i) {
             planted_ += host::generateWebLog(
-                d->fs, "/shard", kShard, "scale_sig", 300,
-                17 + planted_);
+                array_.drive(i).fs, "/shard", kShard, "scale_sig",
+                300, 17 + planted_);
         }
     }
 
     sim::Kernel kernel_;
-    std::vector<std::unique_ptr<Drive>> drives_;
+    sisc::DriveArray array_;
     std::uint64_t planted_;
 };
 
@@ -66,12 +49,13 @@ TEST_F(ScaleUpTest, ShardedGrepMergesCounts)
     kernel_.spawn("host", [&] {
         auto &k = sim::Kernel::current();
         std::vector<sim::FiberId> workers;
-        std::vector<std::uint64_t> counts(drives_.size(), 0);
-        for (std::size_t i = 0; i < drives_.size(); ++i) {
+        std::vector<std::uint64_t> counts(array_.driveCount(), 0);
+        for (std::uint32_t i = 0; i < array_.driveCount(); ++i) {
             workers.push_back(k.spawn(
                 "drive" + std::to_string(i), [&, i] {
-                    auto r = host::grepBiscuit(drives_[i]->runtime,
-                                               "/shard", "scale_sig");
+                    auto r = host::grepBiscuit(
+                        array_.drive(i).runtime, "/shard",
+                        "scale_sig");
                     counts[i] = r.matches;
                 }));
         }
@@ -95,17 +79,17 @@ TEST_F(ScaleUpTest, TwoDrivesScanInParallel)
     kernel_.spawn("host", [&] {
         auto &k = sim::Kernel::current();
         Tick t0 = k.now();
-        host::grepBiscuit(drives_[0]->runtime, "/shard",
+        host::grepBiscuit(array_.drive(0).runtime, "/shard",
                           "scale_sig");
         one = k.now() - t0;
 
         t0 = k.now();
         std::vector<sim::FiberId> workers;
-        for (std::size_t i = 0; i < drives_.size(); ++i) {
+        for (std::uint32_t i = 0; i < array_.driveCount(); ++i) {
             workers.push_back(k.spawn(
                 "drive" + std::to_string(i), [&, i] {
-                    host::grepBiscuit(drives_[i]->runtime, "/shard",
-                                      "scale_sig");
+                    host::grepBiscuit(array_.drive(i).runtime,
+                                      "/shard", "scale_sig");
                 }));
         }
         for (auto w : workers)
@@ -122,15 +106,16 @@ TEST_F(ScaleUpTest, DrivesAreIsolated)
     // Installing/loading the grep module on one drive leaves the
     // other untouched (separate file systems, runtimes, memory).
     kernel_.spawn("host", [&] {
-        auto r0 =
-            host::grepBiscuit(drives_[0]->runtime, "/shard", "zz_no");
+        auto r0 = host::grepBiscuit(array_.drive(0).runtime, "/shard",
+                                    "zz_no");
         EXPECT_EQ(r0.matches, 0u);
         EXPECT_TRUE(
-            drives_[0]->fs.exists("/var/isc/slets/grep.slet"));
+            array_.drive(0).fs.exists("/var/isc/slets/grep.slet"));
         EXPECT_FALSE(
-            drives_[1]->fs.exists("/var/isc/slets/grep.slet"));
-        EXPECT_EQ(drives_[1]->runtime.loadedModules(), 0u);
-        EXPECT_EQ(drives_[1]->runtime.systemAllocator().used(), 0u);
+            array_.drive(1).fs.exists("/var/isc/slets/grep.slet"));
+        EXPECT_EQ(array_.drive(1).runtime.loadedModules(), 0u);
+        EXPECT_EQ(array_.drive(1).runtime.systemAllocator().used(),
+                  0u);
     });
     kernel_.run();
 }

@@ -97,8 +97,7 @@ class SnapshotForkTest : public ::testing::Test
     SetUpTestSuite()
     {
         env_ = new sisc::Env(ssd::defaultConfig());
-        host_ = new host::HostSystem(env_->kernel, env_->device,
-                                     env_->fs);
+        host_ = new host::HostSystem(env_->array);
         db_ = new db::MiniDb(*env_, *host_);
         db_->planner.min_table_bytes = 128_KiB;
         tpch::TpchConfig cfg;
@@ -153,8 +152,7 @@ class SnapshotForkTest : public ::testing::Test
 
         explicit Lane(const sim::DeviceImage &image,
                       const db::MiniDb &primary)
-            : env(image), host(env.kernel, env.device, env.fs),
-              db(env, host)
+            : env(image), host(env.array), db(env, host)
         {
             db.planner = primary.planner;
             for (const auto &name : primary.tableNames()) {
@@ -256,7 +254,7 @@ TEST_F(SnapshotForkTest, FaultSeedsReplayIdentically)
         cfg.fault.seed = seed;
 
         sisc::Env env(cfg);
-        host::HostSystem host(env.kernel, env.device, env.fs);
+        host::HostSystem host(env.array);
         db::MiniDb mdb(env, host);
         db::Schema schema({db::col("id", db::Type::Int64),
                            db::col("tag", db::Type::String, 8)});
