@@ -41,6 +41,7 @@ benches=(
     fig9_power_energy
     fig10_tpch
     fig_scaleout
+    fig_serve
 )
 
 out_dir="$build_dir/bench_out"
@@ -119,8 +120,10 @@ done
 
 # Parallel-lane rerun of the suite bench: same transcript (diffed
 # against the same golden), wall clock recorded separately because it
-# scales with the host's core count, not with the simulator.
-lanes=$(nproc)
+# scales with the host's core count, not with the simulator. Honor an
+# explicit BISCUIT_LANES so the recorded lane count is the one the run
+# actually used.
+lanes="${BISCUIT_LANES:-$(nproc)}"
 start=$(now_ms)
 BISCUIT_LANES="$lanes" "$build_dir/bench/fig10_tpch" \
     > "$out_dir/fig10_tpch_parallel.txt"
@@ -183,6 +186,20 @@ scaleout_json=$(awk '/^[0-9]+ +[0-9.]+/ {
         printf "%s\"drives_%s\": {\"scan_ms\": %s, \"sim_speedup\": %s}",
                sep, $1, $2, $4; sep=", "
     }' "$out_dir/fig_scaleout.txt")
+# Throughput-under-load figures from the serving transcript's 4-drive
+# section: per-tenant p99 (column 7) plus the jobs summary line.
+serve_p99_json=$(awk '/^--- 4 drives ---/ { s = 1; next }
+    s && /^jobs:/ { exit }
+    s && $2 ~ /^[0-9]+$/ && $1 !~ /^[0-9]/ {
+        printf "%s\"%s\": %s", sep, $1, $7; sep=", "
+    }' "$out_dir/fig_serve.txt")
+serve_jobs_json=$(awk '/^--- 4 drives ---/ { s = 1 }
+    s && /^jobs:/ {
+        gsub(/;/, "", $6);
+        printf "\"submitted\": %s, \"completed\": %s, \"rejected\": %s, \"fairness\": %s",
+               $2, $4, $6, $NF
+        exit
+    }' "$out_dir/fig_serve.txt")
 
 {
     echo "{"
@@ -204,7 +221,8 @@ scaleout_json=$(awk '/^[0-9]+ +[0-9.]+/ {
     echo "  \"sim_figures\": {"
     echo "    \"table3_read_latency_us\": \"$table3_line\","
     echo "    \"fig10_suite\": \"$fig10_summary\","
-    echo "    \"fig_scaleout\": {$scaleout_json}"
+    echo "    \"fig_scaleout\": {$scaleout_json},"
+    echo "    \"fig_serve\": {$serve_jobs_json, \"tenant_p99_us\": {$serve_p99_json}}"
     echo "  }"
     echo "}"
 } > "$out_file"

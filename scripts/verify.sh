@@ -5,10 +5,11 @@
 # pass (fig10 with BISCUIT_TRACE: golden must still match, the JSON
 # must load, two runs must be byte-identical), a multi-drive pass
 # (fig10 at BISCUIT_DRIVES=4 against its own golden — same rows and
-# planner decisions, scale-out timing), then sanitizer builds via
-# BISCUIT_SANITIZE (ASan/UBSan ctest; TSan lane tests + traced 2-lane
-# fig10 runs at 1 and 4 drives so the trace buffers and the drive
-# array see real thread concurrency).
+# planner decisions, scale-out timing), a serve pass (fig_serve vs its
+# golden, two-run byte-identity, lane/drive env invariance), then
+# sanitizer builds via BISCUIT_SANITIZE (ASan/UBSan ctest; TSan lane +
+# serve-soak tests plus traced 2-lane fig10 runs at 1 and 4 drives so
+# the trace buffers and the drive array see real thread concurrency).
 #
 # Usage: scripts/verify.sh [--no-sanitize] [--no-perf-smoke]
 set -euo pipefail
@@ -65,6 +66,20 @@ if [[ "$run_perf_smoke" == 1 ]]; then
     diff -q bench/golden/fig10_tpch_drives4.txt \
         build/bench_out/fig10_drives4_lanes.txt
     echo "multi-drive: 4-drive golden match, serial == 2-lane"
+
+    echo
+    echo "=== serve pass: open-loop serving determinism ==="
+    # fig_serve fixes its own drive counts and ignores the lane/obs
+    # env, so one golden covers every environment; two fresh runs and
+    # a BISCUIT_LANES=2 run must all be byte-identical to it.
+    build/bench/fig_serve > build/bench_out/fig_serve_a.txt
+    diff -q bench/golden/fig_serve.txt build/bench_out/fig_serve_a.txt
+    build/bench/fig_serve > build/bench_out/fig_serve_b.txt
+    cmp build/bench_out/fig_serve_a.txt build/bench_out/fig_serve_b.txt
+    BISCUIT_LANES=2 BISCUIT_DRIVES=4 build/bench/fig_serve \
+        > build/bench_out/fig_serve_env.txt
+    cmp build/bench_out/fig_serve_a.txt build/bench_out/fig_serve_env.txt
+    echo "serve: golden match, two runs byte-identical, env-invariant"
 fi
 
 if [[ "$run_sanitized" == 1 ]]; then
@@ -88,7 +103,7 @@ if [[ "$run_sanitized" == 1 ]]; then
         -DCMAKE_BUILD_TYPE=RelWithDebInfo >/dev/null
     cmake --build build-tsan -j "$(nproc)"
     ctest --test-dir build-tsan --output-on-failure -j "$(nproc)" \
-        -R "SnapshotFork|LaneRunner"
+        -R "SnapshotFork|LaneRunner|ServeSoak"
     BISCUIT_LANES=2 BISCUIT_TRACE=build-tsan/fig10_trace.json \
         build-tsan/bench/fig10_tpch \
         > build-tsan/fig10_lanes.txt

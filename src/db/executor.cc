@@ -443,6 +443,31 @@ warmMinidbModule(MiniDb &db)
     loadMinidbModules(db);
 }
 
+Row
+pointLookup(MiniDb &db, Table &table, std::uint64_t row_index,
+            DbStats &stats)
+{
+    OpTimer timer(db, stats, "point_lookup");
+    BISC_ASSERT(row_index < table.rowCount(), "lookup of row ",
+                row_index, " beyond ", table.rowCount());
+    auto &host = db.host();
+    const Bytes page_size = table.pageSize();
+    const std::uint64_t page = row_index / table.rowsPerPage();
+    const std::uint32_t shard = table.shardOf(page);
+
+    std::vector<std::uint8_t> buf(page_size);
+    host.preadOn(shard, table.file(), table.localPage(page) * page_size,
+                 buf.data(), page_size);
+    host.consumeCpuPerByte(page_size, host.config().db_scan_ns_per_byte);
+    std::vector<Row> rows =
+        table.decodePage(buf.data(), page_size, page);
+    const std::uint64_t slot = row_index % table.rowsPerPage();
+    BISC_ASSERT(slot < rows.size(), "short page ", page, " in lookup");
+    ++stats.pages_to_host;
+    stats.rows_examined += rows.size();
+    return rows[slot];
+}
+
 std::uint64_t
 ndpSamplePages(MiniDb &db, Table &table, const pm::KeySet &keys,
                const std::vector<std::uint64_t> &pages, DbStats &stats)

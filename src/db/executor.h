@@ -52,6 +52,15 @@ ScanOutcome scanTable(MiniDb &db, Table &table, const ExprPtr &pred,
 void warmMinidbModule(MiniDb &db);
 
 /**
+ * Single-row point lookup: read the one page holding row
+ * @p row_index (routed to the shard that owns it), decode it and
+ * return the row. The OLTP-style request of the serving mix — one
+ * pread against one drive, host-side decode, no offload.
+ */
+Row pointLookup(MiniDb &db, Table &table, std::uint64_t row_index,
+                DbStats &stats);
+
+/**
  * Device-side sampling probe: stream @p pages through the channel
  * matchers configured with @p keys, returning how many matched.
  * Timed (this is the planner's "quick check").

@@ -181,35 +181,85 @@ RegisterSSDLet("grep", "idGrep", GrepLet);
 
 }  // namespace
 
+void
+installGrepModule(fs::FileSystem &fs)
+{
+    if (!fs.exists("/var/isc/slets/grep.slet")) {
+        rt::ModuleRegistry::global().installModuleFile(
+            fs, "/var/isc/slets/grep.slet", "grep");
+    }
+}
+
 GrepResult
-grepBiscuit(rt::Runtime &runtime, const std::string &path,
-            const std::string &pattern)
+grepBiscuitResident(rt::Runtime &runtime, rt::ModuleId mid,
+                    const std::string &path,
+                    const std::string &pattern)
 {
     auto &kernel = runtime.kernel();
     GrepResult result;
     Tick t0 = kernel.now();
 
     sisc::SSD ssd(runtime);
-    if (!runtime.fs().exists("/var/isc/slets/grep.slet")) {
-        rt::ModuleRegistry::global().installModuleFile(
-            runtime.fs(), "/var/isc/slets/grep.slet", "grep");
-    }
-    auto mid = ssd.loadModule(
-        sisc::File(ssd, "/var/isc/slets/grep.slet"));
-    {
-        sisc::Application app(ssd);
-        sisc::SSDLet grep(app, mid, "idGrep",
-                          std::make_tuple(slet::File(path), pattern));
-        auto port = app.connectTo<std::uint64_t>(grep.out(0));
-        app.start();
-        std::uint64_t count = 0;
-        while (port.get(count))
-            result.matches += count;
-        app.wait();
-        ssd.unloadModule(mid);
-    }
+    sisc::Application app(ssd);
+    sisc::SSDLet grep(app, mid, "idGrep",
+                      std::make_tuple(slet::File(path), pattern));
+    auto port = app.connectTo<std::uint64_t>(grep.out(0));
+    app.start();
+    std::uint64_t count = 0;
+    while (port.get(count))
+        result.matches += count;
+    app.wait();
+
     result.bytes_scanned = runtime.fs().size(path);
     result.elapsed = kernel.now() - t0;
+    return result;
+}
+
+GrepResult
+grepBiscuit(rt::Runtime &runtime, const std::string &path,
+            const std::string &pattern)
+{
+    auto &kernel = runtime.kernel();
+    Tick t0 = kernel.now();
+
+    sisc::SSD ssd(runtime);
+    installGrepModule(runtime.fs());
+    auto mid = ssd.loadModule(
+        sisc::File(ssd, "/var/isc/slets/grep.slet"));
+    GrepResult result = grepBiscuitResident(runtime, mid, path,
+                                            pattern);
+    ssd.unloadModule(mid);
+    result.elapsed = kernel.now() - t0;  // include load/unload
+    return result;
+}
+
+WordCountResult
+wordCount(HostSystem &host, std::uint32_t drive,
+          const std::string &path)
+{
+    WordCountResult result;
+    Tick t0 = host.kernel().now();
+    Bytes size = host.fsOf(drive).size(path);
+    bool in_word = false;
+    host.streamReadOn(
+        drive, path, 0, size, 1_MiB,
+        [&](Bytes off, const std::uint8_t *data, Bytes n) {
+            (void)off;
+            host.consumeCpuPerByte(n,
+                                   host.config().grep_ns_per_byte);
+            for (Bytes i = 0; i < n; ++i) {
+                const std::uint8_t c = data[i];
+                const bool space =
+                    c == ' ' || c == '\n' || c == '\t' || c == '\r';
+                if (c == '\n')
+                    ++result.lines;
+                if (!space && !in_word)
+                    ++result.words;
+                in_word = !space;
+            }
+            result.bytes_scanned += n;
+        });
+    result.elapsed = host.kernel().now() - t0;
     return result;
 }
 

@@ -63,10 +63,42 @@ GrepResult grepConv(HostSystem &host, const std::string &path,
 /**
  * NDP grep: load the grep SSDlet, stream the file through the
  * per-channel pattern matchers and count occurrences on the device;
- * only the final count crosses the host interface.
+ * only the final count crosses the host interface. Loads and unloads
+ * the grep module around the search — the one-shot benchmark shape.
  */
 GrepResult grepBiscuit(rt::Runtime &runtime, const std::string &path,
                        const std::string &pattern);
+
+/**
+ * NDP grep against an already-resident grep module @p mid (loaded
+ * once via rt::Runtime::loadModule and kept hot): only instantiation
+ * and the scan itself are charged. The serving tier uses this shape —
+ * a shared drive keeps its offload modules loaded across requests
+ * instead of paying the load/relocate cost per call.
+ */
+GrepResult grepBiscuitResident(rt::Runtime &runtime, rt::ModuleId mid,
+                               const std::string &path,
+                               const std::string &pattern);
+
+/** Install the grep .slet file on @p fs if absent (zero time). */
+void installGrepModule(fs::FileSystem &fs);
+
+struct WordCountResult
+{
+    std::uint64_t words = 0;
+    std::uint64_t lines = 0;
+    Bytes bytes_scanned = 0;
+    Tick elapsed = 0;
+};
+
+/**
+ * Host-side word count over one file of drive @p drive: stream the
+ * file with OS readahead and tally whitespace-delimited words and
+ * newlines on a host core. The streaming-analytics member of the
+ * serving mix's conventional (non-offloaded) jobs.
+ */
+WordCountResult wordCount(HostSystem &host, std::uint32_t drive,
+                          const std::string &path);
 
 }  // namespace bisc::host
 

@@ -1,8 +1,11 @@
 #include "obs/metrics.h"
 
+#include <algorithm>
 #include <atomic>
+#include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <utility>
 
 namespace bisc::obs {
 
@@ -124,6 +127,54 @@ MetricsRegistry::visit(
             fn(key, static_cast<double>(buckets[i]));
         }
     }
+}
+
+std::uint64_t
+Histogram::quantile(double q) const
+{
+    if (count_ == 0)
+        return 0;
+    if (q < 0.0)
+        q = 0.0;
+    if (q > 1.0)
+        q = 1.0;
+    // Nearest-rank target, computed in integers for determinism.
+    std::uint64_t target = static_cast<std::uint64_t>(
+        q * static_cast<double>(count_) + 0.9999999999);
+    if (target == 0)
+        target = 1;
+    std::uint64_t cum = 0;
+    for (std::size_t i = 0; i < counts_.size(); ++i) {
+        cum += counts_[i];
+        if (cum >= target)
+            return i < bounds_.size() ? bounds_[i] : bounds_.back();
+    }
+    return bounds_.back();
+}
+
+std::string
+snapshotString(const MetricsRegistry &reg, const std::string &prefix)
+{
+    std::vector<std::pair<std::string, double>> rows;
+    reg.visit([&](const std::string &name, double v) {
+        if (name.compare(0, prefix.size(), prefix) == 0)
+            rows.emplace_back(name, v);
+    });
+    std::sort(rows.begin(), rows.end());
+    std::string out;
+    char buf[64];
+    for (const auto &[name, v] : rows) {
+        double r = v < 0 ? -v : v;
+        if (r == static_cast<double>(static_cast<std::uint64_t>(r)))
+            std::snprintf(buf, sizeof(buf), "%.0f", v);
+        else
+            std::snprintf(buf, sizeof(buf), "%.17g", v);
+        out += name;
+        out += ' ';
+        out += buf;
+        out += '\n';
+    }
+    return out;
 }
 
 }  // namespace bisc::obs

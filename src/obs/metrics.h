@@ -120,6 +120,16 @@ class Histogram
 
     std::uint64_t count() const { return count_; }
     std::uint64_t sum() const { return sum_; }
+
+    /**
+     * Bucket-resolution quantile estimate: the upper bound of the
+     * first bucket at which the cumulative count reaches
+     * ceil(q * count). Overflow samples report the last bound (the
+     * histogram cannot resolve beyond it). Returns 0 on an empty
+     * histogram. Exact to within one bucket width — the resolution
+     * SLO dashboards get from any fixed-bucket histogram.
+     */
+    std::uint64_t quantile(double q) const;
     const std::vector<std::uint64_t> &bounds() const { return bounds_; }
     const std::vector<std::uint64_t> &buckets() const { return counts_; }
     const std::string &name() const { return name_; }
@@ -205,6 +215,16 @@ class MetricsRegistry
     std::map<std::string, std::unique_ptr<Counter>> counters_;
     std::map<std::string, std::unique_ptr<Histogram>> histograms_;
 };
+
+/**
+ * Deterministic text snapshot of every metric whose full name starts
+ * with @p prefix (empty = all): one "name value\n" line per visit()
+ * pair, already sorted by name. Integral values print without a
+ * decimal point. Byte-identical across runs of a deterministic
+ * workload — the serving soak tests diff these directly.
+ */
+std::string snapshotString(const MetricsRegistry &reg,
+                           const std::string &prefix = "");
 
 /**
  * RAII scope qualifier: appends @p scope to the registry's current

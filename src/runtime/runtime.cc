@@ -12,7 +12,8 @@ Runtime::Runtime(sim::Kernel &kernel, ssd::SsdDevice &device,
     : kernel_(kernel), device_(device), fs_(fs),
       metric_scope_(kernel.obs().metrics().scope()),
       system_alloc_("system", device.config().system_mem_bytes),
-      user_alloc_("user", device.config().user_mem_bytes)
+      user_alloc_("user", device.config().user_mem_bytes),
+      core_active_(device.coreCount(), 0)
 {}
 
 void
@@ -192,6 +193,10 @@ Runtime::startApp(AppId app_id)
         a.done->notifyAll();
         return;
     }
+    ++active_apps_;
+    if (active_apps_ > peak_active_apps_)
+        peak_active_apps_ = active_apps_;
+    ++core_active_[a.core];
     for (InstanceId iid : a.instances) {
         Instance *ins = instances_.at(iid).get();
         kernel_.spawn(
@@ -470,8 +475,11 @@ Runtime::finishInstance(Instance &ins)
     }
     App &a = app(ins.app);
     --a.running;
-    if (a.running == 0)
+    if (a.running == 0) {
+        --active_apps_;
+        --core_active_[a.core];
         a.done->notifyAll();
+    }
 }
 
 }  // namespace bisc::rt

@@ -102,6 +102,21 @@ class Runtime
     /** The device core the application is pinned to. */
     sim::Server &coreOf(AppId app);
 
+    // ----- Load accounting (admission control reads these) -----
+
+    /** Applications currently started and not yet finished. */
+    std::uint32_t activeApps() const { return active_apps_; }
+
+    /** High-water mark of activeApps() over the runtime's lifetime. */
+    std::uint32_t peakActiveApps() const { return peak_active_apps_; }
+
+    /** Active applications pinned to device core @p core. */
+    std::uint32_t
+    activeOnCore(std::uint32_t core) const
+    {
+        return core < core_active_.size() ? core_active_[core] : 0;
+    }
+
     // ----- Port wiring -----
 
     /** Inter-SSDlet connection within one application. */
@@ -194,6 +209,10 @@ class Runtime
     AppId next_app_ = 1;
     InstanceId next_instance_ = 1;
     std::uint32_t next_core_ = 0;
+
+    std::uint32_t active_apps_ = 0;
+    std::uint32_t peak_active_apps_ = 0;
+    std::vector<std::uint32_t> core_active_;
 };
 
 }  // namespace bisc::rt

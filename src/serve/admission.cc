@@ -1,0 +1,184 @@
+#include "serve/admission.h"
+
+#include <limits>
+
+namespace bisc::serve {
+
+namespace {
+
+/**
+ * Stride-scheduling unit. Large enough that kStrideUnit / weight
+ * stays meaningfully distinct across weights up to ~10^6.
+ */
+constexpr std::uint64_t kStrideUnit = 1ull << 20;
+
+}  // namespace
+
+AdmissionController::AdmissionController(
+    sim::Kernel &kernel, AdmissionConfig cfg,
+    std::vector<TenantConfig> tenants, std::uint32_t drive_count)
+    : kernel_(kernel), cfg_(cfg), cores_used_(drive_count, 0),
+      dram_used_(drive_count, 0)
+{
+    BISC_ASSERT(drive_count >= 1, "admission over zero drives");
+    BISC_ASSERT(!tenants.empty(), "admission without tenants");
+    auto &reg = kernel_.obs().metrics();
+    tenants_.resize(tenants.size());
+    for (std::size_t k = 0; k < tenants.size(); ++k) {
+        Tenant &t = tenants_[k];
+        t.cfg = std::move(tenants[k]);
+        t.stride = t.cfg.weight == 0 ? 0 : kStrideUnit / t.cfg.weight;
+        const std::string base =
+            "serve.tenant" + std::to_string(k) + ".";
+        t.admitted_ctr = &reg.counter(base + "admitted", "jobs");
+        t.rejected_ctr = &reg.counter(base + "rejected", "jobs");
+        t.infeasible_ctr = &reg.counter(base + "infeasible", "jobs");
+        t.wait_hist = &reg.histogram(base + "admission_wait", "ns");
+        t.depth_hist =
+            &reg.histogram(base + "queue_depth", "jobs",
+                           obs::Histogram::depthBounds());
+    }
+}
+
+bool
+AdmissionController::feasible(const Demand &demand) const
+{
+    if (demand.drive_span == 0 || demand.cores == 0)
+        return false;
+    if (demand.first_drive >= driveCount() ||
+        demand.drive_span > driveCount() - demand.first_drive)
+        return false;
+    return demand.cores <= cfg_.core_slots_per_drive &&
+           demand.dram <= cfg_.dram_budget_per_drive;
+}
+
+bool
+AdmissionController::fits(const Demand &demand) const
+{
+    for (std::uint32_t d = demand.first_drive;
+         d < demand.first_drive + demand.drive_span; ++d) {
+        if (cores_used_[d] + demand.cores > cfg_.core_slots_per_drive)
+            return false;
+        if (dram_used_[d] + demand.dram > cfg_.dram_budget_per_drive)
+            return false;
+    }
+    return true;
+}
+
+void
+AdmissionController::reserve(const Demand &demand)
+{
+    for (std::uint32_t d = demand.first_drive;
+         d < demand.first_drive + demand.drive_span; ++d) {
+        cores_used_[d] += demand.cores;
+        dram_used_[d] += demand.dram;
+    }
+}
+
+void
+AdmissionController::dispatch()
+{
+    for (;;) {
+        // The schedulable tenant with the lowest (pass, index). Index
+        // as tie-break keeps the order deterministic when weights are
+        // equal and passes collide.
+        Tenant *next = nullptr;
+        for (auto &t : tenants_) {
+            if (t.queue.empty() || t.cfg.weight == 0)
+                continue;
+            if (next == nullptr || t.pass < next->pass)
+                next = &t;
+        }
+        if (next == nullptr)
+            return;
+        Pending &head = *next->queue.front();
+        if (!fits(head.demand))
+            return;  // strict head-of-line: nothing overtakes
+        reserve(head.demand);
+        next->pass += next->stride;
+        head.granted = true;
+        head.wake.notifyOne();
+        next->queue.pop_front();
+    }
+}
+
+Status
+AdmissionController::acquire(std::uint32_t tenant,
+                             const Demand &demand)
+{
+    Tenant &t = tenants_.at(tenant);
+    if (!feasible(demand) || t.cfg.weight == 0) {
+        ++t.infeasible;
+        t.infeasible_ctr->add();
+        return Status::error(
+            ErrCode::kInfeasible,
+            "tenant " + t.cfg.name + " demand " +
+                std::to_string(demand.cores) + " cores / " +
+                std::to_string(demand.dram) + " B x " +
+                std::to_string(demand.drive_span) +
+                " drives exceeds budget");
+    }
+    if (t.queue.size() >= cfg_.max_queue_depth) {
+        ++t.rejected;
+        t.rejected_ctr->add();
+        return Status::error(ErrCode::kAdmissionReject,
+                             "tenant " + t.cfg.name +
+                                 " queue full at depth " +
+                                 std::to_string(t.queue.size()));
+    }
+
+    const Tick enqueued = kernel_.now();
+    Pending p(kernel_);
+    p.demand = demand;
+    t.queue.push_back(&p);
+    t.depth_hist->record(t.queue.size());
+
+    // A freshly idle tenant starts at the scheduler's current virtual
+    // time, not at the pass it left off long ago — otherwise a tenant
+    // that sat idle would burst ahead of everyone on return.
+    if (t.queue.size() == 1) {
+        std::uint64_t floor = std::numeric_limits<std::uint64_t>::max();
+        bool any = false;
+        for (const auto &other : tenants_) {
+            if (&other != &t && !other.queue.empty() &&
+                other.cfg.weight != 0) {
+                floor = other.pass < floor ? other.pass : floor;
+                any = true;
+            }
+        }
+        if (any && t.pass < floor)
+            t.pass = floor;
+    }
+
+    // The grant may happen inside this dispatch() (no one ahead of us
+    // and resources free) or from a later release(); the granted flag
+    // covers the already-granted case so we never sleep through our
+    // own wake-up.
+    dispatch();
+    if (!p.granted)
+        p.wake.wait();
+    BISC_ASSERT(p.granted, "admission wake without grant");
+
+    ++t.admitted;
+    t.admitted_ctr->add();
+    t.wait_hist->record(kernel_.now() - enqueued);
+    return Status();
+}
+
+void
+AdmissionController::release(std::uint32_t tenant,
+                             const Demand &demand)
+{
+    (void)tenant;
+    for (std::uint32_t d = demand.first_drive;
+         d < demand.first_drive + demand.drive_span; ++d) {
+        BISC_ASSERT(cores_used_[d] >= demand.cores &&
+                        dram_used_[d] >= demand.dram,
+                    "release without matching acquire on drive ", d);
+        cores_used_[d] -= demand.cores;
+        dram_used_[d] -= demand.dram;
+    }
+    dispatch();
+}
+
+}  // namespace bisc::serve

@@ -1,0 +1,222 @@
+/**
+ * @file
+ * Admission control for concurrent offload serving.
+ *
+ * The Biscuit runtime will happily start any number of applications —
+ * device cores are cooperative and the user allocator simply fails an
+ * allocation when DRAM runs out. Neither behavior is acceptable for a
+ * *served* drive shared by tenants: an offload that dies mid-flight on
+ * a failed allocation wastes the device work already spent, and a
+ * burst from one tenant can monopolize every core slot. The
+ * AdmissionController sits in front of the submission path and makes
+ * both failure modes impossible by policy:
+ *
+ *  - every offload declares its resource demand up front (core slots
+ *    and device-DRAM bytes per drive, over a contiguous drive span);
+ *  - demand that exceeds the per-drive budget outright is refused with
+ *    ErrCode::kInfeasible — no amount of waiting can admit it;
+ *  - demand that does not currently fit waits in its tenant's queue;
+ *    when the tenant's queue is at its depth limit the request is
+ *    turned away with ErrCode::kAdmissionReject (typed Status, never a
+ *    crash — the caller decides whether to retry);
+ *  - queued requests are dispatched by *stride scheduling* over tenant
+ *    weights with strict head-of-line order: the schedulable tenant
+ *    with the lowest pass value goes first, and if its head request
+ *    does not fit, nothing behind it dispatches until resources free
+ *    up. Strictness costs some utilization but buys the starvation
+ *    freedom the property tests assert: a nonzero-weight tenant's head
+ *    request is never overtaken forever.
+ *
+ * Everything is driven by the sim clock and the kernel's deterministic
+ * FIFO Waiter wake order, so a fixed (seed, clients, drives) tuple
+ * admits, queues and rejects identically run after run.
+ */
+
+#ifndef BISCUIT_SERVE_ADMISSION_H_
+#define BISCUIT_SERVE_ADMISSION_H_
+
+#include <cstdint>
+#include <deque>
+#include <string>
+#include <vector>
+
+#include "obs/metrics.h"
+#include "sim/kernel.h"
+#include "util/common.h"
+#include "util/status.h"
+
+namespace bisc::serve {
+
+/**
+ * Declared resource demand of one offload: @p cores core slots and
+ * @p dram bytes of device DRAM on *each* drive of the contiguous span
+ * [first_drive, first_drive + drive_span). A sharded TPC-H scan spans
+ * every drive; a grep offload spans one.
+ */
+struct Demand
+{
+    std::uint32_t cores = 1;
+    Bytes dram = 0;
+    std::uint32_t first_drive = 0;
+    std::uint32_t drive_span = 1;
+};
+
+/** Per-drive budgets and queueing limits the controller enforces. */
+struct AdmissionConfig
+{
+    /**
+     * Concurrent offload core slots per drive. Matches the device's
+     * core count by default (ssd::SsdConfig::device_cores): one
+     * resident offload application per core keeps the cooperative
+     * scheduler's queueing honest without over-subscribing.
+     */
+    std::uint32_t core_slots_per_drive = 2;
+
+    /**
+     * Device DRAM the controller may promise to offloads, per drive.
+     * A policy number deliberately below the user allocator's real
+     * arena so admitted offloads cannot hit an allocation failure.
+     */
+    Bytes dram_budget_per_drive = 1_MiB;
+
+    /** Per-tenant queue depth limit; beyond it requests are rejected. */
+    std::uint32_t max_queue_depth = 64;
+};
+
+/** One tenant of the served system. */
+struct TenantConfig
+{
+    std::string name;
+    std::uint32_t weight = 1;  ///< stride-scheduling share (0 = never)
+};
+
+/**
+ * Weighted-fair admission over the drives of one array. All methods
+ * must be called from fibers of the controller's kernel; acquire()
+ * blocks the calling fiber while its request is queued.
+ */
+class AdmissionController
+{
+  public:
+    AdmissionController(sim::Kernel &kernel, AdmissionConfig cfg,
+                        std::vector<TenantConfig> tenants,
+                        std::uint32_t drive_count);
+
+    AdmissionController(const AdmissionController &) = delete;
+    AdmissionController &operator=(const AdmissionController &) = delete;
+
+    std::uint32_t tenantCount() const
+    {
+        return static_cast<std::uint32_t>(tenants_.size());
+    }
+
+    std::uint32_t driveCount() const
+    {
+        return static_cast<std::uint32_t>(cores_used_.size());
+    }
+
+    const AdmissionConfig &config() const { return cfg_; }
+
+    /**
+     * Request admission for @p demand on behalf of @p tenant. Returns
+     * OK once the demand's core slots and DRAM are reserved on every
+     * drive of its span (possibly after blocking in the tenant queue),
+     * kInfeasible if the demand can never fit the configured budgets,
+     * or kAdmissionReject if the tenant's queue is full. The caller
+     * owns the reservation until it calls release() with the same
+     * demand.
+     */
+    Status acquire(std::uint32_t tenant, const Demand &demand);
+
+    /** Return an acquire()d reservation and dispatch queued work. */
+    void release(std::uint32_t tenant, const Demand &demand);
+
+    // ----- introspection (property tests, reports) -----
+
+    std::uint32_t coresInUse(std::uint32_t drive) const
+    {
+        return cores_used_.at(drive);
+    }
+
+    Bytes dramInUse(std::uint32_t drive) const
+    {
+        return dram_used_.at(drive);
+    }
+
+    std::uint32_t queueDepth(std::uint32_t tenant) const
+    {
+        return static_cast<std::uint32_t>(
+            tenants_.at(tenant).queue.size());
+    }
+
+    std::uint64_t admitted(std::uint32_t tenant) const
+    {
+        return tenants_.at(tenant).admitted;
+    }
+
+    std::uint64_t rejected(std::uint32_t tenant) const
+    {
+        return tenants_.at(tenant).rejected;
+    }
+
+    std::uint64_t infeasible(std::uint32_t tenant) const
+    {
+        return tenants_.at(tenant).infeasible;
+    }
+
+  private:
+    /**
+     * One queued acquire() call, woken exactly once when granted.
+     * Lives on the acquiring fiber's stack (the frame outlives its
+     * queue entry by construction — acquire() returns only after the
+     * grant), so the queue holds plain pointers.
+     */
+    struct Pending
+    {
+        explicit Pending(sim::Kernel &kernel) : wake(kernel) {}
+        Demand demand;
+        sim::Waiter wake;
+        bool granted = false;
+    };
+
+    struct Tenant
+    {
+        TenantConfig cfg;
+        std::deque<Pending *> queue;
+        std::uint64_t pass = 0;    ///< stride-scheduler virtual time
+        std::uint64_t stride = 0;  ///< kStrideUnit / weight
+        std::uint64_t admitted = 0;
+        std::uint64_t rejected = 0;
+        std::uint64_t infeasible = 0;
+        obs::Counter *admitted_ctr = nullptr;
+        obs::Counter *rejected_ctr = nullptr;
+        obs::Counter *infeasible_ctr = nullptr;
+        obs::Histogram *wait_hist = nullptr;   ///< admission_wait, ns
+        obs::Histogram *depth_hist = nullptr;  ///< queue_depth at enqueue
+    };
+
+    /** True if @p demand fits the budgets with nothing else running. */
+    bool feasible(const Demand &demand) const;
+
+    /** True if @p demand fits what is free right now. */
+    bool fits(const Demand &demand) const;
+
+    /** Reserve @p demand's resources (must fit). */
+    void reserve(const Demand &demand);
+
+    /**
+     * Grant queued requests while the globally next tenant's head
+     * request fits; strict head-of-line order (see file comment).
+     */
+    void dispatch();
+
+    sim::Kernel &kernel_;
+    AdmissionConfig cfg_;
+    std::vector<Tenant> tenants_;
+    std::vector<std::uint32_t> cores_used_;  ///< per drive
+    std::vector<Bytes> dram_used_;           ///< per drive
+};
+
+}  // namespace bisc::serve
+
+#endif  // BISCUIT_SERVE_ADMISSION_H_

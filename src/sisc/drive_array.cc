@@ -72,4 +72,18 @@ DriveArray::DriveArray(sim::Kernel &kernel,
     }
 }
 
+DriveLoad
+DriveArray::loadOf(std::uint32_t k) const
+{
+    const Drive &d = *drives_.at(k);
+    rt::Runtime &rt = const_cast<Drive &>(d).runtime;
+    DriveLoad load;
+    load.active_apps = rt.activeApps();
+    load.device_cores = d.device.config().device_cores;
+    load.user_mem_used = rt.userAllocator().used();
+    load.user_mem_capacity = rt.userAllocator().capacity();
+    load.system_mem_used = rt.systemAllocator().used();
+    return load;
+}
+
 }  // namespace bisc::sisc

@@ -63,6 +63,22 @@ struct Drive
     rt::Runtime runtime;
 };
 
+/**
+ * Point-in-time resource load of one drive, as admission control and
+ * ops tooling see it: how many offloaded applications are live on the
+ * drive's cores and how much of its DRAM budget the runtime has
+ * handed out. Purely observational — reading it never perturbs
+ * simulated timing.
+ */
+struct DriveLoad
+{
+    std::uint32_t active_apps = 0;   ///< started, unfinished apps
+    std::uint32_t device_cores = 0;  ///< cores the drive schedules on
+    Bytes user_mem_used = 0;         ///< user-allocator bytes in use
+    Bytes user_mem_capacity = 0;     ///< user-allocator arena size
+    Bytes system_mem_used = 0;       ///< system-allocator bytes in use
+};
+
 class DriveArray
 {
   public:
@@ -93,6 +109,9 @@ class DriveArray
     const Drive &drive(std::uint32_t k) const { return *drives_.at(k); }
 
     sim::Kernel &kernel() { return kernel_; }
+
+    /** Current resource load of drive @p k (see DriveLoad). */
+    DriveLoad loadOf(std::uint32_t k) const;
 
     /**
      * The fault seed drive @p k of an array configured with @p cfg

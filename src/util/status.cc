@@ -16,6 +16,10 @@ errName(ErrCode code)
         return "erase-fail";
     case ErrCode::kNoSpace:
         return "no-space";
+    case ErrCode::kAdmissionReject:
+        return "admission-reject";
+    case ErrCode::kInfeasible:
+        return "infeasible";
     }
     return "unknown";
 }

@@ -32,6 +32,20 @@ enum class ErrCode {
 
     /** No space left to remap/allocate (device out of good blocks). */
     kNoSpace,
+
+    /**
+     * Admission control turned the request away: the tenant's queue is
+     * at its depth limit (or the controller is shedding load). The
+     * request was never granted resources; retrying later may succeed.
+     */
+    kAdmissionReject,
+
+    /**
+     * The request's declared resource demand exceeds the configured
+     * device core/DRAM budget outright — no amount of waiting can
+     * admit it.
+     */
+    kInfeasible,
 };
 
 /** Short stable name of an error code ("ok", "uncorrectable", ...). */

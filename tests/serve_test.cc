@@ -1,0 +1,175 @@
+/**
+ * @file
+ * Deterministic soak tests of the serving tier (ISSUE: the test
+ * archetype's tentpole gate). The claims under test:
+ *
+ *  1. Run-to-run identity: the same (seed, clients, drives) tuple
+ *     produces byte-identical event logs, metric snapshots and
+ *     latency figures on two independently constructed systems.
+ *  2. Lane identity: the same serving workload run on lanes forked
+ *     from a frozen device image — including two lanes on concurrent
+ *     OS threads via host::LaneRunner, the TSan-covered path —
+ *     reproduces the primary run byte-for-byte.
+ *  3. Aggregate drive-count invariance: result rows, lookup keys,
+ *     grep matches and word counts are identical on a 1-drive and a
+ *     4-drive array (per-job latencies legitimately differ).
+ *  4. Saturation never crashes: a burst far beyond the admission
+ *     budgets completes with typed rejects only.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "db/minidb.h"
+#include "host/host_system.h"
+#include "host/lane_runner.h"
+#include "serve/serve.h"
+#include "sisc/device_image.h"
+#include "sisc/env.h"
+#include "ssd/config.h"
+
+namespace bisc {
+namespace {
+
+serve::ServeConfig
+soakConfig()
+{
+    serve::ServeConfig cfg;
+    cfg.clients = 8;
+    cfg.jobs_per_client = 4;
+    return cfg;
+}
+
+/** Field-by-field identity check with readable failure output. */
+void
+expectSameReport(const serve::ServeReport &a,
+                 const serve::ServeReport &b)
+{
+    EXPECT_EQ(a.event_log, b.event_log);
+    EXPECT_EQ(a.event_hash, b.event_hash);
+    EXPECT_EQ(a.metrics_snapshot, b.metrics_snapshot);
+    EXPECT_EQ(a.makespan, b.makespan);
+    EXPECT_EQ(a.submitted, b.submitted);
+    EXPECT_EQ(a.completed, b.completed);
+    EXPECT_EQ(a.rejected, b.rejected);
+    ASSERT_EQ(a.tenants.size(), b.tenants.size());
+    for (std::size_t k = 0; k < a.tenants.size(); ++k) {
+        EXPECT_EQ(a.tenants[k].p50, b.tenants[k].p50) << "tenant " << k;
+        EXPECT_EQ(a.tenants[k].p99, b.tenants[k].p99) << "tenant " << k;
+        EXPECT_EQ(a.tenants[k].p999, b.tenants[k].p999)
+            << "tenant " << k;
+    }
+}
+
+TEST(ServeSoak, TwoFreshRunsAreByteIdentical)
+{
+    const serve::ServeConfig cfg = soakConfig();
+
+    sisc::Env env1(ssd::defaultConfig(), 4);
+    serve::ServeReport r1 = serve::runServe(env1, cfg);
+
+    sisc::Env env2(ssd::defaultConfig(), 4);
+    serve::ServeReport r2 = serve::runServe(env2, cfg);
+
+    ASSERT_FALSE(r1.event_log.empty());
+    EXPECT_GT(r1.completed, 0u);
+    expectSameReport(r1, r2);
+}
+
+TEST(ServeSoak, ForkedLanesReproduceThePrimaryRun)
+{
+    const serve::ServeConfig cfg = soakConfig();
+
+    // Freeze the populated-but-cold system: the image holds the
+    // tables, web logs and .slet files, but no module has loaded yet,
+    // so a forked lane pays the warm-up exactly where the primary
+    // does.
+    sisc::Env env(ssd::defaultConfig(), 4);
+    host::HostSystem host(env.array);
+    db::MiniDb db(env, host);
+    const serve::ServeCatalog cat =
+        serve::populateServeData(host, db, cfg);
+    const sim::DeviceImage image = sisc::freezeDeviceImage(env);
+
+    serve::ServeReport primary;
+    env.run([&] { primary = serve::serveMain(db, cfg, cat); });
+
+    // Two lanes on concurrent OS threads (the TSan-covered shape),
+    // regardless of BISCUIT_LANES; each forks its own system.
+    const unsigned lanes =
+        host::lanesFromEnv() > 2 ? host::lanesFromEnv() : 2;
+    std::vector<serve::ServeReport> lane_reports(lanes);
+    host::LaneRunner runner(lanes);
+    runner.run(lanes, [&](std::size_t i) {
+        lane_reports[i] = serve::runServeForked(image, cat, cfg);
+    });
+
+    for (unsigned i = 0; i < lanes; ++i) {
+        SCOPED_TRACE("lane " + std::to_string(i));
+        expectSameReport(primary, lane_reports[i]);
+    }
+}
+
+TEST(ServeSoak, AggregatesAreDriveCountInvariant)
+{
+    serve::ServeConfig cfg = soakConfig();
+    // Deep queues: every offload is admitted on both topologies, so
+    // the offload aggregates are workload properties, not timing
+    // properties. (Reject *decisions* depend on queue occupancy at
+    // submit time, which legitimately differs with drive count.)
+    cfg.admission.max_queue_depth = 64;
+
+    sisc::Env one(ssd::defaultConfig(), 1);
+    serve::ServeReport r1 = serve::runServe(one, cfg);
+
+    sisc::Env four(ssd::defaultConfig(), 4);
+    serve::ServeReport r4 = serve::runServe(four, cfg);
+
+    EXPECT_EQ(r1.submitted, r4.submitted);
+    EXPECT_EQ(r1.lookup_sum, r4.lookup_sum);
+    EXPECT_EQ(r1.wordcount_words, r4.wordcount_words);
+    EXPECT_EQ(r1.rejected, 0u);
+    EXPECT_EQ(r4.rejected, 0u);
+    EXPECT_EQ(r1.tpch_rows, r4.tpch_rows);
+    EXPECT_EQ(r1.grep_matches, r4.grep_matches);
+}
+
+TEST(ServeSoak, SaturationRejectsTypedAndNeverCrashes)
+{
+    serve::ServeConfig cfg = soakConfig();
+    cfg.clients = 12;
+    cfg.jobs_per_client = 6;
+    cfg.mean_interarrival = 200 * kUsec;  // 10x the default rate
+    cfg.admission.max_queue_depth = 1;
+
+    sisc::Env env(ssd::defaultConfig(), 2);
+    serve::ServeReport rep = serve::runServe(env, cfg);
+
+    EXPECT_EQ(rep.submitted,
+              static_cast<std::uint64_t>(cfg.clients) *
+                  cfg.jobs_per_client);
+    EXPECT_EQ(rep.completed + rep.rejected, rep.submitted);
+    EXPECT_GT(rep.rejected, 0u);
+    // Typed rejects surface in the event log with the status name.
+    EXPECT_NE(rep.event_log.find("admission-reject"),
+              std::string::npos);
+    // Rejects never leak admission reservations: the run drained, so
+    // every completed offload released its slots (a leak would have
+    // deadlocked the run before this point).
+}
+
+TEST(ServeSoak, ConfigFromEnvironment)
+{
+    if (std::getenv("BISCUIT_CLIENTS") != nullptr ||
+        std::getenv("BISCUIT_SERVE_SEED") != nullptr)
+        GTEST_SKIP() << "serve env overrides set in this environment";
+    serve::ServeConfig def = serve::serveConfigFromEnv();
+    EXPECT_EQ(def.clients, serve::ServeConfig{}.clients);
+    EXPECT_EQ(def.seed, serve::ServeConfig{}.seed);
+}
+
+}  // namespace
+}  // namespace bisc
