@@ -94,24 +94,41 @@ printOpBreakdown(const std::vector<bisc::tpch::QueryRun> &runs)
     std::fprintf(stderr, "%-5s %-8s", "query", "mode");
     for (const char *op : ops)
         std::fprintf(stderr, " %10s", op);
-    std::fprintf(stderr, "\n");
+    std::fprintf(stderr, " %-9s %8s %8s\n", "placement", "est_sel",
+                 "meas_sel");
+
+    // Selectivity column: percent, or "-" when the path never ran
+    // (est_sel needs histogram planning, meas_sel needs a scan).
+    auto sel = [](double v) {
+        static thread_local char buf[16];
+        if (v < 0.0)
+            return "       -";
+        std::snprintf(buf, sizeof(buf), "%7.1f%%", v * 100.0);
+        return static_cast<const char *>(buf);
+    };
 
     std::map<std::string, Tick> totals[2];
     for (const auto &r : runs) {
-        const bisc::db::DbStats *stats[2] = {&r.conv.stats,
-                                             &r.biscuit.stats};
+        const bisc::tpch::QueryOutcome *qo[2] = {&r.conv, &r.biscuit};
         static const char *const mode[2] = {"conv", "biscuit"};
         for (int m = 0; m < 2; ++m) {
             std::fprintf(stderr, "Q%-4d %-8s", r.number, mode[m]);
             for (const char *op : ops) {
-                auto it = stats[m]->op_ticks.find(op);
-                Tick t = it == stats[m]->op_ticks.end() ? 0
-                                                        : it->second;
+                auto it = qo[m]->stats.op_ticks.find(op);
+                Tick t = it == qo[m]->stats.op_ticks.end()
+                             ? 0
+                             : it->second;
                 totals[m][op] += t;
                 std::fprintf(stderr, " %10.2f",
                              static_cast<double>(t) / 1e6);
             }
-            std::fprintf(stderr, "\n");
+            std::fprintf(stderr, " %-9s",
+                         m == 0 ? "host"
+                                : (qo[m]->ndp_used ? "device"
+                                                   : "host"));
+            std::fprintf(stderr, " %s", sel(qo[m]->est_selectivity));
+            std::fprintf(stderr, " %s\n",
+                         sel(qo[m]->measured_selectivity));
         }
     }
     for (int m = 0; m < 2; ++m) {

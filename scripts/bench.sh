@@ -42,6 +42,7 @@ benches=(
     fig10_tpch
     fig_scaleout
     fig_serve
+    fig_prune
 )
 
 out_dir="$build_dir/bench_out"
@@ -193,6 +194,18 @@ serve_p99_json=$(awk '/^--- 4 drives ---/ { s = 1; next }
     s && $2 ~ /^[0-9]+$/ && $1 !~ /^[0-9]/ {
         printf "%s\"%s\": %s", sep, $1, $7; sep=", "
     }' "$out_dir/fig_serve.txt")
+# Headline pruning figures: the most selective predicate's 1-drive
+# rows (statistics off vs on) from the fig_prune transcript — pages
+# touched and the simulated scan-time cut.
+prune_json=$(awk '
+    $1 == "1" && $2 == "off" && !off { ms_f = $3; pg_f = $4; off = 1 }
+    $1 == "1" && $2 == "on"  && !on  { ms_p = $3; pg_p = $4;
+                                       cut = $5; on = 1 }
+    END { gsub(/x$/, "", cut);
+          printf "\"scan_ms_full\": %s, \"scan_ms_pruned\": %s, ", ms_f, ms_p;
+          printf "\"pages_full\": %s, \"pages_pruned\": %s, ", pg_f, pg_p;
+          printf "\"sim_cut\": %s", cut
+    }' "$out_dir/fig_prune.txt")
 serve_jobs_json=$(awk '/^--- 4 drives ---/ { s = 1 }
     s && /^jobs:/ {
         gsub(/;/, "", $6);
@@ -222,7 +235,8 @@ serve_jobs_json=$(awk '/^--- 4 drives ---/ { s = 1 }
     echo "    \"table3_read_latency_us\": \"$table3_line\","
     echo "    \"fig10_suite\": \"$fig10_summary\","
     echo "    \"fig_scaleout\": {$scaleout_json},"
-    echo "    \"fig_serve\": {$serve_jobs_json, \"tenant_p99_us\": {$serve_p99_json}}"
+    echo "    \"fig_serve\": {$serve_jobs_json, \"tenant_p99_us\": {$serve_p99_json}},"
+    echo "    \"fig_prune_one_day_1drive\": {$prune_json}"
     echo "  }"
     echo "}"
 } > "$out_file"

@@ -6,7 +6,9 @@
 # must load, two runs must be byte-identical), a multi-drive pass
 # (fig10 at BISCUIT_DRIVES=4 against its own golden — same rows and
 # planner decisions, scale-out timing), a serve pass (fig_serve vs its
-# golden, two-run byte-identity, lane/drive env invariance), then
+# golden, two-run byte-identity, lane/drive env invariance), a prune
+# pass (fig_prune vs its golden — statistics-driven scans must return
+# the baseline's rows byte-identically while reading fewer pages), then
 # sanitizer builds via BISCUIT_SANITIZE (ASan/UBSan ctest; TSan lane +
 # serve-soak tests plus traced 2-lane fig10 runs at 1 and 4 drives so
 # the trace buffers and the drive array see real thread concurrency).
@@ -80,6 +82,21 @@ if [[ "$run_perf_smoke" == 1 ]]; then
         > build/bench_out/fig_serve_env.txt
     cmp build/bench_out/fig_serve_a.txt build/bench_out/fig_serve_env.txt
     echo "serve: golden match, two runs byte-identical, env-invariant"
+
+    echo
+    echo "=== prune pass: statistics-driven scan pruning ==="
+    # fig_prune exits non-zero unless rows stay byte-identical across
+    # planner modes and drive counts; its transcript must match the
+    # golden, repeat byte-for-byte, and ignore the lane/obs/drive env
+    # (the bench fixes its own drive counts).
+    build/bench/fig_prune > build/bench_out/fig_prune_a.txt
+    diff -q bench/golden/fig_prune.txt build/bench_out/fig_prune_a.txt
+    build/bench/fig_prune > build/bench_out/fig_prune_b.txt
+    cmp build/bench_out/fig_prune_a.txt build/bench_out/fig_prune_b.txt
+    BISCUIT_OBS=0 BISCUIT_LANES=2 BISCUIT_DRIVES=4 build/bench/fig_prune \
+        > build/bench_out/fig_prune_env.txt
+    cmp build/bench_out/fig_prune_a.txt build/bench_out/fig_prune_env.txt
+    echo "prune: golden match, two runs byte-identical, env-invariant"
 fi
 
 if [[ "$run_sanitized" == 1 ]]; then

@@ -10,6 +10,7 @@
 #include <unordered_set>
 
 #include "db/planner.h"
+#include "db/stats.h"
 #include "runtime/module.h"
 #include "sisc/application.h"
 #include "sisc/file.h"
@@ -169,6 +170,80 @@ class ScanFilterLet
     }
 };
 
+/**
+ * Run-list scan/filter SSDlet of the "minidb_prune" module: like
+ * ScanFilterLet, but streams only the requested page runs — flattened
+ * (first, count) local-page pairs, the host planner's zone-map prune.
+ * Excluded runs are never touched: no IP control time, no channel
+ * stream-through, no flash reads.
+ *
+ * A separate SSDlet (and module) rather than a new argument on
+ * ScanFilterLet because a module's image size — and therefore its
+ * timed load — tracks its SSDlets' footprints; growing the baseline
+ * scan SSDlet would shift every pre-statistics transcript.
+ */
+class ScanFilterRunsLet
+    : public slet::SSDLet<
+          slet::In<>, slet::Out<Packet>,
+          slet::Arg<slet::File, std::vector<std::string>,
+                    std::uint64_t, std::vector<std::uint64_t>>>
+{
+  public:
+    void
+    run() override
+    {
+        auto &file = arg<0>();
+        const auto &key_strings = arg<1>();
+        std::uint64_t page_size = arg<2>();
+        const auto &runs = arg<3>();  // (first, count)* local pages
+
+        pm::KeySet keys;
+        for (const auto &k : key_strings) {
+            bool ok = keys.addKey(k);
+            BISC_ASSERT(ok, "scan key rejected by matcher: ", k);
+        }
+
+        Packet batch;
+        std::uint32_t batched = 0;
+        batch.put<std::uint32_t>(0);  // patched before send
+
+        auto flush = [&] {
+            if (batched == 0)
+                return;
+            Packet framed;
+            framed.put<std::uint32_t>(batched);
+            framed.putBytes(batch.data() + sizeof(std::uint32_t),
+                            batch.size() - sizeof(std::uint32_t));
+            out<0>().put(std::move(framed));
+            batch.clear();
+            batch.put<std::uint32_t>(0);
+            batched = 0;
+        };
+
+        // Matches arrive inline in issue order (runs ascend, offsets
+        // ascend within a run), so batch contents are deterministic;
+        // the tokens carry the device-time completion ticks.
+        auto on_match = [&](Bytes off, const std::uint8_t *data,
+                            Bytes len) {
+            batch.put<std::uint64_t>(off / page_size);
+            batch.put<std::uint32_t>(static_cast<std::uint32_t>(len));
+            batch.putBytes(data, len);
+            if (++batched >= kPagesPerBatch)
+                flush();
+        };
+        std::vector<slet::File::Async> inflight;
+        inflight.reserve(runs.size() / 2);
+        for (std::size_t r = 0; r + 1 < runs.size(); r += 2) {
+            inflight.push_back(file.scanMatched(runs[r] * page_size,
+                                                runs[r + 1] * page_size,
+                                                keys, on_match));
+        }
+        for (auto &token : inflight)
+            token.wait();
+        flush();
+    }
+};
+
 /** Sampling probe: match a handful of pages, return the hit count. */
 class SampleLet
     : public slet::SSDLet<
@@ -209,6 +284,7 @@ class SampleLet
 
 RegisterSSDLet("minidb", "idScanFilter", ScanFilterLet);
 RegisterSSDLet("minidb", "idSample", SampleLet);
+RegisterSSDLet("minidb_prune", "idScanFilterRuns", ScanFilterRunsLet);
 
 /**
  * Lazily install and load the minidb module on every drive of the
@@ -237,6 +313,33 @@ loadMinidbModules(MiniDb &db)
     }
     db.minidb_module = db.minidb_drive_modules[0];
     db.minidb_module_loaded = true;
+}
+
+/**
+ * Lazily install and load the "minidb_prune" module (the run-list
+ * scan SSDlet) on every drive; first pruned offload pays the load,
+ * exactly like loadMinidbModules for the baseline module.
+ */
+void
+loadPruneModules(MiniDb &db)
+{
+    if (db.prune_module_loaded)
+        return;
+    std::uint32_t drives = db.host().driveCount();
+    db.prune_drive_modules.clear();
+    db.prune_drive_modules.reserve(drives);
+    for (std::uint32_t d = 0; d < drives; ++d) {
+        sisc::SSD ssd(db.env().array.drive(d).runtime);
+        auto &fs = ssd.runtime().fs();
+        if (!fs.exists("/var/isc/slets/minidb_prune.slet")) {
+            rt::ModuleRegistry::global().installModuleFile(
+                fs, "/var/isc/slets/minidb_prune.slet",
+                "minidb_prune");
+        }
+        db.prune_drive_modules.push_back(ssd.loadModule(
+            sisc::File(ssd, "/var/isc/slets/minidb_prune.slet")));
+    }
+    db.prune_module_loaded = true;
 }
 
 /**
@@ -328,7 +431,49 @@ keyStrings(const pm::KeySet &keys)
     return keys.keys();
 }
 
-/** Conventional scan: stream the whole table to the host. */
+/**
+ * Zone-map prune of @p table for this scan, when the statistics
+ * layer is enabled and applicable. pruned=false leaves both scan
+ * paths on their historical full-table code, tick for tick.
+ */
+struct ScanPrune
+{
+    PrunePlan plan;
+    bool pruned = false;
+};
+
+ScanPrune
+scanPrune(MiniDb &db, Table &table, const ExprPtr &pred)
+{
+    ScanPrune sp;
+    if (!db.planner.use_stats || !pred || !table.stats())
+        return sp;
+    sp.plan = planPrune(table, *pred);
+    sp.pruned = sp.plan.usable &&
+                sp.plan.pages_selected < sp.plan.pages_total;
+    return sp;
+}
+
+/** Prune bookkeeping: DbStats counters + db.prune.* obs counters. */
+void
+notePrune(MiniDb &db, DbStats &stats, const PrunePlan &plan)
+{
+    stats.prune_chunks_considered += plan.chunks_considered;
+    stats.prune_chunks_skipped += plan.chunks_skipped;
+    stats.prune_pages_skipped +=
+        plan.pages_total - plan.pages_selected;
+    OBS_COUNT(db.env().kernel.obs().metrics().counter(
+                  "db.prune.chunks_considered", "chunks"),
+              plan.chunks_considered);
+    OBS_COUNT(db.env().kernel.obs().metrics().counter(
+                  "db.prune.chunks_skipped", "chunks"),
+              plan.chunks_skipped);
+    OBS_COUNT(db.env().kernel.obs().metrics().counter(
+                  "db.prune.pages_skipped", "pages"),
+              plan.pages_total - plan.pages_selected);
+}
+
+/** Conventional scan: stream the (possibly pruned) table to host. */
 ScanOutcome
 convScan(MiniDb &db, Table &table, const ExprPtr &pred,
          DbStats &stats)
@@ -338,36 +483,64 @@ convScan(MiniDb &db, Table &table, const ExprPtr &pred,
     auto &host = db.host();
     const Bytes page_size = table.pageSize();
     const std::uint32_t nshards = table.shardCount();
+    const ScanPrune sp = scanPrune(db, table, pred);
 
     // One streaming pass per shard (drives stream concurrently); the
     // fan-out collects (global page, rows) fragments that the merge
-    // below restores to global page order.
+    // below restores to global page order. A pruned scan issues one
+    // stream per surviving page run instead — the window callback is
+    // oblivious, since stream offsets are absolute file offsets.
+    std::uint64_t matched_pages = 0;
     std::vector<std::vector<PageRows>> per_shard(nshards);
+    auto onWindow = [&](std::uint32_t s, Bytes off,
+                        const std::uint8_t *data, Bytes len) {
+        host.consumeCpuPerByte(len,
+                               host.config().db_scan_ns_per_byte);
+        for (Bytes p = 0; p < len; p += page_size) {
+            std::uint64_t page_idx =
+                table.globalPage(s, (off + p) / page_size);
+            Bytes n = std::min(page_size, len - p);
+            // Filter on the packed slots; materialize a Row
+            // only for matches.
+            PageRows pr;
+            pr.page = page_idx;
+            collectMatches(table, pred, data + p, n, page_idx,
+                           pr.rows, stats);
+            if (!pr.rows.empty()) {
+                ++matched_pages;
+                per_shard[s].push_back(std::move(pr));
+            }
+        }
+    };
     forEachShard(db, table, "db.convscan", [&](std::uint32_t s) {
-        Bytes size = table.shardPageCount(s) * page_size;
-        host.streamReadOn(
-            s, table.file(), 0, size, 1_MiB,
-            [&, s](Bytes off, const std::uint8_t *data, Bytes len) {
-                host.consumeCpuPerByte(
-                    len, host.config().db_scan_ns_per_byte);
-                for (Bytes p = 0; p < len; p += page_size) {
-                    std::uint64_t page_idx =
-                        table.globalPage(s, (off + p) / page_size);
-                    Bytes n = std::min(page_size, len - p);
-                    // Filter on the packed slots; materialize a Row
-                    // only for matches.
-                    PageRows pr;
-                    pr.page = page_idx;
-                    collectMatches(table, pred, data + p, n, page_idx,
-                                   pr.rows, stats);
-                    if (!pr.rows.empty())
-                        per_shard[s].push_back(std::move(pr));
-                }
-            });
+        if (!sp.pruned) {
+            Bytes size = table.shardPageCount(s) * page_size;
+            host.streamReadOn(
+                s, table.file(), 0, size, 1_MiB,
+                [&, s](Bytes off, const std::uint8_t *data,
+                       Bytes len) { onWindow(s, off, data, len); });
+            return;
+        }
+        for (const auto &[first, count] :
+             shardPruneRuns(table, sp.plan, s)) {
+            host.streamReadOn(
+                s, table.file(), first * page_size,
+                count * page_size, 1_MiB,
+                [&, s](Bytes off, const std::uint8_t *data,
+                       Bytes len) { onWindow(s, off, data, len); });
+        }
     });
     mergePageRows(std::move(per_shard), out.rows);
-    stats.pages_to_host += table.pageCount();
+    if (sp.plan.usable)
+        notePrune(db, stats, sp.plan);
+    stats.pages_to_host +=
+        sp.pruned ? sp.plan.pages_selected : table.pageCount();
     ++stats.conv_scans;
+    if (table.pageCount() > 0) {
+        out.measured_selectivity =
+            static_cast<double>(matched_pages) /
+            static_cast<double>(table.pageCount());
+    }
     out.note = out.note.empty() ? "conventional scan" : out.note;
     return out;
 }
@@ -382,23 +555,46 @@ ndpScan(MiniDb &db, Table &table, const ExprPtr &pred,
     out.used_ndp = true;
     auto &host = db.host();
     const Bytes page_size = table.pageSize();
+    const ScanPrune sp = scanPrune(db, table, pred);
 
     loadMinidbModules(db);
+    if (sp.pruned)
+        loadPruneModules(db);
 
     // One scan/filter SSDlet per shard, each on its own drive: the
-    // SSDlet streams the shard's file (local page space) through that
-    // drive's channel matchers while the host drains each drive on a
+    // SSDlet streams the shard's surviving page runs (local page
+    // space; the whole shard when unpruned) through that drive's
+    // channel matchers while the host drains each drive on a
     // dedicated fiber. The merge restores global page order.
+    std::uint64_t shipped_pages = 0;
     std::vector<std::vector<PageRows>> per_shard(table.shardCount());
     forEachShard(db, table, "db.ndpscan", [&](std::uint32_t s) {
         sisc::SSD ssd(db.env().array.drive(s).runtime);
         sisc::Application app(ssd);
-        sisc::SSDLet scan(
-            app, db.minidb_drive_modules[s], "idScanFilter",
-            std::make_tuple(slet::File(table.file()),
-                            keyStrings(keys),
-                            static_cast<std::uint64_t>(page_size),
-                            table.shardPageCount(s)));
+        auto makeScan = [&] {
+            if (!sp.pruned) {
+                // The historical full-shard SSDlet, tick for tick.
+                return sisc::SSDLet(
+                    app, db.minidb_drive_modules[s], "idScanFilter",
+                    std::make_tuple(
+                        slet::File(table.file()), keyStrings(keys),
+                        static_cast<std::uint64_t>(page_size),
+                        table.shardPageCount(s)));
+            }
+            std::vector<std::uint64_t> runs;
+            for (const auto &[first, count] :
+                 shardPruneRuns(table, sp.plan, s)) {
+                runs.push_back(first);
+                runs.push_back(count);
+            }
+            return sisc::SSDLet(
+                app, db.prune_drive_modules[s], "idScanFilterRuns",
+                std::make_tuple(slet::File(table.file()),
+                                keyStrings(keys),
+                                static_cast<std::uint64_t>(page_size),
+                                runs));
+        };
+        sisc::SSDLet scan = makeScan();
         auto port = app.connectTo<Packet>(scan.out(0));
         app.start();
 
@@ -425,13 +621,22 @@ ndpScan(MiniDb &db, Table &table, const ExprPtr &pred,
                 if (!pr.rows.empty())
                     per_shard[s].push_back(std::move(pr));
                 ++stats.pages_to_host;
+                ++shipped_pages;
             }
         }
         app.wait();
     });
     mergePageRows(std::move(per_shard), out.rows);
-    stats.pages_scanned_device += table.pageCount();
+    if (sp.plan.usable)
+        notePrune(db, stats, sp.plan);
+    stats.pages_scanned_device +=
+        sp.pruned ? sp.plan.pages_selected : table.pageCount();
     ++stats.ndp_scans;
+    if (table.pageCount() > 0) {
+        out.measured_selectivity =
+            static_cast<double>(shipped_pages) /
+            static_cast<double>(table.pageCount());
+    }
     return out;
 }
 
@@ -441,6 +646,11 @@ void
 warmMinidbModule(MiniDb &db)
 {
     loadMinidbModules(db);
+    // Statistics mode also ships the run-list scan module; warm it in
+    // the same breath so lane replays place the one-time load outside
+    // their measurement windows just like the baseline module.
+    if (db.planner.use_stats)
+        loadPruneModules(db);
 }
 
 Row
@@ -466,6 +676,100 @@ pointLookup(MiniDb &db, Table &table, std::uint64_t row_index,
     ++stats.pages_to_host;
     stats.rows_examined += rows.size();
     return rows[slot];
+}
+
+bool
+pointLookupByKey(MiniDb &db, Table &table, int key_col,
+                 std::int64_t key, Row *out, DbStats &stats)
+{
+    OpTimer timer(db, stats, "point_lookup");
+    auto &host = db.host();
+    const Schema &schema = table.schema();
+    BISC_ASSERT(schema.at(static_cast<std::size_t>(key_col)).type ==
+                    Type::Int64,
+                "keyed lookup needs an Int64 column");
+    const Bytes page_size = table.pageSize();
+    const Bytes row_width = schema.rowWidth();
+    const Bytes key_off =
+        schema.offsetOf(static_cast<std::size_t>(key_col));
+
+    std::vector<std::uint8_t> buf(page_size);
+    auto probePage = [&](std::uint64_t page) {
+        host.preadOn(table.shardOf(page), table.file(),
+                     table.localPage(page) * page_size, buf.data(),
+                     page_size);
+        host.consumeCpuPerByte(page_size,
+                               host.config().db_scan_ns_per_byte);
+        ++stats.pages_to_host;
+        const std::uint64_t n = table.rowsInPage(page);
+        stats.rows_examined += n;
+        for (std::uint64_t i = 0; i < n; ++i) {
+            std::int64_t v;
+            std::memcpy(&v, buf.data() + i * row_width + key_off, 8);
+            if (v == key) {
+                *out = schema.decodeRow(buf.data() + i * row_width);
+                return true;
+            }
+        }
+        return false;
+    };
+
+    std::shared_ptr<const TableStats> ts = table.stats();
+    if (!ts) {
+        for (std::uint64_t p = 0; p < table.pageCount(); ++p) {
+            if (probePage(p))
+                return true;
+        }
+        return false;
+    }
+
+    // Zone maps route the probe: page runs whose [min, max] excludes
+    // the key are never read. Inside a candidate chunk, guess the
+    // page as if keys were dense ascending (exact for o_orderkey);
+    // fall back to scanning the chunk when the guess misses.
+    std::uint64_t considered = 0, skipped = 0, pages_skipped = 0;
+    bool found = false;
+    for (const ChunkStats &chunk : ts->chunks) {
+        ++considered;
+        const ColumnZone &z =
+            chunk.cols.at(static_cast<std::size_t>(key_col));
+        const double k = static_cast<double>(key);
+        if (k < z.num_min || k > z.num_max) {
+            ++skipped;
+            pages_skipped += chunk.page_count;
+            continue;
+        }
+        const std::uint64_t guess =
+            chunk.first_page +
+            std::min<std::uint64_t>(
+                chunk.page_count - 1,
+                static_cast<std::uint64_t>(k - z.num_min) /
+                    table.rowsPerPage());
+        if (probePage(guess)) {
+            found = true;
+            break;
+        }
+        for (std::uint64_t p = chunk.first_page;
+             p < chunk.first_page + chunk.page_count && !found; ++p) {
+            if (p != guess)
+                found = probePage(p);
+        }
+        if (found)
+            break;
+    }
+    stats.prune_chunks_considered += considered;
+    stats.prune_chunks_skipped += skipped;
+    stats.prune_pages_skipped += pages_skipped;
+    OBS_COUNT(db.env().kernel.obs().metrics().counter(
+                  "db.prune.chunks_considered", "chunks"),
+              considered);
+    OBS_COUNT(db.env().kernel.obs().metrics().counter(
+                  "db.prune.chunks_skipped", "chunks"),
+              skipped);
+    OBS_COUNT(db.env().kernel.obs().metrics().counter(
+                  "db.prune.pages_skipped", "pages"),
+              pages_skipped);
+    return found;
 }
 
 std::uint64_t
@@ -505,21 +809,49 @@ ndpSamplePages(MiniDb &db, Table &table, const pm::KeySet &keys,
     return matched;
 }
 
+namespace {
+
+/** Percent-bucket layout for the db.prune.*_sel_pct histograms. */
+std::vector<std::uint64_t>
+selPctBounds()
+{
+    return {1, 2, 5, 10, 20, 35, 50, 75, 100};
+}
+
+/** Record predicted-vs-measured page selectivity (observability). */
+void
+noteSelectivity(MiniDb &db, const ScanOutcome &out)
+{
+    if (out.est_selectivity >= 0.0) {
+        OBS_HIST(db.env().kernel.obs().metrics().histogram(
+                     "db.prune.est_sel_pct", "%", selPctBounds()),
+                 static_cast<std::uint64_t>(out.est_selectivity *
+                                            100.0));
+    }
+    if (out.measured_selectivity >= 0.0) {
+        OBS_HIST(db.env().kernel.obs().metrics().histogram(
+                     "db.prune.meas_sel_pct", "%", selPctBounds()),
+                 static_cast<std::uint64_t>(out.measured_selectivity *
+                                            100.0));
+    }
+}
+
+}  // namespace
+
 ScanOutcome
 scanTable(MiniDb &db, Table &table, const ExprPtr &pred,
           EngineMode mode, DbStats &stats)
 {
     if (mode == EngineMode::Biscuit) {
         PlanDecision d = decideOffload(db, table, pred, stats);
-        if (d.offload) {
-            ScanOutcome out = ndpScan(db, table, pred, d.keys, stats);
-            out.sampled_selectivity = d.sampled_selectivity;
-            out.note = d.note;
-            return out;
-        }
-        ScanOutcome out = convScan(db, table, pred, stats);
+        ScanOutcome out = d.offload
+                              ? ndpScan(db, table, pred, d.keys, stats)
+                              : convScan(db, table, pred, stats);
         out.sampled_selectivity = d.sampled_selectivity;
+        out.est_selectivity = d.est_selectivity;
         out.note = d.note;
+        if (db.planner.use_stats)
+            noteSelectivity(db, out);
         return out;
     }
     return convScan(db, table, pred, stats);

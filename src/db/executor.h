@@ -30,6 +30,19 @@ struct ScanOutcome
     std::vector<Row> rows;
     bool used_ndp = false;
     double sampled_selectivity = -1.0;  ///< -1: sampling not run
+
+    /** Planner's histogram estimate of page selectivity; -1 if none. */
+    double est_selectivity = -1.0;
+
+    /**
+     * Measured page selectivity of this scan: on the NDP path the
+     * fraction of pages the device shipped (key matches, what the
+     * offload threshold governs); on the conventional path the
+     * fraction of pages holding at least one predicate-satisfying
+     * row. -1 on an empty table.
+     */
+    double measured_selectivity = -1.0;
+
     std::string note;                   ///< planner decision trace
 };
 
@@ -59,6 +72,17 @@ void warmMinidbModule(MiniDb &db);
  */
 Row pointLookup(MiniDb &db, Table &table, std::uint64_t row_index,
                 DbStats &stats);
+
+/**
+ * Keyed point lookup on an Int64 column: zone maps (when the table
+ * carries statistics) route the probe to the chunks whose [min, max]
+ * can contain @p key, skipping every other page run outright — for a
+ * dense ascending key (o_orderkey) the in-chunk offset guess makes it
+ * a single pread. Without statistics the lookup degrades to a
+ * front-to-back page scan. Returns false when no row carries @p key.
+ */
+bool pointLookupByKey(MiniDb &db, Table &table, int key_col,
+                      std::int64_t key, Row *out, DbStats &stats);
 
 /**
  * Device-side sampling probe: stream @p pages through the channel

@@ -6,6 +6,7 @@
 #include <utility>
 
 #include "db/executor.h"
+#include "db/stats.h"
 #include "host/host_system.h"
 #include "host/lane_runner.h"
 #include "obs/obs.h"
@@ -79,6 +80,10 @@ runLane(const sim::DeviceImage &image, const Catalog &cat,
     ldb.planner = cat.planner;
     for (const auto &t : cat.tables)
         ldb.attachShardedTable(t.name, t.schema, t.rows, t.shards);
+    // Table statistics are frozen with the image (attach constructors
+    // never rebuild them), so every lane prunes and estimates exactly
+    // like the primary run.
+    adoptTableStats(ldb, image);
     ldb.selectivity_stats = setup.preseed_stats;
 
     env.run([&] {
@@ -113,7 +118,8 @@ runLaneSuite(sisc::Env &env, MiniDb &db,
     }
 
     const Catalog cat = captureCatalog(db);
-    const sim::DeviceImage image = sisc::freezeDeviceImage(env);
+    sim::DeviceImage image = sisc::freezeDeviceImage(env);
+    exportTableStats(db, image);
     const std::size_t njobs = jobs.size();
 
     // Wave 1: every job warm-loaded over an empty statistics cache,

@@ -43,6 +43,15 @@ struct PlannerConfig
     /** Pages probed by the quick sampling check. */
     std::uint32_t sample_pages = 24;
 
+    /**
+     * Use the statistics layer (db/stats.h): zone-map scan pruning on
+     * both datapaths, and histogram selectivity estimates in place of
+     * the timed sampling probe (which stays the fallback for columns
+     * without histograms). Off by default — the paper-figure benches
+     * model the paper's sampling-based planner.
+     */
+    bool use_stats = false;
+
     /** Tables smaller than this are not worth offloading. */
     Bytes min_table_bytes = 1_MiB;
 
@@ -62,6 +71,12 @@ struct DbStats
     std::uint64_t rows_examined = 0;
     std::uint64_t ndp_scans = 0;
     std::uint64_t conv_scans = 0;
+
+    // Zone-map pruning (populated only when PlannerConfig::use_stats
+    // routes a scan or keyed lookup through the statistics layer).
+    std::uint64_t prune_chunks_considered = 0;
+    std::uint64_t prune_chunks_skipped = 0;
+    std::uint64_t prune_pages_skipped = 0;
     Tick elapsed = 0;
 
     /**
@@ -196,6 +211,16 @@ class MiniDb
      * the scan/sample SSDlets.
      */
     std::vector<std::uint64_t> minidb_drive_modules;
+
+    /**
+     * Per-drive module ids of the "minidb_prune" module, the run-list
+     * scan SSDlet used by statistics-pruned offloads. A separate
+     * module so the baseline "minidb" image stays byte-identical (its
+     * load time is part of the no-stats golden transcripts); loaded
+     * lazily on the first pruned offload.
+     */
+    std::vector<std::uint64_t> prune_drive_modules;
+    bool prune_module_loaded = false;
 
     /**
      * Sampled page-selectivity statistics, keyed by table + key set.

@@ -1,8 +1,10 @@
 #include "db/planner.h"
 
+#include <algorithm>
 #include <cstdio>
 
 #include "db/executor.h"
+#include "db/stats.h"
 
 namespace bisc::db {
 
@@ -33,6 +35,61 @@ decideOffload(MiniDb &db, Table &table, const ExprPtr &pred,
         return d;
     }
     d.keys = kd.keys;
+
+    // Statistics-first estimate: histograms give the row selectivity,
+    // zone maps bound the fraction of pages any row can live on; a
+    // page matches when any of its rows does, so the page selectivity
+    // is at most min(zone page fraction, row selectivity x rows per
+    // page). No simulated time is spent — the statistics were built
+    // at load. Predicates without histogram coverage fall through to
+    // the paper's timed sampling probe.
+    std::shared_ptr<const TableStats> ts = table.stats();
+    if (cfg.use_stats && ts) {
+        SelEstimate est =
+            estimateRowSelectivity(*pred, table.schema(), *ts);
+        if (est.known) {
+            PrunePlan plan = planPrune(table, *pred);
+            const double zone_frac =
+                plan.pages_total == 0
+                    ? 1.0
+                    : static_cast<double>(plan.pages_selected) /
+                          static_cast<double>(plan.pages_total);
+            const double row_pages = std::min(
+                1.0, est.sel * static_cast<double>(
+                                   table.rowsPerPage()));
+            d.est_selectivity = std::min(zone_frac, row_pages);
+            d.from_stats = true;
+
+            char sbuf[128];
+            if (d.est_selectivity > cfg.page_selectivity_threshold) {
+                std::snprintf(sbuf, sizeof(sbuf),
+                              "stats advise against offload (est "
+                              "page selectivity %.2f > %.2f, row "
+                              "selectivity %.4f)",
+                              d.est_selectivity,
+                              cfg.page_selectivity_threshold,
+                              est.sel);
+                d.note = sbuf;
+                return d;
+            }
+            std::snprintf(sbuf, sizeof(sbuf),
+                          "offloaded (histogram est page "
+                          "selectivity %.2f, row selectivity %.4f, "
+                          "zones keep %llu/%llu chunks)",
+                          d.est_selectivity, est.sel,
+                          static_cast<unsigned long long>(
+                              plan.chunks_considered -
+                              plan.chunks_skipped),
+                          static_cast<unsigned long long>(
+                              plan.chunks_considered));
+            d.note = sbuf;
+            d.offload = true;
+            OBS_INSTANT(db.env().kernel.obs(), "db", "offload",
+                        static_cast<std::int64_t>(
+                            d.est_selectivity * 100.0));
+            return d;
+        }
+    }
 
     // Quick check: probe evenly spread pages through the matchers.
     // Results are cached per (table, key set), like persistent

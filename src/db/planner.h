@@ -24,13 +24,22 @@ struct PlanDecision
     bool offload = false;
     pm::KeySet keys;
     double sampled_selectivity = -1.0;  ///< -1: sampling not reached
+
+    /** Histogram-estimated page selectivity; -1 when not derived. */
+    double est_selectivity = -1.0;
+
+    /** True when the decision came from statistics, not sampling. */
+    bool from_stats = false;
+
     std::string note;  ///< human-readable decision trace
 };
 
 /**
  * Decide whether the scan of @p table with @p pred should be pushed
- * down to the SSD. Runs the timed sampling probe when the static
- * checks pass.
+ * down to the SSD. With PlannerConfig::use_stats and table
+ * statistics present, selectivity is estimated from the histograms
+ * (untimed — the statistics already exist); the timed sampling probe
+ * remains the fallback for predicates no histogram covers.
  */
 PlanDecision decideOffload(MiniDb &db, Table &table,
                            const ExprPtr &pred, DbStats &stats);

@@ -1,0 +1,598 @@
+#include "db/stats.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "db/minidb.h"
+
+namespace bisc::db {
+
+namespace {
+
+bool
+isTextColumn(const Schema &s, int column)
+{
+    Type t = s.at(static_cast<std::size_t>(column)).type;
+    return t == Type::String || t == Type::Date;
+}
+
+/** Text column bytes up to NUL/width (rawText semantics). */
+std::string_view
+slotText(const std::uint8_t *slot, const Schema &s, std::size_t column)
+{
+    const Column &c = s.at(column);
+    const char *p =
+        reinterpret_cast<const char *>(slot + s.offsetOf(column));
+    Bytes n = 0;
+    while (n < c.width && p[n] != '\0')
+        ++n;
+    return {p, n};
+}
+
+double
+slotNumber(const std::uint8_t *slot, const Schema &s,
+           std::size_t column)
+{
+    const std::uint8_t *src = slot + s.offsetOf(column);
+    if (s.at(column).type == Type::Int64) {
+        std::int64_t v;
+        std::memcpy(&v, src, 8);
+        return static_cast<double>(v);
+    }
+    double v;
+    std::memcpy(&v, src, 8);
+    return v;
+}
+
+bool
+looksLikeDate(std::string_view t)
+{
+    return t.size() == 10 && t[4] == '-' && t[7] == '-';
+}
+
+/**
+ * Numeric-domain value of predicate constant @p v against column
+ * @p column (Date columns map through dateToDays). False when the
+ * constant is not representable in the column's histogram domain.
+ */
+bool
+predValueToDouble(const Schema &s, int column, const Value &v,
+                  double *out)
+{
+    Type t = s.at(static_cast<std::size_t>(column)).type;
+    if (t == Type::Date) {
+        const auto *str = std::get_if<std::string>(&v);
+        if (str == nullptr || !looksLikeDate(*str))
+            return false;
+        *out = static_cast<double>(dateToDays(*str));
+        return true;
+    }
+    if (t == Type::Int64 || t == Type::Double) {
+        if (const auto *i = std::get_if<std::int64_t>(&v)) {
+            *out = static_cast<double>(*i);
+            return true;
+        }
+        if (const auto *d = std::get_if<double>(&v)) {
+            *out = *d;
+            return true;
+        }
+    }
+    return false;
+}
+
+double
+clamp01(double v)
+{
+    return std::min(1.0, std::max(0.0, v));
+}
+
+/** Zone test of one comparison against [min, max]. */
+template <class T>
+bool
+zoneCmpHolds(CmpOp op, const T &min, const T &max, const T &v)
+{
+    switch (op) {
+      case CmpOp::Eq: return min <= v && v <= max;
+      case CmpOp::Ne: return !(min == max && min == v);
+      case CmpOp::Lt: return min < v;
+      case CmpOp::Le: return min <= v;
+      case CmpOp::Gt: return max > v;
+      case CmpOp::Ge: return max >= v;
+    }
+    return true;
+}
+
+/**
+ * The leading literal segment of a LIKE pattern (empty when the
+ * pattern starts with '%').
+ */
+std::string
+likePrefix(const std::string &pattern)
+{
+    std::string p;
+    for (char c : pattern) {
+        if (c == '%')
+            break;
+        p.push_back(c);
+    }
+    return p;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------
+// Histograms
+// ---------------------------------------------------------------------
+
+double
+EqualWidthHistogram::estimateLe(double v) const
+{
+    if (total == 0)
+        return 0.0;
+    if (hi <= lo)
+        return v >= lo ? 1.0 : 0.0;
+    if (v < lo)
+        return 0.0;
+    if (v >= hi)
+        return 1.0;
+    const double width =
+        (hi - lo) / static_cast<double>(buckets.size());
+    std::size_t b = std::min(
+        buckets.size() - 1, static_cast<std::size_t>((v - lo) / width));
+    double cum = 0.0;
+    for (std::size_t i = 0; i < b; ++i)
+        cum += static_cast<double>(buckets[i]);
+    const double bucket_lo = lo + static_cast<double>(b) * width;
+    const double frac = clamp01((v - bucket_lo) / width);
+    cum += static_cast<double>(buckets[b]) * frac;
+    return clamp01(cum / static_cast<double>(total));
+}
+
+double
+EqualWidthHistogram::estimateEq(double v) const
+{
+    if (total == 0)
+        return 0.0;
+    if (hi <= lo)
+        return v == lo ? 1.0 : 0.0;
+    if (v < lo || v > hi)
+        return 0.0;
+    const double width =
+        (hi - lo) / static_cast<double>(buckets.size());
+    std::size_t b = std::min(
+        buckets.size() - 1, static_cast<std::size_t>((v - lo) / width));
+    // Uniform spread over the bucket's distinct values; integral
+    // domains (keys, dates, quantities) have ~width of them. For
+    // continuous domains this overestimates — the conservative
+    // direction for an offload decision.
+    const double distinct = std::max(1.0, width);
+    return clamp01(static_cast<double>(buckets[b]) /
+                   static_cast<double>(total) / distinct);
+}
+
+double
+EqualWidthHistogram::estimateRange(double a, double b) const
+{
+    if (b < a)
+        return 0.0;
+    return clamp01(estimateLe(b) - estimateLe(a) + estimateEq(a));
+}
+
+// ---------------------------------------------------------------------
+// Construction
+// ---------------------------------------------------------------------
+
+std::shared_ptr<const TableStats>
+buildTableStats(const Table &table)
+{
+    const Schema &s = table.schema();
+    const std::size_t ncols = s.size();
+    const Bytes page_size = table.pageSize();
+    const Bytes row_width = s.rowWidth();
+
+    auto st = std::make_shared<TableStats>();
+    st->row_count = table.rowCount();
+    st->page_count = table.pageCount();
+    st->hists.resize(ncols);
+
+    // Which columns have a numeric histogram domain, and how slot
+    // bytes map into it.
+    auto numericDomain = [&](std::size_t c, const std::uint8_t *slot,
+                             double *out) {
+        switch (s.at(c).type) {
+          case Type::Int64:
+          case Type::Double:
+            *out = slotNumber(slot, s, c);
+            return true;
+          case Type::Date: {
+            std::string_view t = slotText(slot, s, c);
+            if (!looksLikeDate(t))
+                return false;
+            *out = static_cast<double>(dateToDays(std::string(t)));
+            return true;
+          }
+          case Type::String:
+            return false;
+        }
+        return false;
+    };
+
+    // Pass 1: per-chunk zone maps plus each column's global numeric
+    // domain (the histogram's [lo, hi]).
+    std::vector<double> dom_lo(ncols, 0.0), dom_hi(ncols, 0.0);
+    std::vector<bool> dom_seen(ncols, false);
+    std::vector<std::uint8_t> page(page_size);
+    for (std::uint64_t p = 0; p < st->page_count; ++p) {
+        if (p % kPagesPerChunk == 0) {
+            ChunkStats chunk;
+            chunk.first_page = p;
+            chunk.cols.resize(ncols);
+            st->chunks.push_back(std::move(chunk));
+        }
+        ChunkStats &chunk = st->chunks.back();
+        ++chunk.page_count;
+
+        table.shardFs(table.shardOf(p))
+            .peek(table.file(), table.localPage(p) * page_size,
+                  page_size, page.data());
+        const std::uint64_t n = table.rowsInPage(p);
+        for (std::uint64_t i = 0; i < n; ++i) {
+            const std::uint8_t *slot = page.data() + i * row_width;
+            const bool first = chunk.row_count == 0;
+            ++chunk.row_count;
+            for (std::size_t c = 0; c < ncols; ++c) {
+                ColumnZone &z = chunk.cols[c];
+                if (isTextColumn(s, static_cast<int>(c))) {
+                    std::string_view t = slotText(slot, s, c);
+                    if (first || t < z.str_min)
+                        z.str_min.assign(t);
+                    if (first || t > z.str_max)
+                        z.str_max.assign(t);
+                } else {
+                    double v = slotNumber(slot, s, c);
+                    if (first || v < z.num_min)
+                        z.num_min = v;
+                    if (first || v > z.num_max)
+                        z.num_max = v;
+                }
+                double d;
+                if (numericDomain(c, slot, &d)) {
+                    if (!dom_seen[c] || d < dom_lo[c])
+                        dom_lo[c] = d;
+                    if (!dom_seen[c] || d > dom_hi[c])
+                        dom_hi[c] = d;
+                    dom_seen[c] = true;
+                }
+            }
+        }
+    }
+
+    // Pass 2: equal-width histogram fill over the global domains.
+    for (std::size_t c = 0; c < ncols; ++c) {
+        if (!dom_seen[c])
+            continue;
+        st->hists[c].lo = dom_lo[c];
+        st->hists[c].hi = dom_hi[c];
+        st->hists[c].buckets.assign(kHistogramBuckets, 0);
+    }
+    for (std::uint64_t p = 0; p < st->page_count; ++p) {
+        table.shardFs(table.shardOf(p))
+            .peek(table.file(), table.localPage(p) * page_size,
+                  page_size, page.data());
+        const std::uint64_t n = table.rowsInPage(p);
+        for (std::uint64_t i = 0; i < n; ++i) {
+            const std::uint8_t *slot = page.data() + i * row_width;
+            for (std::size_t c = 0; c < ncols; ++c) {
+                EqualWidthHistogram &h = st->hists[c];
+                if (h.buckets.empty())
+                    continue;
+                double v;
+                if (!numericDomain(c, slot, &v))
+                    continue;
+                std::size_t b = 0;
+                if (h.hi > h.lo) {
+                    const double width =
+                        (h.hi - h.lo) /
+                        static_cast<double>(h.buckets.size());
+                    b = std::min(h.buckets.size() - 1,
+                                 static_cast<std::size_t>(
+                                     (v - h.lo) / width));
+                }
+                ++h.buckets[b];
+                ++h.total;
+            }
+        }
+    }
+    return st;
+}
+
+// ---------------------------------------------------------------------
+// Zone-map satisfiability
+// ---------------------------------------------------------------------
+
+bool
+zoneCanMatch(const Expr &e, const Schema &schema,
+             const ChunkStats &chunk)
+{
+    switch (e.kind) {
+      case Expr::Kind::Cmp: {
+        const ColumnZone &z =
+            chunk.cols.at(static_cast<std::size_t>(e.column));
+        if (isTextColumn(schema, e.column)) {
+            const auto *v = std::get_if<std::string>(&e.value);
+            if (v == nullptr)
+                return true;
+            return zoneCmpHolds(e.op, z.str_min, z.str_max, *v);
+        }
+        double v;
+        if (!predValueToDouble(schema, e.column, e.value, &v))
+            return true;
+        return zoneCmpHolds(e.op, z.num_min, z.num_max, v);
+      }
+      case Expr::Kind::Between: {
+        const ColumnZone &z =
+            chunk.cols.at(static_cast<std::size_t>(e.column));
+        if (isTextColumn(schema, e.column)) {
+            const auto *lo = std::get_if<std::string>(&e.lo);
+            const auto *hi = std::get_if<std::string>(&e.hi);
+            if (lo == nullptr || hi == nullptr)
+                return true;
+            return z.str_min <= *hi && z.str_max >= *lo;
+        }
+        double lo, hi;
+        if (!predValueToDouble(schema, e.column, e.lo, &lo) ||
+            !predValueToDouble(schema, e.column, e.hi, &hi))
+            return true;
+        return z.num_min <= hi && z.num_max >= lo;
+      }
+      case Expr::Kind::In: {
+        const ColumnZone &z =
+            chunk.cols.at(static_cast<std::size_t>(e.column));
+        for (const Value &v : e.set) {
+            if (isTextColumn(schema, e.column)) {
+                const auto *t = std::get_if<std::string>(&v);
+                if (t == nullptr ||
+                    zoneCmpHolds(CmpOp::Eq, z.str_min, z.str_max, *t))
+                    return true;
+            } else {
+                double d;
+                if (!predValueToDouble(schema, e.column, v, &d) ||
+                    zoneCmpHolds(CmpOp::Eq, z.num_min, z.num_max, d))
+                    return true;
+            }
+        }
+        return false;
+      }
+      case Expr::Kind::Like: {
+        if (!isTextColumn(schema, e.column))
+            return true;
+        const std::string prefix = likePrefix(e.pattern);
+        if (prefix.empty())
+            return true;
+        const ColumnZone &z =
+            chunk.cols.at(static_cast<std::size_t>(e.column));
+        if (z.str_max < prefix)
+            return false;
+        // Matching text lies in [prefix, next(prefix)); compute the
+        // exclusive upper bound when a byte can be incremented
+        // without leaving printable space, else stay conservative.
+        std::string next = prefix;
+        for (std::size_t i = next.size(); i-- > 0;) {
+            if (static_cast<unsigned char>(next[i]) < 0x7e) {
+                ++next[i];
+                next.resize(i + 1);
+                return z.str_min < next;
+            }
+        }
+        return true;
+      }
+      case Expr::Kind::And:
+        return std::all_of(e.kids.begin(), e.kids.end(),
+                           [&](const ExprPtr &k) {
+                               return zoneCanMatch(*k, schema, chunk);
+                           });
+      case Expr::Kind::Or:
+        return std::any_of(e.kids.begin(), e.kids.end(),
+                           [&](const ExprPtr &k) {
+                               return zoneCanMatch(*k, schema, chunk);
+                           });
+      case Expr::Kind::CmpCol:
+      case Expr::Kind::NotLike:
+      case Expr::Kind::Not:
+        return true;
+    }
+    return true;
+}
+
+// ---------------------------------------------------------------------
+// Selectivity estimation
+// ---------------------------------------------------------------------
+
+SelEstimate
+estimateRowSelectivity(const Expr &e, const Schema &schema,
+                       const TableStats &stats)
+{
+    SelEstimate out;
+    switch (e.kind) {
+      case Expr::Kind::Cmp: {
+        const EqualWidthHistogram &h =
+            stats.hists.at(static_cast<std::size_t>(e.column));
+        double v;
+        if (h.empty() ||
+            !predValueToDouble(schema, e.column, e.value, &v))
+            return out;
+        out.known = true;
+        switch (e.op) {
+          case CmpOp::Eq: out.sel = h.estimateEq(v); break;
+          case CmpOp::Ne: out.sel = 1.0 - h.estimateEq(v); break;
+          case CmpOp::Lt:
+            out.sel = h.estimateLe(v) - h.estimateEq(v);
+            break;
+          case CmpOp::Le: out.sel = h.estimateLe(v); break;
+          case CmpOp::Gt: out.sel = 1.0 - h.estimateLe(v); break;
+          case CmpOp::Ge:
+            out.sel = 1.0 - h.estimateLe(v) + h.estimateEq(v);
+            break;
+        }
+        out.sel = clamp01(out.sel);
+        return out;
+      }
+      case Expr::Kind::Between: {
+        const EqualWidthHistogram &h =
+            stats.hists.at(static_cast<std::size_t>(e.column));
+        double lo, hi;
+        if (h.empty() ||
+            !predValueToDouble(schema, e.column, e.lo, &lo) ||
+            !predValueToDouble(schema, e.column, e.hi, &hi))
+            return out;
+        out.known = true;
+        out.sel = h.estimateRange(lo, hi);
+        return out;
+      }
+      case Expr::Kind::In: {
+        const EqualWidthHistogram &h =
+            stats.hists.at(static_cast<std::size_t>(e.column));
+        if (h.empty())
+            return out;
+        double sum = 0.0;
+        for (const Value &v : e.set) {
+            double d;
+            if (!predValueToDouble(schema, e.column, v, &d))
+                return out;
+            sum += h.estimateEq(d);
+        }
+        out.known = true;
+        out.sel = clamp01(sum);
+        return out;
+      }
+      case Expr::Kind::Not: {
+        SelEstimate kid =
+            estimateRowSelectivity(*e.kids.at(0), schema, stats);
+        if (kid.known) {
+            out.known = true;
+            out.sel = clamp01(1.0 - kid.sel);
+        }
+        return out;
+      }
+      case Expr::Kind::And: {
+        // Independence assumption; unknown conjuncts contribute 1.0
+        // (they only narrow further, so the estimate is an upper
+        // bound — the conservative direction for offloading).
+        double sel = 1.0;
+        for (const ExprPtr &k : e.kids) {
+            SelEstimate kid =
+                estimateRowSelectivity(*k, schema, stats);
+            if (kid.known) {
+                out.known = true;
+                sel *= kid.sel;
+            }
+        }
+        if (out.known)
+            out.sel = clamp01(sel);
+        return out;
+      }
+      case Expr::Kind::Or: {
+        double miss = 1.0;
+        for (const ExprPtr &k : e.kids) {
+            SelEstimate kid =
+                estimateRowSelectivity(*k, schema, stats);
+            if (!kid.known)
+                return out;
+            miss *= 1.0 - kid.sel;
+        }
+        out.known = !e.kids.empty();
+        out.sel = clamp01(1.0 - miss);
+        return out;
+      }
+      case Expr::Kind::CmpCol:
+      case Expr::Kind::Like:
+      case Expr::Kind::NotLike:
+        return out;
+    }
+    return out;
+}
+
+// ---------------------------------------------------------------------
+// Prune planning
+// ---------------------------------------------------------------------
+
+PrunePlan
+planPrune(const Table &table, const Expr &pred)
+{
+    PrunePlan plan;
+    std::shared_ptr<const TableStats> stats = table.stats();
+    if (!stats)
+        return plan;
+    plan.usable = true;
+    plan.pages_total = table.pageCount();
+    for (const ChunkStats &chunk : stats->chunks) {
+        ++plan.chunks_considered;
+        if (!zoneCanMatch(pred, table.schema(), chunk)) {
+            ++plan.chunks_skipped;
+            continue;
+        }
+        plan.pages_selected += chunk.page_count;
+        if (!plan.runs.empty() &&
+            plan.runs.back().first + plan.runs.back().second ==
+                chunk.first_page) {
+            plan.runs.back().second += chunk.page_count;
+        } else {
+            plan.runs.emplace_back(chunk.first_page,
+                                   chunk.page_count);
+        }
+    }
+    return plan;
+}
+
+std::vector<std::pair<std::uint64_t, std::uint64_t>>
+shardPruneRuns(const Table &table, const PrunePlan &plan,
+               std::uint32_t s)
+{
+    std::vector<std::pair<std::uint64_t, std::uint64_t>> out;
+    const std::uint64_t n = table.shardCount();
+    for (const auto &[g0, count] : plan.runs) {
+        const std::uint64_t g1 = g0 + count;
+        // Local pages l with l*n + s in [g0, g1).
+        const std::uint64_t l_lo = g0 <= s ? 0 : (g0 - s + n - 1) / n;
+        const std::uint64_t l_hi = g1 <= s ? 0 : (g1 - s + n - 1) / n;
+        if (l_hi <= l_lo)
+            continue;
+        if (!out.empty() &&
+            out.back().first + out.back().second == l_lo) {
+            out.back().second += l_hi - l_lo;
+        } else {
+            out.emplace_back(l_lo, l_hi - l_lo);
+        }
+    }
+    return out;
+}
+
+// ---------------------------------------------------------------------
+// Freeze / fork
+// ---------------------------------------------------------------------
+
+void
+exportTableStats(MiniDb &db, sim::DeviceImage &image)
+{
+    for (const std::string &name : db.tableNames()) {
+        std::shared_ptr<const TableStats> st = db.table(name).stats();
+        if (st)
+            image.app_stats["db.stats." + name] = st;
+    }
+}
+
+void
+adoptTableStats(MiniDb &db, const sim::DeviceImage &image)
+{
+    for (const std::string &name : db.tableNames()) {
+        auto it = image.app_stats.find("db.stats." + name);
+        if (it == image.app_stats.end())
+            continue;
+        auto st =
+            std::dynamic_pointer_cast<const TableStats>(it->second);
+        if (st)
+            db.table(name).setStats(std::move(st));
+    }
+}
+
+}  // namespace bisc::db

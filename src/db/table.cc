@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cstring>
 
+#include "db/stats.h"
+
 namespace bisc::db {
 
 Table::Table(std::vector<fs::FileSystem *> shards, std::string name,
@@ -86,6 +88,10 @@ Table::load(const std::function<bool(Row &)> &next)
     if (used > 0)
         flushPage();
     page_count_ = page_idx;
+
+    // Statistics ride the same offline population: two functional
+    // passes, zero simulated time, immutable thereafter.
+    stats_ = buildTableStats(*this);
 }
 
 void

@@ -18,6 +18,7 @@
 #define BISCUIT_DB_TABLE_H_
 
 #include <functional>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -26,6 +27,8 @@
 #include "util/common.h"
 
 namespace bisc::db {
+
+struct TableStats;
 
 class Table
 {
@@ -155,6 +158,21 @@ class Table
     /** Drive-0 (or only) shard's file system. */
     fs::FileSystem &fs() { return *shard_fs_[0]; }
 
+    // ----- statistics (db/stats.h) -----
+
+    /**
+     * Per-chunk zone maps + histograms, built by load(); null on an
+     * attached table until adoptTableStats() installs the frozen
+     * image's copy. Immutable once published — lanes share it.
+     */
+    std::shared_ptr<const TableStats> stats() const { return stats_; }
+
+    void
+    setStats(std::shared_ptr<const TableStats> stats)
+    {
+        stats_ = std::move(stats);
+    }
+
   private:
     std::vector<fs::FileSystem *> shard_fs_;
     std::string name_;
@@ -164,6 +182,7 @@ class Table
     std::uint64_t rows_per_page_;
     std::uint64_t row_count_ = 0;
     std::uint64_t page_count_ = 0;
+    std::shared_ptr<const TableStats> stats_;
 };
 
 }  // namespace bisc::db

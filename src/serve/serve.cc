@@ -6,6 +6,7 @@
 #include <memory>
 
 #include "db/executor.h"
+#include "db/stats.h"
 #include "host/grep.h"
 #include "host/load_gen.h"
 #include "obs/metrics.h"
@@ -181,8 +182,19 @@ runJob(ServeState &st, const JobSpec &job)
       }
       case JobKind::PointLookup: {
         db::DbStats stats;
-        db::Row row = db::pointLookup(st.db, st.db.table("orders"),
-                                      job.row, stats);
+        db::Row row;
+        if (st.cfg.keyed_lookups) {
+            // dbgen makes o_orderkey dense ascending (row + 1), so
+            // the keyed and row-index lookups return the same row.
+            bool found = db::pointLookupByKey(
+                st.db, st.db.table("orders"), 0,
+                static_cast<std::int64_t>(job.row) + 1, &row, stats);
+            BISC_ASSERT(found, "keyed lookup missed order ",
+                        job.row + 1);
+        } else {
+            row = db::pointLookup(st.db, st.db.table("orders"),
+                                  job.row, stats);
+        }
         rows = 1;
         // o_orderkey (column 0) sums drive-count-invariantly.
         st.report.lookup_sum += static_cast<std::uint64_t>(
@@ -444,6 +456,9 @@ runServeForked(const sim::DeviceImage &image, const ServeCatalog &cat,
     db.planner = cat.planner;
     for (const auto &t : cat.tables)
         db.attachShardedTable(t.name, t.schema, t.rows, t.shards);
+    // Frozen table statistics ride the image; keyed lookups and
+    // pruned scans replay the primary's decisions exactly.
+    db::adoptTableStats(db, image);
     ServeReport rep;
     env.run([&] { rep = serveMain(db, cfg, cat); });
     return rep;

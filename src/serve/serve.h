@@ -84,6 +84,14 @@ struct ServeConfig
 
     /** Needle planted in the web logs (grep pattern). */
     std::string grep_needle = "heisenbug";
+
+    /**
+     * Route point lookups through the keyed path
+     * (db::pointLookupByKey on o_orderkey) instead of the row-index
+     * pread: zone maps skip the page runs that cannot hold the key.
+     * Off by default — the fig_serve golden predates statistics.
+     */
+    bool keyed_lookups = false;
 };
 
 /** The default 4-tenant mix: weights 4/2/2/1. */

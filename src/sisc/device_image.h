@@ -24,7 +24,9 @@
 #define BISCUIT_SISC_DEVICE_IMAGE_H_
 
 #include <cstdint>
+#include <map>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "fs/file_system.h"
@@ -38,6 +40,18 @@ class Env;
 }  // namespace bisc::sisc
 
 namespace bisc::sim {
+
+/**
+ * Marker base for immutable application-layer state frozen alongside
+ * the device (e.g. MiniDB's per-table statistics). The sim layer
+ * stores these opaquely — it never interprets them; the owning layer
+ * downcasts on adoption. Derived types must be deeply immutable once
+ * published, because every forked lane shares the same instance.
+ */
+struct FrozenAppStats
+{
+    virtual ~FrozenAppStats() = default;
+};
 
 /** Frozen device state; immutable once built, shareable across lanes. */
 struct DeviceImage
@@ -70,6 +84,14 @@ struct DeviceImage
         fs::FsImage fs;
     };
     std::vector<ExtraDrive> extra_drives;
+
+    /**
+     * Frozen application-layer statistics, keyed by an owner-chosen
+     * name (MiniDB uses "db.stats.<table>"). Shared read-only with
+     * every lane forked from this image.
+     */
+    std::map<std::string, std::shared_ptr<const FrozenAppStats>>
+        app_stats;
 
     std::uint32_t driveCount() const
     {

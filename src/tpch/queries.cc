@@ -81,6 +81,8 @@ struct Ctx
         out.ndp_used = s.used_ndp;
         out.planner_note = s.note;
         out.sampled_selectivity = s.sampled_selectivity;
+        out.est_selectivity = s.est_selectivity;
+        out.measured_selectivity = s.measured_selectivity;
         return s;
     }
 

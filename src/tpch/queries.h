@@ -29,6 +29,8 @@ struct QueryOutcome
     Tick elapsed = 0;
     bool ndp_used = false;
     double sampled_selectivity = -1.0;  ///< -1: sampling not reached
+    double est_selectivity = -1.0;      ///< histogram estimate; -1: none
+    double measured_selectivity = -1.0; ///< actual page sel.; -1: none
     std::string planner_note;
 };
 
