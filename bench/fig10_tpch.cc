@@ -85,16 +85,17 @@ void
 printOpBreakdown(const std::vector<bisc::tpch::QueryRun> &runs)
 {
     using bisc::Tick;
-    static const char *const ops[] = {"conv_scan", "ndp_scan",
-                                      "sample",    "bnl_join",
-                                      "group_by",  "filter"};
+    static const char *const ops[] = {"conv_scan",   "ndp_scan",
+                                      "placed_scan", "sample",
+                                      "bnl_join",    "group_by",
+                                      "filter"};
     std::fprintf(stderr,
                  "\nper-operator sim time (ms; wall-to-wall, "
                  "overlapping ops double-charge)\n");
     std::fprintf(stderr, "%-5s %-8s", "query", "mode");
     for (const char *op : ops)
         std::fprintf(stderr, " %10s", op);
-    std::fprintf(stderr, " %-9s %8s %8s\n", "placement", "est_sel",
+    std::fprintf(stderr, " %-14s %8s %8s\n", "placement", "est_sel",
                  "meas_sel");
 
     // Selectivity column: percent, or "-" when the path never ran
@@ -122,10 +123,15 @@ printOpBreakdown(const std::vector<bisc::tpch::QueryRun> &runs)
                 std::fprintf(stderr, " %10.2f",
                              static_cast<double>(t) / 1e6);
             }
-            std::fprintf(stderr, " %-9s",
-                         m == 0 ? "host"
-                                : (qo[m]->ndp_used ? "device"
-                                                   : "host"));
+            // Cost-model runs carry the per-shard plan string; the
+            // legacy boolean dispatch keeps the host/device labels.
+            const char *where =
+                m == 0 ? "host"
+                       : (!qo[m]->placement.empty()
+                              ? qo[m]->placement.c_str()
+                              : (qo[m]->ndp_used ? "device"
+                                                 : "host"));
+            std::fprintf(stderr, " %-14s", where);
             std::fprintf(stderr, " %s", sel(qo[m]->est_selectivity));
             std::fprintf(stderr, " %s\n",
                          sel(qo[m]->measured_selectivity));

@@ -43,6 +43,7 @@ benches=(
     fig_scaleout
     fig_serve
     fig_prune
+    fig_place
 )
 
 out_dir="$build_dir/bench_out"
@@ -206,6 +207,19 @@ prune_json=$(awk '
           printf "\"pages_full\": %s, \"pages_pruned\": %s, ", pg_f, pg_p;
           printf "\"sim_cut\": %s", cut
     }' "$out_dir/fig_prune.txt")
+# Cost-model placement headline: the chosen placement, its simulated
+# scan time and prediction, and the measured speedups over the two
+# static plans (from the fig_place transcript).
+place_json=$(awk '
+    $1 == "cost-model" && $2 != "vs" { placement = $2; ms = $3;
+                                       pred = $4 }
+    /^cost-model vs all-host:/   { gsub(/x$/, "", $4); vh = $4 }
+    /^cost-model vs all-device:/ { gsub(/x$/, "", $4); vd = $4 }
+    END { printf "\"placement\": \"%s\", ", placement;
+          printf "\"scan_ms\": %s, \"predicted_ms\": %s, ", ms, pred;
+          printf "\"speedup_vs_all_host\": %s, ", vh;
+          printf "\"speedup_vs_all_device\": %s", vd
+    }' "$out_dir/fig_place.txt")
 serve_jobs_json=$(awk '/^--- 4 drives ---/ { s = 1 }
     s && /^jobs:/ {
         gsub(/;/, "", $6);
@@ -236,7 +250,8 @@ serve_jobs_json=$(awk '/^--- 4 drives ---/ { s = 1 }
     echo "    \"fig10_suite\": \"$fig10_summary\","
     echo "    \"fig_scaleout\": {$scaleout_json},"
     echo "    \"fig_serve\": {$serve_jobs_json, \"tenant_p99_us\": {$serve_p99_json}},"
-    echo "    \"fig_prune_one_day_1drive\": {$prune_json}"
+    echo "    \"fig_prune_one_day_1drive\": {$prune_json},"
+    echo "    \"fig_place_skewed_4drive\": {$place_json}"
     echo "  }"
     echo "}"
 } > "$out_file"

@@ -8,7 +8,9 @@
 # planner decisions, scale-out timing), a serve pass (fig_serve vs its
 # golden, two-run byte-identity, lane/drive env invariance), a prune
 # pass (fig_prune vs its golden — statistics-driven scans must return
-# the baseline's rows byte-identically while reading fewer pages), then
+# the baseline's rows byte-identically while reading fewer pages), a
+# placement pass (fig_place vs its golden — the cost-model placement
+# must beat both static plans with byte-identical rows), then
 # sanitizer builds via BISCUIT_SANITIZE (ASan/UBSan ctest; TSan lane +
 # serve-soak tests plus traced 2-lane fig10 runs at 1 and 4 drives so
 # the trace buffers and the drive array see real thread concurrency).
@@ -97,6 +99,22 @@ if [[ "$run_perf_smoke" == 1 ]]; then
         > build/bench_out/fig_prune_env.txt
     cmp build/bench_out/fig_prune_a.txt build/bench_out/fig_prune_env.txt
     echo "prune: golden match, two runs byte-identical, env-invariant"
+
+    echo
+    echo "=== placement pass: cost-model SSDlet placement ==="
+    # fig_place exits non-zero unless the cost-model placement beats
+    # both static plans with rows byte-identical across placements and
+    # drive counts; the transcript must match its golden, repeat
+    # byte-for-byte, and ignore the lane/drive env (drive counts and
+    # the annealer seed are fixed in the bench).
+    build/bench/fig_place > build/bench_out/fig_place_a.txt
+    diff -q bench/golden/fig_place.txt build/bench_out/fig_place_a.txt
+    build/bench/fig_place > build/bench_out/fig_place_b.txt
+    cmp build/bench_out/fig_place_a.txt build/bench_out/fig_place_b.txt
+    BISCUIT_LANES=2 BISCUIT_DRIVES=4 build/bench/fig_place \
+        > build/bench_out/fig_place_env.txt
+    cmp build/bench_out/fig_place_a.txt build/bench_out/fig_place_env.txt
+    echo "place: golden match, two runs byte-identical, env-invariant"
 fi
 
 if [[ "$run_sanitized" == 1 ]]; then
@@ -120,7 +138,7 @@ if [[ "$run_sanitized" == 1 ]]; then
         -DCMAKE_BUILD_TYPE=RelWithDebInfo >/dev/null
     cmake --build build-tsan -j "$(nproc)"
     ctest --test-dir build-tsan --output-on-failure -j "$(nproc)" \
-        -R "SnapshotFork|LaneRunner|ServeSoak"
+        -R "SnapshotFork|LaneRunner|ServeSoak|PlaceLane"
     BISCUIT_LANES=2 BISCUIT_TRACE=build-tsan/fig10_trace.json \
         build-tsan/bench/fig10_tpch \
         > build-tsan/fig10_lanes.txt

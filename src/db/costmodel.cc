@@ -1,0 +1,232 @@
+#include "db/costmodel.h"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "host/host_system.h"
+#include "nand/nand.h"
+#include "sisc/drive_array.h"
+#include "ssd/config.h"
+
+namespace bisc::db {
+
+namespace {
+
+/** The NDP scan batches this many shipped pages per port message
+ *  (must track kPagesPerBatch in executor.cc). */
+constexpr double kPagesPerBatch = 8.0;
+
+}  // namespace
+
+std::string
+CostCalibration::describe() const
+{
+    char buf[512];
+    std::snprintf(
+        buf, sizeof(buf),
+        "dev_ctrl=%.0fns/page setup=%.0fns ship=%.0fns/page "
+        "chan=%.3fns/B%s x%u cores=%u "
+        "port=%.0fns/page hil=%.3fns/B host_cpu=%.3fns/B "
+        "host_io=%.0fns/win window=%llu",
+        dev_ctrl_ns_per_page, stage_setup_ns, ship_dev_ns_per_page,
+        chan_ns_per_byte,
+        chan_measured ? "(meas)" : "(cfg)", channels, device_cores,
+        port_ns_per_page, hil_ns_per_byte, host_cpu_ns_per_byte,
+        host_io_ns_per_window,
+        static_cast<unsigned long long>(stream_window));
+    return buf;
+}
+
+CostCalibration
+calibrateCostModel(MiniDb &db)
+{
+    CostCalibration c;
+    const ssd::SsdConfig &cfg = db.env().device.config();
+    const host::HostConfig &hcfg = db.host().config();
+
+    c.dev_ctrl_ns_per_page =
+        static_cast<double>(cfg.pm_control_per_page) +
+        static_cast<double>(cfg.read_issue_cost);
+    // Application lifecycle of one placed stage: create, instantiate,
+    // connect, start and teardown each cost one runtime control op on
+    // a device core, plus the instance's fiber dispatch latency.
+    c.stage_setup_ns =
+        5.0 * static_cast<double>(cfg.control_op_cost) +
+        static_cast<double>(cfg.sched_latency);
+    c.channels = cfg.geometry.channels;
+    c.device_cores = cfg.device_cores;
+
+    // Channel rate: prior from the configured bus bandwidth, refined
+    // from drive 0's always-on NAND accounting once enough real pages
+    // have flowed to average out command overheads. Both inputs are
+    // deterministic functions of the simulation history.
+    c.chan_ns_per_byte = 1.0e9 / cfg.nand_timing.channel_bw;
+    nand::NandFlash &nand = db.env().device.nand();
+    if (nand.pageReads() >= 64 && nand.bytesRead() > 0) {
+        Tick busy = 0;
+        for (std::uint32_t ch = 0; ch < c.channels; ++ch)
+            busy += nand.channelBusyTicks(ch);
+        if (busy > 0) {
+            c.chan_ns_per_byte =
+                static_cast<double>(busy) /
+                static_cast<double>(nand.bytesRead());
+            c.chan_measured = true;
+        }
+    }
+
+    // D2H port per shipped page, split by who pays: the device core
+    // sends (dev_cm_send), the host receives (message + host_cm_recv
+    // + sched) — each amortized over one page batch.
+    c.ship_dev_ns_per_page =
+        static_cast<double>(cfg.dev_cm_send) / kPagesPerBatch;
+    c.port_ns_per_page =
+        static_cast<double>(cfg.host_cm_recv + cfg.sched_latency +
+                            cfg.hil_params.message_latency) /
+        kPagesPerBatch;
+    c.hil_ns_per_byte = 1.0e9 / cfg.hil_params.pcie_bw;
+
+    c.host_cpu_ns_per_byte =
+        hcfg.db_scan_ns_per_byte * db.host().contentionFactor();
+    c.host_io_ns_per_window =
+        static_cast<double>(hcfg.io_request_cpu) *
+        db.host().contentionFactor();
+    c.stream_window = 1_MiB;
+    return c;
+}
+
+std::vector<DriveLoadSnapshot>
+snapshotDriveLoads(MiniDb &db)
+{
+    sisc::DriveArray &array = db.env().array;
+    const Tick now = db.env().kernel.now();
+    std::vector<DriveLoadSnapshot> out;
+    out.reserve(array.driveCount());
+    for (std::uint32_t k = 0; k < array.driveCount(); ++k) {
+        const sisc::DriveLoad load = array.loadOf(k);
+        DriveLoadSnapshot s;
+        s.active_apps = load.active_apps;
+        s.device_cores = std::max<std::uint32_t>(1, load.device_cores);
+        s.min_core_backlog =
+            load.min_core_busy_until > now
+                ? load.min_core_busy_until - now
+                : 0;
+        s.max_core_backlog =
+            load.max_core_busy_until > now
+                ? load.max_core_busy_until - now
+                : 0;
+        s.user_mem_free =
+            load.user_mem_capacity > load.user_mem_used
+                ? load.user_mem_capacity - load.user_mem_used
+                : 0;
+        out.push_back(s);
+    }
+    return out;
+}
+
+std::uint32_t
+leastLoadedDrive(const std::vector<DriveLoadSnapshot> &loads)
+{
+    std::uint32_t best = 0;
+    for (std::uint32_t k = 1; k < loads.size(); ++k) {
+        const DriveLoadSnapshot &a = loads[k];
+        const DriveLoadSnapshot &b = loads[best];
+        if (a.min_core_backlog < b.min_core_backlog ||
+            (a.min_core_backlog == b.min_core_backlog &&
+             a.active_apps < b.active_apps))
+            best = k;
+    }
+    return best;
+}
+
+Tick
+deviceStageTicks(const StageSpec &s, const CostCalibration &c)
+{
+    const double ctrl = c.dev_ctrl_ns_per_page;
+    const double stream =
+        static_cast<double>(s.page_bytes) * c.chan_ns_per_byte /
+        std::max<std::uint32_t>(1, c.channels);
+    const double shipped =
+        static_cast<double>(s.pages) *
+        std::min(1.0, std::max(0.0, s.selectivity));
+    return static_cast<Tick>(
+        c.stage_setup_ns +
+        static_cast<double>(s.pages) * std::max(ctrl, stream) +
+        shipped * c.ship_dev_ns_per_page);
+}
+
+Tick
+deviceDrainTicks(const StageSpec &s, const CostCalibration &c)
+{
+    const double shipped =
+        static_cast<double>(s.pages) *
+        std::min(1.0, std::max(0.0, s.selectivity));
+    const double per_page =
+        c.port_ns_per_page +
+        static_cast<double>(s.page_bytes) *
+            (c.hil_ns_per_byte + c.host_cpu_ns_per_byte);
+    return static_cast<Tick>(shipped * per_page);
+}
+
+Tick
+hostStageTicks(const StageSpec &s, const CostCalibration &c)
+{
+    const Bytes bytes = s.pages * s.page_bytes;
+    const std::uint64_t windows =
+        c.stream_window == 0
+            ? 0
+            : divCeil<Bytes>(bytes, c.stream_window);
+    return static_cast<Tick>(
+        static_cast<double>(bytes) * c.host_cpu_ns_per_byte +
+        static_cast<double>(windows) * c.host_io_ns_per_window);
+}
+
+Tick
+predictMakespan(const std::vector<StageSpec> &stages,
+                const std::vector<Site> &sites,
+                const CostCalibration &c,
+                const std::vector<DriveLoadSnapshot> &loads)
+{
+    BISC_ASSERT(stages.size() == sites.size(),
+                "stage/site arity mismatch in predictMakespan");
+    // Per-drive finish = core backlog + its stages' device work,
+    // control time-sliced across everything live on the cores; host
+    // finish = every host stage + every device stage's drain, since
+    // the measured application thread is one serializing CPU.
+    std::vector<Tick> drive_finish(loads.size(), 0);
+    Tick host = 0;
+    std::vector<std::uint32_t> placed(loads.size(), 0);
+    for (std::size_t i = 0; i < stages.size(); ++i) {
+        if (!sites[i].on_host)
+            ++placed[sites[i].drive];
+    }
+    for (std::size_t i = 0; i < stages.size(); ++i) {
+        const StageSpec &s = stages[i];
+        if (sites[i].on_host) {
+            host += hostStageTicks(s, c);
+            continue;
+        }
+        const std::uint32_t d = sites[i].drive;
+        const DriveLoadSnapshot &load = loads.at(d);
+        // Time-slicing factor: concurrent apps per core, counting the
+        // co-tenant apps already live plus what this plan adds.
+        const double sharing = std::max(
+            1.0, static_cast<double>(load.active_apps + placed[d]) /
+                     static_cast<double>(load.device_cores));
+        drive_finish[d] +=
+            static_cast<Tick>(static_cast<double>(
+                                  deviceStageTicks(s, c)) *
+                              sharing);
+        host += deviceDrainTicks(s, c);
+    }
+    Tick makespan = host;
+    for (std::uint32_t d = 0; d < loads.size(); ++d) {
+        if (drive_finish[d] == 0)
+            continue;
+        const Tick finish =
+            loads[d].min_core_backlog + drive_finish[d];
+        makespan = std::max(makespan, finish);
+    }
+    return makespan;
+}
+
+}  // namespace bisc::db

@@ -1,0 +1,199 @@
+/**
+ * @file
+ * Analytic cost model for SSDlet placement (ROADMAP: "cost-model-
+ * driven SSDlet placement across the array").
+ *
+ * Predicts per-stage service ticks for the stages of a multi-stage
+ * FBP offload graph (today: one scan/filter stage per table shard) on
+ * each candidate site — the shard's drive or the host — from three
+ * deterministic inputs:
+ *
+ *   1. Calibrated per-layer service rates. Priors come straight from
+ *      the SsdConfig / HostConfig constants the simulator itself
+ *      charges (pattern-matcher control time, channel bandwidth, the
+ *      D2H port decomposition, HIL DMA bandwidth, host CPU ns/byte);
+ *      the NAND channel rate is refined from the device's *always-on*
+ *      accounting (NandFlash::channelBusyTicks / bytesRead) once real
+ *      traffic has flowed.
+ *   2. Table statistics (db/stats.h): pruned page counts and the
+ *      histogram page-selectivity estimate bound how many pages each
+ *      stage streams and ships.
+ *   3. Per-drive load (sisc::DriveArray::loadOf + core busy-until
+ *      horizons): a drive saturated by a co-tenant delays a new
+ *      SSDlet by its core backlog and time-slices its control work.
+ *
+ * Determinism is load-bearing: everything here reads sim-side state
+ * that exists whether or not observability is enabled — never the
+ * BISCUIT_OBS-gated obs::MetricsRegistry mirrors — so a placement
+ * decision (and therefore simulated timing) is byte-identical with
+ * metrics on or off. tests/place_test.cc and scripts/verify.sh hold
+ * the line.
+ */
+
+#ifndef BISCUIT_DB_COSTMODEL_H_
+#define BISCUIT_DB_COSTMODEL_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "db/minidb.h"
+#include "util/common.h"
+
+namespace bisc::db {
+
+/**
+ * Per-layer service rates of one host + array system. All rates are
+ * ns per unit; built by calibrateCostModel() and immutable
+ * thereafter. Two calibrations of identically-configured,
+ * identically-trafficked systems are field-for-field equal.
+ */
+struct CostCalibration
+{
+    // ----- device side (per drive) -----
+
+    /** Device-CPU control ns per page streamed through the matcher
+     *  (pm_control_per_page + read_issue_cost), pre-contention. */
+    double dev_ctrl_ns_per_page = 0.0;
+
+    /** Fixed device-CPU control work of one placed stage: the
+     *  application lifecycle (create, instantiate, connect, start,
+     *  teardown — control_op_cost each) plus the instance's dispatch
+     *  latency. Dominates on a contended drive, where every control
+     *  slice waits behind the co-tenants' queued work. */
+    double stage_setup_ns = 0.0;
+
+    /** Device-CPU ns per *shipped* page: dev_cm_send amortized over
+     *  one page batch. The sender side of the D2H port runs on the
+     *  device core, so a saturated drive pays it under contention. */
+    double ship_dev_ns_per_page = 0.0;
+
+    /** NAND channel bus ns per byte, per channel. */
+    double chan_ns_per_byte = 0.0;
+
+    /** True when chan_ns_per_byte came from observed channel busy
+     *  ticks rather than the configured bandwidth prior. */
+    bool chan_measured = false;
+
+    std::uint32_t channels = 0;
+    std::uint32_t device_cores = 0;
+
+    // ----- device -> host shipping -----
+
+    /** Host-side D2H port cost per shipped page: the receive half of
+     *  the Table II decomposition (message + host_cm_recv + sched)
+     *  amortized over one kPagesPerBatch-page batch. The send half is
+     *  ship_dev_ns_per_page, charged to the device core. */
+    double port_ns_per_page = 0.0;
+
+    /** HIL DMA ns per byte crossing the link. */
+    double hil_ns_per_byte = 0.0;
+
+    // ----- host side -----
+
+    /** Host CPU ns per byte of page processing, including the
+     *  current memory-contention factor. */
+    double host_cpu_ns_per_byte = 0.0;
+
+    /** Host per-I/O-request CPU ns (one streaming window). */
+    double host_io_ns_per_window = 0.0;
+
+    /** Streaming readahead window the conventional path uses. */
+    Bytes stream_window = 0;
+
+    /** One line per rate (diagnostics / determinism tests). */
+    std::string describe() const;
+};
+
+/**
+ * Calibrate against @p db's array and host. Reads configuration
+ * constants and always-on sim accounting only (see file header).
+ */
+CostCalibration calibrateCostModel(MiniDb &db);
+
+/**
+ * Point-in-time load of one drive as the placer prices it. Backlogs
+ * are busy-until horizons relative to "now": the wait a freshly
+ * pinned SSDlet would see before its first control slice.
+ */
+struct DriveLoadSnapshot
+{
+    std::uint32_t active_apps = 0;
+    std::uint32_t device_cores = 1;
+    Tick min_core_backlog = 0;  ///< least-loaded core's horizon
+    Tick max_core_backlog = 0;  ///< most-loaded core's horizon
+    Bytes user_mem_free = 0;
+};
+
+/** Snapshot every drive of @p db's array, in drive order. */
+std::vector<DriveLoadSnapshot> snapshotDriveLoads(MiniDb &db);
+
+/**
+ * Drive with the smallest (min_core_backlog, active_apps, index)
+ * tuple — the cheapest site for a load-agnostic single-drive job
+ * (the serving tier's placement-aware grep).
+ */
+std::uint32_t leastLoadedDrive(
+    const std::vector<DriveLoadSnapshot> &loads);
+
+/** One schedulable stage of an offload graph. */
+struct StageSpec
+{
+    std::string label;            ///< diagnostics ("scan.orders.s2")
+    std::uint32_t shard = 0;      ///< shard index within the table
+    std::uint64_t pages = 0;      ///< pages this stage streams
+    Bytes page_bytes = 0;
+
+    /** Expected shipped fraction of the pages this stage *streams*
+     *  (not of the whole table — a pruned stage streams only the
+     *  surviving band, most of which matches). */
+    double selectivity = 1.0;
+
+    /** Drives that hold this stage's data (device placement is only
+     *  possible where the pages physically live). */
+    std::vector<std::uint32_t> eligible_drives;
+    bool host_eligible = true;
+    Bytes dram = 256_KiB;         ///< device DRAM demand if offloaded
+};
+
+/** A stage's assigned site. */
+struct Site
+{
+    bool on_host = true;
+    std::uint32_t drive = 0;  ///< meaningful when !on_host
+};
+
+/**
+ * Device-resident service demand of @p s: per-page control work
+ * overlapped with channel streaming, the slower of the two ruling.
+ * Excludes queueing (the makespan adds backlog and core sharing).
+ */
+Tick deviceStageTicks(const StageSpec &s, const CostCalibration &c);
+
+/**
+ * Host-side share of a device-placed stage: draining the shipped
+ * pages (port amortization + DMA + exact re-check CPU).
+ */
+Tick deviceDrainTicks(const StageSpec &s, const CostCalibration &c);
+
+/**
+ * Service demand of @p s run conventionally: stream every page to
+ * the host and filter there (window I/O CPU + per-byte scan CPU).
+ */
+Tick hostStageTicks(const StageSpec &s, const CostCalibration &c);
+
+/**
+ * Predicted makespan of assigning stages[i] to sites[i]: the busiest
+ * resource's finish time. Each drive serves its backlog plus its
+ * assigned stages' device work (control time-sliced across the
+ * drive's active apps); the single host CPU serves every host-placed
+ * stage plus every device stage's drain.
+ */
+Tick predictMakespan(const std::vector<StageSpec> &stages,
+                     const std::vector<Site> &sites,
+                     const CostCalibration &c,
+                     const std::vector<DriveLoadSnapshot> &loads);
+
+}  // namespace bisc::db
+
+#endif  // BISCUIT_DB_COSTMODEL_H_

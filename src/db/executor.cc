@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <charconv>
+#include <cmath>
 #include <cstdio>
 #include <cstring>
 #include <map>
@@ -640,6 +641,203 @@ ndpScan(MiniDb &db, Table &table, const ExprPtr &pred,
     return out;
 }
 
+/**
+ * Cost-model-placed scan: each shard runs where the placer put it —
+ * its drive's scan/filter SSDlet or the host streaming path — with
+ * every shard on its own fiber so heterogeneous placements overlap.
+ * Row output is merged to global page order, so results are
+ * byte-identical across placements (and to both legacy paths).
+ */
+ScanOutcome
+placedScan(MiniDb &db, Table &table, const ExprPtr &pred,
+           const pm::KeySet &keys, const PlacementPlan &plan,
+           DbStats &stats)
+{
+    OpTimer timer(db, stats, "placed_scan");
+    const Tick begin = db.env().kernel.now();
+    ScanOutcome out;
+    const bool any_device = plan.anyDevice();
+    out.used_ndp = any_device;
+    auto &host = db.host();
+    const Bytes page_size = table.pageSize();
+    const ScanPrune sp = scanPrune(db, table, pred);
+
+    if (any_device) {
+        loadMinidbModules(db);
+        if (sp.pruned)
+            loadPruneModules(db);
+    }
+
+    // Crossed-the-interface pages: a host shard streams all of its
+    // (surviving) pages; a device shard ships only matches. Matched
+    // pages (>= 1 row passing the exact re-check) are counted
+    // placement-independently and fed back to the placer.
+    std::uint64_t crossed_pages = 0;
+    std::uint64_t matched_pages = 0;
+    std::vector<std::vector<PageRows>> per_shard(table.shardCount());
+
+    auto hostShard = [&](std::uint32_t s) {
+        auto onWindow = [&](Bytes off, const std::uint8_t *data,
+                            Bytes len) {
+            host.consumeCpuPerByte(
+                len, host.config().db_scan_ns_per_byte);
+            for (Bytes p = 0; p < len; p += page_size) {
+                std::uint64_t page_idx =
+                    table.globalPage(s, (off + p) / page_size);
+                Bytes n = std::min(page_size, len - p);
+                PageRows pr;
+                pr.page = page_idx;
+                collectMatches(table, pred, data + p, n, page_idx,
+                               pr.rows, stats);
+                if (!pr.rows.empty()) {
+                    ++matched_pages;
+                    per_shard[s].push_back(std::move(pr));
+                }
+            }
+        };
+        if (!sp.pruned) {
+            Bytes size = table.shardPageCount(s) * page_size;
+            stats.pages_to_host += table.shardPageCount(s);
+            crossed_pages += table.shardPageCount(s);
+            host.streamReadOn(s, table.file(), 0, size, 1_MiB,
+                              onWindow);
+            return;
+        }
+        for (const auto &[first, count] :
+             shardPruneRuns(table, sp.plan, s)) {
+            stats.pages_to_host += count;
+            crossed_pages += count;
+            host.streamReadOn(s, table.file(), first * page_size,
+                              count * page_size, 1_MiB, onWindow);
+        }
+    };
+
+    auto deviceShard = [&](std::uint32_t s) {
+        sisc::SSD ssd(db.env().array.drive(s).runtime);
+        sisc::Application app(ssd);
+        auto makeScan = [&] {
+            if (!sp.pruned) {
+                return sisc::SSDLet(
+                    app, db.minidb_drive_modules[s], "idScanFilter",
+                    std::make_tuple(
+                        slet::File(table.file()), keyStrings(keys),
+                        static_cast<std::uint64_t>(page_size),
+                        table.shardPageCount(s)));
+            }
+            std::vector<std::uint64_t> runs;
+            for (const auto &[first, count] :
+                 shardPruneRuns(table, sp.plan, s)) {
+                runs.push_back(first);
+                runs.push_back(count);
+            }
+            return sisc::SSDLet(
+                app, db.prune_drive_modules[s], "idScanFilterRuns",
+                std::make_tuple(slet::File(table.file()),
+                                keyStrings(keys),
+                                static_cast<std::uint64_t>(page_size),
+                                runs));
+        };
+        sisc::SSDLet scan = makeScan();
+        auto port = app.connectTo<Packet>(scan.out(0));
+        app.start();
+
+        std::uint64_t shard_pages = 0;
+        if (sp.pruned) {
+            for (const auto &[first, count] :
+                 shardPruneRuns(table, sp.plan, s))
+                shard_pages += count;
+        } else {
+            shard_pages = table.shardPageCount(s);
+        }
+        stats.pages_scanned_device += shard_pages;
+
+        Packet batch;
+        std::vector<std::uint8_t> data;  // reused across pages
+        while (port.get(batch)) {
+            auto n = batch.get<std::uint32_t>();
+            for (std::uint32_t i = 0; i < n; ++i) {
+                auto local_page = batch.get<std::uint64_t>();
+                auto len = batch.get<std::uint32_t>();
+                data.resize(len);
+                batch.getBytes(data.data(), len);
+                std::uint64_t page_idx =
+                    table.globalPage(s, local_page);
+                host.consumeCpuPerByte(
+                    len, host.config().db_scan_ns_per_byte);
+                PageRows pr;
+                pr.page = page_idx;
+                collectMatches(table, pred, data.data(), len,
+                               page_idx, pr.rows, stats);
+                if (!pr.rows.empty()) {
+                    ++matched_pages;
+                    per_shard[s].push_back(std::move(pr));
+                }
+                ++stats.pages_to_host;
+                ++crossed_pages;
+            }
+        }
+        app.wait();
+    };
+
+    forEachShard(db, table, "db.placedscan", [&](std::uint32_t s) {
+        if (s < plan.sites.size() && !plan.sites[s].on_host)
+            deviceShard(s);
+        else
+            hostShard(s);
+    });
+    mergePageRows(std::move(per_shard), out.rows);
+    if (sp.plan.usable)
+        notePrune(db, stats, sp.plan);
+    if (any_device)
+        ++stats.ndp_scans;
+    else
+        ++stats.conv_scans;
+    if (table.pageCount() > 0) {
+        out.measured_selectivity =
+            static_cast<double>(crossed_pages) /
+            static_cast<double>(table.pageCount());
+        // Feedback for the next placement of this same scan: the
+        // measured matched-page fraction supersedes the histogram
+        // estimate, which cannot see row clustering.
+        db.matched_page_frac[scanStatKey(table, keys)] =
+            static_cast<double>(matched_pages) /
+            static_cast<double>(table.pageCount());
+    }
+    out.placement = plan.describe();
+    out.predicted_ticks = plan.predicted;
+    out.measured_ticks = db.env().kernel.now() - begin;
+
+    // db.place.* metrics (BISCUIT_OBS-gated; never read back into
+    // any timing or placement decision).
+    auto &obs = db.env().kernel.obs();
+    std::uint64_t dev_stages = 0;
+    for (const Site &site : plan.sites)
+        if (!site.on_host)
+            ++dev_stages;
+    OBS_COUNT(obs.metrics().counter("db.place.plans", "plans"));
+    OBS_COUNT(obs.metrics().counter("db.place.stages_device",
+                                    "stages"),
+              dev_stages);
+    OBS_COUNT(obs.metrics().counter("db.place.stages_host", "stages"),
+              plan.sites.size() - dev_stages);
+    OBS_COUNT(obs.metrics().counter("db.place.predicted_us", "us"),
+              plan.predicted / 1000);
+    OBS_COUNT(obs.metrics().counter("db.place.measured_us", "us"),
+              out.measured_ticks / 1000);
+    if (out.measured_ticks > 0) {
+        const double err =
+            100.0 *
+            std::abs(static_cast<double>(plan.predicted) -
+                     static_cast<double>(out.measured_ticks)) /
+            static_cast<double>(out.measured_ticks);
+        OBS_HIST(obs.metrics().histogram(
+                     "db.place.abs_err_pct", "pct",
+                     {1, 2, 5, 10, 20, 35, 50, 75, 100}),
+                 static_cast<std::uint64_t>(err));
+    }
+    return out;
+}
+
 }  // namespace
 
 void
@@ -809,6 +1007,17 @@ ndpSamplePages(MiniDb &db, Table &table, const pm::KeySet &keys,
     return matched;
 }
 
+std::string
+scanStatKey(const Table &table, const pm::KeySet &keys)
+{
+    std::string key = table.name();
+    for (const auto &k : keys.keys()) {
+        key += '|';
+        key += k;
+    }
+    return key;
+}
+
 namespace {
 
 /** Percent-bucket layout for the db.prune.*_sel_pct histograms. */
@@ -844,12 +1053,31 @@ scanTable(MiniDb &db, Table &table, const ExprPtr &pred,
 {
     if (mode == EngineMode::Biscuit) {
         PlanDecision d = decideOffload(db, table, pred, stats);
-        ScanOutcome out = d.offload
-                              ? ndpScan(db, table, pred, d.keys, stats)
-                              : convScan(db, table, pred, stats);
+        ScanOutcome out =
+            d.plan.valid
+                ? placedScan(db, table, pred, d.keys, d.plan, stats)
+                : (d.offload
+                       ? ndpScan(db, table, pred, d.keys, stats)
+                       : convScan(db, table, pred, stats));
         out.sampled_selectivity = d.sampled_selectivity;
         out.est_selectivity = d.est_selectivity;
         out.note = d.note;
+        if (d.plan.valid && out.measured_ticks > 0) {
+            const double err =
+                100.0 *
+                std::abs(static_cast<double>(d.plan.predicted) -
+                         static_cast<double>(out.measured_ticks)) /
+                static_cast<double>(out.measured_ticks);
+            char pbuf[96];
+            std::snprintf(pbuf, sizeof(pbuf),
+                          "; predicted %.3f ms, measured %.3f ms "
+                          "(err %.0f%%)",
+                          static_cast<double>(d.plan.predicted) / 1e6,
+                          static_cast<double>(out.measured_ticks) /
+                              1e6,
+                          err);
+            out.note += pbuf;
+        }
         if (db.planner.use_stats)
             noteSelectivity(db, out);
         return out;

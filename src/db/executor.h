@@ -43,6 +43,16 @@ struct ScanOutcome
      */
     double measured_selectivity = -1.0;
 
+    /**
+     * Cost-model placement trace (PlannerConfig::use_cost_model):
+     * the chosen per-shard sites ("d0,d1,host,d3"), the model's
+     * predicted makespan and the measured scan ticks. Empty / zero
+     * when the scan ran the legacy boolean dispatch.
+     */
+    std::string placement;
+    Tick predicted_ticks = 0;
+    Tick measured_ticks = 0;
+
     std::string note;                   ///< planner decision trace
 };
 
@@ -93,6 +103,13 @@ std::uint64_t ndpSamplePages(MiniDb &db, Table &table,
                              const pm::KeySet &keys,
                              const std::vector<std::uint64_t> &pages,
                              DbStats &stats);
+
+/**
+ * Statistics-cache key for a (table, predicate-keys) pair — shared by
+ * the sampled-selectivity cache and the measured matched-page-fraction
+ * feedback (MiniDb::selectivity_stats / matched_page_frac).
+ */
+std::string scanStatKey(const Table &table, const pm::KeySet &keys);
 
 /**
  * Equi-join @p outer rows against @p inner with block-nested-loop

@@ -28,6 +28,13 @@
 
 namespace bisc::db {
 
+/**
+ * Placement override for cost-model scans: Auto searches (greedy +
+ * annealing), AllHost/AllDevice price and execute the static plans a
+ * placement-oblivious system would run (the fig_place comparators).
+ */
+enum class PlaceForce { Auto, AllHost, AllDevice };
+
 struct PlannerConfig
 {
     /** Master switch: false forces every scan down the Conv path. */
@@ -51,6 +58,25 @@ struct PlannerConfig
      * model the paper's sampling-based planner.
      */
     bool use_stats = false;
+
+    /**
+     * Cost-model-driven placement (db/costmodel.h + db/placer.h):
+     * the planner generalizes its boolean offload call to a per-shard
+     * stage->{drive, host} assignment searched over the analytic cost
+     * model under the current drive loads. Off by default — every
+     * pre-placement golden stays tick-identical.
+     */
+    bool use_cost_model = false;
+
+    /**
+     * Seed of the placement annealer's xoshiro stream; 0 defers to
+     * the BISCUIT_PLACE_SEED environment variable (falling back to
+     * the PlacerConfig default). Fixed seed -> identical plans.
+     */
+    std::uint64_t place_seed = 0;
+
+    /** Placement override (benchmarking static comparators). */
+    PlaceForce place_force = PlaceForce::Auto;
 
     /** Tables smaller than this are not worth offloading. */
     Bytes min_table_bytes = 1_MiB;
@@ -228,6 +254,19 @@ class MiniDb
      * runs once per (table, predicate-keys) pair.
      */
     std::map<std::string, double> selectivity_stats;
+
+    /**
+     * Measured matched-page fraction (pages holding at least one
+     * exact match / table pages), keyed like selectivity_stats.
+     * Written only by the cost-model scan path, read only by the
+     * placer: feedback from a prior identical scan beats any a-priori
+     * estimate for clustered data, where the histogram row estimate
+     * wildly overstates how many pages actually ship. Placement-
+     * independent by construction — the exact re-check decides, not
+     * the matcher — so every placement of the same scan records the
+     * same value.
+     */
+    std::map<std::string, double> matched_page_frac;
 
   private:
     /** File systems of the first @p shards drives, in drive order. */

@@ -1,0 +1,220 @@
+#include "db/placer.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdlib>
+
+#include "util/rng.h"
+
+namespace bisc::db {
+
+namespace {
+
+/** Budget check of a complete assignment. */
+bool
+feasible(const std::vector<StageSpec> &stages,
+         const std::vector<Site> &sites,
+         const std::vector<DriveLoadSnapshot> &loads,
+         const PlacerConfig &cfg)
+{
+    std::vector<std::uint32_t> cores(loads.size(), 0);
+    std::vector<Bytes> dram(loads.size(), 0);
+    for (std::size_t i = 0; i < stages.size(); ++i) {
+        if (sites[i].on_host)
+            continue;
+        const std::uint32_t d = sites[i].drive;
+        if (++cores[d] > cfg.core_budget)
+            return false;
+        dram[d] += stages[i].dram;
+        if (dram[d] > cfg.dram_budget ||
+            dram[d] > loads[d].user_mem_free)
+            return false;
+    }
+    return true;
+}
+
+/** Candidate sites of one stage, device options first. */
+std::vector<Site>
+candidates(const StageSpec &s)
+{
+    std::vector<Site> out;
+    for (std::uint32_t d : s.eligible_drives)
+        out.push_back(Site{false, d});
+    if (s.host_eligible)
+        out.push_back(Site{true, 0});
+    return out;
+}
+
+}  // namespace
+
+bool
+PlacementPlan::anyDevice() const
+{
+    for (const Site &s : sites)
+        if (!s.on_host)
+            return true;
+    return false;
+}
+
+std::string
+PlacementPlan::describe() const
+{
+    std::string out;
+    for (const Site &s : sites) {
+        if (!out.empty())
+            out += ',';
+        out += s.on_host ? "host" : "d" + std::to_string(s.drive);
+    }
+    return out;
+}
+
+PlacementPlan
+placeStages(const std::vector<StageSpec> &stages,
+            const CostCalibration &calib,
+            const std::vector<DriveLoadSnapshot> &loads,
+            const PlacerConfig &cfg)
+{
+    PlacementPlan plan;
+    if (stages.empty())
+        return plan;
+
+    // Greedy seed: stages in order, each taking the site that
+    // minimizes the makespan of the partial assignment. Ties keep the
+    // earlier candidate (devices first), matching the historical
+    // preference for offload when costs are equal.
+    std::vector<Site> sites(stages.size(), Site{true, 0});
+    for (std::size_t i = 0; i < stages.size(); ++i) {
+        const std::vector<Site> cands = candidates(stages[i]);
+        if (cands.empty())
+            return plan;  // nowhere to run: invalid
+        bool placed = false;
+        Tick best_cost = 0;
+        for (const Site &cand : cands) {
+            sites[i] = cand;
+            if (!feasible(stages, sites, loads, cfg))
+                continue;
+            // Price only the stages assigned so far.
+            std::vector<StageSpec> prefix(stages.begin(),
+                                          stages.begin() +
+                                              static_cast<long>(i) +
+                                              1);
+            std::vector<Site> psites(sites.begin(),
+                                     sites.begin() +
+                                         static_cast<long>(i) + 1);
+            const Tick cost =
+                predictMakespan(prefix, psites, calib, loads);
+            if (!placed || cost < best_cost) {
+                best_cost = cost;
+                plan.sites.assign(sites.begin(), sites.end());
+                placed = true;
+            }
+        }
+        if (!placed)
+            return plan;  // budgets exclude every candidate
+        sites = plan.sites;
+    }
+    plan.valid = true;
+    plan.predicted = predictMakespan(stages, sites, calib, loads);
+
+    // Annealing walk: flip one stage's site per step, reject budget
+    // violations, accept improvements always and regressions with
+    // exp(-delta/T). Best-feasible tracking means the returned plan
+    // is never worse than the greedy seed.
+    if (cfg.anneal && stages.size() >= 1) {
+        Rng rng(cfg.seed);
+        std::vector<Site> cur = sites;
+        Tick cur_cost = plan.predicted;
+        std::vector<Site> best = sites;
+        Tick best_cost = plan.predicted;
+        double temp = cfg.t0_ticks;
+        for (std::uint32_t it = 0; it < cfg.iterations; ++it) {
+            const std::size_t i = static_cast<std::size_t>(
+                rng.below(stages.size()));
+            const std::vector<Site> cands = candidates(stages[i]);
+            if (cands.size() < 2) {
+                temp *= cfg.cooling;
+                continue;
+            }
+            const Site prev = cur[i];
+            Site next = cands[rng.below(cands.size())];
+            if (next.on_host == prev.on_host &&
+                next.drive == prev.drive) {
+                temp *= cfg.cooling;
+                continue;
+            }
+            cur[i] = next;
+            if (!feasible(stages, cur, loads, cfg)) {
+                cur[i] = prev;
+                temp *= cfg.cooling;
+                continue;
+            }
+            const Tick cost =
+                predictMakespan(stages, cur, calib, loads);
+            const double delta = static_cast<double>(cost) -
+                                 static_cast<double>(cur_cost);
+            if (delta <= 0.0 ||
+                (temp > 0.0 &&
+                 rng.uniform() < std::exp(-delta / temp))) {
+                cur_cost = cost;
+                if (cost < best_cost) {
+                    best_cost = cost;
+                    best = cur;
+                }
+            } else {
+                cur[i] = prev;
+            }
+            temp *= cfg.cooling;
+        }
+        if (best_cost < plan.predicted) {
+            plan.sites = best;
+            plan.predicted = best_cost;
+            plan.from_anneal = true;
+        }
+    }
+
+    // Static comparators, for notes/metrics/benches.
+    plan.predicted_all_host =
+        forcedPlan(stages, calib, loads, true).predicted;
+    plan.predicted_all_device =
+        forcedPlan(stages, calib, loads, false).predicted;
+    return plan;
+}
+
+PlacementPlan
+forcedPlan(const std::vector<StageSpec> &stages,
+           const CostCalibration &calib,
+           const std::vector<DriveLoadSnapshot> &loads, bool on_host)
+{
+    PlacementPlan plan;
+    plan.sites.reserve(stages.size());
+    for (const StageSpec &s : stages) {
+        if (on_host || s.eligible_drives.empty()) {
+            plan.sites.push_back(Site{true, 0});
+        } else {
+            plan.sites.push_back(Site{false, s.eligible_drives[0]});
+        }
+    }
+    plan.valid = !stages.empty();
+    plan.predicted =
+        predictMakespan(stages, plan.sites, calib, loads);
+    plan.predicted_all_host = plan.predicted;
+    plan.predicted_all_device = plan.predicted;
+    return plan;
+}
+
+std::uint64_t
+placeSeedFromEnv(std::uint64_t fallback)
+{
+    const char *env = std::getenv("BISCUIT_PLACE_SEED");
+    if (env == nullptr || env[0] == '\0')
+        return fallback;
+    char *end = nullptr;
+    const int base =
+        env[0] == '0' && (env[1] == 'x' || env[1] == 'X') ? 16 : 10;
+    unsigned long long v = std::strtoull(env, &end, base);
+    if (end == env || *end != '\0')
+        return fallback;
+    return static_cast<std::uint64_t>(v);
+}
+
+}  // namespace bisc::db

@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Seeded placement optimizer over the analytic cost model
+ * (db/costmodel.h): greedy construction plus simulated annealing,
+ * the way SET schedules layers onto tiles — a deterministic xoshiro
+ * stream (`BISCUIT_PLACE_SEED`) drives the neighbor walk, so a fixed
+ * seed reproduces the exact same plan on every run, lane and
+ * platform.
+ *
+ * The search space is stage -> {its shard's drive, host}. Feasibility
+ * honors the PR 6 budgets: at most device_cores stages placed per
+ * drive (one application pins one core) and the drives' free user
+ * DRAM covers the placed stages' instance memory. The annealer starts
+ * from the greedy plan and tracks the best feasible visit, so its
+ * result is never worse than greedy.
+ */
+
+#ifndef BISCUIT_DB_PLACER_H_
+#define BISCUIT_DB_PLACER_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "db/costmodel.h"
+
+namespace bisc::db {
+
+/** A complete stage->site assignment with its predicted cost. */
+struct PlacementPlan
+{
+    bool valid = false;
+    std::vector<Site> sites;       ///< one per stage, stage order
+
+    Tick predicted = 0;            ///< makespan of this plan
+    Tick predicted_all_host = 0;   ///< static all-host comparator
+    Tick predicted_all_device = 0; ///< static all-device comparator
+    bool from_anneal = false;      ///< annealing improved on greedy
+
+    /** True when any stage runs on a drive. */
+    bool anyDevice() const;
+
+    /** "d0,d1,host,d3" — sites in stage order. */
+    std::string describe() const;
+};
+
+struct PlacerConfig
+{
+    /** Seed of the annealing walk (0 is a valid seed). */
+    std::uint64_t seed = 0xb15c017ull;
+
+    /** false: greedy only (still deterministic, no RNG draws). */
+    bool anneal = true;
+
+    /** Annealing steps. */
+    std::uint32_t iterations = 256;
+
+    /** Initial temperature in ticks (accepts uphill moves of this
+     *  order early on) and the geometric cooling factor per step. */
+    double t0_ticks = 2.0e6;
+    double cooling = 0.97;
+
+    /** Per-drive budgets (PR 6): concurrent placed stages per drive
+     *  and the device DRAM their instances may claim. */
+    std::uint32_t core_budget = 2;
+    Bytes dram_budget = 512_MiB;
+};
+
+/**
+ * Place @p stages: greedy seed, then (cfg.anneal) a simulated
+ * annealing walk. Returns an infeasible-marked plan (valid=false)
+ * only when some stage has no eligible site at all.
+ */
+PlacementPlan placeStages(const std::vector<StageSpec> &stages,
+                          const CostCalibration &calib,
+                          const std::vector<DriveLoadSnapshot> &loads,
+                          const PlacerConfig &cfg);
+
+/**
+ * The static comparator plans: every stage on the host
+ * (@p on_host) or every stage on its shard's drive. Budgets are not
+ * enforced — these price what a placement-oblivious system would do.
+ */
+PlacementPlan forcedPlan(const std::vector<StageSpec> &stages,
+                         const CostCalibration &calib,
+                         const std::vector<DriveLoadSnapshot> &loads,
+                         bool on_host);
+
+/**
+ * `BISCUIT_PLACE_SEED` when set (decimal, or hex with 0x prefix),
+ * @p fallback otherwise. Unlike seedFromEnv() this never writes to
+ * stderr — placement decisions run inside golden-checked benches.
+ */
+std::uint64_t placeSeedFromEnv(std::uint64_t fallback);
+
+}  // namespace bisc::db
+
+#endif  // BISCUIT_DB_PLACER_H_

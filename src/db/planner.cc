@@ -8,6 +8,122 @@
 
 namespace bisc::db {
 
+namespace {
+
+/**
+ * One StageSpec per table shard: pages from the zone-map prune when
+ * statistics exist (the executor streams exactly those runs), the
+ * whole shard otherwise. Shard k's pages live on drive k, so that is
+ * each stage's only device-eligible site.
+ */
+std::vector<StageSpec>
+buildScanStages(Table &table, const ExprPtr &pred, double sel,
+                bool use_stats)
+{
+    PrunePlan plan;
+    if (use_stats && table.stats())
+        plan = planPrune(table, *pred);
+
+    // The planner's selectivity estimate is a fraction of the whole
+    // table's pages; a pruned stage streams only the surviving band,
+    // most of which matches. Re-normalize so StageSpec::selectivity
+    // is the shipped fraction of *streamed* pages.
+    double streamed_sel = std::min(1.0, std::max(0.0, sel));
+    if (plan.usable && plan.pages_selected > 0) {
+        const double matched =
+            streamed_sel * static_cast<double>(plan.pages_total);
+        streamed_sel = std::min(
+            1.0, matched / static_cast<double>(plan.pages_selected));
+    }
+
+    std::vector<StageSpec> stages;
+    stages.reserve(table.shardCount());
+    for (std::uint32_t s = 0; s < table.shardCount(); ++s) {
+        StageSpec st;
+        st.label = "scan." + table.name() + ".s" + std::to_string(s);
+        st.shard = s;
+        if (plan.usable) {
+            std::uint64_t pages = 0;
+            for (const auto &[first, count] :
+                 shardPruneRuns(table, plan, s))
+                pages += count;
+            st.pages = pages;
+        } else {
+            st.pages = table.shardPageCount(s);
+        }
+        st.page_bytes = table.pageSize();
+        st.selectivity = streamed_sel;
+        st.eligible_drives = {s};
+        stages.push_back(std::move(st));
+    }
+    return stages;
+}
+
+/**
+ * Cost-model generalization of the boolean offload call: calibrate,
+ * snapshot the array's load, search stage->site assignments, and
+ * write the winning plan (plus its static comparators) into @p d.
+ * @p est_ship_frac is the a-priori estimate of the matched-page
+ * fraction of the whole table; a measured value from a prior
+ * identical scan (MiniDb::matched_page_frac) supersedes it — the
+ * histogram row estimate assumes rows scatter uniformly and badly
+ * overstates shipping for date-clustered data. Returns false —
+ * leaving the legacy threshold decision to run — only if no stage
+ * could be placed anywhere.
+ */
+bool
+placeWithCostModel(MiniDb &db, Table &table, const ExprPtr &pred,
+                   PlanDecision &d, double est_ship_frac)
+{
+    const PlannerConfig &cfg = db.planner;
+    double sel = std::min(1.0, std::max(0.0, est_ship_frac));
+    auto measured =
+        db.matched_page_frac.find(scanStatKey(table, d.keys));
+    if (measured != db.matched_page_frac.end())
+        sel = measured->second;
+    std::vector<StageSpec> stages =
+        buildScanStages(table, pred, sel, cfg.use_stats);
+    for (StageSpec &st : stages)
+        st.dram = db.env().device.config().instance_user_mem;
+    const CostCalibration calib = calibrateCostModel(db);
+    const std::vector<DriveLoadSnapshot> loads =
+        snapshotDriveLoads(db);
+
+    PlacerConfig pc;
+    pc.seed = cfg.place_seed != 0 ? cfg.place_seed
+                                  : placeSeedFromEnv(pc.seed);
+    pc.core_budget = db.env().device.config().device_cores;
+    pc.dram_budget = db.env().device.config().user_mem_bytes;
+
+    d.plan = cfg.place_force == PlaceForce::Auto
+                 ? placeStages(stages, calib, loads, pc)
+                 : forcedPlan(stages, calib, loads,
+                              cfg.place_force == PlaceForce::AllHost);
+    if (!d.plan.valid)
+        return false;
+    d.offload = d.plan.anyDevice();
+
+    char buf[224];
+    std::snprintf(buf, sizeof(buf),
+                  "cost model placed [%s]%s: predicted %.3f ms "
+                  "(all-host %.3f ms, all-device %.3f ms)",
+                  d.plan.describe().c_str(),
+                  d.plan.from_anneal ? " (annealed)" : "",
+                  static_cast<double>(d.plan.predicted) / 1e6,
+                  static_cast<double>(d.plan.predicted_all_host) /
+                      1e6,
+                  static_cast<double>(d.plan.predicted_all_device) /
+                      1e6);
+    d.note = buf;
+    if (d.offload) {
+        OBS_INSTANT(db.env().kernel.obs(), "db", "offload",
+                    static_cast<std::int64_t>(sel * 100.0));
+    }
+    return true;
+}
+
+}  // namespace
+
 PlanDecision
 decideOffload(MiniDb &db, Table &table, const ExprPtr &pred,
               DbStats &stats)
@@ -43,7 +159,10 @@ decideOffload(MiniDb &db, Table &table, const ExprPtr &pred,
     // page). No simulated time is spent — the statistics were built
     // at load. Predicates without histogram coverage fall through to
     // the paper's timed sampling probe.
-    std::shared_ptr<const TableStats> ts = table.stats();
+    // stats() is only fetched under the gate: the lazy build must
+    // not run for legacy-mode plans.
+    std::shared_ptr<const TableStats> ts =
+        cfg.use_stats ? table.stats() : nullptr;
     if (cfg.use_stats && ts) {
         SelEstimate est =
             estimateRowSelectivity(*pred, table.schema(), *ts);
@@ -59,6 +178,15 @@ decideOffload(MiniDb &db, Table &table, const ExprPtr &pred,
                                    table.rowsPerPage()));
             d.est_selectivity = std::min(zone_frac, row_pages);
             d.from_stats = true;
+
+            // The cost model supersedes the threshold rule: the
+            // row-based estimate (not the zone-clipped page bound —
+            // the stage specs already stream only the pruned band)
+            // feeds the stage specs, and the placer decides where
+            // (and whether) to offload.
+            if (cfg.use_cost_model &&
+                placeWithCostModel(db, table, pred, d, row_pages))
+                return d;
 
             char sbuf[128];
             if (d.est_selectivity > cfg.page_selectivity_threshold) {
@@ -94,11 +222,7 @@ decideOffload(MiniDb &db, Table &table, const ExprPtr &pred,
     // Quick check: probe evenly spread pages through the matchers.
     // Results are cached per (table, key set), like persistent
     // engine statistics.
-    std::string stat_key = table.name();
-    for (const auto &k : d.keys.keys()) {
-        stat_key += '|';
-        stat_key += k;
-    }
+    std::string stat_key = scanStatKey(table, d.keys);
     auto cached = db.selectivity_stats.find(stat_key);
     if (cached != db.selectivity_stats.end()) {
         d.sampled_selectivity = cached->second;
@@ -118,6 +242,15 @@ decideOffload(MiniDb &db, Table &table, const ExprPtr &pred,
         db.selectivity_stats.emplace(stat_key,
                                      d.sampled_selectivity);
     }
+
+    // Sampled estimate in hand: same generalization as above for
+    // predicates no histogram covers.
+    if (cfg.use_cost_model &&
+        placeWithCostModel(db, table, pred, d,
+                           d.sampled_selectivity >= 0.0
+                               ? d.sampled_selectivity
+                               : 1.0))
+        return d;
 
     char buf[96];
     if (d.sampled_selectivity > cfg.page_selectivity_threshold) {

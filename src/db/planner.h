@@ -14,6 +14,7 @@
 
 #include "db/expr.h"
 #include "db/minidb.h"
+#include "db/placer.h"
 #include "db/table.h"
 #include "pm/pattern_matcher.h"
 
@@ -30,6 +31,15 @@ struct PlanDecision
 
     /** True when the decision came from statistics, not sampling. */
     bool from_stats = false;
+
+    /**
+     * Per-shard placement (PlannerConfig::use_cost_model): valid=true
+     * routes the scan through the executor's placed fan-out, with
+     * offload generalized to "any stage on a drive". valid=false —
+     * always the case gate-closed — leaves the historical boolean
+     * dispatch untouched, tick for tick.
+     */
+    PlacementPlan plan;
 
     std::string note;  ///< human-readable decision trace
 };

@@ -89,9 +89,19 @@ Table::load(const std::function<bool(Row &)> &next)
         flushPage();
     page_count_ = page_idx;
 
-    // Statistics ride the same offline population: two functional
-    // passes, zero simulated time, immutable thereafter.
-    stats_ = buildTableStats(*this);
+    // Statistics ride the same offline population (two functional
+    // passes, zero simulated time) but are built lazily by stats():
+    // workloads that never consult them pay nothing.
+    stats_buildable_ = true;
+    stats_.reset();
+}
+
+std::shared_ptr<const TableStats>
+Table::stats() const
+{
+    if (!stats_ && stats_buildable_)
+        stats_ = buildTableStats(*this);
+    return stats_;
 }
 
 void

@@ -161,11 +161,15 @@ class Table
     // ----- statistics (db/stats.h) -----
 
     /**
-     * Per-chunk zone maps + histograms, built by load(); null on an
-     * attached table until adoptTableStats() installs the frozen
-     * image's copy. Immutable once published — lanes share it.
+     * Per-chunk zone maps + histograms, built lazily on first access
+     * for a table populated by load(); null on an attached table
+     * until adoptTableStats() installs the frozen image's copy.
+     * Immutable once published — lanes share it. The lazy build is a
+     * functional pass (zero simulated time), so deferring it off the
+     * load path costs nothing in ticks and saves wall clock for
+     * workloads that never consult statistics.
      */
-    std::shared_ptr<const TableStats> stats() const { return stats_; }
+    std::shared_ptr<const TableStats> stats() const;
 
     void
     setStats(std::shared_ptr<const TableStats> stats)
@@ -182,7 +186,11 @@ class Table
     std::uint64_t rows_per_page_;
     std::uint64_t row_count_ = 0;
     std::uint64_t page_count_ = 0;
-    std::shared_ptr<const TableStats> stats_;
+    // True only after load(): attach constructors must keep stats()
+    // null (lanes adopt the frozen image's copy instead of
+    // rebuilding).
+    bool stats_buildable_ = false;
+    mutable std::shared_ptr<const TableStats> stats_;
 };
 
 }  // namespace bisc::db

@@ -5,6 +5,7 @@
 #include <cstdlib>
 #include <memory>
 
+#include "db/costmodel.h"
 #include "db/executor.h"
 #include "db/stats.h"
 #include "host/grep.h"
@@ -202,10 +203,17 @@ runJob(ServeState &st, const JobSpec &job)
         break;
       }
       case JobKind::Grep: {
+        // Placement-aware routing: the corpus is identical on every
+        // drive, so the grep can run wherever the cores are idlest.
+        std::uint32_t target = job.drive;
+        if (st.cfg.placed_greps) {
+            target =
+                db::leastLoadedDrive(db::snapshotDriveLoads(st.db));
+        }
         Demand demand;
         demand.cores = 1;
         demand.dram = 128_KiB;
-        demand.first_drive = job.drive;
+        demand.first_drive = target;
         demand.drive_span = 1;
         Status s = st.adm.acquire(job.tenant, demand);
         if (!s.ok()) {
@@ -217,8 +225,8 @@ runJob(ServeState &st, const JobSpec &job)
         }
         st.logEvent(job, "admit", jobLabel(job));
         auto grep = host::grepBiscuitResident(
-            st.db.env().array.drive(job.drive).runtime,
-            st.grep_modules[job.drive], st.cat.log_path,
+            st.db.env().array.drive(target).runtime,
+            st.grep_modules[target], st.cat.log_path,
             st.cfg.grep_needle);
         st.adm.release(job.tenant, demand);
         rows = grep.matches;

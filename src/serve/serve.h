@@ -92,6 +92,15 @@ struct ServeConfig
      * Off by default — the fig_serve golden predates statistics.
      */
     bool keyed_lookups = false;
+
+    /**
+     * Placement-aware grep routing: send each grep job to the least
+     * loaded drive (db::leastLoadedDrive over the array's core
+     * busy-until horizons) instead of the job's pre-drawn drive.
+     * Result-safe because every drive carries an identical corpus.
+     * Off by default — the fig_serve golden predates placement.
+     */
+    bool placed_greps = false;
 };
 
 /** The default 4-tenant mix: weights 4/2/2/1. */

@@ -1,5 +1,6 @@
 #include "sisc/drive_array.h"
 
+#include <algorithm>
 #include <cstdlib>
 
 #include "obs/metrics.h"
@@ -83,6 +84,19 @@ DriveArray::loadOf(std::uint32_t k) const
     load.user_mem_used = rt.userAllocator().used();
     load.user_mem_capacity = rt.userAllocator().capacity();
     load.system_mem_used = rt.systemAllocator().used();
+    ssd::SsdDevice &dev = const_cast<Drive &>(d).device;
+    for (std::uint32_t c = 0; c < dev.coreCount(); ++c) {
+        const Tick horizon = dev.core(c).busyUntil();
+        if (c == 0) {
+            load.min_core_busy_until = horizon;
+            load.max_core_busy_until = horizon;
+        } else {
+            load.min_core_busy_until =
+                std::min(load.min_core_busy_until, horizon);
+            load.max_core_busy_until =
+                std::max(load.max_core_busy_until, horizon);
+        }
+    }
     return load;
 }
 

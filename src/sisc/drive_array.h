@@ -77,6 +77,13 @@ struct DriveLoad
     Bytes user_mem_used = 0;         ///< user-allocator bytes in use
     Bytes user_mem_capacity = 0;     ///< user-allocator arena size
     Bytes system_mem_used = 0;       ///< system-allocator bytes in use
+
+    // Busy-until horizons of the drive's CPU cores (absolute ticks):
+    // how far out each core is already committed. A placement engine
+    // subtracts "now" to price the queueing delay a new SSDlet would
+    // see; a freshly idle drive reports horizons at or before now.
+    Tick min_core_busy_until = 0;    ///< least-committed core
+    Tick max_core_busy_until = 0;    ///< most-committed core
 };
 
 class DriveArray

@@ -83,6 +83,9 @@ struct Ctx
         out.sampled_selectivity = s.sampled_selectivity;
         out.est_selectivity = s.est_selectivity;
         out.measured_selectivity = s.measured_selectivity;
+        out.placement = s.placement;
+        out.predicted_ticks = s.predicted_ticks;
+        out.measured_ticks = s.measured_ticks;
         return s;
     }
 

@@ -32,6 +32,12 @@ struct QueryOutcome
     double est_selectivity = -1.0;      ///< histogram estimate; -1: none
     double measured_selectivity = -1.0; ///< actual page sel.; -1: none
     std::string planner_note;
+
+    /** Cost-model placement of the primary scan ("d0,d1,host,d3");
+     *  empty when the legacy boolean dispatch ran. */
+    std::string placement;
+    Tick predicted_ticks = 0;  ///< cost-model makespan prediction
+    Tick measured_ticks = 0;   ///< measured placed-scan ticks
 };
 
 struct QueryRun

@@ -1,0 +1,321 @@
+/**
+ * @file
+ * Cost-model SSDlet placement contracts (db/costmodel.h, db/placer.h):
+ *
+ *  1. Calibration is deterministic: two identically-configured,
+ *     identically-trafficked systems calibrate field-for-field equal
+ *     models and make byte-identical placement decisions at a fixed
+ *     seed.
+ *  2. Property, >= 20 seeds of random stage graphs and drive loads:
+ *     the annealed plan never violates the per-drive core/DRAM
+ *     budgets and is never worse than the greedy seed it starts from.
+ *  3. Gate closed (use_cost_model=false), the placement machinery is
+ *     dead code: the annealer seed is never read and simulated timing
+ *     is tick-identical to the statistics-era planner; gate-on
+ *     returns the same rows.
+ *  4. A lane forked from a frozen device image reproduces the
+ *     primary's placement decision exactly (same plan, same note,
+ *     same simulated ticks) — including under LaneRunner threads.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "db/costmodel.h"
+#include "db/executor.h"
+#include "db/expr.h"
+#include "db/minidb.h"
+#include "db/placer.h"
+#include "db/planner.h"
+#include "db/stats.h"
+#include "db/table.h"
+#include "db/types.h"
+#include "host/host_system.h"
+#include "host/lane_runner.h"
+#include "sisc/device_image.h"
+#include "sisc/env.h"
+#include "ssd/config.h"
+#include "util/rng.h"
+
+namespace bisc::db {
+namespace {
+
+Schema
+eventsSchema()
+{
+    return Schema({col("id", Type::Int64), col("day", Type::Date),
+                   col("qty", Type::Double),
+                   col("tag", Type::String, 10)});
+}
+
+/** Clustered fact rows: id/day ascending, qty noise (see prune_test). */
+std::vector<Row>
+eventRows(std::uint64_t seed, std::int64_t n)
+{
+    Rng rng(seed);
+    std::vector<Row> rows;
+    rows.reserve(n);
+    for (std::int64_t i = 0; i < n; ++i) {
+        rows.push_back(
+            {i, dateAddDays("1994-01-01", i * 730 / n),
+             static_cast<double>(rng.below(100)),
+             std::string(rng.below(3) == 0 ? "alpha" : "beta")});
+    }
+    return rows;
+}
+
+/** What one placed scan decided and cost. */
+struct ScanRecord
+{
+    std::vector<Row> rows;
+    std::string placement;
+    std::string note;
+    Tick predicted = 0;
+    Tick elapsed = 0;
+};
+
+ScanRecord
+scanOnce(sisc::Env &env, MiniDb &db, const ExprPtr &pred)
+{
+    ScanRecord r;
+    env.run([&] {
+        DbStats stats;
+        Tick t0 = env.kernel.now();
+        ScanOutcome out = scanTable(db, db.table("events"), pred,
+                                    EngineMode::Biscuit, stats);
+        r.elapsed = env.kernel.now() - t0;
+        r.rows = std::move(out.rows);
+        r.placement = out.placement;
+        r.note = out.note;
+        r.predicted = out.predicted_ticks;
+    });
+    return r;
+}
+
+/** A fresh 2-drive system with the standard events table loaded. */
+struct PlaceSystem
+{
+    sisc::Env env;
+    host::HostSystem host;
+    MiniDb db;
+
+    PlaceSystem()
+        : env(ssd::testConfig(), 2), host(env.array), db(env, host)
+    {
+        db.planner.min_table_bytes = 8_KiB;
+        db.planner.sample_pages = 8;
+        db.planner.use_stats = true;
+        db.planner.use_cost_model = true;
+        db.planner.place_seed = 0xfeedull;
+        auto &t = db.createShardedTable("events", eventsSchema());
+        t.loadRows(eventRows(7, 20000));
+    }
+};
+
+TEST(PlaceCalib, CalibrationAndPlacementDeterministic)
+{
+    PlaceSystem a;
+    PlaceSystem b;
+
+    const CostCalibration ca = calibrateCostModel(a.db);
+    const CostCalibration cb = calibrateCostModel(b.db);
+    EXPECT_EQ(ca.describe(), cb.describe());
+    EXPECT_GT(ca.dev_ctrl_ns_per_page, 0.0);
+    EXPECT_GT(ca.stage_setup_ns, 0.0);
+    EXPECT_GT(ca.host_cpu_ns_per_byte, 0.0);
+
+    auto pred = between(eventsSchema(), "day",
+                        std::string("1995-03-01"),
+                        std::string("1995-03-10"));
+    ScanRecord ra = scanOnce(a.env, a.db, pred);
+    ScanRecord rb = scanOnce(b.env, b.db, pred);
+    ASSERT_FALSE(ra.rows.empty());
+    EXPECT_EQ(ra.rows, rb.rows);
+    EXPECT_EQ(ra.placement, rb.placement);
+    EXPECT_EQ(ra.note, rb.note);
+    EXPECT_EQ(ra.predicted, rb.predicted);
+    EXPECT_EQ(ra.elapsed, rb.elapsed);
+    EXPECT_NE(ra.note.find("cost model placed"), std::string::npos)
+        << ra.note;
+
+    // Calibrating again after traffic still agrees across systems
+    // (the NAND-refined channel rate is part of the contract).
+    EXPECT_EQ(calibrateCostModel(a.db).describe(),
+              calibrateCostModel(b.db).describe());
+}
+
+TEST(PlaceProperty, AnnealRespectsBudgetsAndNeverWorseThanGreedy)
+{
+    constexpr std::uint64_t kSeeds = 24;
+    CostCalibration c;
+    c.dev_ctrl_ns_per_page = 5300;
+    c.stage_setup_ns = 160700;
+    c.ship_dev_ns_per_page = 7775;
+    c.chan_ns_per_byte = 1.667;
+    c.channels = 8;
+    c.device_cores = 2;
+    c.port_ns_per_page = 8488;
+    c.hil_ns_per_byte = 0.3125;
+    c.host_cpu_ns_per_byte = 4.0;
+    c.host_io_ns_per_window = 6300;
+    c.stream_window = 1_MiB;
+
+    for (std::uint64_t seed = 0; seed < kSeeds; ++seed) {
+        Rng rng(0x91ace000 + seed);
+        const std::uint32_t drives = 1u << rng.below(3);  // 1, 2, 4
+
+        std::vector<DriveLoadSnapshot> loads(drives);
+        for (DriveLoadSnapshot &l : loads) {
+            l.active_apps = rng.below(20);
+            l.device_cores = 2;
+            l.min_core_backlog = rng.below(500) * 1000;
+            l.max_core_backlog =
+                l.min_core_backlog + rng.below(100) * 1000;
+            // Occasionally too little device DRAM for even one stage:
+            // those drives must stay empty.
+            l.user_mem_free =
+                rng.below(5) == 0 ? 64_KiB : Bytes{512_MiB};
+        }
+
+        const std::uint32_t nstages = 1 + rng.below(8);
+        std::vector<StageSpec> stages(nstages);
+        for (std::uint32_t s = 0; s < nstages; ++s) {
+            stages[s].shard = s;
+            stages[s].pages = 1 + rng.below(2000);
+            stages[s].page_bytes = 8192;
+            stages[s].selectivity = rng.below(101) / 100.0;
+            stages[s].eligible_drives = {s % drives};
+            stages[s].dram = 256_KiB;
+        }
+
+        PlacerConfig pc;
+        pc.seed = 0xb15c0000 + seed;
+        pc.core_budget = 2;
+        pc.dram_budget = 512_MiB;
+
+        PlacerConfig greedy_pc = pc;
+        greedy_pc.anneal = false;
+        PlacementPlan greedy =
+            placeStages(stages, c, loads, greedy_pc);
+        PlacementPlan annealed = placeStages(stages, c, loads, pc);
+
+        ASSERT_TRUE(greedy.valid) << "seed " << seed;
+        ASSERT_TRUE(annealed.valid) << "seed " << seed;
+        ASSERT_EQ(annealed.sites.size(), stages.size());
+
+        // Never worse than the greedy seed it starts from.
+        EXPECT_LE(annealed.predicted, greedy.predicted)
+            << "seed " << seed;
+        // And never worse than either static plan it was compared to.
+        EXPECT_LE(annealed.predicted, annealed.predicted_all_host)
+            << "seed " << seed;
+
+        // Budgets hold on every drive.
+        std::vector<std::uint32_t> cores(drives, 0);
+        std::vector<Bytes> dram(drives, 0);
+        for (std::size_t s = 0; s < annealed.sites.size(); ++s) {
+            const Site &site = annealed.sites[s];
+            if (site.on_host)
+                continue;
+            ASSERT_LT(site.drive, drives) << "seed " << seed;
+            ++cores[site.drive];
+            dram[site.drive] += stages[s].dram;
+        }
+        for (std::uint32_t d = 0; d < drives; ++d) {
+            EXPECT_LE(cores[d], pc.core_budget) << "seed " << seed;
+            EXPECT_LE(dram[d], pc.dram_budget) << "seed " << seed;
+            EXPECT_LE(dram[d], loads[d].user_mem_free)
+                << "seed " << seed;
+        }
+    }
+}
+
+TEST(PlaceGate, GateClosedLeavesTimingIdentical)
+{
+    auto pred = between(eventsSchema(), "day",
+                        std::string("1995-03-01"),
+                        std::string("1995-04-15"));
+
+    // Gate closed, two different annealer seeds: the seed must never
+    // be read, so decisions, notes and simulated ticks are identical.
+    PlaceSystem a;
+    a.db.planner.use_cost_model = false;
+    a.db.planner.place_seed = 1;
+    PlaceSystem b;
+    b.db.planner.use_cost_model = false;
+    b.db.planner.place_seed = 0xdeadbeefull;
+
+    ScanRecord ra = scanOnce(a.env, a.db, pred);
+    ScanRecord rb = scanOnce(b.env, b.db, pred);
+    ASSERT_FALSE(ra.rows.empty());
+    EXPECT_EQ(ra.rows, rb.rows);
+    EXPECT_EQ(ra.note, rb.note);
+    EXPECT_EQ(ra.elapsed, rb.elapsed);
+    // The legacy decision carries no placement plan.
+    EXPECT_TRUE(ra.placement.empty()) << ra.placement;
+    EXPECT_EQ(ra.predicted, Tick{0});
+
+    // Gate open: same rows, now with a placement attached.
+    PlaceSystem g;
+    ScanRecord rg = scanOnce(g.env, g.db, pred);
+    EXPECT_EQ(rg.rows, ra.rows);
+    EXPECT_FALSE(rg.placement.empty());
+    EXPECT_NE(rg.note.find("cost model placed"), std::string::npos)
+        << rg.note;
+}
+
+TEST(PlaceLane, ForkedLaneReproducesPlacement)
+{
+    const Schema schema = eventsSchema();
+    constexpr std::uint32_t kDrives = 2;
+
+    sisc::Env env(ssd::testConfig(), kDrives);
+    host::HostSystem host(env.array);
+    MiniDb db(env, host);
+    db.planner.min_table_bytes = 8_KiB;
+    db.planner.sample_pages = 8;
+    db.planner.use_stats = true;
+    db.planner.use_cost_model = true;
+    db.planner.place_seed = 0xfeedull;
+    auto &t = db.createShardedTable("events", schema);
+    t.loadRows(eventRows(7, 20000));
+
+    sim::DeviceImage image = sisc::freezeDeviceImage(env);
+    exportTableStats(db, image);
+
+    auto pred = between(schema, "day", std::string("1995-03-01"),
+                        std::string("1995-04-15"));
+    ScanRecord primary = scanOnce(env, db, pred);
+    ASSERT_FALSE(primary.rows.empty());
+    ASSERT_FALSE(primary.placement.empty());
+
+    // Two lanes on real threads (the TSan target): each forks the
+    // frozen image, adopts the primary's statistics, and must make
+    // the identical placement decision on the identical clock.
+    host::LaneRunner runner(2);
+    std::vector<ScanRecord> lanes(2);
+    runner.run(2, [&](std::size_t i) {
+        sisc::Env lenv(image);
+        host::HostSystem lhost(lenv.array);
+        MiniDb ldb(lenv, lhost);
+        ldb.planner = db.planner;
+        ldb.attachShardedTable("events", schema, t.rowCount(),
+                               kDrives);
+        adoptTableStats(ldb, image);
+        lanes[i] = scanOnce(lenv, ldb, pred);
+    });
+
+    for (const ScanRecord &lane : lanes) {
+        EXPECT_EQ(lane.rows, primary.rows);
+        EXPECT_EQ(lane.placement, primary.placement);
+        EXPECT_EQ(lane.note, primary.note);
+        EXPECT_EQ(lane.predicted, primary.predicted);
+        EXPECT_EQ(lane.elapsed, primary.elapsed);
+    }
+}
+
+}  // namespace
+}  // namespace bisc::db

@@ -161,6 +161,30 @@ TEST(ServeSoak, SaturationRejectsTypedAndNeverCrashes)
     // deadlocked the run before this point).
 }
 
+TEST(ServeSoak, PlacedGrepRoutingIsDeterministicAndDrains)
+{
+    // Placement-aware grep routing (ServeConfig::placed_greps) sends
+    // each grep to the least-loaded drive instead of the client's RNG
+    // pick. Routing may move work; it must not change determinism or
+    // lose jobs, and every grep still returns the same result because
+    // every drive serves the identical corpus.
+    serve::ServeConfig cfg = soakConfig();
+    cfg.placed_greps = true;
+
+    sisc::Env env1(ssd::defaultConfig(), 4);
+    serve::ServeReport r1 = serve::runServe(env1, cfg);
+    sisc::Env env2(ssd::defaultConfig(), 4);
+    serve::ServeReport r2 = serve::runServe(env2, cfg);
+
+    EXPECT_GT(r1.completed, 0u);
+    EXPECT_EQ(r1.completed + r1.rejected, r1.submitted);
+    expectSameReport(r1, r2);
+
+    // The gate default stays off: an unconfigured run must not have
+    // taken the placed path (fig_serve's golden depends on it).
+    EXPECT_FALSE(serve::ServeConfig{}.placed_greps);
+}
+
 TEST(ServeSoak, ConfigFromEnvironment)
 {
     if (std::getenv("BISCUIT_CLIENTS") != nullptr ||
