@@ -44,6 +44,7 @@ benches=(
     fig_serve
     fig_prune
     fig_place
+    fig_pipeline
 )
 
 out_dir="$build_dir/bench_out"
@@ -220,6 +221,19 @@ place_json=$(awk '
           printf "\"speedup_vs_all_host\": %s, ", vh;
           printf "\"speedup_vs_all_device\": %s", vd
     }' "$out_dir/fig_place.txt")
+# Multi-stage pipeline placement headline: the searched stage->site
+# assignment, its simulated scan time and prediction, and the measured
+# speedups over the static plans (from the fig_pipeline transcript).
+pipeline_json=$(awk '
+    $1 == "pipeline" && $2 != "vs" { placement = $2; ms = $3;
+                                     pred = $4 }
+    /^pipeline vs all-host:/   { gsub(/x$/, "", $4); vh = $4 }
+    /^pipeline vs all-device:/ { gsub(/x$/, "", $4); vd = $4 }
+    END { printf "\"placement\": \"%s\", ", placement;
+          printf "\"scan_ms\": %s, \"predicted_ms\": %s, ", ms, pred;
+          printf "\"speedup_vs_all_host\": %s, ", vh;
+          printf "\"speedup_vs_all_device\": %s", vd
+    }' "$out_dir/fig_pipeline.txt")
 serve_jobs_json=$(awk '/^--- 4 drives ---/ { s = 1 }
     s && /^jobs:/ {
         gsub(/;/, "", $6);
@@ -251,7 +265,8 @@ serve_jobs_json=$(awk '/^--- 4 drives ---/ { s = 1 }
     echo "    \"fig_scaleout\": {$scaleout_json},"
     echo "    \"fig_serve\": {$serve_jobs_json, \"tenant_p99_us\": {$serve_p99_json}},"
     echo "    \"fig_prune_one_day_1drive\": {$prune_json},"
-    echo "    \"fig_place_skewed_4drive\": {$place_json}"
+    echo "    \"fig_place_skewed_4drive\": {$place_json},"
+    echo "    \"fig_pipeline_skewed_4drive\": {$pipeline_json}"
     echo "  }"
     echo "}"
 } > "$out_file"

@@ -10,6 +10,8 @@
 # pass (fig_prune vs its golden — statistics-driven scans must return
 # the baseline's rows byte-identically while reading fewer pages), a
 # placement pass (fig_place vs its golden — the cost-model placement
+# must beat both static plans with byte-identical rows), a pipeline
+# pass (fig_pipeline vs its golden — the searched multi-stage plan
 # must beat both static plans with byte-identical rows), then
 # sanitizer builds via BISCUIT_SANITIZE (ASan/UBSan ctest; TSan lane +
 # serve-soak tests plus traced 2-lane fig10 runs at 1 and 4 drives so
@@ -115,6 +117,23 @@ if [[ "$run_perf_smoke" == 1 ]]; then
         > build/bench_out/fig_place_env.txt
     cmp build/bench_out/fig_place_a.txt build/bench_out/fig_place_env.txt
     echo "place: golden match, two runs byte-identical, env-invariant"
+
+    echo
+    echo "=== pipeline pass: multi-stage FBP pipeline placement ==="
+    # fig_pipeline exits non-zero unless the searched stage->site
+    # assignment beats both static plans with rows byte-identical
+    # across placements and drive counts; the transcript must match
+    # its golden, repeat byte-for-byte, and ignore the lane/drive/
+    # pipeline env (drive counts, the gate, and the annealer seed are
+    # fixed in the bench).
+    build/bench/fig_pipeline > build/bench_out/fig_pipeline_a.txt
+    diff -q bench/golden/fig_pipeline.txt build/bench_out/fig_pipeline_a.txt
+    build/bench/fig_pipeline > build/bench_out/fig_pipeline_b.txt
+    cmp build/bench_out/fig_pipeline_a.txt build/bench_out/fig_pipeline_b.txt
+    BISCUIT_LANES=2 BISCUIT_DRIVES=4 BISCUIT_PIPELINE_PLACE=0 \
+        build/bench/fig_pipeline > build/bench_out/fig_pipeline_env.txt
+    cmp build/bench_out/fig_pipeline_a.txt build/bench_out/fig_pipeline_env.txt
+    echo "pipeline: golden match, two runs byte-identical, env-invariant"
 fi
 
 if [[ "$run_sanitized" == 1 ]]; then
@@ -138,7 +157,7 @@ if [[ "$run_sanitized" == 1 ]]; then
         -DCMAKE_BUILD_TYPE=RelWithDebInfo >/dev/null
     cmake --build build-tsan -j "$(nproc)"
     ctest --test-dir build-tsan --output-on-failure -j "$(nproc)" \
-        -R "SnapshotFork|LaneRunner|ServeSoak|PlaceLane"
+        -R "SnapshotFork|LaneRunner|ServeSoak|PlaceLane|PipelineLane"
     BISCUIT_LANES=2 BISCUIT_TRACE=build-tsan/fig10_trace.json \
         build-tsan/bench/fig10_tpch \
         > build-tsan/fig10_lanes.txt

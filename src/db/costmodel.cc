@@ -1,6 +1,7 @@
 #include "db/costmodel.h"
 
 #include <algorithm>
+#include <cmath>
 #include <cstdio>
 
 #include "host/host_system.h"
@@ -16,23 +17,60 @@ namespace {
  *  (must track kPagesPerBatch in executor.cc). */
 constexpr double kPagesPerBatch = 8.0;
 
+/** Standing host-CPU share of one live streaming tenant: a stream
+ *  alternates per-window CPU bursts with waits on the drive, so it
+ *  occupies the serializing host CPU for only part of its lifetime.
+ *  Calibrated against fig_pipeline's word-count co-tenants. */
+constexpr double kHostStreamDuty = 0.25;
+
+/** Port-message units @p bytes occupy at @p page_bytes per page. */
+double
+edgeUnits(Bytes bytes, Bytes page_bytes)
+{
+    if (page_bytes == 0)
+        return 0.0;
+    return static_cast<double>(divCeil<Bytes>(bytes, page_bytes));
+}
+
+/** Drive-side elapsed of a host stream pulling @p bytes from the
+ *  drive @p load describes: queue behind the least-committed
+ *  channel, then move the bytes at the contention-deflated
+ *  channel + PCIe rate. */
+Tick
+hostStreamIoTicks(Bytes bytes, const CostCalibration &c,
+                  const DriveLoadSnapshot &load)
+{
+    const double per_byte =
+        c.chan_ns_per_byte / std::max<std::uint32_t>(1, c.channels) +
+        c.hil_ns_per_byte;
+    return load.chan_backlog +
+           static_cast<Tick>(static_cast<double>(bytes) * per_byte *
+                             streamContention(load));
+}
+
 }  // namespace
 
 std::string
 CostCalibration::describe() const
 {
-    char buf[512];
+    char buf[640];
     std::snprintf(
         buf, sizeof(buf),
         "dev_ctrl=%.0fns/page setup=%.0fns ship=%.0fns/page "
-        "chan=%.3fns/B%s x%u cores=%u "
-        "port=%.0fns/page hil=%.3fns/B host_cpu=%.3fns/B "
-        "host_io=%.0fns/win window=%llu",
+        "chan=%.3fns/B%s x%u cores=%u slow=%.1fx "
+        "port=%.0fns/page intra=%.0fns/page "
+        "h2d=%.0f+%.0fns/page hil=%.3fns/B host_cpu=%.3fns/B "
+        "host_io=%.0fns/win host_share=%.1fx host_backlog=%llu "
+        "window=%llu",
         dev_ctrl_ns_per_page, stage_setup_ns, ship_dev_ns_per_page,
         chan_ns_per_byte,
         chan_measured ? "(meas)" : "(cfg)", channels, device_cores,
-        port_ns_per_page, hil_ns_per_byte, host_cpu_ns_per_byte,
-        host_io_ns_per_window,
+        dev_cpu_slowdown,
+        port_ns_per_page, port_intra_ns_per_page,
+        h2d_host_ns_per_page, h2d_dev_ns_per_page,
+        hil_ns_per_byte, host_cpu_ns_per_byte,
+        host_io_ns_per_window, host_sharing,
+        static_cast<unsigned long long>(host_backlog),
         static_cast<unsigned long long>(stream_window));
     return buf;
 }
@@ -55,6 +93,7 @@ calibrateCostModel(MiniDb &db)
         static_cast<double>(cfg.sched_latency);
     c.channels = cfg.geometry.channels;
     c.device_cores = cfg.device_cores;
+    c.dev_cpu_slowdown = cfg.device_core_slowdown;
 
     // Channel rate: prior from the configured bus bandwidth, refined
     // from drive 0's always-on NAND accounting once enough real pages
@@ -74,22 +113,50 @@ calibrateCostModel(MiniDb &db)
         }
     }
 
-    // D2H port per shipped page, split by who pays: the device core
-    // sends (dev_cm_send), the host receives (message + host_cm_recv
-    // + sched) — each amortized over one page batch.
+    // Port decompositions (Table II), split by who pays and amortized
+    // over one page batch. D2H: the device core sends (dev_cm_send),
+    // the host receives (message + host_cm_recv + sched). H2D: the
+    // host sends (host_cm_send + message), the device core receives
+    // (dev_cm_recv + sched) — the receive path dominates. In-drive
+    // inter-SSDlet puts pay scheduling + typed (de)abstraction on the
+    // shared device core.
     c.ship_dev_ns_per_page =
         static_cast<double>(cfg.dev_cm_send) / kPagesPerBatch;
     c.port_ns_per_page =
         static_cast<double>(cfg.host_cm_recv + cfg.sched_latency +
                             cfg.hil_params.message_latency) /
         kPagesPerBatch;
+    c.port_intra_ns_per_page =
+        static_cast<double>(cfg.sched_latency +
+                            cfg.type_abstraction) /
+        kPagesPerBatch;
+    c.h2d_host_ns_per_page =
+        static_cast<double>(cfg.host_cm_send +
+                            cfg.hil_params.message_latency) /
+        kPagesPerBatch;
+    c.h2d_dev_ns_per_page =
+        static_cast<double>(cfg.dev_cm_recv + cfg.sched_latency) /
+        kPagesPerBatch;
     c.hil_ns_per_byte = 1.0e9 / cfg.hil_params.pcie_bw;
 
+    // Host CPU contention: the memory-load factor (StreamBench
+    // threads) times the time-sharing slice live streaming tenants
+    // leave for the query — each in-flight host stream charges
+    // per-byte CPU continuously on the one serializing host CPU.
+    std::uint32_t live_streams = 0;
+    for (std::uint32_t k = 0; k < db.host().driveCount(); ++k)
+        live_streams += db.host().activeStreamsOn(k);
+    c.host_sharing =
+        1.0 + kHostStreamDuty * static_cast<double>(live_streams);
+    c.host_cpu_factor =
+        db.host().contentionFactor() * c.host_sharing;
     c.host_cpu_ns_per_byte =
-        hcfg.db_scan_ns_per_byte * db.host().contentionFactor();
+        hcfg.db_scan_ns_per_byte * c.host_cpu_factor;
     c.host_io_ns_per_window =
-        static_cast<double>(hcfg.io_request_cpu) *
-        db.host().contentionFactor();
+        static_cast<double>(hcfg.io_request_cpu) * c.host_cpu_factor;
+    const Tick cpu_free = db.host().cpu().busyUntil();
+    const Tick now = db.env().kernel.now();
+    c.host_backlog = cpu_free > now ? cpu_free - now : 0;
     c.stream_window = 1_MiB;
     return c;
 }
@@ -118,6 +185,11 @@ snapshotDriveLoads(MiniDb &db)
             load.user_mem_capacity > load.user_mem_used
                 ? load.user_mem_capacity - load.user_mem_used
                 : 0;
+        s.host_streams = db.host().activeStreamsOn(k);
+        s.chan_backlog =
+            load.min_chan_busy_until > now
+                ? load.min_chan_busy_until - now
+                : 0;
         out.push_back(s);
     }
     return out;
@@ -136,6 +208,54 @@ leastLoadedDrive(const std::vector<DriveLoadSnapshot> &loads)
             best = k;
     }
     return best;
+}
+
+double
+streamContention(const DriveLoadSnapshot &load)
+{
+    // Co-tenant demand on the drive's channels: every other live host
+    // stream is a full peer; resident apps can drive at most one
+    // stream's worth of channel traffic per device core actually
+    // occupied (a core-limited co-tenant fleet does not saturate the
+    // interconnect no matter how many apps queue behind the cores).
+    const double tenants = static_cast<double>(
+        std::min<std::uint32_t>(load.active_apps, load.device_cores));
+    return 1.0 + static_cast<double>(load.host_streams) + tenants;
+}
+
+EdgeCost
+priceEdge(Bytes bytes, Bytes page_bytes, const Site &src,
+          const Site &dst, const CostCalibration &c)
+{
+    EdgeCost ec;
+    if (bytes == 0)
+        return ec;
+    const double units = edgeUnits(bytes, page_bytes);
+    const double hil = static_cast<double>(bytes) * c.hil_ns_per_byte;
+    if (src.on_host && dst.on_host)
+        return ec;  // same address space: free
+    if (!src.on_host && !dst.on_host && src.drive == dst.drive) {
+        // In-drive typed port between two SSDlets of one application:
+        // both ends run on the shared device core.
+        ec.src_core = static_cast<Tick>(units *
+                                        c.port_intra_ns_per_page);
+        return ec;
+    }
+    if (!src.on_host) {
+        // D2H leg (also the first hop of a drive-to-drive bounce).
+        ec.src_core += static_cast<Tick>(units *
+                                         c.ship_dev_ns_per_page);
+        ec.host +=
+            static_cast<Tick>(units * c.port_ns_per_page + hil);
+    }
+    if (!dst.on_host) {
+        // H2D leg (second hop of a bounce, or a host-fed SSDlet).
+        ec.host +=
+            static_cast<Tick>(units * c.h2d_host_ns_per_page + hil);
+        ec.dst_core += static_cast<Tick>(units *
+                                         c.h2d_dev_ns_per_page);
+    }
+    return ec;
 }
 
 Tick
@@ -170,14 +290,28 @@ deviceDrainTicks(const StageSpec &s, const CostCalibration &c)
 Tick
 hostStageTicks(const StageSpec &s, const CostCalibration &c)
 {
+    return hostStageTicks(s, c, nullptr);
+}
+
+Tick
+hostStageTicks(const StageSpec &s, const CostCalibration &c,
+               const DriveLoadSnapshot *load)
+{
     const Bytes bytes = s.pages * s.page_bytes;
     const std::uint64_t windows =
         c.stream_window == 0
             ? 0
             : divCeil<Bytes>(bytes, c.stream_window);
-    return static_cast<Tick>(
+    const Tick cpu = static_cast<Tick>(
         static_cast<double>(bytes) * c.host_cpu_ns_per_byte +
         static_cast<double>(windows) * c.host_io_ns_per_window);
+    if (load == nullptr)
+        return cpu;
+    // The readahead pipeline overlaps host compute with device I/O,
+    // so the slower side rules — but on a drive whose channels are
+    // backed up by co-tenants, the stream arrives at the contended
+    // rate and the host waits for data, not the reverse.
+    return std::max(cpu, hostStreamIoTicks(bytes, c, *load));
 }
 
 Tick
@@ -202,7 +336,13 @@ predictMakespan(const std::vector<StageSpec> &stages,
     for (std::size_t i = 0; i < stages.size(); ++i) {
         const StageSpec &s = stages[i];
         if (sites[i].on_host) {
-            host += hostStageTicks(s, c);
+            // A host stage still streams from the drive that holds
+            // its shard — price the pull against that drive's load.
+            const DriveLoadSnapshot *load = nullptr;
+            if (!s.eligible_drives.empty() &&
+                s.eligible_drives.front() < loads.size())
+                load = &loads[s.eligible_drives.front()];
+            host += hostStageTicks(s, c, load);
             continue;
         }
         const std::uint32_t d = sites[i].drive;
@@ -218,7 +358,7 @@ predictMakespan(const std::vector<StageSpec> &stages,
                               sharing);
         host += deviceDrainTicks(s, c);
     }
-    Tick makespan = host;
+    Tick makespan = host > 0 ? c.host_backlog + host : 0;
     for (std::uint32_t d = 0; d < loads.size(); ++d) {
         if (drive_finish[d] == 0)
             continue;
@@ -227,6 +367,158 @@ predictMakespan(const std::vector<StageSpec> &stages,
         makespan = std::max(makespan, finish);
     }
     return makespan;
+}
+
+Bytes
+stageInBytes(const PipelineGraph &graph,
+             const std::vector<Site> &sites, std::uint32_t i)
+{
+    Bytes total = 0;
+    for (const PipelineEdge &e : graph.edges) {
+        if (e.to != i)
+            continue;
+        total += sites.at(e.from).on_host ? e.bytes_host : e.bytes;
+    }
+    return total;
+}
+
+PipelinePrediction
+predictPipeline(const PipelineGraph &graph,
+                const std::vector<Site> &sites,
+                const CostCalibration &c,
+                const std::vector<DriveLoadSnapshot> &loads)
+{
+    BISC_ASSERT(graph.stages.size() == sites.size(),
+                "stage/site arity mismatch in predictPipeline");
+    PipelinePrediction out;
+    std::vector<Tick> drive_finish(loads.size(), 0);
+    Tick host = 0;
+
+    // Device application count per drive: a colocated Transform rides
+    // in its upstream's application (one shared core slot), so it
+    // does not add an app of its own.
+    auto colocated = [&](std::size_t i) {
+        const StageSpec &s = graph.stages[i];
+        if (s.kind != StageKind::Transform || s.colocate_with < 0)
+            return false;
+        const Site &up =
+            sites[static_cast<std::size_t>(s.colocate_with)];
+        return !sites[i].on_host && !up.on_host &&
+               up.drive == sites[i].drive;
+    };
+    std::vector<std::uint32_t> placed(loads.size(), 0);
+    for (std::size_t i = 0; i < graph.stages.size(); ++i) {
+        if (!sites[i].on_host && !colocated(i))
+            ++placed[sites[i].drive];
+    }
+    auto sharingOf = [&](std::uint32_t d) {
+        const DriveLoadSnapshot &load = loads.at(d);
+        return std::max(
+            1.0, static_cast<double>(load.active_apps + placed[d]) /
+                     static_cast<double>(load.device_cores));
+    };
+    auto chargeCore = [&](std::uint32_t d, Tick work) {
+        drive_finish[d] += static_cast<Tick>(
+            static_cast<double>(work) * sharingOf(d));
+    };
+
+    // Stage service demands, by kind and site.
+    for (std::size_t i = 0; i < graph.stages.size(); ++i) {
+        const StageSpec &s = graph.stages[i];
+        const Site &site = sites[i];
+        switch (s.kind) {
+          case StageKind::Scan: {
+            if (site.on_host) {
+                // Raw stream to the host: window-issue CPU, bounded
+                // below by the drive's contended delivery rate. The
+                // per-byte filter CPU belongs to the downstream
+                // Transform (which sees the full bytes host-side).
+                const Bytes bytes = s.pages * s.page_bytes;
+                const std::uint64_t windows =
+                    c.stream_window == 0
+                        ? 0
+                        : divCeil<Bytes>(bytes, c.stream_window);
+                Tick elapsed = static_cast<Tick>(
+                    static_cast<double>(windows) *
+                    c.host_io_ns_per_window);
+                if (!s.eligible_drives.empty() &&
+                    s.eligible_drives.front() < loads.size())
+                    elapsed = std::max(
+                        elapsed,
+                        hostStreamIoTicks(
+                            bytes, c,
+                            loads[s.eligible_drives.front()]));
+                host += elapsed;
+            } else {
+                // Matcher scan on the drive; shipping is priced by
+                // the stage's out-edges, not here.
+                const double ctrl = c.dev_ctrl_ns_per_page;
+                const double stream =
+                    static_cast<double>(s.page_bytes) *
+                    c.chan_ns_per_byte /
+                    std::max<std::uint32_t>(1, c.channels);
+                chargeCore(site.drive,
+                           static_cast<Tick>(
+                               c.stage_setup_ns +
+                               static_cast<double>(s.pages) *
+                                   std::max(ctrl, stream)));
+            }
+            break;
+          }
+          case StageKind::Transform: {
+            const Bytes in = stageInBytes(
+                graph, sites, static_cast<std::uint32_t>(i));
+            const double cpu =
+                static_cast<double>(in) * s.cpu_ns_per_byte;
+            if (site.on_host) {
+                host += static_cast<Tick>(cpu * c.host_cpu_factor);
+            } else {
+                const double setup =
+                    colocated(i) ? 0.0 : c.stage_setup_ns;
+                chargeCore(site.drive,
+                           static_cast<Tick>(
+                               setup + cpu * c.dev_cpu_slowdown));
+            }
+            break;
+          }
+          case StageKind::Merge: {
+            const Bytes in = stageInBytes(
+                graph, sites, static_cast<std::uint32_t>(i));
+            host += static_cast<Tick>(static_cast<double>(in) *
+                                      s.cpu_ns_per_byte *
+                                      c.host_cpu_factor);
+            break;
+          }
+        }
+    }
+
+    // Inter-stage edges, priced by placement pair.
+    for (const PipelineEdge &e : graph.edges) {
+        const Site &src = sites.at(e.from);
+        const Site &dst = sites.at(e.to);
+        const Bytes flow = src.on_host ? e.bytes_host : e.bytes;
+        const EdgeCost ec = priceEdge(
+            flow, graph.stages[e.from].page_bytes, src, dst, c);
+        if (ec.src_core > 0)
+            chargeCore(src.drive, ec.src_core);
+        if (ec.dst_core > 0)
+            chargeCore(dst.drive, ec.dst_core);
+        host += ec.host;
+        const Tick total = ec.src_core + ec.dst_core + ec.host;
+        if (total > 0) {
+            ++out.edges_priced;
+            out.edge_ticks += total;
+        }
+    }
+
+    out.makespan = host > 0 ? c.host_backlog + host : 0;
+    for (std::uint32_t d = 0; d < loads.size(); ++d) {
+        if (drive_finish[d] == 0)
+            continue;
+        out.makespan = std::max(
+            out.makespan, loads[d].min_core_backlog + drive_finish[d]);
+    }
+    return out;
 }
 
 }  // namespace bisc::db

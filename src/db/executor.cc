@@ -283,9 +283,200 @@ class SampleLet
     }
 };
 
+// ----- Predicate wire format (host encode / device decode) -----
+//
+// The pipeline re-check SSDlet evaluates the exact predicate on the
+// drive, so the host serializes the schema + expression tree into a
+// Packet argument. Both sides live in this translation unit; the
+// format is internal and versionless (an SSDlet argument never
+// outlives the application that carries it).
+
+void
+encodeValue(Packet &p, const Value &v)
+{
+    if (const auto *i = std::get_if<std::int64_t>(&v)) {
+        p.put<std::uint8_t>(0);
+        p.put<std::int64_t>(*i);
+        return;
+    }
+    if (const auto *d = std::get_if<double>(&v)) {
+        p.put<std::uint8_t>(1);
+        p.put<double>(*d);
+        return;
+    }
+    p.put<std::uint8_t>(2);
+    p.putString(std::get<std::string>(v));
+}
+
+Value
+decodeValue(Packet &p)
+{
+    switch (p.get<std::uint8_t>()) {
+      case 0:
+        return p.get<std::int64_t>();
+      case 1:
+        return p.get<double>();
+      default:
+        return p.getString();
+    }
+}
+
+void
+encodeExpr(Packet &p, const Expr &e)
+{
+    p.put<std::uint8_t>(static_cast<std::uint8_t>(e.kind));
+    p.put<std::int32_t>(e.column);
+    p.put<std::int32_t>(e.column2);
+    p.put<std::uint8_t>(static_cast<std::uint8_t>(e.op));
+    encodeValue(p, e.value);
+    encodeValue(p, e.lo);
+    encodeValue(p, e.hi);
+    p.put<std::uint32_t>(static_cast<std::uint32_t>(e.set.size()));
+    for (const Value &v : e.set)
+        encodeValue(p, v);
+    p.putString(e.pattern);
+    p.put<std::uint32_t>(static_cast<std::uint32_t>(e.kids.size()));
+    for (const ExprPtr &kid : e.kids)
+        encodeExpr(p, *kid);
+}
+
+ExprPtr
+decodeExpr(Packet &p)
+{
+    auto e = std::make_shared<Expr>();
+    e->kind = static_cast<Expr::Kind>(p.get<std::uint8_t>());
+    e->column = p.get<std::int32_t>();
+    e->column2 = p.get<std::int32_t>();
+    e->op = static_cast<CmpOp>(p.get<std::uint8_t>());
+    e->value = decodeValue(p);
+    e->lo = decodeValue(p);
+    e->hi = decodeValue(p);
+    const auto nset = p.get<std::uint32_t>();
+    e->set.reserve(nset);
+    for (std::uint32_t i = 0; i < nset; ++i)
+        e->set.push_back(decodeValue(p));
+    e->pattern = p.getString();
+    const auto nkids = p.get<std::uint32_t>();
+    e->kids.reserve(nkids);
+    for (std::uint32_t i = 0; i < nkids; ++i)
+        e->kids.push_back(decodeExpr(p));
+    return e;
+}
+
+/** Schema + optional predicate as one SSDlet-argument blob. */
+Packet
+encodePredBlob(const Schema &schema, const ExprPtr &pred)
+{
+    Packet p;
+    p.put<std::uint32_t>(
+        static_cast<std::uint32_t>(schema.columns().size()));
+    for (const Column &c : schema.columns()) {
+        p.putString(c.name);
+        p.put<std::uint8_t>(static_cast<std::uint8_t>(c.type));
+        p.put<std::uint64_t>(c.width);
+    }
+    p.put<std::uint8_t>(pred ? 1 : 0);
+    if (pred)
+        encodeExpr(p, *pred);
+    return p;
+}
+
+/**
+ * Exact re-check SSDlet of the "minidb_pipe" module: the second stage
+ * of a device-chained scan pipeline. Receives the matcher stage's
+ * shipped-page frames over the in-drive typed port, replays the
+ * host's exact predicate on every row slot (device cores are slower
+ * at branchy row code — the caller pre-scales the per-byte CPU rate
+ * by device_core_slowdown), and emits only matching slots, framed as
+ * [u32 n_pages]{u64 local_page, u32 n_rows, n_rows * row_width
+ * bytes}*. Row identity with the host re-check is structural: same
+ * predicate tree, same slot layout, same rows-in-page bound.
+ */
+class RecheckLet
+    : public slet::SSDLet<
+          slet::In<Packet>, slet::Out<Packet>,
+          slet::Arg<Packet, std::uint64_t, std::uint64_t,
+                    std::uint64_t, double>>
+{
+  public:
+    void
+    run() override
+    {
+        Packet blob = arg<0>();  // copy: get() advances a cursor
+        const std::uint64_t rows_per_page = arg<1>();
+        const std::uint64_t partial_page = arg<2>();  // ~0: none
+        const std::uint64_t partial_rows = arg<3>();
+        const double cpu_ns_per_byte = arg<4>();
+
+        const auto ncols = blob.get<std::uint32_t>();
+        std::vector<Column> cols;
+        cols.reserve(ncols);
+        for (std::uint32_t i = 0; i < ncols; ++i) {
+            Column c;
+            c.name = blob.getString();
+            c.type = static_cast<Type>(blob.get<std::uint8_t>());
+            c.width = blob.get<std::uint64_t>();
+            cols.push_back(std::move(c));
+        }
+        const Schema schema(std::move(cols));
+        ExprPtr pred;
+        if (blob.get<std::uint8_t>() != 0)
+            pred = decodeExpr(blob);
+        const Bytes row_width = schema.rowWidth();
+
+        Packet batch;
+        std::vector<std::uint8_t> data;  // reused across pages
+        while (in<0>().get(batch)) {
+            const auto n = batch.get<std::uint32_t>();
+            Packet framed;
+            std::uint32_t framed_pages = 0;
+            framed.put<std::uint32_t>(0);  // patched below
+            for (std::uint32_t i = 0; i < n; ++i) {
+                const auto local_page = batch.get<std::uint64_t>();
+                const auto len = batch.get<std::uint32_t>();
+                data.resize(len);
+                batch.getBytes(data.data(), len);
+                consumeCpu(static_cast<Tick>(
+                    static_cast<double>(len) * cpu_ns_per_byte));
+                std::uint64_t in_page = local_page == partial_page
+                                            ? partial_rows
+                                            : rows_per_page;
+                Packet rows;
+                std::uint32_t matched = 0;
+                for (std::uint64_t r = 0; r < in_page; ++r) {
+                    const Bytes off = r * row_width;
+                    if (off + row_width > len)
+                        break;
+                    const std::uint8_t *slot = data.data() + off;
+                    if (!pred || evalPredRaw(*pred, slot, schema)) {
+                        rows.putBytes(slot, row_width);
+                        ++matched;
+                    }
+                }
+                if (matched == 0)
+                    continue;
+                framed.put<std::uint64_t>(local_page);
+                framed.put<std::uint32_t>(matched);
+                framed.putBytes(rows.data(), rows.size());
+                ++framed_pages;
+            }
+            if (framed_pages > 0) {
+                Packet out_pkt;
+                out_pkt.put<std::uint32_t>(framed_pages);
+                out_pkt.putBytes(framed.data() +
+                                     sizeof(std::uint32_t),
+                                 framed.size() -
+                                     sizeof(std::uint32_t));
+                out<0>().put(std::move(out_pkt));
+            }
+        }
+    }
+};
+
 RegisterSSDLet("minidb", "idScanFilter", ScanFilterLet);
 RegisterSSDLet("minidb", "idSample", SampleLet);
 RegisterSSDLet("minidb_prune", "idScanFilterRuns", ScanFilterRunsLet);
+RegisterSSDLet("minidb_pipe", "idRecheck", RecheckLet);
 
 /**
  * Lazily install and load the minidb module on every drive of the
@@ -341,6 +532,33 @@ loadPruneModules(MiniDb &db)
             sisc::File(ssd, "/var/isc/slets/minidb_prune.slet")));
     }
     db.prune_module_loaded = true;
+}
+
+/**
+ * Lazily install and load the "minidb_pipe" module (the exact
+ * re-check SSDlet) on every drive; the first pipelined offload pays
+ * the load, exactly like the baseline and prune modules.
+ */
+void
+loadPipeModules(MiniDb &db)
+{
+    if (db.pipe_module_loaded)
+        return;
+    std::uint32_t drives = db.host().driveCount();
+    db.pipe_drive_modules.clear();
+    db.pipe_drive_modules.reserve(drives);
+    for (std::uint32_t d = 0; d < drives; ++d) {
+        sisc::SSD ssd(db.env().array.drive(d).runtime);
+        auto &fs = ssd.runtime().fs();
+        if (!fs.exists("/var/isc/slets/minidb_pipe.slet")) {
+            rt::ModuleRegistry::global().installModuleFile(
+                fs, "/var/isc/slets/minidb_pipe.slet",
+                "minidb_pipe");
+        }
+        db.pipe_drive_modules.push_back(ssd.loadModule(
+            sisc::File(ssd, "/var/isc/slets/minidb_pipe.slet")));
+    }
+    db.pipe_module_loaded = true;
 }
 
 /**
@@ -838,6 +1056,310 @@ placedScan(MiniDb &db, Table &table, const ExprPtr &pred,
     return out;
 }
 
+/**
+ * Pipeline-placed scan (PlannerConfig::use_pipeline): the placer
+ * assigned every stage of the scan DAG — per-shard matcher scans
+ * [0, n), per-shard exact re-checks [n, 2n), host merge 2n — and this
+ * fan-out runs each shard in the shape its pair of sites dictates:
+ *
+ *   (host, host):     the conventional streaming path;
+ *   (device, host):   matcher on the drive, re-check on the host
+ *                     (the PR 8 placed shape);
+ *   (device, device): matcher and re-check chained in-drive through
+ *                     the typed FBP port — one application, one core
+ *                     slot, only matching *rows* ever cross the HIL.
+ *
+ * Rows are merged to global page order, so results are byte-identical
+ * across all three shapes (and to both legacy paths).
+ */
+ScanOutcome
+pipelinedScan(MiniDb &db, Table &table, const ExprPtr &pred,
+              const pm::KeySet &keys, const PlacementPlan &plan,
+              const PipelineGraph &graph, DbStats &stats)
+{
+    OpTimer timer(db, stats, "pipelined_scan");
+    const Tick begin = db.env().kernel.now();
+    ScanOutcome out;
+    const bool any_device = plan.anyDevice();
+    out.used_ndp = any_device;
+    auto &host = db.host();
+    const Bytes page_size = table.pageSize();
+    const Bytes row_width = table.schema().rowWidth();
+    const std::uint32_t nshards = table.shardCount();
+    const ScanPrune sp = scanPrune(db, table, pred);
+
+    auto siteOf = [&](std::uint32_t stage) {
+        return stage < plan.sites.size() ? plan.sites[stage]
+                                         : Site{true, 0};
+    };
+    auto chained = [&](std::uint32_t s) {
+        const Site scan = siteOf(s);
+        const Site re = siteOf(nshards + s);
+        return !scan.on_host && !re.on_host &&
+               scan.drive == re.drive;
+    };
+
+    bool any_chained = false;
+    for (std::uint32_t s = 0; s < nshards; ++s)
+        any_chained = any_chained || chained(s);
+    if (any_device) {
+        loadMinidbModules(db);
+        if (sp.pruned)
+            loadPruneModules(db);
+        if (any_chained)
+            loadPipeModules(db);
+    }
+
+    // The partial page (fewer than rowsPerPage rows) is always the
+    // table's last global page; the in-drive re-check needs its local
+    // address to bound row iteration exactly like the host side does.
+    const std::uint64_t rem =
+        table.pageCount() == 0
+            ? 0
+            : table.rowCount() % table.rowsPerPage();
+    const std::uint64_t last_page =
+        table.pageCount() == 0 ? 0 : table.pageCount() - 1;
+
+    std::uint64_t crossed_pages = 0;
+    std::uint64_t matched_pages = 0;
+    std::vector<std::vector<PageRows>> per_shard(nshards);
+
+    auto hostShard = [&](std::uint32_t s) {
+        auto onWindow = [&](Bytes off, const std::uint8_t *data,
+                            Bytes len) {
+            host.consumeCpuPerByte(
+                len, host.config().db_scan_ns_per_byte);
+            for (Bytes p = 0; p < len; p += page_size) {
+                std::uint64_t page_idx =
+                    table.globalPage(s, (off + p) / page_size);
+                Bytes n = std::min(page_size, len - p);
+                PageRows pr;
+                pr.page = page_idx;
+                collectMatches(table, pred, data + p, n, page_idx,
+                               pr.rows, stats);
+                if (!pr.rows.empty()) {
+                    ++matched_pages;
+                    per_shard[s].push_back(std::move(pr));
+                }
+            }
+        };
+        if (!sp.pruned) {
+            Bytes size = table.shardPageCount(s) * page_size;
+            stats.pages_to_host += table.shardPageCount(s);
+            crossed_pages += table.shardPageCount(s);
+            host.streamReadOn(s, table.file(), 0, size, 1_MiB,
+                              onWindow);
+            return;
+        }
+        for (const auto &[first, count] :
+             shardPruneRuns(table, sp.plan, s)) {
+            stats.pages_to_host += count;
+            crossed_pages += count;
+            host.streamReadOn(s, table.file(), first * page_size,
+                              count * page_size, 1_MiB, onWindow);
+        }
+    };
+
+    auto makeScanLet = [&](sisc::Application &app, std::uint32_t s) {
+        if (!sp.pruned) {
+            return sisc::SSDLet(
+                app, db.minidb_drive_modules[s], "idScanFilter",
+                std::make_tuple(
+                    slet::File(table.file()), keyStrings(keys),
+                    static_cast<std::uint64_t>(page_size),
+                    table.shardPageCount(s)));
+        }
+        std::vector<std::uint64_t> runs;
+        for (const auto &[first, count] :
+             shardPruneRuns(table, sp.plan, s)) {
+            runs.push_back(first);
+            runs.push_back(count);
+        }
+        return sisc::SSDLet(
+            app, db.prune_drive_modules[s], "idScanFilterRuns",
+            std::make_tuple(slet::File(table.file()),
+                            keyStrings(keys),
+                            static_cast<std::uint64_t>(page_size),
+                            runs));
+    };
+    auto shardPagesStreamed = [&](std::uint32_t s) {
+        if (!sp.pruned)
+            return table.shardPageCount(s);
+        std::uint64_t pages = 0;
+        for (const auto &[first, count] :
+             shardPruneRuns(table, sp.plan, s))
+            pages += count;
+        return pages;
+    };
+
+    // Matcher on the drive, exact re-check on the host: matcher-
+    // selected *pages* cross the HIL (the PR 8 placed shape).
+    auto deviceShard = [&](std::uint32_t s) {
+        sisc::SSD ssd(db.env().array.drive(s).runtime);
+        sisc::Application app(ssd);
+        sisc::SSDLet scan = makeScanLet(app, s);
+        auto port = app.connectTo<Packet>(scan.out(0));
+        app.start();
+        stats.pages_scanned_device += shardPagesStreamed(s);
+
+        Packet batch;
+        std::vector<std::uint8_t> data;  // reused across pages
+        while (port.get(batch)) {
+            auto n = batch.get<std::uint32_t>();
+            for (std::uint32_t i = 0; i < n; ++i) {
+                auto local_page = batch.get<std::uint64_t>();
+                auto len = batch.get<std::uint32_t>();
+                data.resize(len);
+                batch.getBytes(data.data(), len);
+                std::uint64_t page_idx =
+                    table.globalPage(s, local_page);
+                host.consumeCpuPerByte(
+                    len, host.config().db_scan_ns_per_byte);
+                PageRows pr;
+                pr.page = page_idx;
+                collectMatches(table, pred, data.data(), len,
+                               page_idx, pr.rows, stats);
+                if (!pr.rows.empty()) {
+                    ++matched_pages;
+                    per_shard[s].push_back(std::move(pr));
+                }
+                ++stats.pages_to_host;
+                ++crossed_pages;
+            }
+        }
+        app.wait();
+    };
+
+    // Matcher and re-check chained in-drive: the scan SSDlet feeds
+    // the re-check SSDlet over the typed port (sched + abstraction
+    // per batch, no HIL crossing) and only matching rows ship.
+    auto chainedShard = [&](std::uint32_t s) {
+        sisc::SSD ssd(db.env().array.drive(s).runtime);
+        sisc::Application app(ssd);
+        sisc::SSDLet scan = makeScanLet(app, s);
+
+        std::uint64_t partial_page = ~0ull;
+        std::uint64_t partial_rows = 0;
+        if (rem != 0 && table.shardOf(last_page) == s) {
+            partial_page = table.localPage(last_page);
+            partial_rows = rem;
+        }
+        const double recheck_cpu =
+            host.config().db_scan_ns_per_byte *
+            db.env().device.config().device_core_slowdown;
+        sisc::SSDLet recheck(
+            app, db.pipe_drive_modules[s], "idRecheck",
+            std::make_tuple(encodePredBlob(table.schema(), pred),
+                            static_cast<std::uint64_t>(
+                                table.rowsPerPage()),
+                            partial_page, partial_rows,
+                            recheck_cpu));
+        app.connect(scan.out(0), recheck.in(0));
+        auto port = app.connectTo<Packet>(recheck.out(0));
+        app.start();
+        stats.pages_scanned_device += shardPagesStreamed(s);
+
+        Packet batch;
+        std::vector<std::uint8_t> slot(row_width);
+        while (port.get(batch)) {
+            auto n_pages = batch.get<std::uint32_t>();
+            for (std::uint32_t i = 0; i < n_pages; ++i) {
+                auto local_page = batch.get<std::uint64_t>();
+                auto n_rows = batch.get<std::uint32_t>();
+                std::uint64_t page_idx =
+                    table.globalPage(s, local_page);
+                host.consumeCpuPerByte(
+                    static_cast<Bytes>(n_rows) * row_width,
+                    host.config().db_scan_ns_per_byte);
+                PageRows pr;
+                pr.page = page_idx;
+                pr.rows.reserve(n_rows);
+                for (std::uint32_t r = 0; r < n_rows; ++r) {
+                    batch.getBytes(slot.data(), row_width);
+                    pr.rows.push_back(
+                        table.schema().decodeRow(slot.data()));
+                }
+                stats.rows_examined += n_rows;
+                per_shard[s].push_back(std::move(pr));
+                // Only matched pages reach the host at all here;
+                // count them as crossing for the selectivity
+                // bookkeeping (as row payloads, not raw pages).
+                ++matched_pages;
+                ++stats.pages_to_host;
+                ++crossed_pages;
+            }
+        }
+        app.wait();
+    };
+
+    forEachShard(db, table, "db.pipescan", [&](std::uint32_t s) {
+        if (chained(s))
+            chainedShard(s);
+        else if (!siteOf(s).on_host)
+            deviceShard(s);
+        else
+            hostShard(s);
+    });
+    mergePageRows(std::move(per_shard), out.rows);
+    if (sp.plan.usable)
+        notePrune(db, stats, sp.plan);
+    if (any_device)
+        ++stats.ndp_scans;
+    else
+        ++stats.conv_scans;
+    if (table.pageCount() > 0) {
+        out.measured_selectivity =
+            static_cast<double>(crossed_pages) /
+            static_cast<double>(table.pageCount());
+        // Same placement-independent feedback as placedScan: the
+        // exact re-check decides what a "matched" page is, wherever
+        // it runs, so every placement records the same fraction.
+        db.matched_page_frac[scanStatKey(table, keys)] =
+            static_cast<double>(matched_pages) /
+            static_cast<double>(table.pageCount());
+    }
+    out.placement = plan.describe();
+    out.predicted_ticks = plan.predicted;
+    out.measured_ticks = db.env().kernel.now() - begin;
+
+    // db.place.* + db.place.pipeline.* metrics (BISCUIT_OBS-gated;
+    // never read back into any timing or placement decision).
+    auto &obs = db.env().kernel.obs();
+    std::uint64_t dev_stages = 0;
+    for (const Site &site : plan.sites)
+        if (!site.on_host)
+            ++dev_stages;
+    OBS_COUNT(obs.metrics().counter("db.place.plans", "plans"));
+    OBS_COUNT(obs.metrics().counter("db.place.stages_device",
+                                    "stages"),
+              dev_stages);
+    OBS_COUNT(obs.metrics().counter("db.place.stages_host", "stages"),
+              plan.sites.size() - dev_stages);
+    OBS_COUNT(obs.metrics().counter("db.place.predicted_us", "us"),
+              plan.predicted / 1000);
+    OBS_COUNT(obs.metrics().counter("db.place.measured_us", "us"),
+              out.measured_ticks / 1000);
+    OBS_COUNT(obs.metrics().counter("db.place.pipeline.edges_priced",
+                                    "edges"),
+              plan.edges_priced);
+    OBS_COUNT(obs.metrics().counter(
+                  "db.place.pipeline.edge_predicted_us", "us"),
+              plan.edge_ticks / 1000);
+    if (out.measured_ticks > 0) {
+        const double err =
+            100.0 *
+            std::abs(static_cast<double>(plan.predicted) -
+                     static_cast<double>(out.measured_ticks)) /
+            static_cast<double>(out.measured_ticks);
+        OBS_HIST(obs.metrics().histogram(
+                     "db.place.abs_err_pct", "pct",
+                     {1, 2, 5, 10, 20, 35, 50, 75, 100}),
+                 static_cast<std::uint64_t>(err));
+    }
+    (void)graph;
+    return out;
+}
+
 }  // namespace
 
 void
@@ -849,6 +1371,9 @@ warmMinidbModule(MiniDb &db)
     // their measurement windows just like the baseline module.
     if (db.planner.use_stats)
         loadPruneModules(db);
+    // Pipeline mode ships the in-drive re-check module too.
+    if (db.planner.use_pipeline)
+        loadPipeModules(db);
 }
 
 Row
@@ -1054,7 +1579,10 @@ scanTable(MiniDb &db, Table &table, const ExprPtr &pred,
     if (mode == EngineMode::Biscuit) {
         PlanDecision d = decideOffload(db, table, pred, stats);
         ScanOutcome out =
-            d.plan.valid
+            d.plan.valid && !d.graph.stages.empty()
+                ? pipelinedScan(db, table, pred, d.keys, d.plan,
+                                d.graph, stats)
+                : d.plan.valid
                 ? placedScan(db, table, pred, d.keys, d.plan, stats)
                 : (d.offload
                        ? ndpScan(db, table, pred, d.keys, stats)

@@ -69,6 +69,17 @@ struct PlannerConfig
     bool use_cost_model = false;
 
     /**
+     * Multi-stage pipeline placement (requires use_cost_model): the
+     * planner models the scan as a stage DAG — per-shard matcher
+     * scans feeding exact re-check transforms feeding a host merge —
+     * prices every inter-stage edge by its placement pair, and the
+     * annealer may chain scan + re-check in-drive through the typed
+     * FBP port. Off by default — the per-shard scan path and every
+     * pre-pipeline golden stay tick-identical.
+     */
+    bool use_pipeline = false;
+
+    /**
      * Seed of the placement annealer's xoshiro stream; 0 defers to
      * the BISCUIT_PLACE_SEED environment variable (falling back to
      * the PlacerConfig default). Fixed seed -> identical plans.
@@ -247,6 +258,16 @@ class MiniDb
      */
     std::vector<std::uint64_t> prune_drive_modules;
     bool prune_module_loaded = false;
+
+    /**
+     * Per-drive module ids of the "minidb_pipe" module, the exact
+     * re-check SSDlet that pipeline placement chains behind a matcher
+     * scan in-drive. A third module for the same reason as the prune
+     * module: the baseline images stay byte-identical, and the
+     * re-check image loads lazily on the first pipelined offload.
+     */
+    std::vector<std::uint64_t> pipe_drive_modules;
+    bool pipe_module_loaded = false;
 
     /**
      * Sampled page-selectivity statistics, keyed by table + key set.

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 #include <cstdlib>
+#include <cstring>
 
 #include "util/rng.h"
 
@@ -41,6 +42,88 @@ candidates(const StageSpec &s)
     for (std::uint32_t d : s.eligible_drives)
         out.push_back(Site{false, d});
     if (s.host_eligible)
+        out.push_back(Site{true, 0});
+    return out;
+}
+
+/** True when stage @p i rides in its upstream's application (device
+ *  Transform colocated on its upstream's drive). */
+bool
+colocatedAt(const PipelineGraph &g, const std::vector<Site> &sites,
+            std::size_t i)
+{
+    const StageSpec &s = g.stages[i];
+    if (s.kind != StageKind::Transform || s.colocate_with < 0 ||
+        sites[i].on_host)
+        return false;
+    const Site &up =
+        sites[static_cast<std::size_t>(s.colocate_with)];
+    return !up.on_host && up.drive == sites[i].drive;
+}
+
+/**
+ * Budget + legality check of a complete pipeline assignment: Merge
+ * stages are host-only; a device Transform chained in-drive is legal
+ * only colocated with a device-placed upstream (the in-drive typed
+ * port has no cross-drive flavor), and the colocated pair consumes
+ * one core slot; DRAM demands add per drive.
+ */
+bool
+pipelineFeasible(const PipelineGraph &g,
+                 const std::vector<Site> &sites,
+                 const std::vector<DriveLoadSnapshot> &loads,
+                 const PlacerConfig &cfg)
+{
+    std::vector<std::uint32_t> cores(loads.size(), 0);
+    std::vector<Bytes> dram(loads.size(), 0);
+    for (std::size_t i = 0; i < g.stages.size(); ++i) {
+        const StageSpec &s = g.stages[i];
+        if (sites[i].on_host) {
+            if (!s.host_eligible)
+                return false;
+            continue;
+        }
+        if (s.kind == StageKind::Merge)
+            return false;
+        if (s.kind == StageKind::Transform && s.colocate_with >= 0 &&
+            !colocatedAt(g, sites, i))
+            return false;
+        const std::uint32_t d = sites[i].drive;
+        if (d >= loads.size())
+            return false;
+        if (!colocatedAt(g, sites, i) && ++cores[d] > cfg.core_budget)
+            return false;
+        dram[d] += s.dram;
+        if (dram[d] > cfg.dram_budget ||
+            dram[d] > loads[d].user_mem_free)
+            return false;
+    }
+    return true;
+}
+
+/**
+ * Legal sites of pipeline stage @p i under the *current* assignment
+ * of the other stages (colocation ties a Transform's device option
+ * to wherever its upstream sits right now). Device options first.
+ */
+std::vector<Site>
+pipelineCandidates(const PipelineGraph &g,
+                   const std::vector<Site> &sites, std::size_t i)
+{
+    const StageSpec &s = g.stages[i];
+    std::vector<Site> out;
+    if (s.kind != StageKind::Merge) {
+        if (s.kind == StageKind::Transform && s.colocate_with >= 0) {
+            const Site &up =
+                sites[static_cast<std::size_t>(s.colocate_with)];
+            if (!up.on_host)
+                out.push_back(Site{false, up.drive});
+        } else {
+            for (std::uint32_t d : s.eligible_drives)
+                out.push_back(Site{false, d});
+        }
+    }
+    if (s.host_eligible || s.kind == StageKind::Merge)
         out.push_back(Site{true, 0});
     return out;
 }
@@ -200,6 +283,176 @@ forcedPlan(const std::vector<StageSpec> &stages,
     plan.predicted_all_host = plan.predicted;
     plan.predicted_all_device = plan.predicted;
     return plan;
+}
+
+PlacementPlan
+placePipeline(const PipelineGraph &graph,
+              const CostCalibration &calib,
+              const std::vector<DriveLoadSnapshot> &loads,
+              const PlacerConfig &cfg)
+{
+    PlacementPlan plan;
+    const std::size_t n = graph.stages.size();
+    if (n == 0)
+        return plan;
+
+    // Start all-host (always legal for host-eligible stages and for
+    // Merge); a stage with no host option seeds on its first drive.
+    std::vector<Site> sites(n, Site{true, 0});
+    for (std::size_t i = 0; i < n; ++i) {
+        const StageSpec &s = graph.stages[i];
+        if (!s.host_eligible && s.kind != StageKind::Merge) {
+            if (s.eligible_drives.empty())
+                return plan;  // nowhere to run: invalid
+            sites[i] = Site{false, s.eligible_drives[0]};
+        }
+    }
+    if (!pipelineFeasible(graph, sites, loads, cfg))
+        return plan;
+
+    // Greedy sweep in stage order (a topological order — edges point
+    // forward): each stage takes the site minimizing the full-graph
+    // prediction with every later stage still at its seed site. Ties
+    // keep the earlier candidate (devices first).
+    for (std::size_t i = 0; i < n; ++i) {
+        const Site seed = sites[i];
+        Site best_site = seed;
+        bool placed = false;
+        Tick best_cost = 0;
+        for (const Site &cand : pipelineCandidates(graph, sites, i)) {
+            sites[i] = cand;
+            if (!pipelineFeasible(graph, sites, loads, cfg))
+                continue;
+            const Tick cost =
+                predictPipeline(graph, sites, calib, loads).makespan;
+            if (!placed || cost < best_cost) {
+                best_cost = cost;
+                best_site = cand;
+                placed = true;
+            }
+        }
+        sites[i] = placed ? best_site : seed;
+    }
+    plan.sites = sites;
+    plan.valid = true;
+    plan.predicted =
+        predictPipeline(graph, sites, calib, loads).makespan;
+
+    // Annealing walk, as placeStages but with pipeline candidates,
+    // legality-aware feasibility and the graph objective. A chained
+    // Transform reaches the host in one move and a new drive only via
+    // its upstream, so uphill acceptance early on matters here.
+    if (cfg.anneal) {
+        Rng rng(cfg.seed);
+        std::vector<Site> cur = sites;
+        Tick cur_cost = plan.predicted;
+        std::vector<Site> best = sites;
+        Tick best_cost = plan.predicted;
+        double temp = cfg.t0_ticks;
+        for (std::uint32_t it = 0; it < cfg.iterations; ++it) {
+            const std::size_t i =
+                static_cast<std::size_t>(rng.below(n));
+            const std::vector<Site> cands =
+                pipelineCandidates(graph, cur, i);
+            if (cands.size() < 2) {
+                temp *= cfg.cooling;
+                continue;
+            }
+            const Site prev = cur[i];
+            Site next = cands[rng.below(cands.size())];
+            if (next.on_host == prev.on_host &&
+                next.drive == prev.drive) {
+                temp *= cfg.cooling;
+                continue;
+            }
+            cur[i] = next;
+            if (!pipelineFeasible(graph, cur, loads, cfg)) {
+                cur[i] = prev;
+                temp *= cfg.cooling;
+                continue;
+            }
+            const Tick cost =
+                predictPipeline(graph, cur, calib, loads).makespan;
+            const double delta = static_cast<double>(cost) -
+                                 static_cast<double>(cur_cost);
+            if (delta <= 0.0 ||
+                (temp > 0.0 &&
+                 rng.uniform() < std::exp(-delta / temp))) {
+                cur_cost = cost;
+                if (cost < best_cost) {
+                    best_cost = cost;
+                    best = cur;
+                }
+            } else {
+                cur[i] = prev;
+            }
+            temp *= cfg.cooling;
+        }
+        if (best_cost < plan.predicted) {
+            plan.sites = best;
+            plan.predicted = best_cost;
+            plan.from_anneal = true;
+        }
+    }
+
+    const PipelinePrediction final_pred =
+        predictPipeline(graph, plan.sites, calib, loads);
+    plan.edges_priced = final_pred.edges_priced;
+    plan.edge_ticks = final_pred.edge_ticks;
+    plan.predicted_all_host =
+        forcedPipelinePlan(graph, calib, loads, true).predicted;
+    plan.predicted_all_device =
+        forcedPipelinePlan(graph, calib, loads, false).predicted;
+    return plan;
+}
+
+PlacementPlan
+forcedPipelinePlan(const PipelineGraph &graph,
+                   const CostCalibration &calib,
+                   const std::vector<DriveLoadSnapshot> &loads,
+                   bool on_host)
+{
+    PlacementPlan plan;
+    const std::size_t n = graph.stages.size();
+    plan.sites.assign(n, Site{true, 0});
+    if (!on_host) {
+        for (std::size_t i = 0; i < n; ++i) {
+            const StageSpec &s = graph.stages[i];
+            if (s.kind == StageKind::Merge)
+                continue;  // merge has no device flavor
+            if (s.kind == StageKind::Transform &&
+                s.colocate_with >= 0) {
+                const Site &up = plan.sites[static_cast<std::size_t>(
+                    s.colocate_with)];
+                if (!up.on_host)
+                    plan.sites[i] = up;
+            } else if (!s.eligible_drives.empty()) {
+                plan.sites[i] = Site{false, s.eligible_drives[0]};
+            }
+        }
+    }
+    plan.valid = n > 0;
+    const PipelinePrediction pred =
+        predictPipeline(graph, plan.sites, calib, loads);
+    plan.predicted = pred.makespan;
+    plan.edges_priced = pred.edges_priced;
+    plan.edge_ticks = pred.edge_ticks;
+    plan.predicted_all_host = plan.predicted;
+    plan.predicted_all_device = plan.predicted;
+    return plan;
+}
+
+bool
+pipelineFromEnv(bool fallback)
+{
+    const char *env = std::getenv("BISCUIT_PIPELINE_PLACE");
+    if (env == nullptr || env[0] == '\0')
+        return fallback;
+    if (std::strcmp(env, "0") == 0 ||
+        std::strcmp(env, "false") == 0 ||
+        std::strcmp(env, "off") == 0)
+        return false;
+    return true;
 }
 
 std::uint64_t

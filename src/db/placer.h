@@ -13,6 +13,13 @@
  * DRAM covers the placed stages' instance memory. The annealer starts
  * from the greedy plan and tracks the best feasible visit, so its
  * result is never worse than greedy.
+ *
+ * placePipeline() generalizes the same search to a full stage DAG
+ * (db::PipelineGraph): the objective is predictPipeline() — stage
+ * service demands plus every inter-stage edge priced by its placement
+ * pair — and feasibility additionally enforces colocation legality (a
+ * Transform chained in-drive must sit on its upstream's drive, where
+ * the pair shares one application and one core slot).
  */
 
 #ifndef BISCUIT_DB_PLACER_H_
@@ -36,6 +43,12 @@ struct PlacementPlan
     Tick predicted_all_host = 0;   ///< static all-host comparator
     Tick predicted_all_device = 0; ///< static all-device comparator
     bool from_anneal = false;      ///< annealing improved on greedy
+
+    // Pipeline diagnostics (placePipeline only): how many graph
+    // edges carried priced traffic under this assignment and their
+    // total modeled cost across all payers.
+    std::uint32_t edges_priced = 0;
+    Tick edge_ticks = 0;
 
     /** True when any stage runs on a drive. */
     bool anyDevice() const;
@@ -85,6 +98,35 @@ PlacementPlan forcedPlan(const std::vector<StageSpec> &stages,
                          const CostCalibration &calib,
                          const std::vector<DriveLoadSnapshot> &loads,
                          bool on_host);
+
+/**
+ * Place a full pipeline graph: greedy construction in stage order
+ * (edges point forward, so that is a topological order), then the
+ * same seeded annealing walk with predictPipeline() as the objective.
+ * Never worse than its own greedy seed. Returns valid=false when some
+ * stage has no legal site under the current assignment rules.
+ */
+PlacementPlan placePipeline(
+    const PipelineGraph &graph, const CostCalibration &calib,
+    const std::vector<DriveLoadSnapshot> &loads,
+    const PlacerConfig &cfg);
+
+/**
+ * Static pipeline comparators: everything the host can run on the
+ * host (@p on_host), or every device-eligible stage on its data
+ * drive with colocation honored (Merge stages stay host-side).
+ * Budgets are not enforced.
+ */
+PlacementPlan forcedPipelinePlan(
+    const PipelineGraph &graph, const CostCalibration &calib,
+    const std::vector<DriveLoadSnapshot> &loads, bool on_host);
+
+/**
+ * `BISCUIT_PIPELINE_PLACE` when set ("0"/"false"/"off" disable,
+ * anything else enables), @p fallback otherwise. Never writes to
+ * stderr — read inside golden-checked benches and the serving tier.
+ */
+bool pipelineFromEnv(bool fallback);
 
 /**
  * `BISCUIT_PLACE_SEED` when set (decimal, or hex with 0x prefix),

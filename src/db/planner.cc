@@ -60,6 +60,84 @@ buildScanStages(Table &table, const ExprPtr &pred, double sel,
 }
 
 /**
+ * The scan as a stage DAG: per-shard matcher scans (indices
+ * [0, n)) feeding per-shard exact re-check transforms ([n, 2n),
+ * each chained to its scan and colocatable in-drive) feeding one
+ * host-side merge (2n). Edge bytes are placement-dependent at the
+ * source: a device scan ships only matcher-selected pages, a host
+ * scan streams the whole shard onward; the re-check emits matched
+ * rows either way (approximated as one row per selected page's
+ * worth — sel/rows_per_page of the streamed bytes — which is the
+ * right order for the selective scans that reach the placer).
+ */
+PipelineGraph
+buildPipelineGraph(MiniDb &db, Table &table,
+                   const std::vector<StageSpec> &scans, double sel,
+                   const CostCalibration &calib)
+{
+    PipelineGraph g;
+    const std::uint32_t n =
+        static_cast<std::uint32_t>(scans.size());
+    g.stages = scans;
+    const double row_frac = std::min(
+        1.0, sel / std::max<double>(1.0, static_cast<double>(
+                                             table.rowsPerPage())));
+    for (std::uint32_t s = 0; s < n; ++s) {
+        const StageSpec &scan = g.stages[s];
+        StageSpec re;
+        re.label =
+            "recheck." + table.name() + ".s" + std::to_string(s);
+        re.shard = s;
+        re.kind = StageKind::Transform;
+        re.page_bytes = scan.page_bytes;
+        re.cpu_ns_per_byte =
+            db.host().config().db_scan_ns_per_byte;
+        re.colocate_with = static_cast<int>(s);
+        re.eligible_drives = {s};
+        re.dram = db.env().device.config().instance_user_mem;
+        g.stages.push_back(std::move(re));
+    }
+    StageSpec merge;
+    merge.label = "merge." + table.name();
+    merge.kind = StageKind::Merge;
+    merge.page_bytes = table.pageSize();
+    merge.eligible_drives.clear();
+    // Merge bookkeeping is per-row (planner row_cpu), expressed per
+    // byte of matched-row payload.
+    merge.cpu_ns_per_byte =
+        static_cast<double>(db.planner.row_cpu) /
+        std::max<double>(1.0, static_cast<double>(
+                                  table.schema().rowWidth()));
+    g.stages.push_back(std::move(merge));
+    (void)calib;
+
+    const std::uint32_t merge_ix = 2 * n;
+    for (std::uint32_t s = 0; s < n; ++s) {
+        const StageSpec &scan = g.stages[s];
+        const Bytes streamed = scan.pages * scan.page_bytes;
+        const Bytes selected = static_cast<Bytes>(
+            static_cast<double>(streamed) *
+            std::min(1.0, std::max(0.0, scan.selectivity)));
+        PipelineEdge to_recheck;
+        to_recheck.from = s;
+        to_recheck.to = n + s;
+        to_recheck.bytes = selected;       // device scan filters
+        to_recheck.bytes_host = streamed;  // host scan does not
+        g.edges.push_back(to_recheck);
+
+        const Bytes matched = static_cast<Bytes>(
+            static_cast<double>(streamed) * row_frac);
+        PipelineEdge to_merge;
+        to_merge.from = n + s;
+        to_merge.to = merge_ix;
+        to_merge.bytes = matched;       // exact rows either way
+        to_merge.bytes_host = matched;
+        g.edges.push_back(to_merge);
+    }
+    return g;
+}
+
+/**
  * Cost-model generalization of the boolean offload call: calibrate,
  * snapshot the array's load, search stage->site assignments, and
  * write the winning plan (plus its static comparators) into @p d.
@@ -95,19 +173,46 @@ placeWithCostModel(MiniDb &db, Table &table, const ExprPtr &pred,
     pc.core_budget = db.env().device.config().device_cores;
     pc.dram_budget = db.env().device.config().user_mem_bytes;
 
-    d.plan = cfg.place_force == PlaceForce::Auto
-                 ? placeStages(stages, calib, loads, pc)
-                 : forcedPlan(stages, calib, loads,
-                              cfg.place_force == PlaceForce::AllHost);
+    const char *how = "cost model";
+    if (cfg.use_pipeline) {
+        // Stage-DAG generalization: scan -> re-check -> merge, edges
+        // priced by placement pair, searched with the same annealer.
+        d.graph = buildPipelineGraph(db, table, stages, sel, calib);
+        d.plan =
+            cfg.place_force == PlaceForce::Auto
+                ? placePipeline(d.graph, calib, loads, pc)
+                : forcedPipelinePlan(
+                      d.graph, calib, loads,
+                      cfg.place_force == PlaceForce::AllHost);
+        how = "pipeline";
+        if (!d.plan.valid)
+            d.graph = PipelineGraph{};
+        // Host-stream contention the prediction priced in, per drive
+        // (x100: 100 = alone). BISCUIT_OBS-gated, never read back.
+        auto &obs = db.env().kernel.obs();
+        for (const DriveLoadSnapshot &load : loads) {
+            OBS_HIST(obs.metrics().histogram(
+                         "db.place.pipeline.contention_factor",
+                         "pctx", {100, 150, 200, 300, 500, 1000}),
+                     static_cast<std::uint64_t>(
+                         streamContention(load) * 100.0));
+        }
+    } else {
+        d.plan =
+            cfg.place_force == PlaceForce::Auto
+                ? placeStages(stages, calib, loads, pc)
+                : forcedPlan(stages, calib, loads,
+                             cfg.place_force == PlaceForce::AllHost);
+    }
     if (!d.plan.valid)
         return false;
     d.offload = d.plan.anyDevice();
 
     char buf[224];
     std::snprintf(buf, sizeof(buf),
-                  "cost model placed [%s]%s: predicted %.3f ms "
+                  "%s placed [%s]%s: predicted %.3f ms "
                   "(all-host %.3f ms, all-device %.3f ms)",
-                  d.plan.describe().c_str(),
+                  how, d.plan.describe().c_str(),
                   d.plan.from_anneal ? " (annealed)" : "",
                   static_cast<double>(d.plan.predicted) / 1e6,
                   static_cast<double>(d.plan.predicted_all_host) /

@@ -41,6 +41,15 @@ struct PlanDecision
      */
     PlacementPlan plan;
 
+    /**
+     * Stage DAG behind the plan (PlannerConfig::use_pipeline): scan
+     * stages feeding per-shard exact re-check transforms feeding a
+     * host merge, with plan.sites indexed by graph stage. Empty —
+     * always the case with the pipeline gate closed — means plan
+     * sites map one-to-one onto shards (the PR 8 per-shard path).
+     */
+    PipelineGraph graph;
+
     std::string note;  ///< human-readable decision trace
 };
 

@@ -135,11 +135,26 @@ HostSystem::streamReadOn(
                       });
 }
 
+HostSystem::StreamScope::StreamScope(HostSystem &host,
+                                     std::uint32_t drive)
+    : host_(host), drive_(drive)
+{
+    if (host_.active_streams_.size() < host_.driveCount())
+        host_.active_streams_.resize(host_.driveCount(), 0);
+    ++host_.active_streams_[drive_];
+}
+
+HostSystem::StreamScope::~StreamScope()
+{
+    --host_.active_streams_[drive_];
+}
+
 void
 HostSystem::streamReadTimed(
     const std::string &path, Bytes offset, Bytes len, Bytes window,
     const std::function<void(Bytes, Bytes)> &on_window)
 {
+    StreamScope scope(*this, 0);
     streamReadTimedImpl(dev_, fs_, path, offset, len, window,
                         on_window);
 }
@@ -150,6 +165,7 @@ HostSystem::streamReadTimedOn(
     Bytes len, Bytes window,
     const std::function<void(Bytes, Bytes)> &on_window)
 {
+    StreamScope scope(*this, drive);
     streamReadTimedImpl(deviceOf(drive), fsOf(drive), path, offset,
                         len, window, on_window);
 }

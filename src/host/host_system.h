@@ -18,6 +18,7 @@
 
 #include <cstdint>
 #include <string>
+#include <vector>
 
 #include "fs/file_system.h"
 #include "sim/kernel.h"
@@ -183,6 +184,23 @@ class HostSystem
                            const std::function<void(Bytes, Bytes)>
                                &on_window);
 
+    /**
+     * Host streaming reads currently in flight against drive
+     * @p drive: every streaming-read entry point increments
+     * the drive's counter for its duration. Pure bookkeeping — the
+     * counters never charge simulated time — read by the placement
+     * cost model (db/costmodel.h) to price host-stream contention:
+     * concurrent streams share one drive's channel/PCIe bandwidth,
+     * so each sees a proportionally deflated rate.
+     */
+    std::uint32_t
+    activeStreamsOn(std::uint32_t drive) const
+    {
+        return drive < active_streams_.size()
+                   ? active_streams_[drive]
+                   : 0;
+    }
+
     // ----- Power accounting -----
 
     /**
@@ -208,6 +226,20 @@ class HostSystem
                              const std::function<void(Bytes, Bytes)>
                                  &on_window);
 
+    /** RAII depth guard for active_streams_[drive]. */
+    class StreamScope
+    {
+      public:
+        StreamScope(HostSystem &host, std::uint32_t drive);
+        ~StreamScope();
+        StreamScope(const StreamScope &) = delete;
+        StreamScope &operator=(const StreamScope &) = delete;
+
+      private:
+        HostSystem &host_;
+        std::uint32_t drive_;
+    };
+
     sim::Kernel &kernel_;
     ssd::SsdDevice &dev_;
     fs::FileSystem &fs_;
@@ -215,6 +247,7 @@ class HostSystem
     HostConfig cfg_;
     sim::Server cpu_;
     std::uint32_t load_threads_ = 0;
+    std::vector<std::uint32_t> active_streams_;
 };
 
 }  // namespace bisc::host

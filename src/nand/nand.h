@@ -261,6 +261,18 @@ class NandFlash
     }
 
     /**
+     * Absolute tick until which channel @p ch's bus is already
+     * committed (busy-until horizon). A placement engine subtracts
+     * "now" to price the queueing delay a new stream would see on a
+     * contended channel; an idle channel reports a horizon at or
+     * before now.
+     */
+    Tick channelBusyUntil(std::uint32_t ch) const
+    {
+        return channels_[ch]->busyUntil();
+    }
+
+    /**
      * Aggregate raw read bandwidth across all channels in bytes/s
      * (the SSD-internal bandwidth ceiling an NDP program can tap).
      */

@@ -7,6 +7,7 @@
 
 #include "db/costmodel.h"
 #include "db/executor.h"
+#include "db/placer.h"
 #include "db/stats.h"
 #include "host/grep.h"
 #include "host/load_gen.h"
@@ -27,6 +28,22 @@ std::uint64_t
 subSeed(std::uint64_t seed, std::uint64_t salt)
 {
     return seed + salt * 0x9E3779B97F4A7C15ull;
+}
+
+/**
+ * Map serve-tier feature flags onto the embedded engine's planner.
+ * pipelined_scans implies the statistics and cost-model layers the
+ * pipeline gate requires. Idempotent — the forked replica re-applies
+ * it on top of the catalog's frozen planner config.
+ */
+void
+applyPlannerFlags(db::MiniDb &db, const ServeConfig &cfg)
+{
+    if (cfg.pipelined_scans) {
+        db.planner.use_stats = true;
+        db.planner.use_cost_model = true;
+        db.planner.use_pipeline = true;
+    }
 }
 
 enum class JobKind { TpchQuery, PointLookup, Grep, WordCount };
@@ -330,6 +347,10 @@ serveConfigFromEnv()
         if (end != env && *end == '\0')
             cfg.seed = v;
     }
+    // BISCUIT_PIPELINE_PLACE opts tenant scans into pipeline
+    // placement; unset leaves the default (off), so the fig_serve
+    // golden environment is unchanged.
+    cfg.pipelined_scans = db::pipelineFromEnv(cfg.pipelined_scans);
     return cfg;
 }
 
@@ -448,6 +469,7 @@ runServe(sisc::Env &env, const ServeConfig &cfg)
 {
     host::HostSystem host(env.array);
     db::MiniDb db(env, host);
+    applyPlannerFlags(db, cfg);
     ServeCatalog cat = populateServeData(host, db, cfg);
     ServeReport rep;
     env.run([&] { rep = serveMain(db, cfg, cat); });
@@ -462,6 +484,7 @@ runServeForked(const sim::DeviceImage &image, const ServeCatalog &cat,
     host::HostSystem host(env.array, cat.host);
     db::MiniDb db(env, host);
     db.planner = cat.planner;
+    applyPlannerFlags(db, cfg);
     for (const auto &t : cat.tables)
         db.attachShardedTable(t.name, t.schema, t.rows, t.shards);
     // Frozen table statistics ride the image; keyed lookups and

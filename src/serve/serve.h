@@ -101,6 +101,17 @@ struct ServeConfig
      * Off by default — the fig_serve golden predates placement.
      */
     bool placed_greps = false;
+
+    /**
+     * Route tenant TPC-H scans through multi-stage pipeline
+     * placement (db::PlannerConfig::use_pipeline plus its
+     * use_stats / use_cost_model prerequisites): the planner prices
+     * the scan -> re-check -> merge DAG against live drive loads and
+     * may chain both scan stages in-drive. Result-safe — the placed
+     * row output is byte-identical to every other path. Off by
+     * default — the fig_serve golden predates pipeline placement.
+     */
+    bool pipelined_scans = false;
 };
 
 /** The default 4-tenant mix: weights 4/2/2/1. */

@@ -97,6 +97,19 @@ DriveArray::loadOf(std::uint32_t k) const
                 std::max(load.max_core_busy_until, horizon);
         }
     }
+    const std::uint32_t channels = dev.config().geometry.channels;
+    for (std::uint32_t ch = 0; ch < channels; ++ch) {
+        const Tick horizon = dev.nand().channelBusyUntil(ch);
+        if (ch == 0) {
+            load.min_chan_busy_until = horizon;
+            load.max_chan_busy_until = horizon;
+        } else {
+            load.min_chan_busy_until =
+                std::min(load.min_chan_busy_until, horizon);
+            load.max_chan_busy_until =
+                std::max(load.max_chan_busy_until, horizon);
+        }
+    }
     return load;
 }
 

@@ -84,6 +84,14 @@ struct DriveLoad
     // see; a freshly idle drive reports horizons at or before now.
     Tick min_core_busy_until = 0;    ///< least-committed core
     Tick max_core_busy_until = 0;    ///< most-committed core
+
+    // Busy-until horizons of the drive's NAND channel buses: how far
+    // out the flash interconnect is already committed by co-tenant
+    // streaming. The cost model prices a new host stream or scan
+    // stage against the *least*-committed channel (a fresh stream
+    // lands there first) and reads the max as the saturation signal.
+    Tick min_chan_busy_until = 0;    ///< least-committed channel
+    Tick max_chan_busy_until = 0;    ///< most-committed channel
 };
 
 class DriveArray

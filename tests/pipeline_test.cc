@@ -1,0 +1,411 @@
+/**
+ * @file
+ * Multi-stage pipeline placement contracts (db/costmodel.h
+ * predictPipeline, db/placer.h placePipeline, the pipelinedScan
+ * executor path):
+ *
+ *  1. Property, 24 seeds of random pipeline graphs (scan -> re-check
+ *     -> merge shapes) and drive loads including host streams and
+ *     channel backlogs: the annealed plan honors per-drive core/DRAM
+ *     budgets and colocation legality, and is never worse than its
+ *     greedy seed or the all-host comparator.
+ *  2. Gate closed (use_pipeline=false), the pipeline machinery is
+ *     dead code: decisions, notes and simulated ticks are identical
+ *     to the per-shard cost-model planner, and no stage graph is
+ *     attached.
+ *  3. Rows are byte-identical across forced all-host, all-device and
+ *     searched placements, at 1, 2 and 4 drives.
+ *  4. A lane forked from a frozen device image reproduces the
+ *     primary's pipeline decision exactly — including under
+ *     LaneRunner threads (the TSan target).
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "db/costmodel.h"
+#include "db/executor.h"
+#include "db/expr.h"
+#include "db/minidb.h"
+#include "db/placer.h"
+#include "db/planner.h"
+#include "db/stats.h"
+#include "db/table.h"
+#include "db/types.h"
+#include "host/host_system.h"
+#include "host/lane_runner.h"
+#include "sisc/device_image.h"
+#include "sisc/env.h"
+#include "ssd/config.h"
+#include "util/rng.h"
+
+namespace bisc::db {
+namespace {
+
+Schema
+eventsSchema()
+{
+    return Schema({col("id", Type::Int64), col("day", Type::Date),
+                   col("qty", Type::Double),
+                   col("tag", Type::String, 10)});
+}
+
+/** Clustered fact rows: id/day ascending, qty noise (see prune_test). */
+std::vector<Row>
+eventRows(std::uint64_t seed, std::int64_t n)
+{
+    Rng rng(seed);
+    std::vector<Row> rows;
+    rows.reserve(n);
+    for (std::int64_t i = 0; i < n; ++i) {
+        rows.push_back(
+            {i, dateAddDays("1994-01-01", i * 730 / n),
+             static_cast<double>(rng.below(100)),
+             std::string(rng.below(3) == 0 ? "alpha" : "beta")});
+    }
+    return rows;
+}
+
+/** What one pipelined scan decided and cost. */
+struct ScanRecord
+{
+    std::vector<Row> rows;
+    std::string placement;
+    std::string note;
+    Tick predicted = 0;
+    Tick elapsed = 0;
+};
+
+ScanRecord
+scanOnce(sisc::Env &env, MiniDb &db, const ExprPtr &pred)
+{
+    ScanRecord r;
+    env.run([&] {
+        DbStats stats;
+        Tick t0 = env.kernel.now();
+        ScanOutcome out = scanTable(db, db.table("events"), pred,
+                                    EngineMode::Biscuit, stats);
+        r.elapsed = env.kernel.now() - t0;
+        r.rows = std::move(out.rows);
+        r.placement = out.placement;
+        r.note = out.note;
+        r.predicted = out.predicted_ticks;
+    });
+    return r;
+}
+
+/** A fresh pipeline-placing system with the events table loaded. */
+struct PipeSystem
+{
+    sisc::Env env;
+    host::HostSystem host;
+    MiniDb db;
+
+    explicit PipeSystem(std::uint32_t drives = 2)
+        : env(ssd::testConfig(), drives), host(env.array),
+          db(env, host)
+    {
+        db.planner.min_table_bytes = 8_KiB;
+        db.planner.sample_pages = 8;
+        db.planner.use_stats = true;
+        db.planner.use_cost_model = true;
+        db.planner.use_pipeline = true;
+        db.planner.place_seed = 0xfeedull;
+        auto &t = db.createShardedTable("events", eventsSchema());
+        t.loadRows(eventRows(7, 20000));
+    }
+};
+
+/** A random scan -> re-check -> merge graph over @p drives shards. */
+PipelineGraph
+randomGraph(Rng &rng, std::uint32_t drives)
+{
+    PipelineGraph g;
+    const std::uint32_t shards = 1 + rng.below(drives);
+    for (std::uint32_t s = 0; s < shards; ++s) {
+        StageSpec scan;
+        scan.label = "scan.s" + std::to_string(s);
+        scan.shard = s;
+        scan.kind = StageKind::Scan;
+        scan.pages = 1 + rng.below(2000);
+        scan.page_bytes = 8192;
+        scan.selectivity = rng.below(101) / 100.0;
+        scan.eligible_drives = {s % drives};
+        scan.dram = 256_KiB;
+        g.stages.push_back(scan);
+    }
+    for (std::uint32_t s = 0; s < shards; ++s) {
+        StageSpec re;
+        re.label = "recheck.s" + std::to_string(s);
+        re.shard = s;
+        re.kind = StageKind::Transform;
+        re.page_bytes = 8192;
+        re.cpu_ns_per_byte = 1.0 + rng.below(8);
+        re.colocate_with = static_cast<int>(s);
+        re.eligible_drives = {s % drives};
+        re.dram = 256_KiB;
+        g.stages.push_back(re);
+
+        const Bytes streamed =
+            g.stages[s].pages * g.stages[s].page_bytes;
+        PipelineEdge e;
+        e.from = s;
+        e.to = shards + s;
+        e.bytes = static_cast<Bytes>(
+            static_cast<double>(streamed) *
+            g.stages[s].selectivity);
+        e.bytes_host = streamed;
+        g.edges.push_back(e);
+    }
+    StageSpec merge;
+    merge.label = "merge";
+    merge.kind = StageKind::Merge;
+    merge.cpu_ns_per_byte = 0.5;
+    merge.eligible_drives = {};
+    g.stages.push_back(merge);
+    for (std::uint32_t s = 0; s < shards; ++s) {
+        const Bytes matched = static_cast<Bytes>(
+            static_cast<double>(g.stages[s].pages *
+                                g.stages[s].page_bytes) *
+            g.stages[s].selectivity / 8.0);
+        PipelineEdge e;
+        e.from = shards + s;
+        e.to = 2 * shards;
+        e.bytes = matched;
+        e.bytes_host = matched;
+        g.edges.push_back(e);
+    }
+    return g;
+}
+
+TEST(PipelineProperty, AnnealRespectsBudgetsAndComparators)
+{
+    constexpr std::uint64_t kSeeds = 24;
+    CostCalibration c;
+    c.dev_ctrl_ns_per_page = 5300;
+    c.stage_setup_ns = 160700;
+    c.ship_dev_ns_per_page = 7775;
+    c.chan_ns_per_byte = 1.667;
+    c.channels = 8;
+    c.device_cores = 2;
+    c.dev_cpu_slowdown = 8.0;
+    c.port_intra_ns_per_page = 3875;
+    c.port_ns_per_page = 8488;
+    c.h2d_host_ns_per_page = 4375;
+    c.h2d_dev_ns_per_page = 33325;
+    c.hil_ns_per_byte = 0.3125;
+    c.host_cpu_ns_per_byte = 4.0;
+    c.host_io_ns_per_window = 6300;
+    c.stream_window = 1_MiB;
+
+    for (std::uint64_t seed = 0; seed < kSeeds; ++seed) {
+        Rng rng(0x91be11e0 + seed);
+        const std::uint32_t drives = 1u << rng.below(3);  // 1, 2, 4
+
+        std::vector<DriveLoadSnapshot> loads(drives);
+        for (DriveLoadSnapshot &l : loads) {
+            l.active_apps = rng.below(20);
+            l.device_cores = 2;
+            l.min_core_backlog = rng.below(500) * 1000;
+            l.max_core_backlog =
+                l.min_core_backlog + rng.below(100) * 1000;
+            l.user_mem_free =
+                rng.below(5) == 0 ? 64_KiB : Bytes{512_MiB};
+            // The pipeline-era load signals: live host streams and a
+            // committed channel backlog.
+            l.host_streams = rng.below(4);
+            l.chan_backlog = rng.below(400) * 1000;
+        }
+
+        const PipelineGraph g = randomGraph(rng, drives);
+
+        PlacerConfig pc;
+        pc.seed = 0xb15c0000 + seed;
+        pc.core_budget = 2;
+        pc.dram_budget = 512_MiB;
+
+        PlacerConfig greedy_pc = pc;
+        greedy_pc.anneal = false;
+        PlacementPlan greedy = placePipeline(g, c, loads, greedy_pc);
+        PlacementPlan annealed = placePipeline(g, c, loads, pc);
+        PlacementPlan all_host =
+            forcedPipelinePlan(g, c, loads, true);
+
+        ASSERT_TRUE(greedy.valid) << "seed " << seed;
+        ASSERT_TRUE(annealed.valid) << "seed " << seed;
+        ASSERT_TRUE(all_host.valid) << "seed " << seed;
+        ASSERT_EQ(annealed.sites.size(), g.stages.size());
+
+        // Never worse than the greedy seed or the static comparator.
+        EXPECT_LE(annealed.predicted, greedy.predicted)
+            << "seed " << seed;
+        EXPECT_LE(annealed.predicted, all_host.predicted)
+            << "seed " << seed;
+
+        // Budgets hold on every drive; a colocated pair consumes one
+        // core slot.
+        std::vector<std::uint32_t> cores(drives, 0);
+        std::vector<Bytes> dram(drives, 0);
+        for (std::size_t s = 0; s < annealed.sites.size(); ++s) {
+            const Site &site = annealed.sites[s];
+            const StageSpec &spec = g.stages[s];
+            if (site.on_host) {
+                EXPECT_TRUE(spec.host_eligible) << "seed " << seed;
+                continue;
+            }
+            ASSERT_LT(site.drive, drives) << "seed " << seed;
+            EXPECT_NE(spec.kind, StageKind::Merge)
+                << "seed " << seed;
+            bool colocated = false;
+            if (spec.kind == StageKind::Transform &&
+                spec.colocate_with >= 0) {
+                // Device placement of a chained Transform is legal
+                // only on the upstream's drive, sharing its slot.
+                const Site &up = annealed.sites[static_cast<
+                    std::size_t>(spec.colocate_with)];
+                EXPECT_FALSE(up.on_host) << "seed " << seed;
+                EXPECT_EQ(up.drive, site.drive) << "seed " << seed;
+                colocated = true;
+            }
+            if (!colocated)
+                ++cores[site.drive];
+            dram[site.drive] += spec.dram;
+        }
+        for (std::uint32_t d = 0; d < drives; ++d) {
+            EXPECT_LE(cores[d], pc.core_budget) << "seed " << seed;
+            EXPECT_LE(dram[d], pc.dram_budget) << "seed " << seed;
+            EXPECT_LE(dram[d], loads[d].user_mem_free)
+                << "seed " << seed;
+        }
+    }
+}
+
+TEST(PipelineGate, GateClosedLeavesTimingIdentical)
+{
+    auto pred = between(eventsSchema(), "day",
+                        std::string("1995-03-01"),
+                        std::string("1995-04-15"));
+
+    // Gate closed, two different annealer seeds: the pipeline branch
+    // must never run, so decisions, notes and simulated ticks match
+    // the per-shard cost-model planner exactly.
+    PipeSystem a;
+    a.db.planner.use_pipeline = false;
+    a.db.planner.place_seed = 1;
+    PipeSystem b;
+    b.db.planner.use_pipeline = false;
+    b.db.planner.place_seed = 1;
+    PipeSystem legacy;
+    legacy.db.planner.use_pipeline = false;
+    legacy.db.planner.place_seed = 1;
+
+    ScanRecord ra = scanOnce(a.env, a.db, pred);
+    ScanRecord rb = scanOnce(b.env, b.db, pred);
+    ScanRecord rl = scanOnce(legacy.env, legacy.db, pred);
+    ASSERT_FALSE(ra.rows.empty());
+    EXPECT_EQ(ra.rows, rb.rows);
+    EXPECT_EQ(ra.note, rb.note);
+    EXPECT_EQ(ra.elapsed, rb.elapsed);
+    EXPECT_EQ(ra.note, rl.note);
+    EXPECT_EQ(ra.elapsed, rl.elapsed);
+    EXPECT_NE(ra.note.find("cost model placed"), std::string::npos)
+        << ra.note;
+
+    // Gate open: same rows, now planned as a stage DAG.
+    PipeSystem g;
+    ScanRecord rg = scanOnce(g.env, g.db, pred);
+    EXPECT_EQ(rg.rows, ra.rows);
+    EXPECT_FALSE(rg.placement.empty());
+    EXPECT_NE(rg.note.find("pipeline placed"), std::string::npos)
+        << rg.note;
+}
+
+TEST(PipelineRows, IdenticalAcrossPlacementsAndDriveCounts)
+{
+    auto pred = between(eventsSchema(), "day",
+                        std::string("1995-03-01"),
+                        std::string("1995-04-15"));
+
+    std::vector<Row> reference;
+    bool have_reference = false;
+    for (std::uint32_t drives : {1u, 2u, 4u}) {
+        for (PlaceForce force :
+             {PlaceForce::Auto, PlaceForce::AllHost,
+              PlaceForce::AllDevice}) {
+            PipeSystem s(drives);
+            s.db.planner.place_force = force;
+            ScanRecord r = scanOnce(s.env, s.db, pred);
+            ASSERT_FALSE(r.rows.empty())
+                << "drives " << drives << " force "
+                << static_cast<int>(force);
+            if (!have_reference) {
+                reference = r.rows;
+                have_reference = true;
+                continue;
+            }
+            EXPECT_EQ(r.rows, reference)
+                << "drives " << drives << " force "
+                << static_cast<int>(force);
+        }
+    }
+}
+
+TEST(PipelineLane, ForkedLaneReproducesPipelinePlacement)
+{
+    const Schema schema = eventsSchema();
+    constexpr std::uint32_t kDrives = 2;
+
+    sisc::Env env(ssd::testConfig(), kDrives);
+    host::HostSystem host(env.array);
+    MiniDb db(env, host);
+    db.planner.min_table_bytes = 8_KiB;
+    db.planner.sample_pages = 8;
+    db.planner.use_stats = true;
+    db.planner.use_cost_model = true;
+    db.planner.use_pipeline = true;
+    db.planner.place_seed = 0xfeedull;
+    auto &t = db.createShardedTable("events", schema);
+    t.loadRows(eventRows(7, 20000));
+
+    sim::DeviceImage image = sisc::freezeDeviceImage(env);
+    exportTableStats(db, image);
+
+    auto pred = between(schema, "day", std::string("1995-03-01"),
+                        std::string("1995-04-15"));
+    ScanRecord primary = scanOnce(env, db, pred);
+    ASSERT_FALSE(primary.rows.empty());
+    ASSERT_FALSE(primary.placement.empty());
+    ASSERT_NE(primary.note.find("pipeline placed"),
+              std::string::npos)
+        << primary.note;
+
+    // Two lanes on real threads (the TSan target): each forks the
+    // frozen image, adopts the primary's statistics, and must make
+    // the identical pipeline decision on the identical clock.
+    host::LaneRunner runner(2);
+    std::vector<ScanRecord> lanes(2);
+    runner.run(2, [&](std::size_t i) {
+        sisc::Env lenv(image);
+        host::HostSystem lhost(lenv.array);
+        MiniDb ldb(lenv, lhost);
+        ldb.planner = db.planner;
+        ldb.attachShardedTable("events", schema, t.rowCount(),
+                               kDrives);
+        adoptTableStats(ldb, image);
+        lanes[i] = scanOnce(lenv, ldb, pred);
+    });
+
+    for (const ScanRecord &lane : lanes) {
+        EXPECT_EQ(lane.rows, primary.rows);
+        EXPECT_EQ(lane.placement, primary.placement);
+        EXPECT_EQ(lane.note, primary.note);
+        EXPECT_EQ(lane.predicted, primary.predicted);
+        EXPECT_EQ(lane.elapsed, primary.elapsed);
+    }
+}
+
+}  // namespace
+}  // namespace bisc::db
