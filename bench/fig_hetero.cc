@@ -1,0 +1,315 @@
+/**
+ * @file
+ * Heterogeneous mixed-workload placement (ROADMAP "unify
+ * grep/word-count/join workloads as placeable stage DAGs with
+ * shared-snapshot multi-query planning and mid-flight re-planning").
+ *
+ * Scenario: a 4-drive array holds TPC-H SF 0.1 plus one identical
+ * web-log corpus per drive while a resident-grep co-tenant saturates
+ * drive 3. A mixed batch — three greps, two word counts and one
+ * 4-shard TPC-H scan — is admitted to one db::PlacementSession and
+ * planned *jointly*: every plan is priced against the others'
+ * projected occupancy instead of a stale empty-array snapshot, so the
+ * six queries spread over the sites instead of stampeding onto the
+ * same idle drive. The batch then launches in two staggered waves; a
+ * second co-tenant fleet lands on drive 0 between them, so the second
+ * wave's launch checkpoints re-price their unlaunched stages
+ * (PlacementSession::maybeReplan) against the drifted load. The
+ * jointly planned batch must strictly beat both static plans
+ * (all-host, all-device); word counts and scan rows are byte-
+ * identical across every mode.
+ *
+ * Drive counts, lanes and the annealer seed are fixed here
+ * (BISCUIT_DRIVES / BISCUIT_LANES / BISCUIT_PLACE_SEED /
+ * BISCUIT_UNIFIED_PIPELINES are ignored) so the transcript is
+ * comparable against its golden for any environment.
+ */
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "db/costmodel.h"
+#include "db/executor.h"
+#include "db/expr.h"
+#include "db/minidb.h"
+#include "db/session.h"
+#include "db/workloads.h"
+#include "host/grep.h"
+#include "host/host_system.h"
+#include "host/load_gen.h"
+#include "sisc/env.h"
+#include "tpch/dbgen.h"
+#include "util/common.h"
+
+namespace {
+
+using namespace bisc;
+
+constexpr std::uint32_t kDrives = 4;
+constexpr int kSaturators = 16;
+constexpr int kLateSaturators = 24;
+constexpr Bytes kLogBytes = 4_MiB;
+constexpr Bytes kCoLogBytes = 2_MiB;
+constexpr std::uint64_t kPlaceSeed = 0x4e7e20f1ull;
+constexpr const char *kLogPath = "/data/tenant/web.log";
+constexpr const char *kCoLogPath = "/data/tenant/cotenant.log";
+
+struct HeteroResult
+{
+    Tick batch_ticks = 0;
+    std::uint64_t scan_rows = 0;
+    std::uint64_t grep_matches = 0;
+    std::uint64_t wc_words = 0;
+    std::uint32_t replans = 0;
+    std::vector<db::Row> rows;
+    std::string placements;  ///< per-job final site, launch order
+};
+
+/** One mixed-batch member (grep or word count) and where it ended
+ *  up. The TPC-H scan rides separately through scanTable. */
+struct Job
+{
+    db::WorkloadSpec spec;
+    bool late = false;  ///< second wave (launches after the drift)
+    int qid = -1;
+    db::WorkloadOutcome out;
+};
+
+std::string
+jobLabel(const Job &j)
+{
+    std::string label = j.spec.kind == db::WorkloadKind::Grep
+                            ? "grep.d"
+                            : "wc.d";
+    label += std::to_string(j.spec.drive);
+    return label;
+}
+
+std::string
+siteLabel(const db::PlacementPlan &plan)
+{
+    if (!plan.valid || plan.sites.empty() || plan.sites[0].on_host)
+        return "host";
+    return "d" + std::to_string(plan.sites[0].drive);
+}
+
+/**
+ * One fresh system per mode: identical construction history up to the
+ * timed batch, so every mode calibrates the identical cost model and
+ * differs only in the placement it is forced to (or free to) choose.
+ */
+HeteroResult
+runScenario(db::PlaceForce force)
+{
+    sisc::Env env(ssd::defaultConfig(), kDrives);
+    host::HostSystem host(env.array);
+    db::MiniDb mdb(env, host);
+    mdb.planner.min_table_bytes = 512_KiB;
+    mdb.planner.use_stats = true;
+    mdb.planner.use_cost_model = true;
+    mdb.planner.use_pipeline = true;
+    mdb.planner.use_unified_pipelines = true;
+    mdb.planner.place_seed = kPlaceSeed;
+    mdb.planner.place_force = force;
+
+    tpch::TpchConfig cfg;
+    cfg.scale_factor = 0.1;
+    tpch::buildTpch(mdb, cfg);
+
+    HeteroResult r;
+    env.run([&] {
+        db::Table &t = mdb.table("orders");
+        db::ExprPtr pred =
+            db::cmp(t.schema(), "o_orderdate", db::CmpOp::Eq,
+                    std::string("1994-07-01"));
+
+        // One identical corpus per drive (same generation seed), so
+        // a grep/word count's result does not depend on its drive.
+        for (std::uint32_t d = 0; d < kDrives; ++d) {
+            host::installGrepModule(host.fsOf(d));
+            host::generateWebLog(host.fsOf(d), kLogPath, kLogBytes,
+                                 "heisenbug", 97, 20160618);
+        }
+        host::generateWebLog(host.fsOf(0), kCoLogPath, kCoLogBytes,
+                             "heisenbug", 97, 20160618);
+
+        // Warm pass: module loads (minidb + grep + hetero), the lazy
+        // statistics build, and a first scan whose measured
+        // matched-page fraction feeds the placer.
+        db::warmMinidbModule(mdb);
+        db::warmGrepModules(mdb);
+        db::warmHeteroModules(mdb);
+        db::DbStats warm;
+        db::scanTable(mdb, t, pred, db::EngineMode::Biscuit, warm);
+
+        // Saturate the last drive with a resident-grep co-tenant
+        // before anything plans: the skew every mode must live with.
+        const std::uint32_t hot = kDrives - 1;
+        auto &hot_rt = env.array.drive(hot).runtime;
+        rt::ModuleId hot_mid = mdb.grep_drive_modules[hot];
+        std::vector<sim::FiberId> tenants;
+        tenants.reserve(kSaturators + kLateSaturators);
+        for (int i = 0; i < kSaturators; ++i) {
+            tenants.push_back(env.kernel.spawn(
+                "tenant.grep" + std::to_string(i), [&] {
+                    host::grepBiscuitResident(hot_rt, hot_mid,
+                                              kLogPath, "heisenbug");
+                }));
+        }
+        env.kernel.sleep(Tick{2000000});
+
+        // The mixed batch: three greps, two word counts, one scan —
+        // admitted to one shared session and planned jointly.
+        db::PlacementSession session(mdb);
+        std::vector<Job> jobs(5);
+        // The late wave (grep.d0, wc.d2) launches after the second
+        // co-tenant fleet lands on drive 0: grep.d0's admission plan
+        // (drive 0 was idle) goes stale in exactly the way the launch
+        // checkpoint exists to catch.
+        jobs[0].spec = {db::WorkloadKind::Grep, 0, kLogPath,
+                        "heisenbug", force};
+        jobs[0].late = true;
+        jobs[1].spec = {db::WorkloadKind::Grep, 1, kLogPath,
+                        "heisenbug", force};
+        jobs[2].spec = {db::WorkloadKind::Grep, hot, kLogPath,
+                        "heisenbug", force};
+        jobs[3].spec = {db::WorkloadKind::WordCount, 1, kLogPath, "",
+                        force};
+        jobs[4].spec = {db::WorkloadKind::WordCount, 2, kLogPath, "",
+                        force};
+        jobs[4].late = true;
+        for (Job &j : jobs)
+            j.qid = db::admitWorkload(mdb, j.spec);
+        session.planJointly();
+
+        const Tick t0 = env.kernel.now();
+        std::vector<sim::FiberId> batch;
+        auto launch = [&](Job &j) {
+            batch.push_back(env.kernel.spawn(
+                "batch." + jobLabel(j), [&mdb, &j] {
+                    j.out = db::runPlannedWorkload(mdb, j.spec,
+                                                   j.qid);
+                }));
+        };
+        for (Job &j : jobs)
+            if (!j.late)
+                launch(j);
+        db::ScanOutcome scan;
+        batch.push_back(env.kernel.spawn("batch.scan", [&] {
+            db::DbStats stats;
+            scan = db::scanTable(mdb, t, pred,
+                                 db::EngineMode::Biscuit, stats);
+        }));
+
+        // Mid-flight drift: a second co-tenant fleet lands on drive
+        // 0. The late wave's launch checkpoints see the population
+        // shift and may re-place their unlaunched stages.
+        env.kernel.sleep(Tick{500000});
+        auto &d0_rt = env.array.drive(0).runtime;
+        rt::ModuleId d0_mid = mdb.grep_drive_modules[0];
+        for (int i = 0; i < kLateSaturators; ++i) {
+            tenants.push_back(env.kernel.spawn(
+                "tenant.late" + std::to_string(i), [&] {
+                    host::grepBiscuitResident(d0_rt, d0_mid,
+                                              kCoLogPath,
+                                              "heisenbug");
+                }));
+        }
+        // Long enough for the fleet's device work to commit to drive
+        // 0's core horizons: the late wave's re-pricing sees real
+        // backlog, not just a population count.
+        env.kernel.sleep(Tick{2000000});
+        for (Job &j : jobs)
+            if (j.late)
+                launch(j);
+
+        for (sim::FiberId f : batch)
+            env.kernel.join(f);
+        r.batch_ticks = env.kernel.now() - t0;
+        r.replans = session.replans();
+
+        for (const Job &j : jobs) {
+            if (!r.placements.empty())
+                r.placements += " ";
+            r.placements += jobLabel(j) + "=" + siteLabel(j.out.plan);
+            if (j.spec.kind == db::WorkloadKind::Grep)
+                r.grep_matches += j.out.grep.matches;
+            else
+                r.wc_words += j.out.wc.words;
+        }
+        r.scan_rows = scan.rows.size();
+        r.rows = std::move(scan.rows);
+
+        for (sim::FiberId f : tenants)
+            env.kernel.join(f);
+    });
+    return r;
+}
+
+}  // namespace
+
+int
+main()
+{
+    std::printf("Heterogeneous mixed-workload placement under skewed "
+                "load (TPC-H SF 0.1, 4 drives)\n");
+    std::printf("drive 3 saturated by a resident-grep co-tenant; a "
+                "second fleet lands on drive 0 mid-batch\n");
+    std::printf("batch: 3 greps + 2 word counts + 1 TPC-H scan, "
+                "jointly planned in one session\n\n");
+
+    HeteroResult joint = runScenario(db::PlaceForce::Auto);
+    HeteroResult all_host = runScenario(db::PlaceForce::AllHost);
+    HeteroResult all_dev = runScenario(db::PlaceForce::AllDevice);
+
+    struct RowSpec
+    {
+        const char *label;
+        const HeteroResult *r;
+    };
+    const RowSpec table[] = {
+        {"session", &joint},
+        {"all-host", &all_host},
+        {"all-device", &all_dev},
+    };
+
+    std::printf("  %-11s %9s %10s %13s %9s %8s\n", "mode",
+                "batch_ms", "scan_rows", "grep_matches", "wc_words",
+                "replans");
+    for (const RowSpec &row : table) {
+        std::printf("  %-11s %9.3f %10llu %13llu %9llu %8u\n",
+                    row.label,
+                    static_cast<double>(row.r->batch_ticks) / 1e6,
+                    static_cast<unsigned long long>(row.r->scan_rows),
+                    static_cast<unsigned long long>(
+                        row.r->grep_matches),
+                    static_cast<unsigned long long>(row.r->wc_words),
+                    row.r->replans);
+    }
+
+    std::printf("\nplacements (session): %s\n",
+                joint.placements.c_str());
+
+    const double vs_host = static_cast<double>(all_host.batch_ticks) /
+                           static_cast<double>(joint.batch_ticks);
+    const double vs_dev = static_cast<double>(all_dev.batch_ticks) /
+                          static_cast<double>(joint.batch_ticks);
+    std::printf("session vs all-host:   %.2fx\n", vs_host);
+    std::printf("session vs all-device: %.2fx\n", vs_dev);
+
+    const bool rows_match = joint.rows == all_host.rows &&
+                            joint.rows == all_dev.rows;
+    const bool words_match = joint.wc_words == all_host.wc_words &&
+                             joint.wc_words == all_dev.wc_words;
+    std::printf("scan rows identical across modes: %s\n",
+                rows_match ? "yes" : "NO");
+    std::printf("word counts identical across modes: %s\n",
+                words_match ? "yes" : "NO");
+
+    const bool wins = vs_host > 1.0 && vs_dev > 1.0;
+    std::printf("jointly planned batch strictly beats both static "
+                "plans: %s\n",
+                wins ? "yes" : "NO");
+    return (rows_match && words_match && wins) ? 0 : 1;
+}

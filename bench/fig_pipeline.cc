@@ -28,6 +28,7 @@
 #include <string>
 #include <vector>
 
+#include "db/costmodel.h"
 #include "db/executor.h"
 #include "db/expr.h"
 #include "db/minidb.h"
@@ -60,6 +61,8 @@ struct PipeResult
     std::string placement;
     std::string note;
     std::vector<db::Row> rows;
+    /** Array load at planning time (what the placer priced). */
+    std::vector<db::DriveLoadSnapshot> loads;
 };
 
 /**
@@ -142,6 +145,7 @@ runScenario(db::PlaceForce force, std::uint32_t drives)
         // CPU a standing word-count load.
         env.kernel.sleep(Tick{1000000});
 
+        r.loads = db::snapshotDriveLoads(mdb);
         db::DbStats stats;
         Tick t0 = env.kernel.now();
         db::ScanOutcome out = db::scanTable(
@@ -156,6 +160,21 @@ runScenario(db::PlaceForce force, std::uint32_t drives)
             env.kernel.join(f);
     });
     return r;
+}
+
+/** The host-side load terms the placer priced (per drive, in drive
+ *  order): in-flight host streams and the flash channel backlog. */
+void
+printLoadHeader(const std::vector<db::DriveLoadSnapshot> &loads)
+{
+    std::printf("planner snapshot: host_streams [");
+    for (std::size_t d = 0; d < loads.size(); ++d)
+        std::printf("%s%u", d ? " " : "", loads[d].host_streams);
+    std::printf("]  chan_backlog_ms [");
+    for (std::size_t d = 0; d < loads.size(); ++d)
+        std::printf("%s%.3f", d ? " " : "",
+                    static_cast<double>(loads[d].chan_backlog) / 1e6);
+    std::printf("]\n");
 }
 
 }  // namespace
@@ -174,6 +193,9 @@ main()
     PipeResult all_dev = runScenario(db::PlaceForce::AllDevice, 4);
     PipeResult one_drive = runScenario(db::PlaceForce::Auto, 1);
     PipeResult two_drive = runScenario(db::PlaceForce::Auto, 2);
+
+    printLoadHeader(placed.loads);
+    std::printf("\n");
 
     const PipeResult *rows_ref = &placed;
     struct RowSpec

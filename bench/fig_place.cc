@@ -25,6 +25,7 @@
 #include <string>
 #include <vector>
 
+#include "db/costmodel.h"
 #include "db/executor.h"
 #include "db/expr.h"
 #include "db/minidb.h"
@@ -49,6 +50,8 @@ struct PlaceResult
     Tick predicted = 0;
     std::string placement;
     std::vector<db::Row> rows;
+    /** Array load at planning time (what the placer priced). */
+    std::vector<db::DriveLoadSnapshot> loads;
 };
 
 /**
@@ -109,6 +112,7 @@ runScenario(db::PlaceForce force, std::uint32_t drives)
         // before the planner snapshots the array's load.
         env.kernel.sleep(Tick{2000000});
 
+        r.loads = db::snapshotDriveLoads(mdb);
         db::DbStats stats;
         Tick t0 = env.kernel.now();
         db::ScanOutcome out = db::scanTable(
@@ -122,6 +126,21 @@ runScenario(db::PlaceForce force, std::uint32_t drives)
             env.kernel.join(f);
     });
     return r;
+}
+
+/** The host-side load terms the placer priced (per drive, in drive
+ *  order): in-flight host streams and the flash channel backlog. */
+void
+printLoadHeader(const std::vector<db::DriveLoadSnapshot> &loads)
+{
+    std::printf("planner snapshot: host_streams [");
+    for (std::size_t d = 0; d < loads.size(); ++d)
+        std::printf("%s%u", d ? " " : "", loads[d].host_streams);
+    std::printf("]  chan_backlog_ms [");
+    for (std::size_t d = 0; d < loads.size(); ++d)
+        std::printf("%s%.3f", d ? " " : "",
+                    static_cast<double>(loads[d].chan_backlog) / 1e6);
+    std::printf("]\n");
 }
 
 }  // namespace
@@ -138,6 +157,9 @@ main()
     PlaceResult all_host = runScenario(db::PlaceForce::AllHost, 4);
     PlaceResult all_dev = runScenario(db::PlaceForce::AllDevice, 4);
     PlaceResult one_drive = runScenario(db::PlaceForce::Auto, 1);
+
+    printLoadHeader(placed.loads);
+    std::printf("\n");
 
     const PlaceResult *rows_ref = &placed;
     struct RowSpec

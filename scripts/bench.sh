@@ -45,6 +45,7 @@ benches=(
     fig_prune
     fig_place
     fig_pipeline
+    fig_hetero
 )
 
 out_dir="$build_dir/bench_out"
@@ -234,6 +235,17 @@ pipeline_json=$(awk '
           printf "\"speedup_vs_all_host\": %s, ", vh;
           printf "\"speedup_vs_all_device\": %s", vd
     }' "$out_dir/fig_pipeline.txt")
+# Heterogeneous mixed-workload headline: the jointly planned batch's
+# simulated makespan, mid-flight re-plan count and the measured
+# speedups over the static plans (from the fig_hetero transcript).
+hetero_json=$(awk '
+    $1 == "session" && $2 != "vs" { ms = $2; replans = $6 }
+    /^session vs all-host:/   { gsub(/x$/, "", $4); vh = $4 }
+    /^session vs all-device:/ { gsub(/x$/, "", $4); vd = $4 }
+    END { printf "\"batch_ms\": %s, \"replans\": %s, ", ms, replans;
+          printf "\"speedup_vs_all_host\": %s, ", vh;
+          printf "\"speedup_vs_all_device\": %s", vd
+    }' "$out_dir/fig_hetero.txt")
 serve_jobs_json=$(awk '/^--- 4 drives ---/ { s = 1 }
     s && /^jobs:/ {
         gsub(/;/, "", $6);
@@ -266,7 +278,8 @@ serve_jobs_json=$(awk '/^--- 4 drives ---/ { s = 1 }
     echo "    \"fig_serve\": {$serve_jobs_json, \"tenant_p99_us\": {$serve_p99_json}},"
     echo "    \"fig_prune_one_day_1drive\": {$prune_json},"
     echo "    \"fig_place_skewed_4drive\": {$place_json},"
-    echo "    \"fig_pipeline_skewed_4drive\": {$pipeline_json}"
+    echo "    \"fig_pipeline_skewed_4drive\": {$pipeline_json},"
+    echo "    \"fig_hetero_mixed_4drive\": {$hetero_json}"
     echo "  }"
     echo "}"
 } > "$out_file"

@@ -134,6 +134,24 @@ if [[ "$run_perf_smoke" == 1 ]]; then
         build/bench/fig_pipeline > build/bench_out/fig_pipeline_env.txt
     cmp build/bench_out/fig_pipeline_a.txt build/bench_out/fig_pipeline_env.txt
     echo "pipeline: golden match, two runs byte-identical, env-invariant"
+
+    echo
+    echo "=== hetero pass: jointly planned mixed workloads ==="
+    # fig_hetero exits non-zero unless the session-planned mixed batch
+    # (greps + word counts + a TPC-H scan sharing one
+    # db::PlacementSession) strictly beats both static plans with scan
+    # rows and word counts byte-identical across modes; the transcript
+    # must match its golden, repeat byte-for-byte, and ignore the
+    # lane/drive/gate env (drive counts, the gate, and the annealer
+    # seed are fixed in the bench).
+    build/bench/fig_hetero > build/bench_out/fig_hetero_a.txt
+    diff -q bench/golden/fig_hetero.txt build/bench_out/fig_hetero_a.txt
+    build/bench/fig_hetero > build/bench_out/fig_hetero_b.txt
+    cmp build/bench_out/fig_hetero_a.txt build/bench_out/fig_hetero_b.txt
+    BISCUIT_LANES=2 BISCUIT_DRIVES=4 BISCUIT_UNIFIED_PIPELINES=0 \
+        build/bench/fig_hetero > build/bench_out/fig_hetero_env.txt
+    cmp build/bench_out/fig_hetero_a.txt build/bench_out/fig_hetero_env.txt
+    echo "hetero: golden match, two runs byte-identical, env-invariant"
 fi
 
 if [[ "$run_sanitized" == 1 ]]; then
@@ -157,7 +175,7 @@ if [[ "$run_sanitized" == 1 ]]; then
         -DCMAKE_BUILD_TYPE=RelWithDebInfo >/dev/null
     cmake --build build-tsan -j "$(nproc)"
     ctest --test-dir build-tsan --output-on-failure -j "$(nproc)" \
-        -R "SnapshotFork|LaneRunner|ServeSoak|PlaceLane|PipelineLane"
+        -R "SnapshotFork|LaneRunner|ServeSoak|PlaceLane|PipelineLane|HeteroLane"
     BISCUIT_LANES=2 BISCUIT_TRACE=build-tsan/fig10_trace.json \
         build-tsan/bench/fig10_tpch \
         > build-tsan/fig10_lanes.txt

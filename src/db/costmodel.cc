@@ -428,6 +428,12 @@ predictPipeline(const PipelineGraph &graph,
         const Site &site = sites[i];
         switch (s.kind) {
           case StageKind::Scan: {
+            // A Scan may carry its own per-byte compute
+            // (cpu_ns_per_byte > 0: the grep tally / word-count
+            // tokenizer folded into the streaming stage). A host scan
+            // touches every streamed byte; a device scan only the
+            // matcher-selected fraction. DB scans leave it at 0, so
+            // their predictions are bit-unchanged.
             if (site.on_host) {
                 // Raw stream to the host: window-issue CPU, bounded
                 // below by the drive's contended delivery rate. The
@@ -448,7 +454,10 @@ predictPipeline(const PipelineGraph &graph,
                         hostStreamIoTicks(
                             bytes, c,
                             loads[s.eligible_drives.front()]));
-                host += elapsed;
+                host += elapsed +
+                        static_cast<Tick>(
+                            static_cast<double>(bytes) *
+                            s.cpu_ns_per_byte * c.host_cpu_factor);
             } else {
                 // Matcher scan on the drive; shipping is priced by
                 // the stage's out-edges, not here.
@@ -457,11 +466,16 @@ predictPipeline(const PipelineGraph &graph,
                     static_cast<double>(s.page_bytes) *
                     c.chan_ns_per_byte /
                     std::max<std::uint32_t>(1, c.channels);
+                const double selected_bytes =
+                    static_cast<double>(s.pages * s.page_bytes) *
+                    std::min(1.0, std::max(0.0, s.selectivity));
                 chargeCore(site.drive,
                            static_cast<Tick>(
                                c.stage_setup_ns +
                                static_cast<double>(s.pages) *
-                                   std::max(ctrl, stream)));
+                                   std::max(ctrl, stream) +
+                               selected_bytes * s.cpu_ns_per_byte *
+                                   c.dev_cpu_slowdown));
             }
             break;
           }

@@ -11,8 +11,11 @@
 #include <unordered_set>
 
 #include "db/planner.h"
+#include "db/session.h"
 #include "db/stats.h"
+#include "db/workloads.h"
 #include "runtime/module.h"
+#include "sim/fanout.h"
 #include "sisc/application.h"
 #include "sisc/file.h"
 #include "sisc/port.h"
@@ -626,22 +629,12 @@ void
 forEachShard(MiniDb &db, Table &table, const char *what,
              const Fn &work)
 {
-    const std::uint32_t nshards = table.shardCount();
-    if (nshards == 1) {
-        work(0);
-        return;
-    }
-    sim::Kernel &kernel = db.env().kernel;
-    std::vector<sim::FiberId> fibers;
-    fibers.reserve(nshards);
-    for (std::uint32_t s = 0; s < nshards; ++s) {
-        fibers.push_back(kernel.spawn(
-            std::string(what) + "." + table.name() + ".drive" +
-                std::to_string(s),
-            [&work, s] { work(s); }));
-    }
-    for (sim::FiberId f : fibers)
-        kernel.join(f);
+    sim::fanOut(db.env().kernel, table.shardCount(),
+                [&](std::uint32_t s) {
+                    return std::string(what) + "." + table.name() +
+                           ".drive" + std::to_string(s);
+                },
+                work);
 }
 
 std::vector<std::string>
@@ -1074,12 +1067,24 @@ placedScan(MiniDb &db, Table &table, const ExprPtr &pred,
  */
 ScanOutcome
 pipelinedScan(MiniDb &db, Table &table, const ExprPtr &pred,
-              const pm::KeySet &keys, const PlacementPlan &plan,
-              const PipelineGraph &graph, DbStats &stats)
+              const pm::KeySet &keys, const PlacementPlan &plan_in,
+              const PipelineGraph &graph, DbStats &stats,
+              int session_query = -1)
 {
     OpTimer timer(db, stats, "pipelined_scan");
     const Tick begin = db.env().kernel.now();
     ScanOutcome out;
+
+    // Launch checkpoint for session-planned scans: the co-tenant load
+    // may have drifted since the plan was admitted (the caller could
+    // have queued behind admission control); re-price the still-
+    // unlaunched stages against a fresh snapshot, then commit.
+    PlacementPlan plan = plan_in;
+    if (session_query >= 0 && db.place_session != nullptr) {
+        db.place_session->maybeReplan(session_query);
+        plan = db.place_session->plan(session_query);
+        db.place_session->markLaunched(session_query);
+    }
     const bool any_device = plan.anyDevice();
     out.used_ndp = any_device;
     auto &host = db.host();
@@ -1356,6 +1361,8 @@ pipelinedScan(MiniDb &db, Table &table, const ExprPtr &pred,
                      {1, 2, 5, 10, 20, 35, 50, 75, 100}),
                  static_cast<std::uint64_t>(err));
     }
+    if (session_query >= 0 && db.place_session != nullptr)
+        db.place_session->release(session_query);
     (void)graph;
     return out;
 }
@@ -1581,7 +1588,7 @@ scanTable(MiniDb &db, Table &table, const ExprPtr &pred,
         ScanOutcome out =
             d.plan.valid && !d.graph.stages.empty()
                 ? pipelinedScan(db, table, pred, d.keys, d.plan,
-                                d.graph, stats)
+                                d.graph, stats, d.session_query)
                 : d.plan.valid
                 ? placedScan(db, table, pred, d.keys, d.plan, stats)
                 : (d.offload
@@ -1629,7 +1636,8 @@ template <class Key, class OuterKeyFn, class SlotKeyFn>
 std::vector<Row>
 hashJoinRows(const std::vector<Row> &outer, int outer_col,
              Table &inner, int inner_col, const ExprPtr &inner_pred,
-             const OuterKeyFn &outerKey, const SlotKeyFn &slotKey)
+             const OuterKeyFn &outerKey, const SlotKeyFn &slotKey,
+             std::uint64_t *matched_rows = nullptr)
 {
     std::vector<Key> okeys;
     okeys.reserve(outer.size());
@@ -1651,6 +1659,9 @@ hashJoinRows(const std::vector<Row> &outer, int outer_col,
         matched.push_back(inner_schema.decodeRow(slot));
     });
 
+    if (matched_rows != nullptr)
+        *matched_rows = matched.size();
+
     // Probe, reusing the keys computed for the membership set.
     std::vector<Row> out;
     for (std::size_t i = 0; i < outer.size(); ++i) {
@@ -1668,6 +1679,175 @@ hashJoinRows(const std::vector<Row> &outer, int outer_col,
     return out;
 }
 
+/**
+ * Unified-pipeline timing side of bnlJoin (use_unified_pipelines):
+ * the inner side modeled as the same placeable DAG as cost-model
+ * scans — per-shard Scan feeding a colocatable outer-key prefilter
+ * Transform (the PR 3 semi-join filter) feeding the host probe Merge
+ * — placed by the annealer (through the session when attached). A
+ * host-placed shard keeps the legacy block-nested-loop passes; a
+ * device-placed shard runs ONE semi-scan SSDlet pass and ships only
+ * the (exactly known, since the functional join ran first) matched
+ * rows, with later blocks re-probing those rows on the host instead
+ * of re-reading the shard. Join rows are computed before this runs
+ * and are untouched — byte-identical to the legacy path at any
+ * placement.
+ */
+void
+placedJoinTiming(MiniDb &db, Table &inner, std::uint64_t blocks,
+                 std::uint64_t matched_rows, DbStats &stats)
+{
+    auto &host = db.host();
+    const std::uint32_t n = inner.shardCount();
+    const Bytes page = inner.pageSize();
+    const Bytes row_width = inner.schema().rowWidth();
+    const Bytes matched_bytes = matched_rows * row_width;
+    const Bytes inner_bytes = inner.pageCount() * page;
+    const double matched_frac =
+        inner_bytes == 0
+            ? 0.0
+            : std::min(1.0, static_cast<double>(matched_bytes) /
+                                static_cast<double>(inner_bytes));
+
+    // Scan [0, n) -> prefilter Transform [n, 2n) -> probe Merge (2n),
+    // the shape buildPipelineGraph gives cost-model scans, with the
+    // prefilter's exact selectivity known up front.
+    PipelineGraph g;
+    const Bytes instance_dram =
+        db.env().device.config().instance_user_mem;
+    for (std::uint32_t s = 0; s < n; ++s) {
+        StageSpec scan;
+        scan.label =
+            "join.scan." + inner.name() + ".s" + std::to_string(s);
+        scan.shard = s;
+        scan.kind = StageKind::Scan;
+        scan.pages = inner.shardPageCount(s);
+        scan.page_bytes = page;
+        scan.selectivity = matched_frac;
+        scan.eligible_drives = {s};
+        scan.dram = instance_dram;
+        g.stages.push_back(std::move(scan));
+    }
+    for (std::uint32_t s = 0; s < n; ++s) {
+        StageSpec pre;
+        pre.label = "join.prefilter." + inner.name() + ".s" +
+                    std::to_string(s);
+        pre.shard = s;
+        pre.kind = StageKind::Transform;
+        pre.page_bytes = page;
+        pre.cpu_ns_per_byte = host.config().db_scan_ns_per_byte;
+        pre.colocate_with = static_cast<int>(s);
+        pre.eligible_drives = {s};
+        pre.dram = instance_dram;
+        g.stages.push_back(std::move(pre));
+    }
+    StageSpec probe;
+    probe.label = "join.probe." + inner.name();
+    probe.kind = StageKind::Merge;
+    probe.page_bytes = page;
+    probe.eligible_drives.clear();
+    probe.cpu_ns_per_byte =
+        static_cast<double>(db.planner.row_cpu) /
+        std::max<double>(1.0, static_cast<double>(row_width));
+    g.stages.push_back(std::move(probe));
+    for (std::uint32_t s = 0; s < n; ++s) {
+        const Bytes streamed = inner.shardPageCount(s) * page;
+        const Bytes selected = static_cast<Bytes>(
+            static_cast<double>(streamed) * matched_frac);
+        PipelineEdge to_pre;
+        to_pre.from = s;
+        to_pre.to = n + s;
+        to_pre.bytes = selected;
+        to_pre.bytes_host = streamed;
+        g.edges.push_back(to_pre);
+        PipelineEdge to_probe;
+        to_probe.from = n + s;
+        to_probe.to = 2 * n;
+        to_probe.bytes = selected;
+        to_probe.bytes_host = selected;
+        g.edges.push_back(to_probe);
+    }
+
+    PlacerConfig pc = workloadPlacerConfig(db);
+    int qid = -1;
+    PlacementPlan plan;
+    if (db.place_session != nullptr) {
+        qid = db.place_session->admit(g, pc,
+                                      db.planner.place_force);
+        db.place_session->maybeReplan(qid);
+        plan = db.place_session->plan(qid);
+        db.place_session->markLaunched(qid);
+    } else {
+        plan =
+            db.planner.place_force == PlaceForce::Auto
+                ? placePipeline(g, calibrateCostModel(db),
+                                snapshotDriveLoads(db), pc)
+                : forcedPipelinePlan(
+                      g, calibrateCostModel(db),
+                      snapshotDriveLoads(db),
+                      db.planner.place_force == PlaceForce::AllHost);
+    }
+    auto siteOf = [&](std::uint32_t s) {
+        return plan.valid && s < plan.sites.size() ? plan.sites[s]
+                                                   : Site{true, 0};
+    };
+    bool any_device = false;
+    Bytes dev_matched_bytes = 0;
+    for (std::uint32_t s = 0; s < n; ++s) {
+        if (siteOf(s).on_host)
+            continue;
+        any_device = true;
+        dev_matched_bytes += static_cast<Bytes>(
+            static_cast<double>(inner.shardPageCount(s) * page) *
+            matched_frac);
+    }
+    if (any_device)
+        warmHeteroModules(db);
+
+    const double semi_cpu =
+        host.config().db_scan_ns_per_byte *
+        db.env().device.config().device_core_slowdown;
+    forEachShard(db, inner, "db.bnl.place", [&](std::uint32_t s) {
+        if (!siteOf(s).on_host) {
+            // One device pass replaces every per-block re-read.
+            sisc::SSD ssd(db.env().array.drive(s).runtime);
+            sisc::Application app(ssd);
+            sisc::SSDLet semi(
+                app, db.hetero_drive_modules[s], "idSemiScan",
+                std::make_tuple(slet::File(inner.file()),
+                                semi_cpu));
+            auto port = app.connectTo<std::uint64_t>(semi.out(0));
+            app.start();
+            std::uint64_t scanned = 0;
+            while (port.get(scanned)) {
+            }
+            app.wait();
+            stats.pages_scanned_device += inner.shardPageCount(s);
+            return;
+        }
+        for (std::uint64_t b = 0; b < blocks; ++b) {
+            host.streamReadTimedOn(
+                s, inner.file(), 0, inner.shardPageCount(s) * page,
+                1_MiB, [&](Bytes, Bytes len) {
+                    host.consumeCpuPerByte(
+                        len, host.config().db_scan_ns_per_byte);
+                });
+            stats.pages_to_host += inner.shardPageCount(s);
+        }
+    });
+    if (any_device) {
+        // Matched rows of device shards cross the HIL once; every
+        // block re-probes them from host memory at scan cost.
+        stats.pages_to_host += divCeil<Bytes>(dev_matched_bytes,
+                                              std::max<Bytes>(page, 1));
+        host.consumeCpuPerByte(dev_matched_bytes * blocks,
+                               host.config().db_scan_ns_per_byte);
+    }
+    stats.rows_examined += inner.rowCount() * blocks;
+    if (qid >= 0 && db.place_session != nullptr)
+        db.place_session->release(qid);
+}
+
 }  // namespace
 
 std::vector<Row>
@@ -1683,6 +1863,7 @@ bnlJoin(MiniDb &db, const std::vector<Row> &outer, Bytes outer_width,
 
     const Type key_type =
         inner.schema().at(static_cast<std::size_t>(inner_col)).type;
+    std::uint64_t matched_rows = 0;
     if (key_type == Type::Int64) {
         const Bytes key_off = inner.schema().offsetOf(
             static_cast<std::size_t>(inner_col));
@@ -1694,14 +1875,16 @@ bnlJoin(MiniDb &db, const std::vector<Row> &outer, Bytes outer_width,
                 std::int64_t v;
                 std::memcpy(&v, slot + key_off, 8);
                 return v;
-            });
+            },
+            &matched_rows);
     } else {
         out = hashJoinRows<std::string>(
             outer, outer_col, inner, inner_col, inner_pred,
             [](const Value &v) { return valueToString(v); },
             [](const std::uint8_t *slot, const Schema &s, int col) {
                 return slotKeyString(slot, s, col);
-            });
+            },
+            &matched_rows);
     }
 
     // Timing side: block-nested-loop — the inner table is re-read in
@@ -1711,6 +1894,17 @@ bnlJoin(MiniDb &db, const std::vector<Row> &outer, Bytes outer_width,
     Bytes outer_bytes = outer.size() * outer_width;
     std::uint64_t blocks =
         divCeil<Bytes>(outer_bytes, db.planner.join_buffer);
+    if (db.planner.use_unified_pipelines && db.planner.use_pipeline &&
+        inner.pageCount() > 0) {
+        // Unified gate: the inner side becomes a placeable
+        // scan -> prefilter -> probe DAG (device shards semi-scan
+        // once instead of once per block). Rows already computed
+        // above — identical at any placement.
+        placedJoinTiming(db, inner, blocks, matched_rows, stats);
+        host.consumeCpu(db.planner.row_cpu *
+                        (outer.size() + out.size()));
+        return out;
+    }
     for (std::uint64_t b = 0; b < blocks; ++b) {
         // The pass only contributes time (the rows are already in the
         // functional hash above), so skip materializing the bytes. A

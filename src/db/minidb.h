@@ -80,6 +80,29 @@ struct PlannerConfig
     bool use_pipeline = false;
 
     /**
+     * Unified workload pipelines (requires use_pipeline): grep, word
+     * count and the join prefilter are modeled as the same placeable
+     * stage DAGs as cost-model scans (db/workloads.h), multi-query
+     * plans share one load snapshot through a db::PlacementSession,
+     * and in-flight plans may re-place unlaunched stages when the
+     * co-tenant load drifts. Off by default — every legacy driver and
+     * every pre-unification golden stays tick-identical.
+     */
+    bool use_unified_pipelines = false;
+
+    /**
+     * Re-planning hysteresis (use_unified_pipelines): an in-flight
+     * plan's unlaunched stages are re-priced only when a drive's
+     * resident-app or host-stream population shifted by at least
+     * replan_min_delta since planning, or a core backlog drifted by
+     * more than replan_hysteresis of its planned value. Both guards
+     * damp oscillation; both are deterministic (sim-state inputs
+     * only).
+     */
+    std::uint32_t replan_min_delta = 1;
+    double replan_hysteresis = 0.25;
+
+    /**
      * Seed of the placement annealer's xoshiro stream; 0 defers to
      * the BISCUIT_PLACE_SEED environment variable (falling back to
      * the PlacerConfig default). Fixed seed -> identical plans.
@@ -268,6 +291,29 @@ class MiniDb
      */
     std::vector<std::uint64_t> pipe_drive_modules;
     bool pipe_module_loaded = false;
+
+    /**
+     * Per-drive module ids of the "hetero" module (device word-count
+     * and join-prefilter SSDlets) and of the resident "grep" module
+     * the unified grep runner instantiates against. Separate images
+     * for the same reason as above: every pre-unification module's
+     * bytes — and therefore its load time in the golden transcripts —
+     * stays identical. Loaded lazily on first unified use.
+     */
+    std::vector<std::uint64_t> hetero_drive_modules;
+    bool hetero_module_loaded = false;
+    std::vector<std::uint64_t> grep_drive_modules;
+    bool grep_module_loaded = false;
+
+    /**
+     * Multi-query placement session (db/session.h) the planner
+     * consults when use_unified_pipelines is on: concurrent queries'
+     * plans are priced against each other's projected occupancy
+     * instead of a stale empty-array snapshot. Null — always the case
+     * gate-closed — keeps the planner on its single-query snapshot.
+     * Not owned.
+     */
+    class PlacementSession *place_session = nullptr;
 
     /**
      * Sampled page-selectivity statistics, keyed by table + key set.

@@ -442,10 +442,136 @@ forcedPipelinePlan(const PipelineGraph &graph,
     return plan;
 }
 
-bool
-pipelineFromEnv(bool fallback)
+PlacementPlan
+replanPipeline(const PipelineGraph &graph,
+               const CostCalibration &calib,
+               const std::vector<DriveLoadSnapshot> &loads,
+               const PlacerConfig &cfg,
+               const std::vector<bool> &launched,
+               const PlacementPlan &current)
 {
-    const char *env = std::getenv("BISCUIT_PIPELINE_PLACE");
+    const std::size_t n = graph.stages.size();
+    BISC_ASSERT(current.sites.size() == n && launched.size() == n,
+                "replanPipeline arity mismatch");
+    PlacementPlan plan;
+    if (n == 0)
+        return plan;
+
+    // Seed from the in-flight assignment: launched stages are pinned
+    // (their applications are instantiated / their streams opened),
+    // everything else starts where it was and may move.
+    std::vector<Site> sites = current.sites;
+    if (!pipelineFeasible(graph, sites, loads, cfg))
+        return plan;  // pinned prefix already infeasible: keep current
+
+    auto movable = [&](std::size_t i) { return !launched[i]; };
+
+    // Greedy sweep over the movable stages only, pricing the full
+    // graph (launched stages contribute their pinned costs).
+    for (std::size_t i = 0; i < n; ++i) {
+        if (!movable(i))
+            continue;
+        const Site seed = sites[i];
+        Site best_site = seed;
+        bool placed = false;
+        Tick best_cost = 0;
+        for (const Site &cand : pipelineCandidates(graph, sites, i)) {
+            sites[i] = cand;
+            if (!pipelineFeasible(graph, sites, loads, cfg))
+                continue;
+            const Tick cost =
+                predictPipeline(graph, sites, calib, loads).makespan;
+            if (!placed || cost < best_cost) {
+                best_cost = cost;
+                best_site = cand;
+                placed = true;
+            }
+        }
+        sites[i] = placed ? best_site : seed;
+    }
+    plan.sites = sites;
+    plan.valid = true;
+    plan.predicted =
+        predictPipeline(graph, sites, calib, loads).makespan;
+
+    // The same annealing walk, restricted to movable stages. Flips
+    // that land on a launched stage are burned draws (cooling still
+    // advances) so a fixed seed walks the same schedule regardless of
+    // which prefix happens to be pinned.
+    if (cfg.anneal) {
+        Rng rng(cfg.seed);
+        std::vector<Site> cur = sites;
+        Tick cur_cost = plan.predicted;
+        std::vector<Site> best = sites;
+        Tick best_cost = plan.predicted;
+        double temp = cfg.t0_ticks;
+        for (std::uint32_t it = 0; it < cfg.iterations; ++it) {
+            const std::size_t i =
+                static_cast<std::size_t>(rng.below(n));
+            if (!movable(i)) {
+                temp *= cfg.cooling;
+                continue;
+            }
+            const std::vector<Site> cands =
+                pipelineCandidates(graph, cur, i);
+            if (cands.size() < 2) {
+                temp *= cfg.cooling;
+                continue;
+            }
+            const Site prev = cur[i];
+            Site next = cands[rng.below(cands.size())];
+            if (next.on_host == prev.on_host &&
+                next.drive == prev.drive) {
+                temp *= cfg.cooling;
+                continue;
+            }
+            cur[i] = next;
+            if (!pipelineFeasible(graph, cur, loads, cfg)) {
+                cur[i] = prev;
+                temp *= cfg.cooling;
+                continue;
+            }
+            const Tick cost =
+                predictPipeline(graph, cur, calib, loads).makespan;
+            const double delta = static_cast<double>(cost) -
+                                 static_cast<double>(cur_cost);
+            if (delta <= 0.0 ||
+                (temp > 0.0 &&
+                 rng.uniform() < std::exp(-delta / temp))) {
+                cur_cost = cost;
+                if (cost < best_cost) {
+                    best_cost = cost;
+                    best = cur;
+                }
+            } else {
+                cur[i] = prev;
+            }
+            temp *= cfg.cooling;
+        }
+        if (best_cost < plan.predicted) {
+            plan.sites = best;
+            plan.predicted = best_cost;
+            plan.from_anneal = true;
+        }
+    }
+
+    const PipelinePrediction pred =
+        predictPipeline(graph, plan.sites, calib, loads);
+    plan.edges_priced = pred.edges_priced;
+    plan.edge_ticks = pred.edge_ticks;
+    plan.predicted_all_host = current.predicted_all_host;
+    plan.predicted_all_device = current.predicted_all_device;
+    return plan;
+}
+
+namespace {
+
+/** Shared "0"/"false"/"off"-disable boolean env parse; never writes
+ *  to stderr (callers sit inside golden-checked benches). */
+bool
+boolFromEnv(const char *name, bool fallback)
+{
+    const char *env = std::getenv(name);
     if (env == nullptr || env[0] == '\0')
         return fallback;
     if (std::strcmp(env, "0") == 0 ||
@@ -453,6 +579,20 @@ pipelineFromEnv(bool fallback)
         std::strcmp(env, "off") == 0)
         return false;
     return true;
+}
+
+}  // namespace
+
+bool
+unifiedFromEnv(bool fallback)
+{
+    return boolFromEnv("BISCUIT_UNIFIED_PIPELINES", fallback);
+}
+
+bool
+pipelineFromEnv(bool fallback)
+{
+    return boolFromEnv("BISCUIT_PIPELINE_PLACE", fallback);
 }
 
 std::uint64_t

@@ -122,6 +122,29 @@ PlacementPlan forcedPipelinePlan(
     const std::vector<DriveLoadSnapshot> &loads, bool on_host);
 
 /**
+ * Mid-flight re-placement of an in-flight pipeline plan: stages with
+ * launched[i] true keep their site from @p current (their work is
+ * already committed to a resource); every unlaunched stage is free to
+ * move, searched with the same greedy sweep + seeded annealing walk
+ * against @p loads (a *fresh* snapshot — the point of re-planning).
+ * Never worse than keeping @p current's unlaunched sites as-is, and
+ * deterministic for a fixed cfg.seed. Falls back to @p current
+ * (valid=false) when the pinned prefix admits no feasible completion.
+ */
+PlacementPlan replanPipeline(
+    const PipelineGraph &graph, const CostCalibration &calib,
+    const std::vector<DriveLoadSnapshot> &loads,
+    const PlacerConfig &cfg, const std::vector<bool> &launched,
+    const PlacementPlan &current);
+
+/**
+ * `BISCUIT_UNIFIED_PIPELINES` when set ("0"/"false"/"off" disable,
+ * anything else enables), @p fallback otherwise. Never writes to
+ * stderr — read inside golden-checked benches and the serving tier.
+ */
+bool unifiedFromEnv(bool fallback);
+
+/**
  * `BISCUIT_PIPELINE_PLACE` when set ("0"/"false"/"off" disable,
  * anything else enables), @p fallback otherwise. Never writes to
  * stderr — read inside golden-checked benches and the serving tier.

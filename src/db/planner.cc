@@ -4,6 +4,7 @@
 #include <cstdio>
 
 #include "db/executor.h"
+#include "db/session.h"
 #include "db/stats.h"
 
 namespace bisc::db {
@@ -178,15 +179,31 @@ placeWithCostModel(MiniDb &db, Table &table, const ExprPtr &pred,
         // Stage-DAG generalization: scan -> re-check -> merge, edges
         // priced by placement pair, searched with the same annealer.
         d.graph = buildPipelineGraph(db, table, stages, sel, calib);
-        d.plan =
-            cfg.place_force == PlaceForce::Auto
-                ? placePipeline(d.graph, calib, loads, pc)
-                : forcedPipelinePlan(
-                      d.graph, calib, loads,
-                      cfg.place_force == PlaceForce::AllHost);
-        how = "pipeline";
-        if (!d.plan.valid)
+        if (cfg.use_unified_pipelines && db.place_session != nullptr) {
+            // Multi-query planning: admit the DAG to the shared
+            // session, which prices it against the co-admitted
+            // queries' projected occupancy instead of this stale
+            // snapshot. The executor releases the id at drain.
+            d.session_query = db.place_session->admit(
+                d.graph, pc, cfg.place_force);
+            d.plan = db.place_session->plan(d.session_query);
+            how = "session pipeline";
+        } else {
+            d.plan =
+                cfg.place_force == PlaceForce::Auto
+                    ? placePipeline(d.graph, calib, loads, pc)
+                    : forcedPipelinePlan(
+                          d.graph, calib, loads,
+                          cfg.place_force == PlaceForce::AllHost);
+            how = "pipeline";
+        }
+        if (!d.plan.valid) {
             d.graph = PipelineGraph{};
+            if (d.session_query >= 0) {
+                db.place_session->release(d.session_query);
+                d.session_query = -1;
+            }
+        }
         // Host-stream contention the prediction priced in, per drive
         // (x100: 100 = alone). BISCUIT_OBS-gated, never read back.
         auto &obs = db.env().kernel.obs();

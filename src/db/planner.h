@@ -50,6 +50,15 @@ struct PlanDecision
      */
     PipelineGraph graph;
 
+    /**
+     * Query id inside MiniDb::place_session when the plan was admitted
+     * to a multi-query PlacementSession (use_unified_pipelines with a
+     * session attached); -1 otherwise. The executor marks stages
+     * launched, checks maybeReplan() before late launches, and
+     * releases the id when the scan drains.
+     */
+    int session_query = -1;
+
     std::string note;  ///< human-readable decision trace
 };
 

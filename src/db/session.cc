@@ -1,0 +1,380 @@
+#include "db/session.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace bisc::db {
+
+namespace {
+
+/** Absolute floor under the relative backlog-drift trigger: sub-0.1ms
+ *  horizon wiggle never forces a re-plan on a quiet array. */
+constexpr Tick kMinBacklogDrift = Tick{100000};
+
+bool
+sitesEqual(const std::vector<Site> &a, const std::vector<Site> &b)
+{
+    if (a.size() != b.size())
+        return false;
+    for (std::size_t i = 0; i < a.size(); ++i)
+        if (a[i].on_host != b[i].on_host ||
+            a[i].drive != b[i].drive)
+            return false;
+    return true;
+}
+
+}  // namespace
+
+PlacementSession::PlacementSession(MiniDb &db)
+    : db_(db), calib_(calibrateCostModel(db)),
+      base_(snapshotDriveLoads(db))
+{
+    db_.place_session = this;
+}
+
+PlacementSession::~PlacementSession()
+{
+    if (db_.place_session == this)
+        db_.place_session = nullptr;
+}
+
+PlanOccupancy
+PlacementSession::occupancyOf(const Query &q) const
+{
+    PlanOccupancy occ;
+    const std::size_t drives = base_.size();
+    occ.apps.assign(drives, 0);
+    occ.core_ticks.assign(drives, 0);
+    occ.streams.assign(drives, 0);
+    occ.dram.assign(drives, 0);
+    if (!q.plan.valid)
+        return occ;
+    const PipelineGraph &g = q.graph;
+    const std::vector<Site> &sites = q.plan.sites;
+    const CostCalibration &c = calib_;
+
+    auto colocated = [&](std::size_t i) {
+        const StageSpec &s = g.stages[i];
+        if (s.kind != StageKind::Transform || s.colocate_with < 0 ||
+            sites[i].on_host)
+            return false;
+        const Site &up =
+            sites[static_cast<std::size_t>(s.colocate_with)];
+        return !up.on_host && up.drive == sites[i].drive;
+    };
+
+    // Mirror predictPipeline's per-stage service demands: what this
+    // plan will pin (app slots, DRAM), burn (core ticks, host CPU)
+    // and open (host streams) is what a co-admitted query should see.
+    for (std::size_t i = 0; i < g.stages.size(); ++i) {
+        const StageSpec &s = g.stages[i];
+        const Site &site = sites[i];
+        const Bytes in = stageInBytes(
+            g, sites, static_cast<std::uint32_t>(i));
+        if (site.on_host) {
+            switch (s.kind) {
+              case StageKind::Scan: {
+                const Bytes bytes = s.pages * s.page_bytes;
+                const std::uint64_t windows =
+                    c.stream_window == 0
+                        ? 0
+                        : divCeil<Bytes>(bytes, c.stream_window);
+                occ.host_ticks += static_cast<Tick>(
+                    static_cast<double>(windows) *
+                        c.host_io_ns_per_window +
+                    static_cast<double>(bytes) * s.cpu_ns_per_byte *
+                        c.host_cpu_factor);
+                if (!s.eligible_drives.empty() &&
+                    s.eligible_drives.front() < drives)
+                    ++occ.streams[s.eligible_drives.front()];
+                break;
+              }
+              case StageKind::Transform:
+              case StageKind::Merge:
+                occ.host_ticks += static_cast<Tick>(
+                    static_cast<double>(in) * s.cpu_ns_per_byte *
+                    c.host_cpu_factor);
+                break;
+            }
+            continue;
+        }
+        const std::uint32_t d = site.drive;
+        if (d >= drives)
+            continue;
+        if (!colocated(i)) {
+            ++occ.apps[d];
+            occ.dram[d] += s.dram;
+        }
+        if (s.kind == StageKind::Scan) {
+            const double ctrl = c.dev_ctrl_ns_per_page;
+            const double stream =
+                static_cast<double>(s.page_bytes) *
+                c.chan_ns_per_byte /
+                std::max<std::uint32_t>(1, c.channels);
+            const double selected =
+                static_cast<double>(s.pages * s.page_bytes) *
+                std::min(1.0, std::max(0.0, s.selectivity));
+            occ.core_ticks[d] += static_cast<Tick>(
+                c.stage_setup_ns +
+                static_cast<double>(s.pages) *
+                    std::max(ctrl, stream) +
+                selected * s.cpu_ns_per_byte * c.dev_cpu_slowdown);
+        } else {
+            const double setup =
+                colocated(i) ? 0.0 : c.stage_setup_ns;
+            occ.core_ticks[d] += static_cast<Tick>(
+                setup + static_cast<double>(in) * s.cpu_ns_per_byte *
+                            c.dev_cpu_slowdown);
+        }
+    }
+    for (const PipelineEdge &e : g.edges) {
+        const Site &src = sites.at(e.from);
+        const Site &dst = sites.at(e.to);
+        const Bytes flow = src.on_host ? e.bytes_host : e.bytes;
+        const EdgeCost ec = priceEdge(
+            flow, g.stages[e.from].page_bytes, src, dst, c);
+        if (ec.src_core > 0 && src.drive < drives)
+            occ.core_ticks[src.drive] += ec.src_core;
+        if (ec.dst_core > 0 && dst.drive < drives)
+            occ.core_ticks[dst.drive] += ec.dst_core;
+        occ.host_ticks += ec.host;
+    }
+    return occ;
+}
+
+std::vector<DriveLoadSnapshot>
+PlacementSession::effectiveLoads(int excluding) const
+{
+    std::vector<DriveLoadSnapshot> loads = base_;
+    for (std::size_t qid = 0; qid < queries_.size(); ++qid) {
+        const Query &q = queries_[qid];
+        if (!q.live || static_cast<int>(qid) == excluding)
+            continue;
+        for (std::size_t d = 0;
+             d < loads.size() && d < q.occ.apps.size(); ++d) {
+            DriveLoadSnapshot &l = loads[d];
+            l.active_apps += q.occ.apps[d];
+            l.host_streams += q.occ.streams[d];
+            const Tick horizon =
+                q.occ.core_ticks[d] /
+                std::max<std::uint32_t>(1, l.device_cores);
+            l.min_core_backlog += horizon;
+            l.max_core_backlog += horizon;
+            l.user_mem_free -=
+                std::min<Bytes>(l.user_mem_free, q.occ.dram[d]);
+        }
+    }
+    return loads;
+}
+
+CostCalibration
+PlacementSession::effectiveCalib(int excluding) const
+{
+    CostCalibration c = calib_;
+    for (std::size_t qid = 0; qid < queries_.size(); ++qid) {
+        const Query &q = queries_[qid];
+        if (!q.live || static_cast<int>(qid) == excluding)
+            continue;
+        c.host_backlog += q.occ.host_ticks;
+    }
+    return c;
+}
+
+void
+PlacementSession::planOne(Query &q, int qid)
+{
+    const std::vector<DriveLoadSnapshot> loads =
+        effectiveLoads(qid);
+    const CostCalibration calib = effectiveCalib(qid);
+    q.plan = q.force == PlaceForce::Auto
+                 ? placePipeline(q.graph, calib, loads, q.cfg)
+                 : forcedPipelinePlan(q.graph, calib, loads,
+                                      q.force == PlaceForce::AllHost);
+    q.occ = occupancyOf(q);
+    q.planned_loads = loads;
+}
+
+int
+PlacementSession::admit(const PipelineGraph &graph,
+                        const PlacerConfig &cfg, PlaceForce force)
+{
+    // Long-lived sessions (the serving tier) admit queries over sim
+    // time: refresh the base so a new query prices today's array, not
+    // construction-time's. Queries admitted back-to-back (zero sim
+    // time apart) still share one identical snapshot.
+    base_ = snapshotDriveLoads(db_);
+    calib_ = calibrateCostModel(db_);
+    Query q;
+    q.live = true;
+    q.graph = graph;
+    q.cfg = cfg;
+    q.force = force;
+    q.launched.assign(graph.stages.size(), false);
+    const int qid = static_cast<int>(queries_.size());
+    queries_.push_back(std::move(q));
+    planOne(queries_.back(), qid);
+    ++admitted_;
+    OBS_COUNT(db_.env().kernel.obs().metrics().counter(
+                  "db.place.session.queries", "queries"),
+              1);
+    return qid;
+}
+
+void
+PlacementSession::planJointly(std::uint32_t rounds)
+{
+    std::uint32_t used = 0;
+    for (std::uint32_t r = 0; r < rounds; ++r) {
+        bool changed = false;
+        for (std::size_t qid = 0; qid < queries_.size(); ++qid) {
+            Query &q = queries_[qid];
+            if (!q.live || q.force != PlaceForce::Auto)
+                continue;
+            // Launched stages are already committed; a joint round
+            // must not move them either.
+            const std::vector<Site> before = q.plan.sites;
+            bool any_launched = false;
+            for (bool b : q.launched)
+                any_launched = any_launched || b;
+            if (any_launched) {
+                const PlacementPlan np = replanPipeline(
+                    q.graph, effectiveCalib(static_cast<int>(qid)),
+                    effectiveLoads(static_cast<int>(qid)), q.cfg,
+                    q.launched, q.plan);
+                if (np.valid) {
+                    q.plan = np;
+                    q.occ = occupancyOf(q);
+                    q.planned_loads =
+                        effectiveLoads(static_cast<int>(qid));
+                }
+            } else {
+                planOne(q, static_cast<int>(qid));
+            }
+            changed =
+                changed || !sitesEqual(before, q.plan.sites);
+        }
+        ++used;
+        if (!changed)
+            break;
+    }
+    OBS_COUNT(db_.env().kernel.obs().metrics().counter(
+                  "db.place.session.joint_rounds", "rounds"),
+              used);
+}
+
+const PlacementPlan &
+PlacementSession::plan(int qid) const
+{
+    return queries_.at(static_cast<std::size_t>(qid)).plan;
+}
+
+const PipelineGraph &
+PlacementSession::graph(int qid) const
+{
+    return queries_.at(static_cast<std::size_t>(qid)).graph;
+}
+
+void
+PlacementSession::markLaunched(int qid, std::size_t stage)
+{
+    Query &q = queries_.at(static_cast<std::size_t>(qid));
+    if (stage < q.launched.size())
+        q.launched[stage] = true;
+}
+
+void
+PlacementSession::markLaunched(int qid)
+{
+    Query &q = queries_.at(static_cast<std::size_t>(qid));
+    q.launched.assign(q.launched.size(), true);
+}
+
+bool
+PlacementSession::maybeReplan(int qid)
+{
+    Query &q = queries_.at(static_cast<std::size_t>(qid));
+    if (!q.live || !q.plan.valid)
+        return false;
+    // A forced plan's sites are a constraint, not a choice — there is
+    // nothing for a fresh snapshot to reconsider.
+    if (q.force != PlaceForce::Auto)
+        return false;
+    bool all_launched = true;
+    for (bool b : q.launched)
+        all_launched = all_launched && b;
+    if (all_launched || q.launched.empty())
+        return false;
+
+    // Fresh snapshot: the whole point — the array may have changed
+    // since this plan was priced.
+    base_ = snapshotDriveLoads(db_);
+    calib_ = calibrateCostModel(db_);
+    const std::vector<DriveLoadSnapshot> fresh =
+        effectiveLoads(qid);
+
+    // Hysteresis: population shifts (a co-tenant app arrived or
+    // drained, a host stream opened or closed) count head-for-head;
+    // backlog drift counts only past a relative threshold with an
+    // absolute floor.
+    std::uint32_t pop_delta = 0;
+    bool backlog_drift = false;
+    const std::size_t drives =
+        std::min(fresh.size(), q.planned_loads.size());
+    for (std::size_t d = 0; d < drives; ++d) {
+        const DriveLoadSnapshot &was = q.planned_loads[d];
+        const DriveLoadSnapshot &now = fresh[d];
+        pop_delta += now.active_apps > was.active_apps
+                         ? now.active_apps - was.active_apps
+                         : was.active_apps - now.active_apps;
+        pop_delta += now.host_streams > was.host_streams
+                         ? now.host_streams - was.host_streams
+                         : was.host_streams - now.host_streams;
+        const Tick diff = now.min_core_backlog > was.min_core_backlog
+                              ? now.min_core_backlog -
+                                    was.min_core_backlog
+                              : was.min_core_backlog -
+                                    now.min_core_backlog;
+        if (diff > kMinBacklogDrift &&
+            static_cast<double>(diff) >
+                db_.planner.replan_hysteresis *
+                    static_cast<double>(std::max<Tick>(
+                        was.min_core_backlog, kMinBacklogDrift)))
+            backlog_drift = true;
+    }
+    if (pop_delta < db_.planner.replan_min_delta && !backlog_drift)
+        return false;
+
+    // Seed mixed with the replan ordinal: the first re-plan of a
+    // query draws a different (but reproducible) walk than its
+    // admission plan and than its second re-plan.
+    PlacerConfig pc = q.cfg;
+    pc.seed = q.cfg.seed +
+              0x9E3779B97F4A7C15ull *
+                  static_cast<std::uint64_t>(q.replan_ordinal + 1);
+    ++q.replan_ordinal;
+    const PlacementPlan np = replanPipeline(
+        q.graph, effectiveCalib(qid), fresh, pc, q.launched, q.plan);
+    if (!np.valid)
+        return false;
+    const bool moved = !sitesEqual(np.sites, q.plan.sites);
+    q.plan = np;
+    q.occ = occupancyOf(q);
+    q.planned_loads = fresh;
+    if (moved) {
+        ++replans_;
+        OBS_COUNT(db_.env().kernel.obs().metrics().counter(
+                      "db.place.replans", "replans"),
+                  1);
+    }
+    return moved;
+}
+
+void
+PlacementSession::release(int qid)
+{
+    Query &q = queries_.at(static_cast<std::size_t>(qid));
+    q.live = false;
+    q.occ = PlanOccupancy{};
+}
+
+}  // namespace bisc::db

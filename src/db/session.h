@@ -1,0 +1,144 @@
+/**
+ * @file
+ * Multi-query placement session (ROADMAP: "multi-query plans sharing
+ * one snapshot, and re-planning mid-flight").
+ *
+ * The single-query planner prices each plan against a point-in-time
+ * DriveLoadSnapshot; when K queries plan concurrently, each sees an
+ * array that the other K-1 are about to load — the classic stale-
+ * snapshot stampede (every plan dodges the same busy drive onto the
+ * same idle one). A PlacementSession shares ONE base snapshot across
+ * the admitted queries and charges each plan the *projected
+ * occupancy* of the others: their device app slots, core work, DRAM
+ * claims and host streams folded into per-drive load copies, their
+ * host CPU work folded into the calibration's host backlog. A
+ * block-coordinate refinement (planJointly) then re-anneals each
+ * query against the others until no plan moves — deterministic,
+ * since queries are visited in admission order with seeded walks.
+ *
+ * Mid-flight re-planning: a query planned at admission may launch
+ * later (it waited on admission control, or staggers its stage
+ * launches). maybeReplan() takes a fresh snapshot and, only when the
+ * load drifted past the PlannerConfig hysteresis (a co-tenant
+ * arrived or drained), re-places the plan's unlaunched stages via
+ * db::replanPipeline — launched stages are pinned. `db.place.replans`
+ * and `db.place.session.*` count what happened.
+ *
+ * Everything reads sim-side state only (never obs mirrors) and every
+ * RNG draw comes from seeded xoshiro streams, so sessions reproduce
+ * across runs, lanes and platforms.
+ */
+
+#ifndef BISCUIT_DB_SESSION_H_
+#define BISCUIT_DB_SESSION_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "db/placer.h"
+
+namespace bisc::db {
+
+/** Projected resource claims of one admitted query's current plan. */
+struct PlanOccupancy
+{
+    std::vector<std::uint32_t> apps;   ///< per drive: app slots
+    std::vector<Tick> core_ticks;      ///< per drive: device work
+    std::vector<std::uint32_t> streams;  ///< per drive: host streams
+    std::vector<Bytes> dram;           ///< per drive: instance DRAM
+    Tick host_ticks = 0;               ///< host CPU work
+};
+
+class PlacementSession
+{
+  public:
+    /** Calibrate + snapshot @p db's array as the session base and
+     *  attach as MiniDb::place_session. */
+    explicit PlacementSession(MiniDb &db);
+
+    /** Detaches from MiniDb::place_session (if still attached). */
+    ~PlacementSession();
+
+    PlacementSession(const PlacementSession &) = delete;
+    PlacementSession &operator=(const PlacementSession &) = delete;
+
+    /** Admit one query's stage DAG: plans it against the base
+     *  snapshot plus every other live query's projected occupancy.
+     *  Returns the query id used by the other calls. */
+    int admit(const PipelineGraph &graph, const PlacerConfig &cfg,
+              PlaceForce force = PlaceForce::Auto);
+
+    /**
+     * Block-coordinate joint refinement: revisit the live queries in
+     * admission order, re-placing each against the others' current
+     * occupancy, until a full round moves nothing (at most @p rounds
+     * rounds). The K plans converge on a joint assignment instead of
+     * each dodging into the same idle drive.
+     */
+    void planJointly(std::uint32_t rounds = 2);
+
+    const PlacementPlan &plan(int qid) const;
+    const PipelineGraph &graph(int qid) const;
+
+    /** Pin stage @p stage (or all stages) of @p qid: its work is
+     *  committed to its site and re-planning may not move it. */
+    void markLaunched(int qid, std::size_t stage);
+    void markLaunched(int qid);
+
+    /**
+     * Hysteresis-guarded mid-flight re-plan: take a fresh array
+     * snapshot; when a drive's resident-app/host-stream population
+     * shifted by >= PlannerConfig::replan_min_delta or a core backlog
+     * drifted past replan_hysteresis relative to plan time, re-place
+     * @p qid's unlaunched stages (launched pinned, seed mixed with
+     * the replan ordinal). Returns true when any site moved.
+     */
+    bool maybeReplan(int qid);
+
+    /** Drop @p qid's occupancy from the session (query finished). */
+    void release(int qid);
+
+    std::uint32_t replans() const { return replans_; }
+    std::uint32_t admitted() const { return admitted_; }
+
+    /**
+     * The base snapshot with every live query's occupancy folded in,
+     * @p excluding's own excluded (pass -1 to fold all): apps, core
+     * horizons, DRAM claims, host streams per drive. What a
+     * co-admitted query's planner prices against.
+     */
+    std::vector<DriveLoadSnapshot> effectiveLoads(int excluding) const;
+
+    /** The base calibration with the other queries' host CPU work
+     *  added to the host backlog. */
+    CostCalibration effectiveCalib(int excluding) const;
+
+  private:
+    struct Query
+    {
+        bool live = false;
+        PipelineGraph graph;
+        PlacerConfig cfg;
+        PlaceForce force = PlaceForce::Auto;
+        PlacementPlan plan;
+        std::vector<bool> launched;
+        PlanOccupancy occ;
+        /** Loads the current plan was priced against (drift ref). */
+        std::vector<DriveLoadSnapshot> planned_loads;
+        std::uint32_t replan_ordinal = 0;
+    };
+
+    PlanOccupancy occupancyOf(const Query &q) const;
+    void planOne(Query &q, int qid);
+
+    MiniDb &db_;
+    CostCalibration calib_;
+    std::vector<DriveLoadSnapshot> base_;
+    std::vector<Query> queries_;
+    std::uint32_t replans_ = 0;
+    std::uint32_t admitted_ = 0;
+};
+
+}  // namespace bisc::db
+
+#endif  // BISCUIT_DB_SESSION_H_

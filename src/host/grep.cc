@@ -89,26 +89,51 @@ BoyerMoore::count(const std::uint8_t *data, std::size_t len) const
     return n;
 }
 
-// ----- Conventional grep -----
+// ----- Host streaming scans -----
 
-GrepResult
-grepConv(HostSystem &host, const std::string &path,
-         const std::string &pattern)
+namespace {
+
+/**
+ * Shared skeleton of the host-side streaming scans (grep, word
+ * count): stream the file off drive @p drive with OS readahead at a
+ * 1 MiB window, charge the scanner's per-byte CPU, and hand each
+ * chunk to @p chunk. Bytes and elapsed ticks accumulate into the
+ * caller's result fields.
+ */
+template <class Chunk>
+void
+hostStreamScan(HostSystem &host, std::uint32_t drive,
+               const std::string &path, Bytes &scanned,
+               Tick &elapsed, const Chunk &chunk)
 {
-    BoyerMoore bm(pattern);
-    GrepResult result;
-    Tick t0 = host.kernel().now();
-    Bytes size = host.fs().size(path);
-    const Bytes window = 1_MiB;
-    const std::size_t overlap = pattern.size() - 1;
-
-    std::vector<std::uint8_t> carry;  // tail of the previous chunk
-    host.streamRead(
-        path, 0, size, window,
+    const Tick t0 = host.kernel().now();
+    const Bytes size = host.fsOf(drive).size(path);
+    host.streamReadOn(
+        drive, path, 0, size, 1_MiB,
         [&](Bytes off, const std::uint8_t *data, Bytes n) {
             (void)off;
             host.consumeCpuPerByte(n,
                                    host.config().grep_ns_per_byte);
+            chunk(data, n);
+            scanned += n;
+        });
+    elapsed = host.kernel().now() - t0;
+}
+
+}  // namespace
+
+GrepResult
+grepConvOn(HostSystem &host, std::uint32_t drive,
+           const std::string &path, const std::string &pattern)
+{
+    BoyerMoore bm(pattern);
+    GrepResult result;
+    const std::size_t overlap = pattern.size() - 1;
+
+    std::vector<std::uint8_t> carry;  // tail of the previous chunk
+    hostStreamScan(
+        host, drive, path, result.bytes_scanned, result.elapsed,
+        [&](const std::uint8_t *data, Bytes n) {
             result.matches += bm.count(data, n);
             // Matches straddling the chunk boundary: search the seam
             // and keep only hits spanning it.
@@ -131,10 +156,15 @@ grepConv(HostSystem &host, const std::string &path,
                 Bytes keep = std::min<Bytes>(overlap, n);
                 carry.assign(data + n - keep, data + n);
             }
-            result.bytes_scanned += n;
         });
-    result.elapsed = host.kernel().now() - t0;
     return result;
+}
+
+GrepResult
+grepConv(HostSystem &host, const std::string &path,
+         const std::string &pattern)
+{
+    return grepConvOn(host, 0, path, pattern);
 }
 
 // ----- NDP grep SSDlet -----
@@ -238,15 +268,10 @@ wordCount(HostSystem &host, std::uint32_t drive,
           const std::string &path)
 {
     WordCountResult result;
-    Tick t0 = host.kernel().now();
-    Bytes size = host.fsOf(drive).size(path);
     bool in_word = false;
-    host.streamReadOn(
-        drive, path, 0, size, 1_MiB,
-        [&](Bytes off, const std::uint8_t *data, Bytes n) {
-            (void)off;
-            host.consumeCpuPerByte(n,
-                                   host.config().grep_ns_per_byte);
+    hostStreamScan(
+        host, drive, path, result.bytes_scanned, result.elapsed,
+        [&](const std::uint8_t *data, Bytes n) {
             for (Bytes i = 0; i < n; ++i) {
                 const std::uint8_t c = data[i];
                 const bool space =
@@ -257,9 +282,7 @@ wordCount(HostSystem &host, std::uint32_t drive,
                     ++result.words;
                 in_word = !space;
             }
-            result.bytes_scanned += n;
         });
-    result.elapsed = host.kernel().now() - t0;
     return result;
 }
 

@@ -60,6 +60,12 @@ struct GrepResult
 GrepResult grepConv(HostSystem &host, const std::string &path,
                     const std::string &pattern);
 
+/** grepConv() against drive @p drive of the attached array (the
+ *  unified-pipeline host site runs one of these per shard). */
+GrepResult grepConvOn(HostSystem &host, std::uint32_t drive,
+                      const std::string &path,
+                      const std::string &pattern);
+
 /**
  * NDP grep: load the grep SSDlet, stream the file through the
  * per-channel pattern matchers and count occurrences on the device;

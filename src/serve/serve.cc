@@ -8,7 +8,9 @@
 #include "db/costmodel.h"
 #include "db/executor.h"
 #include "db/placer.h"
+#include "db/session.h"
 #include "db/stats.h"
+#include "db/workloads.h"
 #include "host/grep.h"
 #include "host/load_gen.h"
 #include "obs/metrics.h"
@@ -39,11 +41,13 @@ subSeed(std::uint64_t seed, std::uint64_t salt)
 void
 applyPlannerFlags(db::MiniDb &db, const ServeConfig &cfg)
 {
-    if (cfg.pipelined_scans) {
+    if (cfg.pipelined_scans || cfg.unified_pipelines) {
         db.planner.use_stats = true;
         db.planner.use_cost_model = true;
         db.planner.use_pipeline = true;
     }
+    if (cfg.unified_pipelines)
+        db.planner.use_unified_pipelines = true;
 }
 
 enum class JobKind { TpchQuery, PointLookup, Grep, WordCount };
@@ -139,6 +143,10 @@ struct ServeState
     sim::Waiter all_done;
     std::vector<PerTenant> per_tenant;
     std::vector<rt::ModuleId> grep_modules;  ///< resident, per drive
+
+    /** Shared multi-query planning session (unified_pipelines only);
+     *  attaches itself as db.place_session while alive. */
+    std::unique_ptr<db::PlacementSession> session;
     std::uint64_t jobs_finished = 0;
     std::uint64_t jobs_total = 0;
     ServeReport report;
@@ -199,6 +207,27 @@ runJob(ServeState &st, const JobSpec &job)
         break;
       }
       case JobKind::PointLookup: {
+        // Unified planning: a pread has no placeable device stage,
+        // but admitting its (degenerate, host-only) stage prices the
+        // lookup's host work into the shared session so co-tenant
+        // plans see it.
+        int qid = -1;
+        if (st.cfg.unified_pipelines &&
+            st.db.place_session != nullptr) {
+            db::PipelineGraph g;
+            db::StageSpec s;
+            s.label = "lookup.orders";
+            s.kind = db::StageKind::Scan;
+            s.pages = 1;
+            s.page_bytes = st.db.table("orders").pageSize();
+            s.cpu_ns_per_byte =
+                st.db.host().config().db_scan_ns_per_byte;
+            s.eligible_drives.clear();
+            g.stages.push_back(std::move(s));
+            qid = st.db.place_session->admit(
+                g, db::workloadPlacerConfig(st.db));
+            st.db.place_session->markLaunched(qid);
+        }
         db::DbStats stats;
         db::Row row;
         if (st.cfg.keyed_lookups) {
@@ -217,6 +246,8 @@ runJob(ServeState &st, const JobSpec &job)
         // o_orderkey (column 0) sums drive-count-invariantly.
         st.report.lookup_sum += static_cast<std::uint64_t>(
             std::get<std::int64_t>(row.at(0)));
+        if (qid >= 0 && st.db.place_session != nullptr)
+            st.db.place_session->release(qid);
         break;
       }
       case JobKind::Grep: {
@@ -241,18 +272,41 @@ runJob(ServeState &st, const JobSpec &job)
             break;
         }
         st.logEvent(job, "admit", jobLabel(job));
-        auto grep = host::grepBiscuitResident(
-            st.db.env().array.drive(target).runtime,
-            st.grep_modules[target], st.cat.log_path,
-            st.cfg.grep_needle);
+        std::uint64_t matches = 0;
+        if (st.cfg.unified_pipelines) {
+            // Unified path: the grep runs as a placeable stage DAG —
+            // the session's annealer picks its site; both sites
+            // delegate to the legacy leaf scanners.
+            db::WorkloadSpec spec;
+            spec.kind = db::WorkloadKind::Grep;
+            spec.drive = target;
+            spec.path = st.cat.log_path;
+            spec.pattern = st.cfg.grep_needle;
+            matches = db::runWorkload(st.db, spec).grep.matches;
+        } else {
+            matches = host::grepBiscuitResident(
+                          st.db.env().array.drive(target).runtime,
+                          st.grep_modules[target], st.cat.log_path,
+                          st.cfg.grep_needle)
+                          .matches;
+        }
         st.adm.release(job.tenant, demand);
-        rows = grep.matches;
-        st.report.grep_matches += grep.matches;
+        rows = matches;
+        st.report.grep_matches += matches;
         break;
       }
       case JobKind::WordCount: {
-        auto wc = host::wordCount(st.db.host(), job.drive,
-                                  st.cat.log_path);
+        host::WordCountResult wc;
+        if (st.cfg.unified_pipelines) {
+            db::WorkloadSpec spec;
+            spec.kind = db::WorkloadKind::WordCount;
+            spec.drive = job.drive;
+            spec.path = st.cat.log_path;
+            wc = db::runWorkload(st.db, spec).wc;
+        } else {
+            wc = host::wordCount(st.db.host(), job.drive,
+                                 st.cat.log_path);
+        }
         rows = wc.words;
         st.report.wordcount_words += wc.words;
         break;
@@ -351,6 +405,9 @@ serveConfigFromEnv()
     // placement; unset leaves the default (off), so the fig_serve
     // golden environment is unchanged.
     cfg.pipelined_scans = db::pipelineFromEnv(cfg.pipelined_scans);
+    // BISCUIT_UNIFIED_PIPELINES routes all four job kinds through the
+    // shared placement session; same golden-preserving default.
+    cfg.unified_pipelines = db::unifiedFromEnv(cfg.unified_pipelines);
     return cfg;
 }
 
@@ -415,6 +472,13 @@ serveMain(db::MiniDb &db, const ServeConfig &cfg,
         auto &runtime = db.env().array.drive(d).runtime;
         st.grep_modules.push_back(
             runtime.loadModule("/var/isc/slets/grep.slet"));
+    }
+    if (cfg.unified_pipelines) {
+        // All four job kinds plan through one shared session; it
+        // attaches itself as db.place_session and detaches when the
+        // run tears down ServeState.
+        st.session = std::make_unique<db::PlacementSession>(db);
+        db::warmGrepModules(db);
     }
 
     st.jobs_total =

@@ -112,6 +112,21 @@ struct ServeConfig
      * default — the fig_serve golden predates pipeline placement.
      */
     bool pipelined_scans = false;
+
+    /**
+     * Unified workload pipelines (implies pipelined_scans and its
+     * prerequisites): grep and word-count jobs run as placeable stage
+     * DAGs (db/workloads.h) instead of hard-wired device/host calls,
+     * all four job kinds plan through one shared db::PlacementSession
+     * (TPC-H scans and joins admit their DAGs, point lookups admit a
+     * degenerate host-only stage so their host work is priced), and
+     * in-flight plans may re-place unlaunched stages when co-tenant
+     * load drifts. Result aggregates stay byte-identical — both grep
+     * sites and both word-count sites delegate to the legacy leaf
+     * scanners. Off by default — the fig_serve golden predates
+     * unification.
+     */
+    bool unified_pipelines = false;
 };
 
 /** The default 4-tenant mix: weights 4/2/2/1. */

@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Shared shard fan-out: run N units of work, one named fiber each,
+ * joining all before returning. One unit runs inline on the calling
+ * fiber — the historical single-shard code path, tick for tick (no
+ * spawn, no context switch, no fiber bookkeeping).
+ *
+ * The DB executor's per-shard scan fan-out, the unified grep /
+ * word-count workload runners and the hetero bench all share this
+ * loop; keeping one copy means the inline-at-one-unit guarantee (and
+ * therefore every single-drive golden) is enforced in one place.
+ */
+
+#ifndef BISCUIT_SIM_FANOUT_H_
+#define BISCUIT_SIM_FANOUT_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/kernel.h"
+
+namespace bisc::sim {
+
+/**
+ * Run @p body(0..n-1): inline when @p n <= 1, else one fiber per
+ * unit named by @p name(u), all joined before returning. @p body and
+ * @p name must outlive the call (they are captured by reference).
+ */
+template <class NameFn, class BodyFn>
+void
+fanOut(Kernel &kernel, std::uint32_t n, const NameFn &name,
+       const BodyFn &body)
+{
+    if (n <= 1) {
+        if (n == 1)
+            body(0);
+        return;
+    }
+    std::vector<FiberId> fibers;
+    fibers.reserve(n);
+    for (std::uint32_t u = 0; u < n; ++u)
+        fibers.push_back(kernel.spawn(name(u), [&body, u] { body(u); }));
+    for (FiberId f : fibers)
+        kernel.join(f);
+}
+
+}  // namespace bisc::sim
+
+#endif  // BISCUIT_SIM_FANOUT_H_
